@@ -1,0 +1,41 @@
+// Ablation: request-queue (scheduler window) depth sensitivity.
+//
+// §V's argument is that μbank systems starve the request queue of pending
+// requests per bank, so policies that inspect the queue lose their
+// information advantage. This ablation varies the scheduler-visible window
+// and reports IPC and the measured average queue occupancy at (1,1) and
+// (2,8): the occupancy collapse with μbanks is the §V evidence.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace mb;
+  bench::printBanner("Ablation", "request-queue depth and occupancy (the §V argument)");
+
+  for (const auto& [nW, nB] : {std::pair{1, 1}, std::pair{2, 8}}) {
+    std::printf("--- (nW,nB) = (%d,%d), workload 429.mcf ---\n", nW, nB);
+    TablePrinter t({"queue depth", "IPC", "avg occupancy", "avg read latency ns"});
+    for (int depth : {4, 8, 16, 32, 64}) {
+      sim::SystemConfig cfg = sim::tsiBaselineConfig();
+      cfg.ubank = dram::UbankConfig{nW, nB};
+      cfg.queueDepth = depth;
+      const auto runs = bench::runWorkload("429.mcf", cfg);
+      t.addRow(std::to_string(depth),
+               {bench::meanOf(runs, +[](const sim::RunResult& r) { return r.systemIpc; }),
+                bench::meanOf(runs,
+                              +[](const sim::RunResult& r) { return r.avgQueueOccupancy; }),
+                bench::meanOf(
+                    runs, +[](const sim::RunResult& r) { return r.avgReadLatencyNs; })},
+               3);
+    }
+    t.print(std::cout);
+    std::printf("\n");
+  }
+  std::printf(
+      "expected: occupancy (and thus queue-inspection information) collapses\n"
+      "with ubanks; deep windows stop paying off beyond a small depth.\n");
+  return 0;
+}

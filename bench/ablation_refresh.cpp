@@ -1,0 +1,49 @@
+// Extension study: refresh granularity x μbank organization.
+//
+// All-bank refresh blocks a whole rank for tRFC (350 ns) every tREFI;
+// per-bank refresh (LPDDR-style) rotates shorter tRFCpb (90 ns) windows
+// through the banks so the rest of the rank keeps serving. With μbanks the
+// blocked unit contains many row buffers, so confining refresh to one bank
+// at a time also preserves more open-row state.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace mb;
+  bench::printBanner("Extension", "all-bank vs per-bank refresh x ubank config");
+
+  for (const char* workload : {"429.mcf", "470.lbm", "TPC-H"}) {
+    std::printf("--- %s ---\n", workload);
+    TablePrinter t({"(nW,nB)", "refresh", "rel IPC", "read ns", "row hit"});
+    std::vector<sim::RunResult> baseline;
+    for (const auto& [nW, nB] : {std::pair{1, 1}, std::pair{4, 4}}) {
+      for (const bool perBank : {false, true}) {
+        sim::SystemConfig cfg = sim::tsiBaselineConfig();
+        cfg.ubank = dram::UbankConfig{nW, nB};
+        cfg.perBankRefresh = perBank;
+        const auto runs = bench::runWorkload(workload, cfg);
+        if (baseline.empty()) baseline = runs;
+        t.addRow({"(" + std::to_string(nW) + "," + std::to_string(nB) + ")",
+                  perBank ? "per-bank" : "all-bank",
+                  formatDouble(bench::relative(runs, baseline, bench::ipcMetric), 3),
+                  formatDouble(
+                      bench::meanOf(
+                          runs, +[](const sim::RunResult& r) { return r.avgReadLatencyNs; }),
+                      1),
+                  formatDouble(
+                      bench::meanOf(runs,
+                                    +[](const sim::RunResult& r) { return r.rowHitRate; }),
+                      3)});
+      }
+    }
+    t.print(std::cout);
+    std::printf("\n");
+  }
+  std::printf(
+      "expected: per-bank refresh trims tail latency slightly everywhere;\n"
+      "the effect is modest because refresh is ~4%% of time at this density.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace mb::bench {
+
+void printBanner(const std::string& artifact, const std::string& what) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", artifact.c_str(), what.c_str());
+  std::printf("slice preset: %s (set MB_SLICE=full for long runs)\n",
+              sim::slicePresetFromEnv() == sim::SlicePreset::Full ? "full" : "fast");
+  std::printf("================================================================\n");
+}
+
+sim::SystemConfig multicoreConfig(sim::SystemConfig base) {
+  const auto phy = interface::PhyModel::make(base.phy);
+  base.hier.numCores = 64;
+  base.hier.coresPerCluster = 4;
+  base.channels = phy.channels;  // 16, or 8 for the pin-limited DDR3-PCB
+  return base;
+}
+
+sim::SystemConfig sliced(sim::SystemConfig cfg, bool multicore) {
+  sim::applySlice(cfg, sim::slicePresetFromEnv(), multicore);
+  return cfg;
+}
+
+std::vector<sim::RunResult> runWorkload(const std::string& name,
+                                        const sim::SystemConfig& cfg) {
+  using trace::SpecGroup;
+  auto runGroup = [&](std::vector<std::string> apps) {
+    // Each simulation is fully self-contained (its own event queue, device
+    // state, and seeded generators), so group members run concurrently —
+    // results are bitwise identical to a serial run, just wall-clock faster.
+    const auto c = sliced(cfg, false);
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    std::vector<sim::RunResult> out(apps.size());
+    size_t next = 0;
+    while (next < apps.size()) {
+      const size_t batch = std::min<size_t>(hw, apps.size() - next);
+      std::vector<std::future<sim::RunResult>> futs;
+      futs.reserve(batch);
+      for (size_t i = 0; i < batch; ++i) {
+        futs.push_back(std::async(std::launch::async,
+                                  [&c, app = apps[next + i]] {
+                                    return sim::runSpecApp(app, c);
+                                  }));
+      }
+      for (size_t i = 0; i < batch; ++i) out[next + i] = futs[i].get();
+      next += batch;
+    }
+    return out;
+  };
+
+  if (name == "spec-high") return runGroup(trace::specGroupMembers(SpecGroup::High));
+  if (name == "spec-med") return runGroup(trace::specGroupMembers(SpecGroup::Med));
+  if (name == "spec-low") return runGroup(trace::specGroupMembers(SpecGroup::Low));
+  if (name == "spec-all") {
+    std::vector<std::string> all;
+    for (const auto& p : trace::specProfiles()) all.push_back(p.name);
+    return runGroup(all);
+  }
+  if (name == "mix-high" || name == "mix-blend") {
+    return {sim::runSimulation(sliced(multicoreConfig(cfg), true),
+                               sim::WorkloadSpec::mix(name))};
+  }
+  for (auto kind : {trace::MtKind::Radix, trace::MtKind::Fft, trace::MtKind::Canneal,
+                    trace::MtKind::TpcC, trace::MtKind::TpcH}) {
+    if (name == trace::mtKindName(kind)) {
+      return {sim::runSimulation(sliced(multicoreConfig(cfg), true),
+                                 sim::WorkloadSpec::mt(kind))};
+    }
+  }
+  // Single SPEC application.
+  return {sim::runSpecApp(name, sliced(cfg, false))};
+}
+
+double relative(const std::vector<sim::RunResult>& test,
+                const std::vector<sim::RunResult>& baseline,
+                double (*metric)(const sim::RunResult&)) {
+  MB_CHECK(test.size() == baseline.size() && !test.empty());
+  double sum = 0.0;
+  for (size_t i = 0; i < test.size(); ++i) {
+    const double b = metric(baseline[i]);
+    MB_CHECK(b > 0.0);
+    sum += metric(test[i]) / b;
+  }
+  return sum / static_cast<double>(test.size());
+}
+
+PowerBreakdownW powerBreakdown(const std::vector<sim::RunResult>& runs) {
+  PowerBreakdownW p;
+  for (const auto& r : runs) {
+    const double secPj = toSeconds(r.elapsed) * 1e12;  // pJ -> W divisor
+    if (secPj <= 0) continue;
+    p.processor += r.energy.processor / secPj;
+    p.actPre += r.energy.dramActPre / secPj;
+    p.dramStatic += r.energy.dramStatic / secPj;
+    p.rdwr += r.energy.dramRdWr / secPj;
+    p.io += r.energy.io / secPj;
+  }
+  const auto n = static_cast<double>(runs.size());
+  p.processor /= n;
+  p.actPre /= n;
+  p.dramStatic /= n;
+  p.rdwr /= n;
+  p.io /= n;
+  return p;
+}
+
+double meanOf(const std::vector<sim::RunResult>& runs,
+              double (*metric)(const sim::RunResult&)) {
+  double sum = 0.0;
+  for (const auto& r : runs) sum += metric(r);
+  return sum / static_cast<double>(runs.size());
+}
+
+}  // namespace mb::bench

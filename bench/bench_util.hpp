@@ -1,0 +1,56 @@
+// Shared helpers for the figure/table reproduction binaries.
+//
+// Every bench prints: a header naming the paper artifact it regenerates, the
+// system configuration used, and the table/series in the paper's layout.
+// Slices default to the "fast" preset (whole bench suite in minutes); set
+// MB_SLICE=full for longer, tighter-statistics runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "sim/system.hpp"
+
+namespace mb::bench {
+
+/// Print the standard bench banner.
+void printBanner(const std::string& artifact, const std::string& what);
+
+/// 64-core, 16-channel configuration for multiprogrammed / multithreaded
+/// workloads (paper §VI-A); honors the PHY's channel limit.
+sim::SystemConfig multicoreConfig(sim::SystemConfig base);
+
+/// Apply the slice preset from MB_SLICE to single- or multi-core configs.
+sim::SystemConfig sliced(sim::SystemConfig cfg, bool multicore);
+
+/// Run a named workload:
+///   - a SPEC app name ("429.mcf"): single core, single channel;
+///   - "spec-high"/"spec-med"/"spec-low"/"spec-all": per-app runs, averaged
+///     as ratios by the caller (returns all apps' results);
+///   - "mix-high"/"mix-blend": 64-core multiprogrammed;
+///   - "RADIX"/"FFT"/"canneal"/"TPC-C"/"TPC-H": 64-thread kernels.
+/// Returns one result per constituent run.
+std::vector<sim::RunResult> runWorkload(const std::string& name,
+                                        const sim::SystemConfig& cfg);
+
+/// Mean metric ratio of `test` over `baseline` (paired per constituent).
+double relative(const std::vector<sim::RunResult>& test,
+                const std::vector<sim::RunResult>& baseline,
+                double (*metric)(const sim::RunResult&));
+
+inline double ipcMetric(const sim::RunResult& r) { return r.systemIpc; }
+inline double invEdpMetric(const sim::RunResult& r) { return r.invEdp; }
+
+/// Aggregate power breakdown (watts) over a workload's runs.
+struct PowerBreakdownW {
+  double processor = 0, actPre = 0, dramStatic = 0, rdwr = 0, io = 0;
+  double total() const { return processor + actPre + dramStatic + rdwr + io; }
+};
+PowerBreakdownW powerBreakdown(const std::vector<sim::RunResult>& runs);
+
+/// Mean of a scalar across runs.
+double meanOf(const std::vector<sim::RunResult>& runs,
+              double (*metric)(const sim::RunResult&));
+
+}  // namespace mb::bench

@@ -1,0 +1,60 @@
+// Reproduces Table I: DRAM energy and timing parameters.
+//
+// These are model inputs, printed from the live parameter structs so any
+// drift between the paper and the implementation is caught here (the same
+// values are asserted in tests/dram/timing_test.cpp and energy_test.cpp).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "dram/energy.hpp"
+#include "dram/timing.hpp"
+
+int main() {
+  using namespace mb;
+  bench::printBanner("Table I", "DRAM energy and timing parameters");
+
+  {
+    TablePrinter t({"Energy parameter", "value", "paper"});
+    const auto pcb = dram::EnergyParams::ddr3Pcb();
+    const auto lp = dram::EnergyParams::lpddrTsi();
+    t.addRow({"I/O energy (DDR3-PCB)", formatDouble(pcb.ioPerBit, 0) + " pJ/b", "20 pJ/b"});
+    t.addRow({"I/O energy (LPDDR-TSI)", formatDouble(lp.ioPerBit, 0) + " pJ/b", "4 pJ/b"});
+    t.addRow({"RD/WR energy w/o I/O (DDR3-PCB)", formatDouble(pcb.rdwrPerBit, 0) + " pJ/b",
+              "13 pJ/b"});
+    t.addRow({"RD/WR energy w/o I/O (LPDDR-TSI)", formatDouble(lp.rdwrPerBit, 0) + " pJ/b",
+              "4 pJ/b"});
+    t.addRow({"ACT+PRE energy (8KB DRAM page)",
+              formatDouble(lp.actPreFullRow / 1000.0, 0) + " nJ", "30 nJ"});
+    t.print(std::cout);
+  }
+  std::printf("\n");
+  {
+    TablePrinter t({"Timing parameter", "symbol", "value", "paper"});
+    const auto d = dram::TimingParams::ddr3();
+    const auto s = dram::TimingParams::tsi();
+    t.addRow({"Activate to read delay", "tRCD", formatDouble(toNs(d.tRCD), 0) + " ns",
+              "14 ns"});
+    t.addRow({"Read to first data (DDR3)", "tAA", formatDouble(toNs(d.tAA), 0) + " ns",
+              "14 ns"});
+    t.addRow({"Read to first data (TSI)", "tAA", formatDouble(toNs(s.tAA), 0) + " ns",
+              "12 ns"});
+    t.addRow({"Activate to precharge delay", "tRAS", formatDouble(toNs(d.tRAS), 0) + " ns",
+              "35 ns"});
+    t.addRow({"Precharge command period", "tRP", formatDouble(toNs(d.tRP), 0) + " ns",
+              "14 ns"});
+    t.print(std::cout);
+  }
+  std::printf(
+      "\nSupplementary modelled parameters (DDR3-1600 class, not in Table I):\n"
+      "  tRRD=%.0fns tFAW=%.0fns tWR=%.0fns tWTR=%.1fns tRTP=%.1fns\n"
+      "  tREFI=%.1fus tRFC=%.0fns tBURST=%.0fns (64B @ 16GB/s) tCMD=%.2fns\n",
+      toNs(dram::TimingParams::ddr3().tRRD), toNs(dram::TimingParams::ddr3().tFAW),
+      toNs(dram::TimingParams::ddr3().tWR), toNs(dram::TimingParams::ddr3().tWTR),
+      toNs(dram::TimingParams::ddr3().tRTP),
+      toNs(dram::TimingParams::ddr3().tREFI) / 1000.0,
+      toNs(dram::TimingParams::ddr3().tRFC), toNs(dram::TimingParams::ddr3().tBURST),
+      toNs(dram::TimingParams::ddr3().tCMD));
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Reproduces Table II: SPEC CPU2006 applications grouped by main-memory
+// accesses per kilo-instruction (MAPKI) — and verifies the grouping against
+// *measured* MAPKI from simulation, not just the profile parameters.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace mb;
+  bench::printBanner("Table II", "SPEC CPU2006 MAPKI groups (profile vs measured)");
+
+  sim::SystemConfig cfg = sim::tsiBaselineConfig();
+
+  TablePrinter t({"group", "application", "profile MAPKI", "measured MAPKI"});
+  for (auto group : {trace::SpecGroup::High, trace::SpecGroup::Med, trace::SpecGroup::Low}) {
+    for (const auto& name : trace::specGroupMembers(group)) {
+      const auto runs = bench::runWorkload(name, cfg);
+      t.addRow({trace::specGroupName(group), name,
+                formatDouble(trace::specProfile(name).params.mapki, 1),
+                formatDouble(runs.front().mapki, 1)});
+    }
+  }
+  t.print(std::cout);
+  std::printf(
+      "\npaper groups: spec-high has >= ~15 main-memory accesses per kilo\n"
+      "instruction, spec-med a few, spec-low under ~1.5. Measured MAPKI\n"
+      "includes fetch-for-ownership reads and dirty writebacks.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Design-space exploration: the DRAM-architect scenario.
+//
+// A device architect must pick one μbank partitioning for a die under a
+// strict area budget (the paper's industry constraint is ~3%, §VI-B). This
+// example sweeps every (nW, nB) configuration, filters by the budget, and
+// reports the best-IPC and best-EDP choices for a given workload.
+//
+//   ./examples/design_space_sweep [workload] [area-budget-%]
+//   workload: a SPEC app name (default 450.soplex)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "dram/area_model.hpp"
+#include "sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mb;
+  const std::string app = argc > 1 ? argv[1] : "450.soplex";
+  const double budget = (argc > 2 ? std::atof(argv[2]) : 3.0) / 100.0;
+
+  sim::SystemConfig base = sim::tsiBaselineConfig();
+  sim::applySlice(base, sim::slicePresetFromEnv(), /*multicore=*/false);
+  const auto baseline = sim::runSpecApp(app, base);
+  const dram::AreaModel area;
+
+  std::printf("workload %s, area budget %.1f%%\n\n", app.c_str(), budget * 100.0);
+  std::printf("%-8s %8s %8s %8s %10s\n", "(nW,nB)", "area%", "rel IPC", "rel EDP",
+              "in budget");
+
+  struct Best {
+    double metric = 0.0;
+    int nW = 1, nB = 1;
+  } bestIpc, bestEdp;
+
+  for (int nW : sim::sweepAxis()) {
+    for (int nB : sim::sweepAxis()) {
+      sim::SystemConfig cfg = base;
+      cfg.ubank = dram::UbankConfig{nW, nB};
+      const auto r = sim::runSpecApp(app, cfg);
+      const double relIpc = r.systemIpc / baseline.systemIpc;
+      const double relEdp = r.invEdp / baseline.invEdp;
+      const double overhead = area.overhead({nW, nB});
+      const bool ok = overhead <= budget;
+      std::printf("(%2d,%2d)  %7.1f%% %8.3f %8.3f %10s\n", nW, nB, overhead * 100.0,
+                  relIpc, relEdp, ok ? "yes" : "no");
+      if (ok && relIpc > bestIpc.metric) bestIpc = {relIpc, nW, nB};
+      if (ok && relEdp > bestEdp.metric) bestEdp = {relEdp, nW, nB};
+    }
+  }
+  std::printf(
+      "\nwithin the %.1f%% budget:\n"
+      "  best IPC:   (%d,%d) at %.3fx\n"
+      "  best 1/EDP: (%d,%d) at %.3fx\n",
+      budget * 100.0, bestIpc.nW, bestIpc.nB, bestIpc.metric, bestEdp.nW, bestEdp.nB,
+      bestEdp.metric);
+  return 0;
+}

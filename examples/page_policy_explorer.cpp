@@ -1,0 +1,51 @@
+// Page-management policy study: the memory-controller-designer scenario
+// from §V of the paper.
+//
+// Runs one workload under every page-management policy the library provides
+// (static open/close, minimalist-open, local and global bimodal predictors,
+// the tournament predictor, and the perfect oracle) at a conventional and a
+// μbank organization, and reports IPC, row hit rate, predictor hit rate,
+// and read latency — the data behind the paper's claim that μbanks make a
+// simple open-page policy sufficient.
+//
+//   ./examples/page_policy_explorer [app-name]   (default 429.mcf)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mb;
+  const std::string app = argc > 1 ? argv[1] : "429.mcf";
+
+  const std::vector<core::PolicyKind> policies = {
+      core::PolicyKind::Close,         core::PolicyKind::Open,
+      core::PolicyKind::MinimalistOpen, core::PolicyKind::LocalBimodal,
+      core::PolicyKind::GlobalBimodal, core::PolicyKind::Tournament,
+      core::PolicyKind::Perfect};
+
+  for (const auto& ubank : {dram::UbankConfig{1, 1}, dram::UbankConfig{4, 4}}) {
+    std::printf("=== %s on (nW,nB) = (%d,%d) ===\n", app.c_str(), ubank.nW, ubank.nB);
+    std::printf("%-16s %8s %10s %12s %12s %10s\n", "policy", "IPC", "row hit",
+                "predictor", "read ns", "queue occ");
+    double openIpc = 0.0;
+    for (auto policy : policies) {
+      sim::SystemConfig cfg = sim::tsiBaselineConfig();
+      sim::applySlice(cfg, sim::slicePresetFromEnv(), /*multicore=*/false);
+      cfg.ubank = ubank;
+      cfg.pagePolicy = policy;
+      const auto r = sim::runSpecApp(app, cfg);
+      if (policy == core::PolicyKind::Open) openIpc = r.systemIpc;
+      std::printf("%-16s %8.3f %10.3f %12.3f %12.1f %10.2f\n",
+                  core::policyKindName(policy).c_str(), r.systemIpc, r.rowHitRate,
+                  r.predictorHitRate, r.avgReadLatencyNs, r.avgQueueOccupancy);
+    }
+    std::printf("(compare each row's IPC against open-page: %.3f)\n\n", openIpc);
+  }
+  std::printf(
+      "the paper's §V conclusion: without ubanks, prediction-based policies\n"
+      "buy real performance; with ubanks, plain open-page is within a few\n"
+      "percent of the perfect oracle.\n");
+  return 0;
+}

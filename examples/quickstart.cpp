@@ -1,0 +1,49 @@
+// Quickstart: build a TSI-based μbank memory system, run one
+// memory-intensive SPEC-like workload on it, and compare against the
+// unpartitioned baseline.
+//
+//   ./examples/quickstart [app-name]   (default 429.mcf)
+#include <cstdio>
+#include <string>
+
+#include "dram/area_model.hpp"
+#include "sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mb;
+  const std::string app = argc > 1 ? argv[1] : "429.mcf";
+
+  // Baseline: LPDDR-on-interposer memory with conventional banks.
+  sim::SystemConfig base = sim::tsiBaselineConfig();
+  sim::applySlice(base, sim::slicePresetFromEnv(), /*multicore=*/false);
+
+  // μbank system: each bank split 4x along wordlines (rows shrink to 2 KB)
+  // and 4x along bitlines (4x more simultaneously open rows).
+  sim::SystemConfig ubank = base;
+  ubank.ubank = dram::UbankConfig{4, 4};
+
+  std::printf("workload: %s\n", app.c_str());
+  const auto baseRun = sim::runSpecApp(app, base);
+  const auto ubankRun = sim::runSpecApp(app, ubank);
+
+  const dram::AreaModel area;
+  std::printf("\n%-28s %12s %12s\n", "metric", "(nW,nB)=(1,1)", "(4,4)");
+  std::printf("%-28s %12.3f %12.3f\n", "IPC", baseRun.systemIpc, ubankRun.systemIpc);
+  std::printf("%-28s %12.3f %12.3f\n", "row-buffer hit rate", baseRun.rowHitRate,
+              ubankRun.rowHitRate);
+  std::printf("%-28s %12.1f %12.1f\n", "avg read latency (ns)",
+              baseRun.avgReadLatencyNs, ubankRun.avgReadLatencyNs);
+  std::printf("%-28s %12.2f %12.2f\n", "DRAM energy (mJ)",
+              (baseRun.energy.dramActPre + baseRun.energy.dramRdWr +
+               baseRun.energy.io + baseRun.energy.dramStatic) * 1e-9,
+              (ubankRun.energy.dramActPre + ubankRun.energy.dramRdWr +
+               ubankRun.energy.io + ubankRun.energy.dramStatic) * 1e-9);
+  std::printf("%-28s %12s %12.3f\n", "relative 1/EDP", "1.000",
+              ubankRun.invEdp / baseRun.invEdp);
+  std::printf("%-28s %12s %12.1f%%\n", "DRAM die area overhead", "-",
+              area.overhead(dram::UbankConfig{4, 4}) * 100.0);
+  std::printf("\nIPC gain: %.1f%%   (die area cost: %.1f%%)\n",
+              (ubankRun.systemIpc / baseRun.systemIpc - 1.0) * 100.0,
+              area.overhead(dram::UbankConfig{4, 4}) * 100.0);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Processor-memory interface study: the system-integrator scenario of §VI-D.
+//
+// Compares the three packaging/interface generations — DDR3 modules over
+// PCB, DDR3-type stacks on a silicon interposer, and LPDDR-type dies on an
+// interposer — on a 64-core multiprogrammed mix, reporting throughput,
+// power by category, and energy-delay product, with and without μbanks.
+//
+//   ./examples/tsi_interface_study [mix-high|mix-blend]   (default mix-high)
+#include <cstdio>
+#include <string>
+
+#include "interface/phy.hpp"
+#include "sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mb;
+  const std::string mix = argc > 1 ? argv[1] : "mix-high";
+
+  struct Row {
+    const char* label;
+    interface::PhyKind phy;
+    dram::UbankConfig ubank;
+  };
+  const Row rows[] = {
+      {"DDR3-PCB", interface::PhyKind::Ddr3Pcb, {1, 1}},
+      {"DDR3-TSI", interface::PhyKind::Ddr3Tsi, {1, 1}},
+      {"LPDDR-TSI", interface::PhyKind::LpddrTsi, {1, 1}},
+      {"LPDDR-TSI+ubank(8,2)", interface::PhyKind::LpddrTsi, {8, 2}},
+  };
+
+  std::printf("%-22s %8s %9s %9s %9s | %s\n", "interface", "IPC", "mem W", "proc W",
+              "rel EDP", "memory power: ACT/PRE share");
+  double baseEdp = 0.0;
+  for (const auto& row : rows) {
+    sim::SystemConfig cfg = sim::tsiBaselineConfig();
+    cfg.phy = row.phy;
+    cfg.ubank = row.ubank;
+    const auto phy = interface::PhyModel::make(row.phy);
+    cfg.hier.numCores = 64;
+    cfg.hier.coresPerCluster = 4;
+    cfg.channels = phy.channels;
+    sim::applySlice(cfg, sim::slicePresetFromEnv(), /*multicore=*/true);
+
+    const auto r = sim::runSimulation(cfg, sim::WorkloadSpec::mix(mix));
+    if (baseEdp == 0.0) baseEdp = r.invEdp;
+    const double sec = toSeconds(r.elapsed);
+    const double memW = (r.energy.dramActPre + r.energy.dramStatic +
+                         r.energy.dramRdWr + r.energy.io) *
+                        1e-12 / sec;
+    const double procW = r.energy.processor * 1e-12 / sec;
+    const double actShare =
+        r.energy.dramActPre / (r.energy.dramActPre + r.energy.dramStatic +
+                               r.energy.dramRdWr + r.energy.io);
+    std::printf("%-22s %8.2f %9.2f %9.2f %9.3f | %.0f%%\n", row.label, r.systemIpc,
+                memW, procW, r.invEdp / baseEdp, actShare * 100.0);
+  }
+  std::printf(
+      "\nthe §VI-D story: TSI integration lifts throughput and efficiency on\n"
+      "its own; the LPDDR PHY then strips I/O energy, leaving ACT/PRE as the\n"
+      "dominant memory power term — which is exactly what ubanks attack.\n");
+  return 0;
+}

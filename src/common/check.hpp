@@ -1,0 +1,30 @@
+// Lightweight runtime contract checks.
+//
+// MB_CHECK is always on (simulator correctness beats the last few percent of
+// speed; the hot paths have been measured and the checks are branch-predicted
+// away). MB_DCHECK compiles out in NDEBUG builds for checks inside the
+// innermost loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mb::detail {
+[[noreturn]] inline void checkFailed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "check failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+}  // namespace mb::detail
+
+#define MB_CHECK(expr)                                          \
+  do {                                                          \
+    if (!(expr)) ::mb::detail::checkFailed(#expr, __FILE__, __LINE__); \
+  } while (false)
+
+#ifdef NDEBUG
+#define MB_DCHECK(expr) \
+  do {                  \
+  } while (false)
+#else
+#define MB_DCHECK(expr) MB_CHECK(expr)
+#endif

@@ -1,0 +1,4 @@
+#include "common/event_queue.hpp"
+
+// Header-only in practice; this translation unit anchors the library target.
+namespace mb {}

@@ -1,0 +1,80 @@
+// Discrete-event simulation core: a time-ordered queue of callbacks.
+//
+// Determinism: events at the same tick fire in insertion order (a strictly
+// increasing sequence number breaks ties), so simulation results depend only
+// on the configuration and seeds, never on heap ordering accidents.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace mb {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` to run at absolute time `when` (>= now()).
+  void scheduleAt(Tick when, Callback cb) {
+    MB_CHECK(when >= now_);
+    heap_.push(Event{when, nextSeq_++, std::move(cb)});
+  }
+
+  void scheduleAfter(Tick delay, Callback cb) { scheduleAt(now_ + delay, std::move(cb)); }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  Tick now() const { return now_; }
+  Tick nextEventTime() const { return heap_.empty() ? kTickNever : heap_.top().when; }
+
+  /// Pop and run the earliest event. Returns false when the queue is empty.
+  bool step() {
+    if (heap_.empty()) return false;
+    // Move the event out before running it: the callback may schedule more.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.when;
+    ev.cb();
+    ++processed_;
+    return true;
+  }
+
+  /// Run until empty or until more than `maxEvents` have fired.
+  void run(std::uint64_t maxEvents = UINT64_MAX) {
+    std::uint64_t n = 0;
+    while (n < maxEvents && step()) ++n;
+  }
+
+  /// Run until simulated time would exceed `until` (events at `until` run).
+  void runUntil(Tick until) {
+    while (!heap_.empty() && heap_.top().when <= until) step();
+    if (now_ < until) now_ = until;
+  }
+
+  std::uint64_t processedCount() const { return processed_; }
+
+ private:
+  struct Event {
+    Tick when;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  Tick now_ = 0;
+  std::uint64_t nextSeq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace mb

@@ -1,0 +1,155 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// Every stochastic component in the simulator draws from an Rng seeded from
+// the experiment configuration, so a given (config, seed) pair reproduces the
+// exact same simulation on any platform. The generator is xoshiro256**,
+// chosen for quality and speed; std::mt19937_64 would also work but is
+// slower and its distributions are not bit-reproducible across standard
+// library implementations, so distributions are implemented here directly.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace mb {
+
+/// SplitMix64: used to expand a single seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** with explicit portable distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9a3ec94bcull) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  std::uint64_t nextU64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). Uses rejection to avoid modulo bias.
+  std::uint64_t nextBounded(std::uint64_t bound) {
+    MB_CHECK(bound > 0);
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = nextU64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t nextRange(std::int64_t lo, std::int64_t hi) {
+    MB_CHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    nextBounded(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial.
+  bool nextBool(double probabilityTrue) { return nextDouble() < probabilityTrue; }
+
+  /// Geometric distribution: number of failures before first success,
+  /// success probability p (mean (1-p)/p). Returns 0 for p >= 1.
+  std::int64_t nextGeometric(double p) {
+    if (p >= 1.0) return 0;
+    MB_CHECK(p > 0.0);
+    const double u = nextDouble();
+    // Inverse CDF; u == 0 maps to 0 failures.
+    return static_cast<std::int64_t>(std::floor(std::log1p(-u) / std::log1p(-p)));
+  }
+
+  /// Exponential with given mean.
+  double nextExponential(double mean) {
+    double u;
+    do {
+      u = nextDouble();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  /// Fork a statistically independent child generator (stable given call order).
+  Rng fork() { return Rng(nextU64()); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+/// Bounded Zipf(θ) sampler over {0, .., n-1} using precomputed CDF-free
+/// rejection-inversion would be overkill for the footprint sizes used by the
+/// workload generators, so this uses Jain's approximation with incremental
+/// harmonic normalization computed once.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::int64_t n, double theta) : n_(n), theta_(theta) {
+    MB_CHECK(n > 0);
+    zetan_ = zeta(n, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta(2, theta) / zetan_);
+  }
+
+  std::int64_t sample(Rng& rng) const {
+    const double u = rng.nextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto v = static_cast<std::int64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return v >= n_ ? n_ - 1 : v;
+  }
+
+ private:
+  static double zeta(std::int64_t n, double theta) {
+    double sum = 0.0;
+    // Exact for small n; sampled tail approximation keeps construction O(1M).
+    const std::int64_t limit = n < 1000000 ? n : 1000000;
+    for (std::int64_t i = 1; i <= limit; ++i) sum += 1.0 / std::pow(i, theta);
+    if (limit < n) {
+      // Integral approximation of the remaining tail.
+      sum += (std::pow(static_cast<double>(n), 1.0 - theta) -
+              std::pow(static_cast<double>(limit), 1.0 - theta)) /
+             (1.0 - theta);
+    }
+    return sum;
+  }
+
+  std::int64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+};
+
+}  // namespace mb

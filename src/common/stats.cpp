@@ -1,0 +1,61 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+
+namespace mb {
+
+double Accumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double m = sum_ / n;
+  const double v = sumSq_ / n - m * m;
+  return v < 0.0 ? 0.0 : v;
+}
+
+void Histogram::add(double sample) {
+  size_t idx;
+  if (sample < 0.0) {
+    idx = 0;
+  } else {
+    const auto b = static_cast<size_t>(sample / bucketWidth_);
+    idx = b >= buckets_.size() - 1 ? buckets_.size() - 1 : b;
+  }
+  ++buckets_[idx];
+  ++total_;
+  sum_ += sample;
+}
+
+double Histogram::percentile(double fraction) const {
+  if (total_ == 0) return 0.0;
+  const auto target = static_cast<std::int64_t>(fraction * static_cast<double>(total_));
+  std::int64_t running = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    running += buckets_[i];
+    if (running >= target) return static_cast<double>(i + 1) * bucketWidth_;
+  }
+  return static_cast<double>(buckets_.size()) * bucketWidth_;
+}
+
+std::int64_t StatRegistry::counterValue(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+double StatRegistry::accumulatorMean(const std::string& name) const {
+  auto it = accumulators_.find(name);
+  return it == accumulators_.end() ? 0.0 : it->second.mean();
+}
+
+std::map<std::string, double> StatRegistry::snapshot() const {
+  std::map<std::string, double> out;
+  for (const auto& [name, c] : counters_) out[name] = static_cast<double>(c.value());
+  for (const auto& [name, a] : accumulators_) out[name + ".mean"] = a.mean();
+  return out;
+}
+
+void StatRegistry::reset() {
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, a] : accumulators_) a.reset();
+}
+
+}  // namespace mb

@@ -1,0 +1,127 @@
+// Statistics primitives: counters, scalar accumulators, histograms, and a
+// registry that components expose so benches and tests can read every stat
+// by name without plumbing each one through a results struct.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace mb {
+
+/// Simple monotonically increasing event counter.
+class Counter {
+ public:
+  void inc(std::int64_t by = 1) { value_ += by; }
+  std::int64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Accumulates a scalar sample stream: count / sum / min / max / mean.
+class Accumulator {
+ public:
+  void add(double sample) {
+    if (count_ == 0 || sample < min_) min_ = sample;
+    if (count_ == 0 || sample > max_) max_ = sample;
+    sum_ += sample;
+    sumSq_ += sample * sample;
+    ++count_;
+  }
+
+  std::int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double variance() const;
+  void reset() { *this = Accumulator{}; }
+
+ private:
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double sumSq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bucket histogram over [0, bucketWidth * numBuckets); out-of-range
+/// samples land in the final overflow bucket.
+class Histogram {
+ public:
+  Histogram(double bucketWidth, int numBuckets)
+      : bucketWidth_(bucketWidth), buckets_(static_cast<size_t>(numBuckets) + 1, 0) {
+    MB_CHECK(bucketWidth > 0.0 && numBuckets > 0);
+  }
+
+  void add(double sample);
+  std::int64_t bucketCount(int bucket) const { return buckets_.at(static_cast<size_t>(bucket)); }
+  int numBuckets() const { return static_cast<int>(buckets_.size()) - 1; }
+  std::int64_t overflowCount() const { return buckets_.back(); }
+  std::int64_t totalCount() const { return total_; }
+  double mean() const { return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_); }
+  /// Value below which `fraction` of the samples fall (bucket-granular).
+  double percentile(double fraction) const;
+
+ private:
+  double bucketWidth_;
+  std::vector<std::int64_t> buckets_;
+  std::int64_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Integrates a piecewise-constant level over time; used for request-queue
+/// occupancy and power integration. Call `update` whenever the level changes.
+class TimeWeightedLevel {
+ public:
+  void update(Tick now, double newLevel) {
+    MB_CHECK(now >= lastTick_);
+    weightedSum_ += level_ * static_cast<double>(now - lastTick_);
+    lastTick_ = now;
+    level_ = newLevel;
+  }
+
+  /// Average level over [0, now].
+  double average(Tick now) const {
+    if (now == 0) return level_;
+    const double total =
+        weightedSum_ + level_ * static_cast<double>(now - lastTick_);
+    return total / static_cast<double>(now);
+  }
+
+  double current() const { return level_; }
+
+ private:
+  Tick lastTick_ = 0;
+  double level_ = 0.0;
+  double weightedSum_ = 0.0;
+};
+
+/// Named stat registry. Components register counters/accumulators under
+/// hierarchical dotted names ("mc0.rowHits"). Values are snapshotted as
+/// doubles for reporting.
+class StatRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Accumulator& accumulator(const std::string& name) { return accumulators_[name]; }
+
+  bool hasCounter(const std::string& name) const { return counters_.count(name) != 0; }
+  std::int64_t counterValue(const std::string& name) const;
+  double accumulatorMean(const std::string& name) const;
+
+  /// All stats flattened to name -> value (counter values and accumulator means).
+  std::map<std::string, double> snapshot() const;
+  void reset();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Accumulator> accumulators_;
+};
+
+}  // namespace mb

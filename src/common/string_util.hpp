@@ -1,0 +1,14 @@
+// Small string helpers used by reporting and config code.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mb {
+
+std::vector<std::string> splitString(const std::string& s, char sep);
+std::string joinStrings(const std::vector<std::string>& parts, const std::string& sep);
+bool startsWith(const std::string& s, const std::string& prefix);
+std::string trimString(const std::string& s);
+
+}  // namespace mb

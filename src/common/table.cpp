@@ -1,0 +1,126 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace mb {
+
+std::string formatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> header) : header_(std::move(header)) {
+  MB_CHECK(!header_.empty());
+}
+
+void TablePrinter::addRow(std::vector<std::string> cells) {
+  MB_CHECK(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::addRow(const std::string& label, const std::vector<double>& values,
+                          int precision) {
+  MB_CHECK(values.size() + 1 == header_.size());
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(formatDouble(v, precision));
+  addRow(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+
+  auto printRow = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      // Left-align the first column (labels), right-align the rest.
+      if (c == 0) {
+        os << row[c] << std::string(widths[c] - row[c].size(), ' ');
+      } else {
+        os << std::string(widths[c] - row[c].size(), ' ') << row[c];
+      }
+    }
+    os << '\n';
+  };
+
+  printRow(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c == 0 ? 0 : 2);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) printRow(row);
+}
+
+std::string TablePrinter::toString() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+void TablePrinter::writeCsv(std::ostream& os) const {
+  auto writeRow = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  writeRow(header_);
+  for (const auto& row : rows_) writeRow(row);
+}
+
+GridPrinter::GridPrinter(std::string title, std::vector<int> nwAxis, std::vector<int> nbAxis)
+    : title_(std::move(title)),
+      nwAxis_(std::move(nwAxis)),
+      nbAxis_(std::move(nbAxis)),
+      cells_(nwAxis_.size() * nbAxis_.size(), 0.0),
+      filled_(nwAxis_.size() * nbAxis_.size(), false) {
+  MB_CHECK(!nwAxis_.empty() && !nbAxis_.empty());
+}
+
+int GridPrinter::indexOf(const std::vector<int>& axis, int v) const {
+  for (size_t i = 0; i < axis.size(); ++i)
+    if (axis[i] == v) return static_cast<int>(i);
+  MB_CHECK(false && "value not on axis");
+  return -1;
+}
+
+void GridPrinter::set(int nw, int nb, double value) {
+  const auto i = static_cast<size_t>(indexOf(nbAxis_, nb)) * nwAxis_.size() +
+                 static_cast<size_t>(indexOf(nwAxis_, nw));
+  cells_[i] = value;
+  filled_[i] = true;
+}
+
+double GridPrinter::get(int nw, int nb) const {
+  const auto i = static_cast<size_t>(indexOf(nbAxis_, nb)) * nwAxis_.size() +
+                 static_cast<size_t>(indexOf(nwAxis_, nw));
+  MB_CHECK(filled_[i]);
+  return cells_[i];
+}
+
+void GridPrinter::print(std::ostream& os, int precision) const {
+  os << title_ << "  (columns: nW, rows: nB)\n";
+  os << "nB\\nW";
+  for (int nw : nwAxis_) os << '\t' << nw;
+  os << '\n';
+  for (size_t r = 0; r < nbAxis_.size(); ++r) {
+    os << nbAxis_[r];
+    for (size_t c = 0; c < nwAxis_.size(); ++c) {
+      const auto i = r * nwAxis_.size() + c;
+      os << '\t' << (filled_[i] ? formatDouble(cells_[i], precision) : "-");
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace mb

@@ -1,0 +1,61 @@
+// Plain-text table and heatmap rendering for bench output.
+//
+// Every figure/table bench prints its result through these helpers so the
+// output format is uniform: an ASCII table for rows/series, and a 5x5 grid
+// renderer for the paper's (nW, nB) heatmaps (Figs. 6, 8, 9). A CSV sink is
+// provided so results can be post-processed without re-running.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mb {
+
+/// Column-aligned ASCII table. Add a header once, then rows of equal width.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> cells);
+  /// Convenience: format doubles with the given precision.
+  void addRow(const std::string& label, const std::vector<double>& values, int precision = 3);
+
+  void print(std::ostream& os) const;
+  std::string toString() const;
+  void writeCsv(std::ostream& os) const;
+
+  int numRows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a (nW, nB) grid in the paper's layout: nW across columns,
+/// nB down rows, both in {1, 2, 4, 8, 16} by default.
+class GridPrinter {
+ public:
+  GridPrinter(std::string title, std::vector<int> nwAxis, std::vector<int> nbAxis);
+
+  void set(int nw, int nb, double value);
+  double get(int nw, int nb) const;
+  void print(std::ostream& os, int precision = 3) const;
+
+  const std::vector<int>& nwAxis() const { return nwAxis_; }
+  const std::vector<int>& nbAxis() const { return nbAxis_; }
+
+ private:
+  int indexOf(const std::vector<int>& axis, int v) const;
+
+  std::string title_;
+  std::vector<int> nwAxis_;
+  std::vector<int> nbAxis_;
+  std::vector<double> cells_;
+  std::vector<bool> filled_;
+};
+
+/// Format helper: fixed precision double to string.
+std::string formatDouble(double v, int precision);
+
+}  // namespace mb

@@ -1,0 +1,67 @@
+// Fundamental scalar types and unit helpers shared by every microbank module.
+//
+// All simulated time is carried as an integer count of picoseconds (Tick).
+// Integer picoseconds are exact for every timing parameter in the paper
+// (Table I values are whole nanoseconds) and avoid the drift that floating
+// point accumulation would introduce over billions of simulated cycles.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mb {
+
+/// Simulated time in picoseconds.
+using Tick = std::int64_t;
+
+/// Sentinel for "never" / unscheduled.
+inline constexpr Tick kTickNever = std::numeric_limits<Tick>::max();
+
+/// Unit multipliers: everything in the code base is expressed in ps.
+inline constexpr Tick kPicosecond = 1;
+inline constexpr Tick kNanosecond = 1000;
+inline constexpr Tick kMicrosecond = 1000 * kNanosecond;
+inline constexpr Tick kMillisecond = 1000 * kMicrosecond;
+inline constexpr Tick kSecond = 1000 * kMillisecond;
+
+constexpr Tick ns(double v) { return static_cast<Tick>(v * kNanosecond); }
+constexpr Tick us(double v) { return static_cast<Tick>(v * kMicrosecond); }
+
+/// Convert a tick count to (double) nanoseconds / seconds for reporting.
+constexpr double toNs(Tick t) { return static_cast<double>(t) / kNanosecond; }
+constexpr double toSeconds(Tick t) { return static_cast<double>(t) / kSecond; }
+
+/// Energy is carried in picojoules; power values derived from it in watts.
+using PicoJoule = double;
+
+inline constexpr double kPicoJoulePerNanoJoule = 1000.0;
+
+/// Identifier types. Plain integers wrapped in distinct aliases keep the
+/// call sites honest without the weight of full strong types.
+using CoreId = int;
+using ThreadId = int;
+using ChannelId = int;
+
+/// Byte sizes.
+inline constexpr int kCacheLineBytes = 64;
+inline constexpr std::int64_t kKiB = 1024;
+inline constexpr std::int64_t kMiB = 1024 * kKiB;
+inline constexpr std::int64_t kGiB = 1024 * kMiB;
+
+/// True iff v is a power of two (and nonzero).
+constexpr bool isPowerOfTwo(std::int64_t v) { return v > 0 && (v & (v - 1)) == 0; }
+
+/// floor(log2(v)) for v > 0.
+constexpr int floorLog2(std::int64_t v) {
+  int r = -1;
+  while (v > 0) {
+    v >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// log2 of an exact power of two.
+constexpr int exactLog2(std::int64_t v) { return floorLog2(v); }
+
+}  // namespace mb

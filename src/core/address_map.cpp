@@ -1,0 +1,86 @@
+#include "core/address_map.hpp"
+
+#include <sstream>
+
+namespace mb::core {
+
+std::int64_t DramAddress::flatUbank(const dram::Geometry& g) const {
+  std::int64_t id = channel;
+  id = id * g.ranksPerChannel + rank;
+  id = id * g.banksPerRank + bank;
+  id = id * g.ubanksPerBank() + ubank;
+  return id;
+}
+
+std::string DramAddress::toString() const {
+  std::ostringstream os;
+  os << "ch" << channel << ".rk" << rank << ".bk" << bank << ".ub" << ubank << ".row"
+     << row << ".col" << column;
+  return os.str();
+}
+
+AddressMap::AddressMap(const dram::Geometry& geometry, int interleaveBaseBit,
+                       bool xorBankHash)
+    : geom_(geometry), iB_(interleaveBaseBit), xorHash_(xorBankHash) {
+  MB_CHECK(geom_.valid());
+  colBits_ = exactLog2(geom_.linesPerUbankRow());
+  MB_CHECK(iB_ >= 6 && iB_ <= 6 + colBits_);
+  colLowBits_ = iB_ - 6;
+  chBits_ = exactLog2(geom_.channels);
+  rankBits_ = exactLog2(geom_.ranksPerChannel);
+  bankBits_ = exactLog2(geom_.banksPerRank);
+  ubankBits_ = exactLog2(geom_.ubanksPerBank());
+}
+
+namespace {
+std::uint64_t takeBits(std::uint64_t& v, int bits) {
+  const std::uint64_t field = v & ((std::uint64_t{1} << bits) - 1);
+  v >>= bits;
+  return field;
+}
+}  // namespace
+
+DramAddress AddressMap::decompose(std::uint64_t physicalAddress) const {
+  std::uint64_t v = physicalAddress >> 6;  // drop line offset
+  DramAddress out;
+  const std::uint64_t colLow = takeBits(v, colLowBits_);
+  out.channel = static_cast<int>(takeBits(v, chBits_));
+  out.rank = static_cast<int>(takeBits(v, rankBits_));
+  out.bank = static_cast<int>(takeBits(v, bankBits_));
+  out.ubank = static_cast<int>(takeBits(v, ubankBits_));
+  const std::uint64_t colHigh = takeBits(v, colBits_ - colLowBits_);
+  out.column = static_cast<std::int64_t>((colHigh << colLowBits_) | colLow);
+  out.row = static_cast<std::int64_t>(v);
+  if (xorHash_) {
+    // XOR-fold low row bits into the bank/μbank indices. Row bits are
+    // untouched, so the mapping stays bijective (compose applies the same
+    // fold, which is its own inverse).
+    const auto row = static_cast<std::uint64_t>(out.row);
+    out.bank ^= static_cast<int>(row & ((1u << bankBits_) - 1));
+    out.ubank ^= static_cast<int>((row >> bankBits_) & ((1u << ubankBits_) - 1));
+  }
+  return out;
+}
+
+std::uint64_t AddressMap::compose(const DramAddress& addr) const {
+  DramAddress unhashed = addr;
+  if (xorHash_) {
+    const auto row = static_cast<std::uint64_t>(addr.row);
+    unhashed.bank ^= static_cast<int>(row & ((1u << bankBits_) - 1));
+    unhashed.ubank ^= static_cast<int>((row >> bankBits_) & ((1u << ubankBits_) - 1));
+  }
+  const auto col = static_cast<std::uint64_t>(unhashed.column);
+  const std::uint64_t colLow = col & ((std::uint64_t{1} << colLowBits_) - 1);
+  const std::uint64_t colHigh = col >> colLowBits_;
+
+  std::uint64_t v = static_cast<std::uint64_t>(unhashed.row);
+  v = (v << (colBits_ - colLowBits_)) | colHigh;
+  v = (v << ubankBits_) | static_cast<std::uint64_t>(unhashed.ubank);
+  v = (v << bankBits_) | static_cast<std::uint64_t>(unhashed.bank);
+  v = (v << rankBits_) | static_cast<std::uint64_t>(unhashed.rank);
+  v = (v << chBits_) | static_cast<std::uint64_t>(unhashed.channel);
+  v = (v << colLowBits_) | colLow;
+  return v << 6;
+}
+
+}  // namespace mb::core

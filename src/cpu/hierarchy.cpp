@@ -1,0 +1,439 @@
+#include "cpu/hierarchy.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace mb::cpu {
+
+MemoryHierarchy::MemoryHierarchy(
+    const HierarchyConfig& config,
+    std::vector<std::unique_ptr<mc::MemoryController>>& controllers,
+    EventQueue& eventQueue)
+    : cfg_(config), mcs_(controllers), eq_(eventQueue) {
+  MB_CHECK(cfg_.numCores % cfg_.coresPerCluster == 0);
+  MB_CHECK(!mcs_.empty());
+  l1s_.reserve(static_cast<size_t>(cfg_.numCores));
+  for (int c = 0; c < cfg_.numCores; ++c)
+    l1s_.push_back(std::make_unique<Cache>(cfg_.l1Bytes, cfg_.l1Assoc));
+  l2s_.reserve(static_cast<size_t>(cfg_.numClusters()));
+  for (int c = 0; c < cfg_.numClusters(); ++c)
+    l2s_.push_back(std::make_unique<Cache>(cfg_.l2Bytes, cfg_.l2Assoc));
+  prefetchTables_.resize(static_cast<size_t>(cfg_.numCores));
+  for (auto& t : prefetchTables_)
+    t.resize(static_cast<size_t>(cfg_.prefetchStreams));
+}
+
+void MemoryHierarchy::issuePrefetch(CoreId core, std::uint64_t lineAddr, Tick at) {
+  const int cluster = clusterOf(core);
+  if (l2s_[static_cast<size_t>(cluster)]->peek(lineAddr) != nullptr) return;
+  const auto key = pendingKey(cluster, lineAddr);
+  if (pending_.count(key) != 0) return;
+  // Lines cached anywhere else would need coherence actions a speculative
+  // prefetch should not trigger.
+  if (directory_.count(lineAddr) != 0) return;
+  PendingFill fill;
+  fill.prefetch = true;
+  pending_.emplace(key, std::move(fill));
+  ++stats_.prefetchIssued;
+  requestDramRead(lineAddr, core, at);
+}
+
+void MemoryHierarchy::trainPrefetcher(CoreId core, std::uint64_t lineAddr, Tick at) {
+  if (!cfg_.enablePrefetch) return;
+  auto& table = prefetchTables_[static_cast<size_t>(core)];
+  const auto line = static_cast<std::int64_t>(lineAddr / 64);
+
+  StreamEntry* best = nullptr;
+  for (auto& e : table) {
+    if (!e.valid) continue;
+    const std::int64_t diff = line - static_cast<std::int64_t>(e.lastLine);
+    if (diff == 0) return;  // same line re-missed (MSHR merge handles it)
+    if (std::abs(diff) > cfg_.prefetchMaxStrideLines) continue;
+    if (best == nullptr ||
+        std::abs(diff) < std::abs(line - static_cast<std::int64_t>(best->lastLine))) {
+      best = &e;
+    }
+  }
+  if (best == nullptr) {
+    // Allocate the LRU entry as a fresh stream.
+    StreamEntry* victim = &table[0];
+    for (auto& e : table) {
+      if (!e.valid) {
+        victim = &e;
+        break;
+      }
+      if (e.lastUse < victim->lastUse) victim = &e;
+    }
+    *victim = StreamEntry{static_cast<std::uint64_t>(line), 0, 0, ++prefetchClock_, true};
+    return;
+  }
+  const std::int64_t stride = line - static_cast<std::int64_t>(best->lastLine);
+  if (stride == best->stride) {
+    ++best->confidence;
+  } else {
+    best->stride = stride;
+    best->confidence = 1;
+  }
+  best->lastLine = static_cast<std::uint64_t>(line);
+  best->lastUse = ++prefetchClock_;
+  if (best->confidence >= 2 && best->stride != 0) {
+    for (int k = 1; k <= cfg_.prefetchDegree; ++k) {
+      const std::int64_t target = line + best->stride * k;
+      if (target < 0) break;
+      issuePrefetch(core, static_cast<std::uint64_t>(target) * 64, at);
+    }
+  }
+}
+
+int MemoryHierarchy::hops(int clusterA, int clusterB) const {
+  // Clusters laid out on a square-ish mesh (4x4 for the 16-cluster system).
+  int dim = 1;
+  while (dim * dim < cfg_.numClusters()) ++dim;
+  const int ax = clusterA % dim, ay = clusterA / dim;
+  const int bx = clusterB % dim, by = clusterB / dim;
+  return std::abs(ax - bx) + std::abs(ay - by);
+}
+
+Tick MemoryHierarchy::nocLatency(int clusterA, int clusterB) const {
+  return cycles(hops(clusterA, clusterB) * cfg_.nocPerHopCycles);
+}
+
+int MemoryHierarchy::homeCluster(std::uint64_t lineAddr) const {
+  // The directory lives with the memory controller that owns the address.
+  const int ch = mcs_.front()->addressMap().decompose(lineAddr).channel;
+  return ch % cfg_.numClusters();
+}
+
+void MemoryHierarchy::postDramWrite(std::uint64_t lineAddr, CoreId core, Tick at) {
+  ++stats_.dramWrites;
+  const int ch = mcs_.front()->addressMap().decompose(lineAddr).channel;
+  MB_CHECK(ch >= 0 && static_cast<size_t>(ch) < mcs_.size());
+  mc::MemRequest req;
+  req.addr = lineAddr;
+  req.write = true;
+  req.core = core;
+  req.thread = core;
+  const Tick when = std::max(at, eq_.now());
+  eq_.scheduleAt(when, [this, ch, req]() mutable { mcs_[static_cast<size_t>(ch)]->enqueue(std::move(req)); });
+}
+
+void MemoryHierarchy::requestDramRead(std::uint64_t lineAddr, CoreId core, Tick at) {
+  ++stats_.dramReads;
+  const int ch = mcs_.front()->addressMap().decompose(lineAddr).channel;
+  MB_CHECK(ch >= 0 && static_cast<size_t>(ch) < mcs_.size());
+  const int cluster = clusterOf(core);
+  mc::MemRequest req;
+  req.addr = lineAddr;
+  req.write = false;
+  req.core = core;
+  req.thread = core;
+  req.onComplete = [this, lineAddr, cluster](Tick dataTick) {
+    // Response link hop (zero for parallel interfaces).
+    if (cfg_.memLinkLatency > 0) {
+      eq_.scheduleAt(dataTick + cfg_.memLinkLatency,
+                     [this, lineAddr, cluster] {
+                       onDramData(lineAddr, cluster, eq_.now());
+                     });
+    } else {
+      onDramData(lineAddr, cluster, dataTick);
+    }
+  };
+  const Tick when = std::max(at, eq_.now()) + cfg_.memLinkLatency;
+  eq_.scheduleAt(when, [this, ch, req]() mutable { mcs_[static_cast<size_t>(ch)]->enqueue(std::move(req)); });
+}
+
+void MemoryHierarchy::invalidateClusterL1s(int cluster, std::uint64_t lineAddr,
+                                           bool* anyDirty) {
+  for (int c = cluster * cfg_.coresPerCluster; c < (cluster + 1) * cfg_.coresPerCluster;
+       ++c) {
+    bool dirty = false;
+    if (l1s_[static_cast<size_t>(c)]->invalidate(lineAddr, &dirty) && dirty &&
+        anyDirty != nullptr) {
+      *anyDirty = true;
+    }
+  }
+}
+
+void MemoryHierarchy::evictFromL2(int cluster, std::uint64_t lineAddr, bool dirty,
+                                  Tick at) {
+  // Inclusive hierarchy: L1 copies must go; a dirty L1 copy makes the
+  // writeback dirty even if the L2 line itself was clean.
+  bool l1Dirty = false;
+  invalidateClusterL1s(cluster, lineAddr, &l1Dirty);
+  // Directory bookkeeping.
+  auto it = directory_.find(lineAddr);
+  if (it != directory_.end()) {
+    it->second.sharers &= ~(1u << cluster);
+    if (it->second.owner == cluster) it->second.owner = -1;
+    if (it->second.sharers == 0 && it->second.owner < 0) directory_.erase(it);
+  }
+  if (dirty || l1Dirty) postDramWrite(lineAddr, cluster * cfg_.coresPerCluster, at);
+}
+
+void MemoryHierarchy::fillLine(std::uint64_t lineAddr, int cluster, CoreId core,
+                               bool write, Tick at) {
+  Cache& l2 = *l2s_[static_cast<size_t>(cluster)];
+  if (l2.peek(lineAddr) == nullptr) {
+    const auto ev = l2.insert(lineAddr, write ? LineState::Modified : LineState::Exclusive);
+    if (ev.valid) evictFromL2(cluster, ev.addr, ev.dirty, at);
+  } else if (write) {
+    l2.lookup(lineAddr)->state = LineState::Modified;
+  }
+  Cache& l1 = *l1s_[static_cast<size_t>(core)];
+  if (l1.peek(lineAddr) == nullptr) {
+    const auto ev = l1.insert(lineAddr, write ? LineState::Modified : LineState::Shared);
+    if (ev.valid && ev.dirty) {
+      // Dirty L1 eviction folds into the (inclusive) L2.
+      Cache::Line* line = l2.lookup(ev.addr);
+      if (line != nullptr) {
+        line->state = LineState::Modified;
+      } else {
+        postDramWrite(ev.addr, core, at);
+      }
+    }
+  } else if (write) {
+    l1.lookup(lineAddr)->state = LineState::Modified;
+  }
+}
+
+void MemoryHierarchy::onDramData(std::uint64_t lineAddr, int cluster, Tick dataTick) {
+  const auto key = pendingKey(cluster, lineAddr);
+  auto it = pending_.find(key);
+  MB_CHECK(it != pending_.end());
+  PendingFill fill = std::move(it->second);
+  pending_.erase(it);
+
+  // Directory: this cluster now holds the line.
+  auto& entry = directory_[lineAddr];
+  entry.sharers |= (1u << cluster);
+  if (fill.anyWrite) entry.owner = cluster;
+
+  if (fill.prefetch && fill.waiters.empty()) {
+    // Speculative fill: L2 only, marked so a later demand hit is counted.
+    Cache& l2 = *l2s_[static_cast<size_t>(cluster)];
+    if (l2.peek(lineAddr) == nullptr) {
+      const auto ev = l2.insert(lineAddr, LineState::Exclusive, /*prefetched=*/true);
+      if (ev.valid) evictFromL2(cluster, ev.addr, ev.dirty, dataTick);
+    }
+    return;
+  }
+
+  const Tick ready = dataTick + cycles(cfg_.fillLatCycles);
+  bool filled = false;
+  for (auto& w : fill.waiters) {
+    if (!filled) {
+      fillLine(lineAddr, cluster, w.core, fill.anyWrite, dataTick);
+      filled = true;
+    } else if (w.write) {
+      // Later writer among the waiters: make sure the line is dirty.
+      Cache::Line* line = l2s_[static_cast<size_t>(cluster)]->lookup(lineAddr);
+      if (line != nullptr) line->state = LineState::Modified;
+    }
+    if (w.onDone) w.onDone(ready);
+  }
+}
+
+MemoryHierarchy::AccessResult MemoryHierarchy::access(CoreId core, std::uint64_t addr,
+                                                      bool write, Tick at,
+                                                      std::function<void(Tick)> onDone) {
+  ++stats_.accesses;
+  const std::uint64_t lineAddr = l1s_.front()->lineBase(addr);
+  const int cluster = clusterOf(core);
+  Cache& l1 = *l1s_[static_cast<size_t>(core)];
+  Cache& l2 = *l2s_[static_cast<size_t>(cluster)];
+  const Tick l1Lat = cycles(cfg_.l1LatCycles);
+  const Tick l2Lat = cycles(cfg_.l1LatCycles + cfg_.l2LatCycles);
+
+  // ---- L1 ----------------------------------------------------------------
+  if (Cache::Line* line = l1.lookup(lineAddr); line != nullptr) {
+    ++stats_.l1Hits;
+    if (!write || line->state == LineState::Modified) {
+      return {true, l1Lat};
+    }
+    // Write to a Shared L1 line: upgrade through L2 (and the directory if
+    // the line is shared across clusters).
+    Cache::Line* l2line = l2.lookup(lineAddr);
+    MB_CHECK(l2line != nullptr);  // inclusive
+    Tick lat = l2Lat;
+    if (l2line->state == LineState::Shared) {
+      ++stats_.upgrades;
+      auto& entry = directory_[lineAddr];
+      const int home = homeCluster(lineAddr);
+      lat += nocLatency(cluster, home) * 2 + cycles(cfg_.dirLatCycles);
+      for (int cl = 0; cl < cfg_.numClusters(); ++cl) {
+        if (cl == cluster || (entry.sharers & (1u << cl)) == 0) continue;
+        ++stats_.invalidations;
+        bool dummy = false;
+        l2s_[static_cast<size_t>(cl)]->invalidate(lineAddr);
+        invalidateClusterL1s(cl, lineAddr, &dummy);
+        entry.sharers &= ~(1u << cl);
+      }
+      entry.owner = cluster;
+      entry.sharers = (1u << cluster);
+    }
+    l2line->state = LineState::Modified;
+    line->state = LineState::Modified;
+    return {true, lat};
+  }
+
+  trainPrefetcher(core, lineAddr, at);
+
+  // ---- Cluster MSHR: join an in-flight fill -------------------------------
+  const auto key = pendingKey(cluster, lineAddr);
+  if (auto it = pending_.find(key); it != pending_.end()) {
+    it->second.anyWrite |= write;
+    if (it->second.prefetch) {
+      it->second.prefetch = false;  // a demand now rides the prefetch fill
+      ++stats_.prefetchUseful;
+    }
+    if (write && !onDone) {
+      it->second.waiters.push_back(Waiter{core, true, nullptr});
+      return {true, l1Lat};  // fully posted store (no buffer accounting)
+    }
+    it->second.waiters.push_back(Waiter{core, write, std::move(onDone)});
+    return {false, 0};
+  }
+
+  // ---- L2 ----------------------------------------------------------------
+  if (Cache::Line* l2line = l2.lookup(lineAddr); l2line != nullptr) {
+    ++stats_.l2Hits;
+    if (l2line->prefetched) {
+      l2line->prefetched = false;
+      ++stats_.prefetchUseful;
+    }
+    Tick lat = l2Lat;
+    if (write && l2line->state == LineState::Shared) {
+      ++stats_.upgrades;
+      auto& entry = directory_[lineAddr];
+      const int home = homeCluster(lineAddr);
+      lat += nocLatency(cluster, home) * 2 + cycles(cfg_.dirLatCycles);
+      for (int cl = 0; cl < cfg_.numClusters(); ++cl) {
+        if (cl == cluster || (entry.sharers & (1u << cl)) == 0) continue;
+        ++stats_.invalidations;
+        bool dummy = false;
+        l2s_[static_cast<size_t>(cl)]->invalidate(lineAddr);
+        invalidateClusterL1s(cl, lineAddr, &dummy);
+        entry.sharers &= ~(1u << cl);
+      }
+      entry.owner = cluster;
+      entry.sharers = (1u << cluster);
+    }
+    if (write) l2line->state = LineState::Modified;
+    // Fill L1.
+    const auto ev = l1.insert(lineAddr, write ? LineState::Modified : LineState::Shared);
+    if (ev.valid && ev.dirty) {
+      Cache::Line* victimL2 = l2.lookup(ev.addr);
+      if (victimL2 != nullptr) {
+        victimL2->state = LineState::Modified;
+      } else {
+        postDramWrite(ev.addr, core, at);
+      }
+    }
+    return {true, lat};
+  }
+
+  // ---- Directory: remote clusters --------------------------------------
+  const int home = homeCluster(lineAddr);
+  auto dirIt = directory_.find(lineAddr);
+  if (dirIt != directory_.end() &&
+      (dirIt->second.owner >= 0 || dirIt->second.sharers != 0)) {
+    DirEntry& entry = dirIt->second;
+    Tick lat = l2Lat + nocLatency(cluster, home) + cycles(cfg_.dirLatCycles);
+
+    if (entry.owner >= 0 && entry.owner != cluster) {
+      // Cache-to-cache transfer from the modified owner; the dirty data is
+      // also written back to memory (MESI M -> S with writeback).
+      ++stats_.c2cTransfers;
+      const int owner = entry.owner;
+      lat += nocLatency(home, owner) + cycles(cfg_.l2LatCycles) +
+             nocLatency(owner, cluster);
+      bool dummy = false;
+      if (write) {
+        ++stats_.invalidations;
+        l2s_[static_cast<size_t>(owner)]->invalidate(lineAddr);
+        invalidateClusterL1s(owner, lineAddr, &dummy);
+        entry.sharers &= ~(1u << owner);
+        entry.owner = cluster;
+      } else {
+        l2s_[static_cast<size_t>(owner)]->downgrade(lineAddr);
+        invalidateClusterL1s(owner, lineAddr, &dummy);  // simple: drop L1 copies
+        entry.owner = -1;
+      }
+      postDramWrite(lineAddr, core, at);  // writeback of the dirty data
+      entry.sharers |= (1u << cluster);
+      if (l2.peek(lineAddr) == nullptr) {
+        const auto ev =
+            l2.insert(lineAddr, write ? LineState::Modified : LineState::Shared);
+        if (ev.valid) evictFromL2(cluster, ev.addr, ev.dirty, at);
+      }
+      const auto ev = l1.insert(lineAddr, write ? LineState::Modified : LineState::Shared);
+      if (ev.valid && ev.dirty) {
+        Cache::Line* victimL2 = l2.lookup(ev.addr);
+        if (victimL2 != nullptr) victimL2->state = LineState::Modified;
+        else postDramWrite(ev.addr, core, at);
+      }
+      return {true, lat};
+    }
+
+    if (entry.sharers != 0) {
+      // Served from a sharer's cache; no DRAM access needed.
+      ++stats_.c2cTransfers;
+      int sharer = -1;
+      for (int cl = 0; cl < cfg_.numClusters(); ++cl) {
+        if (cl != cluster && (entry.sharers & (1u << cl)) != 0) {
+          sharer = cl;
+          break;
+        }
+      }
+      if (sharer >= 0) {
+        lat += nocLatency(home, sharer) + cycles(cfg_.l2LatCycles) +
+               nocLatency(sharer, cluster);
+        if (!write) {
+          // The line is no longer exclusive anywhere: E -> S in the sharer.
+          l2s_[static_cast<size_t>(sharer)]->downgrade(lineAddr);
+        }
+      }
+      if (write) {
+        for (int cl = 0; cl < cfg_.numClusters(); ++cl) {
+          if (cl == cluster || (entry.sharers & (1u << cl)) == 0) continue;
+          ++stats_.invalidations;
+          bool dummy = false;
+          l2s_[static_cast<size_t>(cl)]->invalidate(lineAddr);
+          invalidateClusterL1s(cl, lineAddr, &dummy);
+          entry.sharers &= ~(1u << cl);
+        }
+        entry.owner = cluster;
+      }
+      entry.sharers |= (1u << cluster);
+      if (l2.peek(lineAddr) == nullptr) {
+        const auto ev =
+            l2.insert(lineAddr, write ? LineState::Modified : LineState::Shared);
+        if (ev.valid) evictFromL2(cluster, ev.addr, ev.dirty, at);
+      }
+      const auto ev = l1.insert(lineAddr, write ? LineState::Modified : LineState::Shared);
+      if (ev.valid && ev.dirty) {
+        Cache::Line* victimL2 = l2.lookup(ev.addr);
+        if (victimL2 != nullptr) victimL2->state = LineState::Modified;
+        else postDramWrite(ev.addr, core, at);
+      }
+      return {true, lat};
+    }
+  }
+
+  // ---- DRAM ---------------------------------------------------------------
+  PendingFill fill;
+  fill.anyWrite = write;
+  if (write && !onDone) {
+    fill.waiters.push_back(Waiter{core, true, nullptr});
+    pending_.emplace(key, std::move(fill));
+    requestDramRead(lineAddr, core, at);  // fetch-for-ownership
+    return {true, l1Lat};                 // fully posted store
+  }
+  fill.waiters.push_back(Waiter{core, write, std::move(onDone)});
+  pending_.emplace(key, std::move(fill));
+  requestDramRead(lineAddr, core, at);
+  return {false, 0};
+}
+
+}  // namespace mb::cpu

@@ -1,0 +1,166 @@
+// Coherent cache hierarchy: per-core L1 data caches, a shared L2 per 4-core
+// cluster, and a directory-based MESI protocol across clusters, backed by
+// the memory controllers (paper §VI-A: MESI with a reverse directory
+// associated with each memory controller).
+//
+// Modelling level: transaction-atomic coherence. A request's protocol
+// actions (directory lookup, invalidations, cache-to-cache transfer) are
+// applied to cache/directory state when the request is processed, and their
+// cost is folded into the returned latency; only DRAM accesses are
+// asynchronous (event-driven through the memory controllers). In-flight
+// cross-cluster races are therefore resolved in arrival order — the right
+// level of detail for a memory-system study, where coherence exists to
+// produce correct DRAM traffic (writebacks, fetch-for-ownership,
+// sharer-served reads), not to study the protocol itself.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/event_queue.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "cpu/cache.hpp"
+#include "mc/controller.hpp"
+
+namespace mb::cpu {
+
+struct HierarchyConfig {
+  int numCores = 64;
+  int coresPerCluster = 4;
+
+  std::int64_t l1Bytes = 16 * kKiB;  // §VI-A
+  int l1Assoc = 4;
+  std::int64_t l2Bytes = 2 * kMiB;
+  int l2Assoc = 16;
+
+  Tick cyclePs = 500;  // 2 GHz core clock
+  int l1LatCycles = 2;
+  int l2LatCycles = 12;
+  int dirLatCycles = 6;
+  int nocPerHopCycles = 3;
+  int fillLatCycles = 8;  // DRAM data back through L2+L1 to the core
+
+  // L2 stride prefetcher (per core): tracks `prefetchStreams` access
+  // streams; after two consistent stride observations it runs
+  // `prefetchDegree` lines ahead. Strides beyond `prefetchMaxStrideLines`
+  // are treated as stream restarts (page-crossing jumps defeat real
+  // prefetchers the same way).
+  /// Extra one-way latency on the processor-memory path (serial-link
+  /// interfaces like HMC); applied to requests and responses.
+  Tick memLinkLatency = 0;
+
+  bool enablePrefetch = true;
+  int prefetchDegree = 4;
+  int prefetchStreams = 8;
+  int prefetchMaxStrideLines = 32;
+
+  int numClusters() const { return numCores / coresPerCluster; }
+};
+
+struct HierarchyStats {
+  std::int64_t accesses = 0;
+  std::int64_t l1Hits = 0;
+  std::int64_t l2Hits = 0;
+  std::int64_t dramReads = 0;
+  std::int64_t dramWrites = 0;   // dirty writebacks posted to the MCs
+  std::int64_t c2cTransfers = 0; // served from a remote cluster's cache
+  std::int64_t invalidations = 0;
+  std::int64_t upgrades = 0;
+  std::int64_t prefetchIssued = 0;
+  std::int64_t prefetchUseful = 0;  // prefetched lines later hit by demand
+
+  double l1HitRate() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(l1Hits) / static_cast<double>(accesses);
+  }
+};
+
+class MemoryHierarchy {
+ public:
+  /// `controllers` must outlive the hierarchy; indexed by channel id.
+  MemoryHierarchy(const HierarchyConfig& config,
+                  std::vector<std::unique_ptr<mc::MemoryController>>& controllers,
+                  EventQueue& eventQueue);
+
+  struct AccessResult {
+    bool immediate = false;
+    Tick latency = 0;  // valid when immediate
+  };
+
+  /// Perform a memory access for `core` at (possibly future) tick `at`.
+  /// If the access completes without DRAM involvement, returns
+  /// {immediate = true, latency}; otherwise `onDone(tick)` fires when the
+  /// data reaches the core. `onDone` may be empty for posted stores.
+  AccessResult access(CoreId core, std::uint64_t addr, bool write, Tick at,
+                      std::function<void(Tick)> onDone);
+
+  const HierarchyStats& stats() const { return stats_; }
+  const HierarchyConfig& config() const { return cfg_; }
+
+ private:
+  struct DirEntry {
+    std::uint32_t sharers = 0;  // bitset over clusters
+    int owner = -1;             // cluster holding the line Modified
+  };
+  struct Waiter {
+    CoreId core;
+    bool write;
+    std::function<void(Tick)> onDone;
+  };
+  struct PendingFill {
+    std::vector<Waiter> waiters;
+    bool anyWrite = false;
+    bool prefetch = false;  // no waiters; fills the L2 only
+  };
+
+  int clusterOf(CoreId core) const { return core / cfg_.coresPerCluster; }
+  Tick cycles(int n) const { return static_cast<Tick>(n) * cfg_.cyclePs; }
+  /// Mesh hop count between a cluster and a channel's home cluster.
+  int hops(int clusterA, int clusterB) const;
+  Tick nocLatency(int clusterA, int clusterB) const;
+  int homeCluster(std::uint64_t lineAddr) const;
+
+  void postDramWrite(std::uint64_t lineAddr, CoreId core, Tick at);
+  void requestDramRead(std::uint64_t lineAddr, CoreId core, Tick at);
+  /// Stride detection on the L1-miss stream; may issue prefetch fills.
+  void trainPrefetcher(CoreId core, std::uint64_t lineAddr, Tick at);
+  void issuePrefetch(CoreId core, std::uint64_t lineAddr, Tick at);
+  void onDramData(std::uint64_t lineAddr, int cluster, Tick dataTick);
+  /// Install a line into a cluster's L2 + the requesting core's L1,
+  /// handling inclusive evictions; returns nothing, posts writebacks.
+  void fillLine(std::uint64_t lineAddr, int cluster, CoreId core, bool write, Tick at);
+  void evictFromL2(int cluster, std::uint64_t lineAddr, bool dirty, Tick at);
+  void invalidateClusterL1s(int cluster, std::uint64_t lineAddr, bool* anyDirty);
+
+  HierarchyConfig cfg_;
+  std::vector<std::unique_ptr<mc::MemoryController>>& mcs_;
+  EventQueue& eq_;
+
+  std::vector<std::unique_ptr<Cache>> l1s_;  // per core
+  std::vector<std::unique_ptr<Cache>> l2s_;  // per cluster
+  std::unordered_map<std::uint64_t, DirEntry> directory_;
+  // Pending DRAM fills keyed by (cluster, lineAddr).
+  std::unordered_map<std::uint64_t, PendingFill> pending_;
+
+  struct StreamEntry {
+    std::uint64_t lastLine = 0;
+    std::int64_t stride = 0;
+    int confidence = 0;
+    std::uint64_t lastUse = 0;
+    bool valid = false;
+  };
+  std::vector<std::vector<StreamEntry>> prefetchTables_;  // per core
+  std::uint64_t prefetchClock_ = 0;
+
+  HierarchyStats stats_;
+
+  std::uint64_t pendingKey(int cluster, std::uint64_t lineAddr) const {
+    return (static_cast<std::uint64_t>(cluster) << 58) ^ lineAddr;
+  }
+};
+
+}  // namespace mb::cpu

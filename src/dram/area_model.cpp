@@ -1,0 +1,23 @@
+#include "dram/area_model.hpp"
+
+namespace mb::dram {
+
+AreaModel::AreaModel() {
+  // Calibration to the published corners of Fig. 6(a):
+  //   overhead(16, 1)  = 3.1 %  -> 15 * perWordlinePartition_
+  //   overhead(1, 16)  = 1.4 %  -> 15 * perBitlinePartition_
+  //   overhead(16, 16) = 26.8 % -> the two above + 225 * perIntersection_
+  perWordlinePartition_ = 0.031 / 15.0;
+  perBitlinePartition_ = 0.014 / 15.0;
+  perIntersection_ = (0.268 - 0.031 - 0.014) / 225.0;
+}
+
+double AreaModel::relativeArea(const UbankConfig& cfg) const {
+  MB_CHECK(cfg.valid());
+  const double w = static_cast<double>(cfg.nW - 1);
+  const double b = static_cast<double>(cfg.nB - 1);
+  return 1.0 + perWordlinePartition_ * w + perBitlinePartition_ * b +
+         perIntersection_ * w * b;
+}
+
+}  // namespace mb::dram

@@ -1,0 +1,39 @@
+#include "dram/energy.hpp"
+
+namespace mb::dram {
+
+EnergyParams EnergyParams::ddr3Pcb() {
+  EnergyParams p;
+  p.rdwrPerBit = 13.0;
+  p.ioPerBit = 20.0;
+  p.staticPowerPerRankWatts = 0.15;  // full DDR3 PHY: ODT + DLL
+  return p;
+}
+
+EnergyParams EnergyParams::ddr3Tsi() {
+  EnergyParams p;
+  p.rdwrPerBit = 13.0;
+  // TSI shortens the channel but the DDR3 PHY keeps its ODT/DLL, so the
+  // I/O energy improves only part of the way toward the LPDDR figure.
+  p.ioPerBit = 8.0;
+  p.staticPowerPerRankWatts = 0.15;
+  return p;
+}
+
+EnergyParams EnergyParams::lpddrTsi() {
+  EnergyParams p;
+  p.rdwrPerBit = 4.0;
+  p.ioPerBit = 4.0;
+  p.staticPowerPerRankWatts = 0.03;  // no ODT, no DLL (§III-A)
+  return p;
+}
+
+PicoJoule energyPerRead(const EnergyParams& params, const Geometry& geom, double beta) {
+  // beta = activations per CAS. One read moves one cache line; a fraction
+  // beta of reads also pays one ACT+PRE of the (μbank-sized) row.
+  const PicoJoule act = params.actPreEnergy(geom.ubankRowBytes()) * beta;
+  const PicoJoule cas = params.casEnergy(geom.lineBytes, geom.ubanksPerBank());
+  return act + cas;
+}
+
+}  // namespace mb::dram

@@ -1,0 +1,20 @@
+#include "dram/geometry.hpp"
+
+namespace mb::dram {
+
+bool Geometry::valid() const {
+  if (!ubank.valid()) return false;
+  if (!isPowerOfTwo(channels) || !isPowerOfTwo(ranksPerChannel) ||
+      !isPowerOfTwo(banksPerRank)) {
+    return false;
+  }
+  if (!isPowerOfTwo(rowBytes) || !isPowerOfTwo(capacityBytes) || !isPowerOfTwo(lineBytes)) {
+    return false;
+  }
+  if (rowBytes % (static_cast<std::int64_t>(ubank.nW) * lineBytes) != 0) return false;
+  // Every μbank must hold at least one row.
+  if (capacityBytes < totalUbanks() * ubankRowBytes()) return false;
+  return rowsPerUbank() >= 1;
+}
+
+}  // namespace mb::dram

@@ -1,0 +1,67 @@
+// Physical organization of the simulated main memory, including the μbank
+// partitioning that is the paper's core contribution (§IV).
+//
+// Reference device (§III-B / §IV-B): 8 Gb die, 80 mm², 16 banks, 2 channels
+// per die (8 banks per channel), 8 KB row per rank, each bank a 64×32 array
+// of 512×512-bit mats. A μbank organization (nW, nB) splits every bank into
+// nW partitions along the wordline direction (shrinking the activated row to
+// 8 KB / nW) and nB partitions along the bitline direction (multiplying the
+// number of simultaneously open rows without changing the row size).
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace mb::dram {
+
+/// μbank partitioning factors. (1, 1) is a conventional bank.
+struct UbankConfig {
+  int nW = 1;  // partitions along the wordline direction (row shrinks)
+  int nB = 1;  // partitions along the bitline direction (rows multiply)
+
+  int ubanksPerBank() const { return nW * nB; }
+  bool valid() const {
+    return isPowerOfTwo(nW) && isPowerOfTwo(nB) && nW >= 1 && nW <= 16 && nB >= 1 &&
+           nB <= 16;
+  }
+  bool operator==(const UbankConfig&) const = default;
+};
+
+/// Full address-space geometry for one simulated memory system.
+struct Geometry {
+  int channels = 16;        // memory controllers == channels (§VI-A)
+  int ranksPerChannel = 2;  // DDR3 module default; LPDDR-TSI uses 8 (die = rank)
+  int banksPerRank = 8;     // 8 banks per channel-die (§IV-B)
+  UbankConfig ubank;
+
+  std::int64_t rowBytes = 8 * kKiB;  // full DRAM row per rank (Table I note)
+  std::int64_t capacityBytes = 64 * kGiB;  // total main memory (§VI-A)
+  int lineBytes = kCacheLineBytes;
+
+  /// Row size actually activated under the μbank organization.
+  std::int64_t ubankRowBytes() const { return rowBytes / ubank.nW; }
+  /// Cache lines per μbank row (column positions addressable per open row).
+  std::int64_t linesPerUbankRow() const { return ubankRowBytes() / lineBytes; }
+  /// Independent row buffers per bank.
+  int ubanksPerBank() const { return ubank.ubanksPerBank(); }
+  /// Independent row buffers in the whole system.
+  std::int64_t totalUbanks() const {
+    return static_cast<std::int64_t>(channels) * ranksPerChannel * banksPerRank *
+           ubanksPerBank();
+  }
+  /// Rows per μbank, derived from capacity.
+  std::int64_t rowsPerUbank() const {
+    const std::int64_t bytesPerUbank = capacityBytes / totalUbanks();
+    return bytesPerUbank / ubankRowBytes();
+  }
+  /// Total bytes of simultaneously open rows when every μbank has a row open.
+  /// Note this grows with nB but not with nW (the nW partitions of one bank
+  /// each hold a proportionally smaller row).
+  std::int64_t maxOpenRowBytes() const { return totalUbanks() * ubankRowBytes(); }
+
+  bool valid() const;
+};
+
+}  // namespace mb::dram

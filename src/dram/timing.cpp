@@ -1,0 +1,29 @@
+#include "dram/timing.hpp"
+
+namespace mb::dram {
+
+bool TimingParams::valid() const {
+  if (tCMD <= 0 || tBURST <= 0 || tCCD <= 0) return false;
+  if (tRCD <= 0 || tAA <= 0 || tRAS <= 0 || tRP <= 0) return false;
+  if (tRAS < tRCD) return false;       // a row must be open at least through tRCD
+  if (tFAW < tRRD) return false;       // 4-activate window spans >= one tRRD
+  if (tREFI <= tRFC) return false;     // refresh must not saturate the rank
+  return true;
+}
+
+TimingParams TimingParams::ddr3() {
+  TimingParams t;
+  t.tAA = ns(14);
+  t.tBURST = ns(5);  // 64 B over a 12.8 GB/s DDR3-1600 DIMM (§II)
+  t.tCCD = ns(5);
+  t.tRTRS = ns(2);   // multi-rank PCB bus turnaround
+  return t;
+}
+
+TimingParams TimingParams::tsi() {
+  TimingParams t;
+  t.tAA = ns(12);
+  return t;
+}
+
+}  // namespace mb::dram

@@ -1,0 +1,56 @@
+// DRAM timing parameter sets.
+//
+// The values that the paper publishes in Table I are used verbatim
+// (tRCD = 14 ns, tRAS = 35 ns, tRP = 14 ns, tAA = 14 ns for DDR3 and 12 ns
+// for TSI interfaces). Parameters Table I omits (tRRD, tFAW, tWR, tWTR,
+// tRTP, refresh) are taken from representative DDR3-1600 datasheet values so
+// that the command-level model enforces a complete constraint set.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace mb::dram {
+
+struct TimingParams {
+  // Command bus: one command slot per tCMD.
+  Tick tCMD = ns(1.25);
+  // Data burst for one 64B cache line: 4 ns on a 16 GB/s TSI channel; 5 ns
+  // on a DDR3-1600 DIMM (12.8 GB/s, §II).
+  Tick tBURST = ns(4);
+  // Minimum CAS-to-CAS spacing on one channel (equals the burst here).
+  Tick tCCD = ns(4);
+  // Rank-to-rank data-bus switch penalty: multi-rank DIMM buses over PCB
+  // need an ODT/bus-turnaround bubble; TSI channels do not (§III-A).
+  Tick tRTRS = 0;
+
+  Tick tRCD = ns(14);  // ACT to first CAS
+  Tick tAA = ns(14);   // CAS to first data (CL)
+  Tick tRAS = ns(35);  // ACT to PRE, same (micro)bank
+  Tick tRP = ns(14);   // PRE to ACT, same (micro)bank
+
+  Tick tRRD = ns(6);   // ACT to ACT, same rank
+  Tick tFAW = ns(30);  // four-activate window, same rank
+  Tick tWR = ns(15);   // end of write data to PRE
+  Tick tWTR = ns(7.5); // end of write data to next read CAS, same rank
+  Tick tRTP = ns(7.5); // read CAS to PRE
+
+  Tick tREFI = us(7.8);  // average periodic refresh interval (per rank)
+  Tick tRFC = ns(350);   // all-bank refresh cycle time (8 Gb die class)
+  Tick tRFCpb = ns(90);  // per-bank refresh cycle time (extension feature)
+
+  Tick tRC() const { return tRAS + tRP; }
+
+  /// Row cycle as seen by a conflicting request: PRE + ACT + CAS + data.
+  Tick conflictLatency() const { return tRP + tRCD + tAA + tBURST; }
+
+  /// Sanity-check internal consistency (e.g., tRAS >= tRCD).
+  bool valid() const;
+
+  /// DDR3 module over PCB (baseline interface, Table I: tAA = 14 ns;
+  /// §II: 5 ns per cache line on a DDR3-1600 DIMM; 2 ns rank switch).
+  static TimingParams ddr3();
+  /// Any TSI-attached stack (Table I: tAA = 12 ns — fewer SerDes steps).
+  static TimingParams tsi();
+};
+
+}  // namespace mb::dram

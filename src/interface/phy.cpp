@@ -1,0 +1,55 @@
+#include "interface/phy.hpp"
+
+#include "common/check.hpp"
+
+namespace mb::interface {
+
+std::string phyKindName(PhyKind kind) {
+  switch (kind) {
+    case PhyKind::Ddr3Pcb: return "DDR3-PCB";
+    case PhyKind::Ddr3Tsi: return "DDR3-TSI";
+    case PhyKind::LpddrTsi: return "LPDDR-TSI";
+    case PhyKind::Hmc: return "HMC";
+  }
+  return "unknown";
+}
+
+PhyModel PhyModel::make(PhyKind kind) {
+  PhyModel m;
+  m.kind = kind;
+  switch (kind) {
+    case PhyKind::Ddr3Pcb:
+      m.timing = dram::TimingParams::ddr3();
+      m.energy = dram::EnergyParams::ddr3Pcb();
+      m.channels = 8;         // pin-count limited (§VI-D)
+      m.ranksPerChannel = 2;  // two DIMM ranks
+      break;
+    case PhyKind::Ddr3Tsi:
+      m.timing = dram::TimingParams::tsi();
+      m.energy = dram::EnergyParams::ddr3Tsi();
+      m.channels = 16;
+      m.ranksPerChannel = 1;  // an 8-die stack forms one rank (§VI-D)
+      break;
+    case PhyKind::LpddrTsi:
+      m.timing = dram::TimingParams::tsi();
+      m.energy = dram::EnergyParams::lpddrTsi();
+      m.channels = 16;
+      m.ranksPerChannel = 4;  // each die is a rank (§III-B): 4 x 8Gb dies = 4GB/channel
+      break;
+    case PhyKind::Hmc: {
+      m.timing = dram::TimingParams::tsi();
+      m.energy = dram::EnergyParams::lpddrTsi();
+      // Serial links: efficient per moved bit but with always-on lanes.
+      m.energy.ioPerBit = 6.0;
+      m.energy.staticPowerPerRankWatts = 0.25;  // link + logic-die baseline
+      m.channels = 16;
+      m.ranksPerChannel = 4;  // vault-like internal parallelism
+      m.linkLatency = ns(16);  // packetize + SerDes + logic-die hop, each way
+      break;
+    }
+  }
+  MB_CHECK(m.timing.valid());
+  return m;
+}
+
+}  // namespace mb::interface

@@ -1,0 +1,52 @@
+// Processor-memory interface models (paper §III and §VI-D, Fig. 14).
+//
+// Three interface generations are compared:
+//   - DDR3-PCB:  modules over printed circuit board. Pin count limits the
+//     system to 8 memory controllers (~1600 pins, §VI-D); 20 pJ/b I/O;
+//     tAA = 14 ns; 2 multi-die ranks per channel.
+//   - DDR3-TSI:  DDR3-type dies stacked on a silicon interposer. The pin
+//     constraint disappears (16 controllers) but the DDR3 PHY keeps its
+//     ODT/DLL, so energy improves only modestly; a rank is an 8-die stack
+//     (one rank per channel of stacked capacity, kept at 2 independent
+//     ranks per channel so capacity matches the PCB baseline).
+//   - LPDDR-TSI: LPDDR-type dies on the interposer. 4 pJ/b I/O and RD/WR;
+//     tAA = 12 ns; every die is its own rank (jitter across dies rules out
+//     multi-die ranks, §III-B), giving 8 ranks per channel and thus 8x the
+//     bank-level parallelism of DDR3-TSI.
+#pragma once
+
+#include <string>
+
+#include "dram/energy.hpp"
+#include "dram/timing.hpp"
+
+namespace mb::interface {
+
+enum class PhyKind {
+  Ddr3Pcb,
+  Ddr3Tsi,
+  LpddrTsi,
+  /// Extension (paper §VII future work): an HMC-style stack — DRAM dies on
+  /// a logic die reached through high-speed serial links. The links add
+  /// packetization/SerDes latency and burn static power regardless of
+  /// traffic, but the logic die gives the stack abundant internal banks.
+  Hmc,
+};
+
+std::string phyKindName(PhyKind kind);
+
+struct PhyModel {
+  PhyKind kind = PhyKind::LpddrTsi;
+  dram::TimingParams timing;
+  dram::EnergyParams energy;
+  int channels = 16;         // memory controllers the package can support
+  int ranksPerChannel = 8;   // independent ranks behind one controller
+  double channelGBps = 16.0; // peak data bandwidth per channel (§VI-A)
+  /// One-way request/response latency added outside the DRAM protocol
+  /// (serial-link packetization + SerDes); zero for parallel interfaces.
+  Tick linkLatency = 0;
+
+  static PhyModel make(PhyKind kind);
+};
+
+}  // namespace mb::interface

@@ -1,0 +1,418 @@
+#include "mc/controller.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace mb::mc {
+
+MemoryController::MemoryController(ChannelId id, const dram::Geometry& geom,
+                                   const dram::TimingParams& timing,
+                                   const dram::EnergyParams& energy,
+                                   const core::AddressMap& addressMap,
+                                   const ControllerConfig& config, EventQueue& eventQueue)
+    : id_(id),
+      geom_(geom),
+      map_(addressMap),
+      cfg_(config),
+      eq_(eventQueue),
+      channel_(geom, timing),
+      meter_(energy),
+      scheduler_(makeScheduler(config.scheduler)),
+      policy_(core::makePagePolicy(config.pagePolicy)) {
+  channel_.refreshEnabled = cfg_.refreshEnabled;
+  channel_.perBankRefresh = cfg_.perBankRefresh;
+  if (cfg_.enableTimingCheck) checker_.emplace(geom, timing);
+}
+
+void MemoryController::enqueue(MemRequest req) {
+  req.id = nextRequestId_++;
+  req.arrival = eq_.now();
+  req.da = map_.decompose(req.addr);
+  // Force the decomposed channel to this controller: the caller routes by
+  // the same address map, so this is a consistency check, not a remap.
+  MB_DCHECK(req.da.channel == id_);
+
+  const std::int64_t flat = req.da.flatUbank(geom_);
+
+  // Resolve any outstanding speculative page decision for this μbank now
+  // that the next access is known (§V: the predictor trains on whether the
+  // next access would have hit the previously open row).
+  resolveSpeculation(req.da, req.da.row);
+  // A policy-requested idle precharge is cancelled if the incoming request
+  // wants exactly the still-open row.
+  auto pc = pendingCloses_.find(flat);
+  if (pc != pendingCloses_.end()) {
+    const auto& ub = channel_.ubank(req.da);
+    if (ub.rowOpen() && ub.openRow == req.da.row) pendingCloses_.erase(pc);
+  }
+  // Oracle resolution: charge the retrospectively-best decision (§V).
+  auto& ub0 = channel_.ubank(req.da);
+  if (ub0.lazyPending) {
+    if (ub0.openRow == req.da.row) {
+      ub0.lazyPending = false;  // keeping it open was best: genuine row hit
+    } else {
+      // Closing was best: account as if PRE had issued at the earliest
+      // legal point after the previous access.
+      ub0.openRow = -1;
+      ub0.actReadyAt = std::max(ub0.actReadyAt,
+                                ub0.earliestPreAt + channel_.timing().tRP);
+      ub0.lazyPending = false;
+      if (checker_) checker_->onOraclePre(req.da);
+    }
+  }
+
+  if (req.write) {
+    writes_.inc();
+    // Coalesce with an already-buffered write to the same line.
+    for (auto& w : writeQ_) {
+      if (w->req.addr == req.addr) return;
+    }
+    writeQ_.push_back(std::make_unique<Pending>(Pending{std::move(req), false, false}));
+    if (static_cast<int>(writeQ_.size()) >= cfg_.writeHighWatermark)
+      drainingWrites_ = true;
+  } else {
+    reads_.inc();
+    // Forward from a buffered write to the same line: the data is newer
+    // than DRAM and available immediately after a queue lookup.
+    for (const auto& w : writeQ_) {
+      if (w->req.addr == req.addr) {
+        forwarded_.inc();
+        if (req.onComplete) {
+          auto cb = std::move(req.onComplete);
+          const Tick done = eq_.now() + channel_.timing().tCMD;
+          eq_.scheduleAt(done, [cb = std::move(cb), done] { cb(done); });
+        }
+        return;
+      }
+    }
+    auto p = std::make_unique<Pending>(Pending{std::move(req), false, false});
+    if (static_cast<int>(readQ_.size()) < cfg_.queueDepth) {
+      scheduler_->onEnqueue(p->req);
+      readQ_.push_back(std::move(p));
+    } else {
+      overflowQ_.push_back(std::move(p));
+    }
+    queueOcc_.update(eq_.now(),
+                     static_cast<double>(readQ_.size() + overflowQ_.size()));
+  }
+  kick();
+}
+
+void MemoryController::resolveSpeculation(const core::DramAddress& da,
+                                          std::int64_t incomingRow) {
+  const std::int64_t flat = da.flatUbank(geom_);
+  auto it = speculations_.find(flat);
+  if (it == speculations_.end()) return;
+  const bool sameRow = it->second.row == incomingRow;
+  const bool predictedOpen = it->second.decision == core::PageDecision::KeepOpen;
+  specDecisions_.inc();
+  if (predictedOpen == sameRow) specCorrect_.inc();
+  policy_->observeOutcome(flat, it->second.thread, sameRow);
+  speculations_.erase(it);
+}
+
+bool MemoryController::preBlockedByOlderRowUser(const Pending& p, bool servingReads,
+                                                bool servingWrites) const {
+  // Do not steal an open row from an older request that still wants it —
+  // but only if that request is itself schedulable right now (it then
+  // outranks this precharge in every scheduler, so deferring cannot
+  // livelock). An older row-user that is not currently a candidate (write
+  // outside a drain burst) must not block progress indefinitely.
+  const auto& ub = channel_.ubank(p.req.da);
+  if (!ub.rowOpen()) return false;
+  const bool pMarked = scheduler_->requestMarked(p.req.id);
+  auto wantsOpenRow = [&](const Pending& q) {
+    // A batch-marked request outranks unmarked row users regardless of age
+    // (PAR-BS fairness: the batch boundary must bound a row hog's damage).
+    if (pMarked && !scheduler_->requestMarked(q.req.id)) return false;
+    return q.req.da.flatUbank(geom_) == p.req.da.flatUbank(geom_) &&
+           q.req.da.row == ub.openRow && q.req.arrival < p.req.arrival;
+  };
+  if (servingReads) {
+    for (const auto& q : readQ_)
+      if (wantsOpenRow(*q)) return true;
+  }
+  if (servingWrites) {
+    for (const auto& q : writeQ_)
+      if (wantsOpenRow(*q)) return true;
+  }
+  return false;
+}
+
+void MemoryController::serveFlags(bool& reads, bool& writes) const {
+  writes = drainingWrites_ || (readQ_.empty() && !writeQ_.empty());
+  reads = !drainingWrites_ || readQ_.empty();
+}
+
+Tick MemoryController::earliestFor(const Pending& p, Tick now, DramCommand& cmdOut) const {
+  const auto& ub = channel_.ubank(p.req.da);
+  if (ub.rowOpen() && ub.openRow == p.req.da.row) {
+    cmdOut = p.req.write ? DramCommand::Write : DramCommand::Read;
+    return channel_.earliestCas(p.req.da, p.req.write, now);
+  }
+  if (!ub.rowOpen()) {
+    cmdOut = DramCommand::Act;
+    return channel_.earliestAct(p.req.da, now);
+  }
+  cmdOut = DramCommand::Pre;
+  bool servingReads = false, servingWrites = false;
+  serveFlags(servingReads, servingWrites);
+  if (preBlockedByOlderRowUser(p, servingReads, servingWrites)) return kTickNever;
+  return channel_.earliestPre(p.req.da, now);
+}
+
+void MemoryController::buildCandidates(Tick now, std::vector<Candidate>& cands,
+                                       std::vector<Pending*>& byCandidate,
+                                       Tick& minFuture) {
+  auto add = [&](Pending& p) {
+    DramCommand cmd{};
+    const Tick earliest = earliestFor(p, now, cmd);
+    if (earliest == kTickNever) return;
+    Candidate c;
+    c.queueIndex = static_cast<int>(cands.size());
+    c.id = p.req.id;
+    c.thread = p.req.thread;
+    c.arrival = p.req.arrival;
+    c.earliestIssue = earliest;
+    c.rowHit = (cmd == DramCommand::Read || cmd == DramCommand::Write);
+    cands.push_back(c);
+    byCandidate.push_back(&p);
+    if (earliest > now) minFuture = std::min(minFuture, earliest);
+  };
+
+  bool serveReads = false, serveWrites = false;
+  serveFlags(serveReads, serveWrites);
+  if (serveReads) {
+    for (auto& p : readQ_) add(*p);
+  }
+  if (serveWrites) {
+    for (auto& p : writeQ_) add(*p);
+  }
+}
+
+void MemoryController::issueFor(Pending& p, Tick now) {
+  DramCommand cmd{};
+  const Tick earliest = earliestFor(p, now, cmd);
+  MB_CHECK(earliest <= now);
+  if (commandTrace) commandTrace(cmd, p.req.da, now);
+  switch (cmd) {
+    case DramCommand::Pre: {
+      p.sawConflict = true;
+      channel_.commitPre(p.req.da, now);
+      if (checker_) checker_->onCommand(DramCommand::Pre, p.req.da, now);
+      break;
+    }
+    case DramCommand::Act: {
+      p.sawAct = true;
+      channel_.commitAct(p.req.da, now);
+      meter_.onActivate(geom_.ubankRowBytes());
+      if (checker_) checker_->onCommand(DramCommand::Act, p.req.da, now);
+      break;
+    }
+    case DramCommand::Read:
+    case DramCommand::Write: {
+      const Tick dataEnd = channel_.commitCas(p.req.da, p.req.write, now);
+      meter_.onCas(geom_.lineBytes, geom_.ubanksPerBank());
+      if (checker_) checker_->onCommand(cmd, p.req.da, now);
+      onRequestServiced(p, dataEnd);
+      break;
+    }
+    case DramCommand::Refresh:
+      MB_CHECK(false && "refresh is not a per-request command");
+  }
+}
+
+void MemoryController::onRequestServiced(Pending& p, Tick dataEnd) {
+  const std::int64_t flat = p.req.da.flatUbank(geom_);
+  // Row-locality classification for this request.
+  if (p.sawConflict) {
+    rowConflicts_.inc();
+  } else if (p.sawAct) {
+    rowMisses_.inc();
+  } else {
+    rowHits_.inc();
+  }
+  policy_->onAccess(flat, !p.sawAct && !p.sawConflict);
+
+  if (!p.req.write) {
+    readLatencyNs_.add(toNs(dataEnd - p.req.arrival));
+    if (p.req.onComplete) {
+      auto cb = std::move(p.req.onComplete);
+      eq_.scheduleAt(dataEnd, [cb = std::move(cb), dataEnd] { cb(dataEnd); });
+    }
+  }
+
+  const ThreadId thread = p.req.thread;
+  const core::DramAddress da = p.req.da;
+
+  // Remove from its queue.
+  auto eraseFrom = [&](std::vector<std::unique_ptr<Pending>>& q) {
+    for (size_t i = 0; i < q.size(); ++i) {
+      if (q[i].get() == &p) {
+        scheduler_->onDequeue(p.req);
+        q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
+        return true;
+      }
+    }
+    return false;
+  };
+  if (!eraseFrom(readQ_)) {
+    const bool erased = eraseFrom(writeQ_);
+    MB_CHECK(erased);
+    if (static_cast<int>(writeQ_.size()) <= cfg_.writeLowWatermark)
+      drainingWrites_ = false;
+  }
+  refillVisibleWindow();
+  queueOcc_.update(eq_.now(), static_cast<double>(readQ_.size() + overflowQ_.size()));
+
+  // Page management: if no queued work remains for this μbank, make a
+  // speculative decision; otherwise the queue itself dictates the action
+  // (the conventional controllers of §V inspect pending requests).
+  bool pendingSameUbank = false;
+  for (const auto& q : readQ_)
+    if (q->req.da.flatUbank(geom_) == flat) pendingSameUbank = true;
+  for (const auto& q : overflowQ_)
+    if (q->req.da.flatUbank(geom_) == flat) pendingSameUbank = true;
+  for (const auto& q : writeQ_)
+    if (q->req.da.flatUbank(geom_) == flat) pendingSameUbank = true;
+  if (!pendingSameUbank) maybeSpeculate(da, thread);
+}
+
+void MemoryController::maybeSpeculate(const core::DramAddress& da, ThreadId thread) {
+  auto& ub = channel_.ubank(da);
+  if (!ub.rowOpen()) return;
+  const std::int64_t flat = da.flatUbank(geom_);
+  const core::PageDecision decision = policy_->decide(flat, thread);
+  switch (decision) {
+    case core::PageDecision::KeepOpen:
+      break;  // nothing to do: the row stays in the sense amplifiers
+    case core::PageDecision::Close:
+      pendingCloses_[flat] = da;
+      break;
+    case core::PageDecision::Lazy:
+      ub.lazyPending = true;
+      ub.earliestPreAt = channel_.earliestPre(da, eq_.now());
+      break;
+  }
+  if (decision != core::PageDecision::Lazy) {
+    speculations_[flat] = Speculation{decision, ub.openRow, thread};
+  }
+}
+
+void MemoryController::refillVisibleWindow() {
+  while (static_cast<int>(readQ_.size()) < cfg_.queueDepth && !overflowQ_.empty()) {
+    scheduler_->onEnqueue(overflowQ_.front()->req);
+    readQ_.push_back(std::move(overflowQ_.front()));
+    overflowQ_.pop_front();
+  }
+}
+
+void MemoryController::scheduleKick(Tick at) {
+  if (at >= nextKickAt_) return;
+  nextKickAt_ = at;
+  eq_.scheduleAt(at, [this, at] {
+    if (nextKickAt_ == at) {
+      nextKickAt_ = kTickNever;
+      kick();
+    }
+  });
+}
+
+void MemoryController::kick() {
+  const Tick now = eq_.now();
+  channel_.maybeRefresh(now, [this](int rank, int bank) {
+    meter_.onRefresh(bank < 0 ? 1.0 : 1.0 / geom_.banksPerRank);
+    if (checker_) checker_->onRankRefresh(id_, rank, bank);
+  });
+
+  for (;;) {
+    std::vector<Candidate> cands;
+    std::vector<Pending*> byCandidate;
+    Tick minFuture = kTickNever;
+    buildCandidates(eq_.now(), cands, byCandidate, minFuture);
+
+    const int pickIdx = scheduler_->pick(cands, eq_.now());
+    if (pickIdx >= 0) {
+      // Priority gate: if the scheduler's overall favourite (ignoring issue
+      // readiness) is a different, imminently-ready command, hold the bus
+      // for it. Without this, a stream of back-to-back row hits can starve
+      // a higher-priority precharge forever: every hit CAS pushes the
+      // victim's tRTP window just past "now" again (priority inversion).
+      const int bestIdx = scheduler_->pick(cands, kTickNever / 2);
+      if (bestIdx >= 0 && bestIdx != pickIdx) {
+        const Tick bestAt = cands[static_cast<size_t>(bestIdx)].earliestIssue;
+        if (bestAt > eq_.now() &&
+            bestAt - eq_.now() <= 2 * channel_.timing().tCCD) {
+          scheduleKick(bestAt);
+          break;
+        }
+      }
+      issueFor(*byCandidate[static_cast<size_t>(pickIdx)], eq_.now());
+      // The command bus is now busy for tCMD; re-evaluating immediately
+      // would find nothing issuable, so fall through to the scheduling path
+      // on the next loop iteration.
+      continue;
+    }
+
+    // No request command issuable now: opportunistically retire one idle
+    // precharge requested by the page policy.
+    bool issuedClose = false;
+    for (auto it = pendingCloses_.begin(); it != pendingCloses_.end(); ++it) {
+      const auto& da = it->second;
+      const auto& ub = channel_.ubank(da);
+      if (!ub.rowOpen()) {
+        pendingCloses_.erase(it);
+        issuedClose = true;  // stale entry; rescan
+        break;
+      }
+      const Tick e = channel_.earliestPre(da, eq_.now());
+      if (e <= eq_.now()) {
+        channel_.commitPre(da, eq_.now());
+        if (checker_) checker_->onCommand(DramCommand::Pre, da, eq_.now());
+        pendingCloses_.erase(it);
+        issuedClose = true;
+        break;
+      }
+      minFuture = std::min(minFuture, e);
+    }
+    if (issuedClose) continue;
+
+    const Tick refreshDue = channel_.nextRefreshDue();
+    Tick wake = std::min(minFuture, refreshDue <= eq_.now() ? eq_.now() + channel_.timing().tCMD
+                                                            : refreshDue);
+    if (outstanding() == 0 && pendingCloses_.empty()) {
+      // Fully idle: no need to wake for refresh bookkeeping; the next
+      // enqueue will catch up on due refreshes.
+      wake = minFuture;
+    }
+    if (wake != kTickNever && wake > eq_.now()) scheduleKick(wake);
+    break;
+  }
+}
+
+ControllerStats MemoryController::stats() const {
+  ControllerStats s;
+  s.reads = reads_.value();
+  s.writes = writes_.value();
+  s.rowHits = rowHits_.value();
+  s.rowMisses = rowMisses_.value();
+  s.rowConflicts = rowConflicts_.value();
+  s.forwardedReads = forwarded_.value();
+  s.specDecisions = specDecisions_.value();
+  s.specCorrect = specCorrect_.value();
+  s.avgReadLatencyNs = readLatencyNs_.mean();
+  s.avgQueueOccupancy = queueOcc_.average(finalizedAt_ > 0 ? finalizedAt_ : eq_.now());
+  s.dataBusUtilization =
+      channel_.dataBusUtilization(finalizedAt_ > 0 ? finalizedAt_ : eq_.now());
+  s.activations = meter_.activations();
+  s.refreshes = meter_.refreshes();
+  return s;
+}
+
+void MemoryController::finalize(Tick simEnd) {
+  finalizedAt_ = simEnd;
+  meter_.finalizeStatic(simEnd, geom_.ranksPerChannel);
+}
+
+}  // namespace mb::mc

@@ -1,0 +1,173 @@
+// Memory controller: request queues, scheduling, command generation, page
+// management, and energy/statistics accounting for one DRAM channel.
+//
+// Operation (event-driven):
+//   - enqueue() decomposes the address, applies write forwarding/coalescing,
+//     resolves any outstanding page-policy speculation for the target μbank,
+//     and wakes the command engine.
+//   - kick() repeatedly asks the scheduler to order the per-request
+//     candidate commands (the next command each request needs plus its
+//     earliest legal issue tick) and commits the winning command; when
+//     nothing is issuable it schedules its own wake-up at the earliest
+//     future candidate (or refresh) time.
+//   - After the last column access for a μbank with no pending work, the
+//     page-management policy decides whether to keep the row open, close it
+//     (an idle precharge is queued), or — for the perfect oracle — leave the
+//     decision unresolved to be charged retroactively (§V).
+//
+// The request queue has a scheduler-visible window of `queueDepth` entries
+// (32 by default, §VI-A); requests beyond that wait in an overflow FIFO.
+// Writes are posted and drained in bursts between read bundles.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/event_queue.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "core/address_map.hpp"
+#include "core/page_policy.hpp"
+#include "dram/energy.hpp"
+#include "mc/device_state.hpp"
+#include "mc/request.hpp"
+#include "mc/scheduler.hpp"
+#include "mc/timing_checker.hpp"
+
+namespace mb::mc {
+
+struct ControllerConfig {
+  int queueDepth = 32;        // scheduler-visible read window (§VI-A)
+  int writeQueueDepth = 64;
+  int writeHighWatermark = 48;  // enter write-drain mode
+  int writeLowWatermark = 16;   // leave write-drain mode
+  SchedulerKind scheduler = SchedulerKind::ParBs;
+  core::PolicyKind pagePolicy = core::PolicyKind::Open;
+  bool enableTimingCheck = false;
+  bool refreshEnabled = true;
+  bool perBankRefresh = false;  // extension: rotate tRFCpb refreshes per bank
+};
+
+/// Aggregated per-controller statistics snapshot.
+struct ControllerStats {
+  std::int64_t reads = 0;
+  std::int64_t writes = 0;
+  std::int64_t rowHits = 0;       // serviced with no ACT needed
+  std::int64_t rowMisses = 0;     // bank was precharged
+  std::int64_t rowConflicts = 0;  // a different row had to be closed first
+  std::int64_t forwardedReads = 0;
+  std::int64_t specDecisions = 0;
+  std::int64_t specCorrect = 0;
+  double avgReadLatencyNs = 0.0;
+  double avgQueueOccupancy = 0.0;
+  double dataBusUtilization = 0.0;
+  std::int64_t activations = 0;
+  std::int64_t refreshes = 0;
+
+  double rowHitRate() const {
+    const auto total = rowHits + rowMisses + rowConflicts;
+    return total == 0 ? 0.0 : static_cast<double>(rowHits) / static_cast<double>(total);
+  }
+  double predictorHitRate() const {
+    return specDecisions == 0
+               ? 0.0
+               : static_cast<double>(specCorrect) / static_cast<double>(specDecisions);
+  }
+};
+
+class MemoryController {
+ public:
+  MemoryController(ChannelId id, const dram::Geometry& geom,
+                   const dram::TimingParams& timing, const dram::EnergyParams& energy,
+                   const core::AddressMap& addressMap, const ControllerConfig& config,
+                   EventQueue& eventQueue);
+
+  /// Submit a request. Ownership of the callback transfers; writes complete
+  /// immediately from the caller's perspective (posted).
+  void enqueue(MemRequest req);
+
+  /// Number of requests (read + write) not yet fully serviced.
+  int outstanding() const {
+    return static_cast<int>(readQ_.size() + overflowQ_.size() + writeQ_.size());
+  }
+
+  ControllerStats stats() const;
+
+  /// Optional command-stream observer (debugging / tests): invoked for every
+  /// ACT/PRE/RD/WR the controller commits, in issue order.
+  std::function<void(DramCommand, const core::DramAddress&, Tick)> commandTrace;
+
+  const dram::EnergyMeter& energyMeter() const { return meter_; }
+  const ChannelState& channel() const { return channel_; }
+  const core::AddressMap& addressMap() const { return map_; }
+  ChannelId id() const { return id_; }
+
+  /// Elapsed-time hook used to finalize time-integrated statistics.
+  void finalize(Tick simEnd);
+
+ private:
+  struct Pending {
+    MemRequest req;
+    bool sawConflict = false;  // a foreign row had to be precharged
+    bool sawAct = false;       // an activation was needed
+  };
+  struct Speculation {
+    core::PageDecision decision;
+    std::int64_t row;  // open row when the decision was made
+    ThreadId thread;   // thread whose access triggered the decision
+  };
+
+  void kick();
+  void scheduleKick(Tick at);
+  void resolveSpeculation(const core::DramAddress& da, std::int64_t incomingRow);
+  void onRequestServiced(Pending& p, Tick dataEnd);
+  void maybeSpeculate(const core::DramAddress& da, ThreadId thread);
+  void refillVisibleWindow();
+  /// Candidate list over the visible read window (and writes when draining).
+  void buildCandidates(Tick now, std::vector<Candidate>& cands,
+                       std::vector<Pending*>& byCandidate, Tick& minFuture);
+  void issueFor(Pending& p, Tick now);
+  Tick earliestFor(const Pending& p, Tick now, DramCommand& cmdOut) const;
+  bool preBlockedByOlderRowUser(const Pending& p, bool servingReads,
+                                bool servingWrites) const;
+  /// Which queues the scheduler is currently drawing candidates from.
+  void serveFlags(bool& reads, bool& writes) const;
+
+  ChannelId id_;
+  dram::Geometry geom_;
+  core::AddressMap map_;
+  ControllerConfig cfg_;
+  EventQueue& eq_;
+
+  ChannelState channel_;
+  dram::EnergyMeter meter_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<core::PagePolicy> policy_;
+  std::optional<TimingChecker> checker_;
+
+  std::vector<std::unique_ptr<Pending>> readQ_;   // scheduler-visible reads
+  std::deque<std::unique_ptr<Pending>> overflowQ_;
+  std::vector<std::unique_ptr<Pending>> writeQ_;
+  bool drainingWrites_ = false;
+
+  // Idle precharges requested by the page policy, keyed by flat μbank id.
+  std::unordered_map<std::int64_t, core::DramAddress> pendingCloses_;
+  // Unresolved speculative page decisions, keyed by flat μbank id.
+  std::unordered_map<std::int64_t, Speculation> speculations_;
+
+  Tick nextKickAt_ = kTickNever;
+  std::uint64_t nextRequestId_ = 1;
+
+  // Statistics.
+  Counter reads_, writes_, rowHits_, rowMisses_, rowConflicts_, forwarded_;
+  Counter specDecisions_, specCorrect_;
+  Accumulator readLatencyNs_;
+  TimeWeightedLevel queueOcc_;
+  Tick finalizedAt_ = 0;
+};
+
+}  // namespace mb::mc

@@ -1,0 +1,222 @@
+#include "mc/device_state.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace mb::mc {
+
+const char* commandName(DramCommand cmd) {
+  switch (cmd) {
+    case DramCommand::Act: return "ACT";
+    case DramCommand::Pre: return "PRE";
+    case DramCommand::Read: return "RD";
+    case DramCommand::Write: return "WR";
+    case DramCommand::Refresh: return "REF";
+  }
+  return "?";
+}
+
+RankState::RankState(int banks, int ubanksPerBank)
+    : ubanks(static_cast<size_t>(banks),
+             std::vector<UbankState>(static_cast<size_t>(ubanksPerBank))) {}
+
+ChannelState::ChannelState(const dram::Geometry& geom, const dram::TimingParams& timing)
+    : geom_(geom), timing_(timing) {
+  MB_CHECK(geom_.valid());
+  MB_CHECK(timing_.valid());
+  ranks_.reserve(static_cast<size_t>(geom_.ranksPerChannel));
+  for (int r = 0; r < geom_.ranksPerChannel; ++r) {
+    ranks_.emplace_back(geom_.banksPerRank, geom_.ubanksPerBank());
+    // Stagger initial refreshes across ranks so they do not align.
+    ranks_.back().nextRefreshAt =
+        timing_.tREFI + (timing_.tREFI / geom_.ranksPerChannel) * r;
+  }
+}
+
+Tick ChannelState::fawReadyAt(const RankState& rank) const {
+  if (rank.actWindow.size() < 4) return 0;
+  // A fifth ACT must wait until the oldest of the last four leaves the window.
+  return rank.actWindow.front() + timing_.tFAW;
+}
+
+Tick ChannelState::earliestAct(const core::DramAddress& da, Tick now) const {
+  const auto& rk = ranks_[static_cast<size_t>(da.rank)];
+  const auto& ub =
+      rk.ubanks[static_cast<size_t>(da.bank)][static_cast<size_t>(da.ubank)];
+  Tick t = std::max(now, cmdBusFreeAt_);
+  t = std::max(t, ub.actReadyAt);
+  if (rk.lastActAt >= 0) t = std::max(t, rk.lastActAt + timing_.tRRD);
+  t = std::max(t, fawReadyAt(rk));
+  t = std::max(t, rk.refreshUntil);
+  return t;
+}
+
+Tick ChannelState::earliestPre(const core::DramAddress& da, Tick now) const {
+  const auto& rk = ranks_[static_cast<size_t>(da.rank)];
+  const auto& ub =
+      rk.ubanks[static_cast<size_t>(da.bank)][static_cast<size_t>(da.ubank)];
+  Tick t = std::max(now, cmdBusFreeAt_);
+  if (ub.lastActAt >= 0) t = std::max(t, ub.lastActAt + timing_.tRAS);
+  if (ub.lastReadCasAt >= 0) t = std::max(t, ub.lastReadCasAt + timing_.tRTP);
+  if (ub.lastWriteDataEndAt >= 0) t = std::max(t, ub.lastWriteDataEndAt + timing_.tWR);
+  t = std::max(t, rk.refreshUntil);
+  return t;
+}
+
+Tick ChannelState::earliestCas(const core::DramAddress& da, bool write, Tick now) const {
+  const auto& rk = ranks_[static_cast<size_t>(da.rank)];
+  const auto& ub =
+      rk.ubanks[static_cast<size_t>(da.bank)][static_cast<size_t>(da.ubank)];
+  MB_CHECK(ub.rowOpen());
+  Tick t = std::max(now, cmdBusFreeAt_);
+  t = std::max(t, ub.lastActAt + timing_.tRCD);
+  if (lastCasAt_ >= 0) t = std::max(t, lastCasAt_ + timing_.tCCD);
+  if (!write && rk.lastWriteDataEndAt >= 0)
+    t = std::max(t, rk.lastWriteDataEndAt + timing_.tWTR);
+  t = std::max(t, rk.refreshUntil);
+  // The burst must find the data bus free: data starts tAA after the CAS.
+  // Switching ranks on a shared bus costs an extra tRTRS bubble.
+  Tick busReady = dataBusFreeAt_;
+  if (lastCasRank_ >= 0 && lastCasRank_ != da.rank) busReady += timing_.tRTRS;
+  if (t + timing_.tAA < busReady) t = busReady - timing_.tAA;
+  return t;
+}
+
+void ChannelState::commitAct(const core::DramAddress& da, Tick at) {
+  auto& rk = ranks_[static_cast<size_t>(da.rank)];
+  auto& ub = rk.ubanks[static_cast<size_t>(da.bank)][static_cast<size_t>(da.ubank)];
+  MB_DCHECK(!ub.rowOpen());
+  MB_DCHECK(at >= earliestAct(da, at));
+  ub.openRow = da.row;
+  ub.lastActAt = at;
+  ub.lastReadCasAt = -1;
+  ub.lastWriteDataEndAt = -1;
+  ub.lazyPending = false;
+  rk.lastActAt = at;
+  rk.actWindow.push_back(at);
+  while (rk.actWindow.size() > 4) rk.actWindow.pop_front();
+  cmdBusFreeAt_ = at + timing_.tCMD;
+}
+
+void ChannelState::commitPre(const core::DramAddress& da, Tick at) {
+  auto& rk = ranks_[static_cast<size_t>(da.rank)];
+  auto& ub = rk.ubanks[static_cast<size_t>(da.bank)][static_cast<size_t>(da.ubank)];
+  MB_DCHECK(ub.rowOpen());
+  ub.openRow = -1;
+  ub.actReadyAt = at + timing_.tRP;
+  ub.lazyPending = false;
+  cmdBusFreeAt_ = at + timing_.tCMD;
+}
+
+Tick ChannelState::commitCas(const core::DramAddress& da, bool write, Tick at) {
+  auto& rk = ranks_[static_cast<size_t>(da.rank)];
+  auto& ub = rk.ubanks[static_cast<size_t>(da.bank)][static_cast<size_t>(da.ubank)];
+  MB_DCHECK(ub.rowOpen() && ub.openRow == da.row);
+  const Tick dataStart = at + timing_.tAA;
+  const Tick dataEnd = dataStart + timing_.tBURST;
+  MB_DCHECK(dataStart >= dataBusFreeAt_);
+  dataBusFreeAt_ = dataEnd;
+  busyTicks_ += timing_.tBURST;
+  lastCasAt_ = at;
+  lastCasRank_ = da.rank;
+  cmdBusFreeAt_ = at + timing_.tCMD;
+  if (write) {
+    ub.lastWriteDataEndAt = dataEnd;
+    rk.lastWriteDataEndAt = dataEnd;
+  } else {
+    ub.lastReadCasAt = at;
+  }
+  return dataEnd;
+}
+
+namespace {
+/// Latest legal precharge-complete time for every open μbank in `ubanks`,
+/// closing them as a side effect (the PREs are folded into the refresh
+/// window; they do not consume command-bus slots).
+Tick closeAllRows(std::vector<UbankState>& ubanks, Tick now,
+                  const dram::TimingParams& timing) {
+  Tick start = now;
+  for (auto& ub : ubanks) {
+    if (!ub.rowOpen()) continue;
+    Tick pre = now;
+    if (ub.lastActAt >= 0) pre = std::max(pre, ub.lastActAt + timing.tRAS);
+    if (ub.lastReadCasAt >= 0) pre = std::max(pre, ub.lastReadCasAt + timing.tRTP);
+    if (ub.lastWriteDataEndAt >= 0)
+      pre = std::max(pre, ub.lastWriteDataEndAt + timing.tWR);
+    start = std::max(start, pre + timing.tRP);
+    ub.openRow = -1;
+    ub.lazyPending = false;
+  }
+  return start;
+}
+}  // namespace
+
+bool ChannelState::maybeRefresh(Tick now, const std::function<void(int, int)>& refreshHook) {
+  if (!refreshEnabled) return false;
+  bool any = false;
+  for (size_t rankIdx = 0; rankIdx < ranks_.size(); ++rankIdx) {
+    auto& rk = ranks_[rankIdx];
+    if (now < rk.nextRefreshAt || now < rk.refreshUntil) continue;
+
+    if (perBankRefresh) {
+      // Refresh only the next bank in rotation for the shorter tRFCpb; the
+      // rest of the rank keeps serving requests. A full rank pass needs
+      // banks-per-rank due intervals, so the per-interval period shrinks
+      // proportionally (same total refresh rate as all-bank mode).
+      auto& bank = rk.ubanks[static_cast<size_t>(rk.nextRefreshBank)];
+      const Tick start = closeAllRows(bank, now, timing_);
+      const Tick until = start + timing_.tRFCpb;
+      for (auto& ub : bank) ub.actReadyAt = std::max(ub.actReadyAt, until);
+      const int refreshedBank = rk.nextRefreshBank;
+      rk.nextRefreshBank = (rk.nextRefreshBank + 1) % static_cast<int>(rk.ubanks.size());
+      const Tick period = timing_.tREFI / static_cast<Tick>(rk.ubanks.size());
+      int intervals = 0;
+      while (now >= rk.nextRefreshAt) {
+        rk.nextRefreshAt += period;
+        ++intervals;
+      }
+      if (refreshHook) {
+        for (int i = 0; i < intervals; ++i)
+          refreshHook(static_cast<int>(rankIdx), refreshedBank);
+      }
+      any = true;
+      continue;
+    }
+
+    // All-bank refresh: every row in the rank must be precharged first.
+    Tick start = now;
+    for (auto& bank : rk.ubanks)
+      start = std::max(start, closeAllRows(bank, now, timing_));
+    // Catch up on every interval that elapsed (e.g., after an idle stretch):
+    // each one costs refresh energy, but the rank is only blocked once now —
+    // the earlier refreshes happened during the idle period.
+    int intervals = 0;
+    while (now >= rk.nextRefreshAt) {
+      rk.nextRefreshAt += timing_.tREFI;
+      ++intervals;
+    }
+    rk.refreshUntil = start + timing_.tRFC;
+    for (auto& bank : rk.ubanks)
+      for (auto& ub : bank) ub.actReadyAt = std::max(ub.actReadyAt, rk.refreshUntil);
+    if (refreshHook) {
+      for (int i = 0; i < intervals; ++i) refreshHook(static_cast<int>(rankIdx), -1);
+    }
+    any = true;
+  }
+  return any;
+}
+
+Tick ChannelState::nextRefreshDue() const {
+  if (!refreshEnabled) return kTickNever;
+  Tick t = kTickNever;
+  for (const auto& rk : ranks_) t = std::min(t, rk.nextRefreshAt);
+  return t;
+}
+
+double ChannelState::dataBusUtilization(Tick elapsed) const {
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(busyTicks_) / static_cast<double>(elapsed);
+}
+
+}  // namespace mb::mc

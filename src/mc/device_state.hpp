@@ -1,0 +1,137 @@
+// Runtime timing state of one DRAM channel: ranks, banks, and μbanks.
+//
+// The model is command-level with "timestamp algebra": instead of ticking
+// the device every DRAM clock, each structure records the earliest tick at
+// which the next command of each kind may legally issue. The controller asks
+// for those bounds, picks a request, and commits a command by advancing the
+// timestamps. This is the same modelling level as fast open-source DRAM
+// simulators and enforces: tRCD, tRAS, tRP, tRRD, tFAW, tCCD, tRTP, tWR,
+// tWTR, command-bus slots (tCMD), data-bus bursts (tBURST), and periodic
+// refresh (tREFI / tRFC).
+//
+// μbanks behave like banks for row state (each holds one open row, timed
+// with the same tRCD/tRAS/tRP) but share the per-rank activation windows
+// (tRRD/tFAW), the channel command bus, and the channel data bus — matching
+// §IV: "μbanks operate independently like conventional banks" while all
+// banks in a channel share command and datapath I/O.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/address_map.hpp"
+#include "dram/geometry.hpp"
+#include "dram/timing.hpp"
+
+namespace mb::mc {
+
+enum class DramCommand { Act, Pre, Read, Write, Refresh };
+
+const char* commandName(DramCommand cmd);
+
+/// One μbank: the unit that owns an open row.
+struct UbankState {
+  std::int64_t openRow = -1;       // -1: precharged
+  Tick actReadyAt = 0;             // earliest next ACT (tRP satisfied)
+  Tick lastActAt = -1;             // for tRCD / tRAS
+  Tick lastReadCasAt = -1;         // for tRTP before PRE
+  Tick lastWriteDataEndAt = -1;    // for tWR before PRE
+
+  // Oracle (PerfectPolicy) support: the page decision was left unresolved;
+  // `earliestPreAt` records when a precharge could have been issued, so a
+  // later conflicting access can be charged as if the row had been closed.
+  bool lazyPending = false;
+  Tick earliestPreAt = 0;
+
+  bool rowOpen() const { return openRow >= 0; }
+};
+
+/// One rank: shares activation windows and write-to-read turnaround.
+struct RankState {
+  explicit RankState(int banks, int ubanksPerBank);
+
+  int nextRefreshBank = 0;  // rotation pointer for per-bank refresh
+
+  std::vector<std::vector<UbankState>> ubanks;  // [bank][ubank]
+
+  Tick lastActAt = -1;            // tRRD
+  std::deque<Tick> actWindow;     // last 4 ACT times for tFAW
+  Tick lastWriteDataEndAt = -1;   // tWTR before a read CAS
+  Tick refreshUntil = 0;          // rank blocked during refresh
+  Tick nextRefreshAt = 0;
+
+  UbankState& ubank(const core::DramAddress& da) {
+    return ubanks[static_cast<size_t>(da.bank)][static_cast<size_t>(da.ubank)];
+  }
+};
+
+/// One channel: the controller's view of the attached DRAM.
+class ChannelState {
+ public:
+  ChannelState(const dram::Geometry& geom, const dram::TimingParams& timing);
+
+  UbankState& ubank(const core::DramAddress& da) { return rank(da).ubank(da); }
+  const UbankState& ubank(const core::DramAddress& da) const {
+    return ranks_[static_cast<size_t>(da.rank)]
+        .ubanks[static_cast<size_t>(da.bank)][static_cast<size_t>(da.ubank)];
+  }
+  RankState& rank(const core::DramAddress& da) {
+    return ranks_[static_cast<size_t>(da.rank)];
+  }
+  RankState& rankAt(int idx) { return ranks_[static_cast<size_t>(idx)]; }
+  int numRanks() const { return static_cast<int>(ranks_.size()); }
+
+  const dram::TimingParams& timing() const { return timing_; }
+  const dram::Geometry& geometry() const { return geom_; }
+
+  // ---- Earliest legal issue time queries -------------------------------
+  Tick earliestAct(const core::DramAddress& da, Tick now) const;
+  Tick earliestPre(const core::DramAddress& da, Tick now) const;
+  /// Earliest CAS; also accounts for the data-bus slot the burst will need.
+  Tick earliestCas(const core::DramAddress& da, bool write, Tick now) const;
+
+  // ---- Command commits (update all affected timestamps) ----------------
+  void commitAct(const core::DramAddress& da, Tick at);
+  void commitPre(const core::DramAddress& da, Tick at);
+  /// Returns the tick at which the data burst completes.
+  Tick commitCas(const core::DramAddress& da, bool write, Tick at);
+
+  /// Refresh handling: if a refresh is due on any rank at `now`, perform it
+  /// (closing the affected rows) and return true. `refreshHook(rank, bank)`
+  /// is invoked once per elapsed refresh interval; bank is -1 for an
+  /// all-bank refresh and the refreshed bank index in per-bank mode
+  /// (energy + protocol-checker shadow-state updates key off it).
+  bool maybeRefresh(Tick now, const std::function<void(int, int)>& refreshHook);
+  /// Earliest tick at which any rank wants a refresh.
+  Tick nextRefreshDue() const;
+
+  Tick cmdBusFreeAt() const { return cmdBusFreeAt_; }
+  Tick dataBusFreeAt() const { return dataBusFreeAt_; }
+  /// Fraction of elapsed time the data bus was transferring.
+  double dataBusUtilization(Tick elapsed) const;
+
+  bool refreshEnabled = true;
+  /// Per-bank refresh (extension, cf. LPDDR per-bank REF): instead of
+  /// blocking the whole rank for tRFC, refresh one bank per due interval
+  /// for the shorter tRFCpb, rotating across banks. With μbanks this
+  /// confines refresh interference to one bank's μbanks at a time.
+  bool perBankRefresh = false;
+
+ private:
+  Tick fawReadyAt(const RankState& rank) const;
+
+  dram::Geometry geom_;
+  dram::TimingParams timing_;
+  std::vector<RankState> ranks_;
+
+  Tick cmdBusFreeAt_ = 0;
+  Tick dataBusFreeAt_ = 0;
+  Tick lastCasAt_ = -1;  // tCCD across the channel
+  int lastCasRank_ = -1; // tRTRS on rank switches
+  Tick busyTicks_ = 0;   // accumulated data-burst time
+};
+
+}  // namespace mb::mc

@@ -1,0 +1,27 @@
+// Memory request exchanged between the cache hierarchy and the controllers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hpp"
+#include "core/address_map.hpp"
+
+namespace mb::mc {
+
+struct MemRequest {
+  std::uint64_t id = 0;
+  std::uint64_t addr = 0;  // physical byte address (line aligned by the caller)
+  bool write = false;
+  CoreId core = 0;
+  ThreadId thread = 0;
+  Tick arrival = 0;  // when the request entered the controller queue
+
+  core::DramAddress da;  // filled by the controller on enqueue
+
+  /// Invoked when the data transfer for a read finishes (tick = data end).
+  /// Writes are posted: completion is not reported back.
+  std::function<void(Tick)> onComplete;
+};
+
+}  // namespace mb::mc

@@ -1,0 +1,126 @@
+#include "mc/scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace mb::mc {
+
+std::string schedulerKindName(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::Fcfs: return "FCFS";
+    case SchedulerKind::FrFcfs: return "FR-FCFS";
+    case SchedulerKind::ParBs: return "PAR-BS";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Scheduler> makeScheduler(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::Fcfs: return std::make_unique<FcfsScheduler>();
+    case SchedulerKind::FrFcfs: return std::make_unique<FrFcfsScheduler>();
+    case SchedulerKind::ParBs: return std::make_unique<ParBsScheduler>();
+  }
+  MB_CHECK(false && "unknown scheduler kind");
+  return nullptr;
+}
+
+int FcfsScheduler::pick(std::vector<Candidate>& cands, Tick now) {
+  int best = -1;
+  for (size_t i = 0; i < cands.size(); ++i) {
+    if (cands[i].earliestIssue > now) continue;
+    if (best < 0 || cands[i].arrival < cands[static_cast<size_t>(best)].arrival)
+      best = static_cast<int>(i);
+  }
+  return best;
+}
+
+int FrFcfsScheduler::pick(std::vector<Candidate>& cands, Tick now) {
+  int best = -1;
+  for (size_t i = 0; i < cands.size(); ++i) {
+    const auto& c = cands[i];
+    if (c.earliestIssue > now) continue;
+    if (best < 0) {
+      best = static_cast<int>(i);
+      continue;
+    }
+    const auto& b = cands[static_cast<size_t>(best)];
+    if (c.rowHit != b.rowHit ? c.rowHit : c.arrival < b.arrival)
+      best = static_cast<int>(i);
+  }
+  return best;
+}
+
+void ParBsScheduler::onEnqueue(const MemRequest& req) {
+  queueView_.push_back(QueueEntry{req.id, req.thread, req.arrival});
+}
+
+void ParBsScheduler::onDequeue(const MemRequest& req) {
+  for (size_t i = 0; i < queueView_.size(); ++i) {
+    if (queueView_[i].id == req.id) {
+      queueView_.erase(queueView_.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  auto it = marked_.find(req.id);
+  if (it != marked_.end()) {
+    auto cnt = markedPerThread_.find(it->second);
+    if (cnt != markedPerThread_.end() && --cnt->second <= 0) markedPerThread_.erase(cnt);
+    marked_.erase(it);
+  }
+}
+
+void ParBsScheduler::formBatch(const std::vector<Candidate>&) {
+  MB_DCHECK(marked_.empty());
+  markedPerThread_.clear();
+  // Oldest-first marking with a per-thread cap.
+  std::vector<const QueueEntry*> sorted;
+  sorted.reserve(queueView_.size());
+  for (const auto& e : queueView_) sorted.push_back(&e);
+  std::sort(sorted.begin(), sorted.end(), [](const QueueEntry* a, const QueueEntry* b) {
+    if (a->arrival != b->arrival) return a->arrival < b->arrival;
+    return a->id < b->id;
+  });
+  for (const QueueEntry* e : sorted) {
+    auto& perThread = markedPerThread_[e->thread];
+    if (perThread >= markingCap_) continue;
+    ++perThread;
+    marked_.emplace(e->id, e->thread);
+  }
+}
+
+int ParBsScheduler::pick(std::vector<Candidate>& cands, Tick now) {
+  if (marked_.empty() && !queueView_.empty()) formBatch(cands);
+  for (auto& c : cands) c.marked = marked_.count(c.id) != 0;
+
+  // Thread rank: shortest job (fewest marked requests) first. Lower is better.
+  auto threadRank = [&](ThreadId t) {
+    auto it = markedPerThread_.find(t);
+    return it == markedPerThread_.end() ? 0 : it->second;
+  };
+
+  int best = -1;
+  for (size_t i = 0; i < cands.size(); ++i) {
+    const auto& c = cands[i];
+    if (c.earliestIssue > now) continue;
+    if (best < 0) {
+      best = static_cast<int>(i);
+      continue;
+    }
+    const auto& b = cands[static_cast<size_t>(best)];
+    bool better;
+    if (c.marked != b.marked) {
+      better = c.marked;
+    } else if (c.rowHit != b.rowHit) {
+      better = c.rowHit;
+    } else if (c.marked && threadRank(c.thread) != threadRank(b.thread)) {
+      better = threadRank(c.thread) < threadRank(b.thread);
+    } else {
+      better = c.arrival < b.arrival;
+    }
+    if (better) best = static_cast<int>(i);
+  }
+  return best;
+}
+
+}  // namespace mb::mc

@@ -1,0 +1,109 @@
+// Memory-access schedulers.
+//
+// The controller evaluates, for every queued request, the next DRAM command
+// it needs and that command's earliest legal issue tick, then asks the
+// scheduler to order the candidates. Three policies are provided:
+//   - FCFS:    strictly oldest first.
+//   - FR-FCFS: column-ready (row hit) first, then oldest (Rixner et al.).
+//   - PAR-BS:  parallelism-aware batch scheduling (Mutlu & Moscibroda, the
+//     paper's default, §VI-A): form a batch by marking up to `markingCap`
+//     oldest requests per thread; marked requests beat unmarked; within the
+//     marked set, threads are ranked shortest-job-first (fewest marked
+//     requests); row hits break remaining ties, then age.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mc/request.hpp"
+
+namespace mb::mc {
+
+enum class SchedulerKind { Fcfs, FrFcfs, ParBs };
+
+std::string schedulerKindName(SchedulerKind kind);
+
+/// Per-request information the controller hands to the scheduler.
+struct Candidate {
+  int queueIndex = -1;
+  std::uint64_t id = 0;
+  ThreadId thread = 0;
+  Tick arrival = 0;
+  Tick earliestIssue = 0;  // earliest tick the next command may issue
+  bool rowHit = false;     // next command is a CAS to an already-open row
+  bool marked = false;     // filled by PAR-BS batching
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Choose among candidates whose earliestIssue <= now. Returns the index
+  /// into `cands` of the winner, or -1 if no candidate is issuable at `now`.
+  virtual int pick(std::vector<Candidate>& cands, Tick now) = 0;
+
+  /// Notify batching state: request entered / left the queue.
+  virtual void onEnqueue(const MemRequest&) {}
+  virtual void onDequeue(const MemRequest&) {}
+
+  /// True when the request belongs to the scheduler's current priority
+  /// batch (PAR-BS marking); the controller's anti-row-steal guard lets a
+  /// marked request precharge over unmarked older row users.
+  virtual bool requestMarked(std::uint64_t) const { return false; }
+
+  virtual SchedulerKind kind() const = 0;
+  std::string name() const { return schedulerKindName(kind()); }
+};
+
+std::unique_ptr<Scheduler> makeScheduler(SchedulerKind kind);
+
+class FcfsScheduler final : public Scheduler {
+ public:
+  int pick(std::vector<Candidate>& cands, Tick now) override;
+  SchedulerKind kind() const override { return SchedulerKind::Fcfs; }
+};
+
+class FrFcfsScheduler final : public Scheduler {
+ public:
+  int pick(std::vector<Candidate>& cands, Tick now) override;
+  SchedulerKind kind() const override { return SchedulerKind::FrFcfs; }
+};
+
+class ParBsScheduler final : public Scheduler {
+ public:
+  explicit ParBsScheduler(int markingCap = 5) : markingCap_(markingCap) {}
+
+  int pick(std::vector<Candidate>& cands, Tick now) override;
+  void onEnqueue(const MemRequest& req) override;
+  void onDequeue(const MemRequest& req) override;
+  SchedulerKind kind() const override { return SchedulerKind::ParBs; }
+
+  /// Requests marked in the current batch, keyed by request id.
+  bool isMarked(std::uint64_t requestId) const {
+    return marked_.count(requestId) != 0;
+  }
+  bool requestMarked(std::uint64_t requestId) const override {
+    return isMarked(requestId);
+  }
+
+ private:
+  void formBatch(const std::vector<Candidate>& cands);
+
+  int markingCap_;
+  std::unordered_map<std::uint64_t, ThreadId> marked_;
+  std::unordered_map<ThreadId, int> markedPerThread_;
+  // Controller-visible ids/threads/arrivals of everything in the queue, so
+  // batch formation can mark the oldest per thread.
+  struct QueueEntry {
+    std::uint64_t id;
+    ThreadId thread;
+    Tick arrival;
+  };
+  std::vector<QueueEntry> queueView_;
+};
+
+}  // namespace mb::mc

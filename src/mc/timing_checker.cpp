@@ -1,0 +1,132 @@
+#include "mc/timing_checker.hpp"
+
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace mb::mc {
+
+bool TimingChecker::fail(const char* what, Tick at) {
+  if (softFail) return false;
+  std::fprintf(stderr, "DRAM timing violation: %s at t=%lldps\n", what,
+               static_cast<long long>(at));
+  MB_CHECK(false && "DRAM timing violation");
+  return false;
+}
+
+void TimingChecker::onRankRefresh(int channel, int rank, int refreshedBank) {
+  // Reset the shadow row state of the refreshed μbanks; the refresh window
+  // subsumes the implicit precharges and tRP.
+  core::DramAddress probe;
+  probe.channel = channel;
+  probe.rank = rank;
+  const int bankBegin = refreshedBank < 0 ? 0 : refreshedBank;
+  const int bankEnd = refreshedBank < 0 ? geom_.banksPerRank : refreshedBank + 1;
+  for (int bank = bankBegin; bank < bankEnd; ++bank) {
+    probe.bank = bank;
+    for (int ub = 0; ub < geom_.ubanksPerBank(); ++ub) {
+      probe.ubank = ub;
+      auto it = ubanks_.find(probe.flatUbank(geom_));
+      if (it == ubanks_.end()) continue;
+      it->second.openRow = -1;
+      it->second.lastPreAt = -1;
+      it->second.lastReadCasAt = -1;
+      it->second.lastWriteDataEndAt = -1;
+    }
+  }
+}
+
+void TimingChecker::onOraclePre(const core::DramAddress& da) {
+  auto it = ubanks_.find(da.flatUbank(geom_));
+  if (it == ubanks_.end()) return;
+  it->second.openRow = -1;
+  it->second.lastPreAt = -1;  // the retroactive PRE + tRP is charged by the device
+  it->second.lastReadCasAt = -1;
+  it->second.lastWriteDataEndAt = -1;
+}
+
+bool TimingChecker::onCommand(DramCommand cmd, const core::DramAddress& da, Tick at) {
+  ++commandsChecked_;
+  const std::int64_t ubKey = da.flatUbank(geom_);
+  const std::int64_t rkKey = static_cast<std::int64_t>(da.channel) *
+                                 geom_.ranksPerChannel +
+                             da.rank;
+  auto& ub = ubanks_[ubKey];
+  auto& rk = ranks_[rkKey];
+
+  if (cmd != DramCommand::Refresh) {
+    if (at < lastCmdAt_) return fail("command issued out of order", at);
+    // Two commands may not share a command-bus slot.
+    if (lastCmdAt_ >= 0 && at < lastCmdAt_ + timing_.tCMD)
+      return fail("command bus slot (tCMD)", at);
+  }
+
+  switch (cmd) {
+    case DramCommand::Act: {
+      if (ub.openRow >= 0) return fail("ACT to a bank with an open row", at);
+      if (ub.lastPreAt >= 0 && at < ub.lastPreAt + timing_.tRP)
+        return fail("tRP (PRE->ACT)", at);
+      if (rk.lastActAt >= 0 && at < rk.lastActAt + timing_.tRRD)
+        return fail("tRRD (ACT->ACT same rank)", at);
+      if (rk.actWindow.size() >= 4 && at < rk.actWindow.front() + timing_.tFAW)
+        return fail("tFAW (five ACTs in window)", at);
+      ub.lastActAt = at;
+      ub.openRow = da.row;
+      ub.lastReadCasAt = -1;
+      ub.lastWriteDataEndAt = -1;
+      rk.lastActAt = at;
+      rk.actWindow.push_back(at);
+      while (rk.actWindow.size() > 4) rk.actWindow.pop_front();
+      break;
+    }
+    case DramCommand::Pre: {
+      if (ub.openRow < 0) return fail("PRE to a precharged bank", at);
+      if (ub.lastActAt >= 0 && at < ub.lastActAt + timing_.tRAS)
+        return fail("tRAS (ACT->PRE)", at);
+      if (ub.lastReadCasAt >= 0 && at < ub.lastReadCasAt + timing_.tRTP)
+        return fail("tRTP (RD->PRE)", at);
+      if (ub.lastWriteDataEndAt >= 0 && at < ub.lastWriteDataEndAt + timing_.tWR)
+        return fail("tWR (WR data->PRE)", at);
+      ub.lastPreAt = at;
+      ub.openRow = -1;
+      break;
+    }
+    case DramCommand::Read:
+    case DramCommand::Write: {
+      if (ub.openRow != da.row) return fail("CAS to a row that is not open", at);
+      if (ub.lastActAt >= 0 && at < ub.lastActAt + timing_.tRCD)
+        return fail("tRCD (ACT->CAS)", at);
+      if (lastCasAt_ >= 0 && at < lastCasAt_ + timing_.tCCD)
+        return fail("tCCD (CAS->CAS)", at);
+      if (cmd == DramCommand::Read && rk.lastWriteDataEndAt >= 0 &&
+          at < rk.lastWriteDataEndAt + timing_.tWTR)
+        return fail("tWTR (WR data->RD)", at);
+      const Tick dataStart = at + timing_.tAA;
+      const Tick dataEnd = dataStart + timing_.tBURST;
+      Tick busReady = lastDataEndAt_;
+      if (lastCasRank_ >= 0 && lastCasRank_ != da.rank) busReady += timing_.tRTRS;
+      if (lastDataEndAt_ >= 0 && dataStart < busReady)
+        return fail("data bus burst overlap / rank switch (tRTRS)", at);
+      lastDataEndAt_ = dataEnd;
+      lastCasAt_ = at;
+      lastCasRank_ = da.rank;
+      if (cmd == DramCommand::Write) {
+        ub.lastWriteDataEndAt = dataEnd;
+        rk.lastWriteDataEndAt = dataEnd;
+      } else {
+        ub.lastReadCasAt = at;
+      }
+      break;
+    }
+    case DramCommand::Refresh:
+      // Refresh legality (all banks precharged) is enforced by the device
+      // model folding the PREs into the refresh start; nothing to track here.
+      break;
+  }
+  // Commit the bus slot only now: a rejected command (softFail mode) must
+  // not corrupt the shadow state used to validate later commands.
+  if (cmd != DramCommand::Refresh) lastCmdAt_ = at;
+  return true;
+}
+
+}  // namespace mb::mc

@@ -1,0 +1,77 @@
+// Incremental DRAM protocol-timing validator.
+//
+// The controller can feed every command it issues into this checker, which
+// keeps O(1) state per structure and aborts (MB_CHECK) on any violation of:
+//   same μbank:  ACT->CAS >= tRCD, ACT->PRE >= tRAS, PRE->ACT >= tRP,
+//                CAS only to the open row, read CAS->PRE >= tRTP,
+//                write-data-end->PRE >= tWR
+//   same rank:   ACT->ACT >= tRRD, <= 4 ACTs in any tFAW window
+//   same channel: command slots >= tCMD apart, CAS->CAS >= tCCD,
+//                data bursts non-overlapping, write-data->read CAS >= tWTR
+//
+// Property tests drive random traffic through a controller with the checker
+// enabled; the checker itself is unit-tested against hand-built sequences.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "core/address_map.hpp"
+#include "dram/timing.hpp"
+#include "mc/device_state.hpp"
+
+namespace mb::mc {
+
+class TimingChecker {
+ public:
+  TimingChecker(const dram::Geometry& geom, const dram::TimingParams& timing)
+      : geom_(geom), timing_(timing) {}
+
+  /// Validate and record one command. `row` is meaningful for ACT and CAS.
+  /// Returns false (instead of aborting) when `softFail` is set — used by
+  /// the checker's own unit tests.
+  bool onCommand(DramCommand cmd, const core::DramAddress& da, Tick at);
+
+  /// A refresh closed rows (the device folds the implicit precharges into
+  /// the refresh window): reset shadow row state for the whole rank
+  /// (bank = -1, all-bank REF) or one bank (per-bank REF).
+  void onRankRefresh(int channel, int rank, int bank = -1);
+
+  /// The perfect-oracle page policy retroactively decided this μbank's row
+  /// was closed after its last access (no physical PRE was modelled): reset
+  /// the shadow row state so the following ACT validates.
+  void onOraclePre(const core::DramAddress& da);
+
+  std::int64_t commandsChecked() const { return commandsChecked_; }
+  bool softFail = false;
+
+ private:
+  struct UbankHistory {
+    Tick lastActAt = -1;
+    Tick lastPreAt = -1;
+    Tick lastReadCasAt = -1;
+    Tick lastWriteDataEndAt = -1;
+    std::int64_t openRow = -1;
+  };
+  struct RankHistory {
+    Tick lastActAt = -1;
+    std::deque<Tick> actWindow;
+    Tick lastWriteDataEndAt = -1;
+  };
+
+  bool fail(const char* what, Tick at);
+
+  dram::Geometry geom_;
+  dram::TimingParams timing_;
+  std::unordered_map<std::int64_t, UbankHistory> ubanks_;
+  std::unordered_map<std::int64_t, RankHistory> ranks_;
+  Tick lastCmdAt_ = -1;
+  Tick lastCasAt_ = -1;
+  Tick lastDataEndAt_ = -1;
+  int lastCasRank_ = -1;
+  std::int64_t commandsChecked_ = 0;
+};
+
+}  // namespace mb::mc

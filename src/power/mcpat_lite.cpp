@@ -1,0 +1,23 @@
+#include "power/mcpat_lite.hpp"
+
+namespace mb::power {
+
+PicoJoule processorEnergy(const ProcessorEnergyParams& params,
+                          const ProcessorActivity& activity) {
+  const PicoJoule dynamic =
+      params.perInstruction * static_cast<double>(activity.instructions) +
+      params.perL1Access * static_cast<double>(activity.l1Accesses) +
+      params.perL2Access * static_cast<double>(activity.l2Accesses);
+  const double staticWatts =
+      params.staticPerCoreWatts * static_cast<double>(activity.cores) +
+      params.staticPerL2Watts * static_cast<double>(activity.l2Slices);
+  const PicoJoule staticE = staticWatts * toSeconds(activity.elapsed) * 1e12;
+  return dynamic + staticE;
+}
+
+double energyDelayProduct(PicoJoule totalEnergy, Tick elapsed) {
+  const double joules = totalEnergy * 1e-12;
+  return joules * toSeconds(elapsed);
+}
+
+}  // namespace mb::power

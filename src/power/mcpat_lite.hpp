@@ -1,0 +1,61 @@
+// Processor-side energy model ("McPAT-lite").
+//
+// The paper models the cores with McPAT and, when arguing energy balance
+// (§III-B), reduces the result to ~200 pJ per operation for a dual-issue
+// out-of-order core at 22 nm plus static power. EDP comparisons need
+// consistent processor-side accounting, not microarchitectural power
+// breakdowns, so this model charges:
+//   - dynamic energy per retired instruction,
+//   - dynamic energy per L1/L2 access,
+//   - static power per core and per L2 slice, integrated over the run.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace mb::power {
+
+struct ProcessorEnergyParams {
+  PicoJoule perInstruction = 200.0;  // §III-B: 200 pJ/op at 22 nm
+  PicoJoule perL1Access = 10.0;
+  PicoJoule perL2Access = 40.0;
+  double staticPerCoreWatts = 0.25;
+  double staticPerL2Watts = 0.30;
+};
+
+struct ProcessorActivity {
+  std::int64_t instructions = 0;
+  std::int64_t l1Accesses = 0;
+  std::int64_t l2Accesses = 0;
+  int cores = 1;
+  int l2Slices = 1;
+  Tick elapsed = 0;
+};
+
+/// Total processor energy in picojoules.
+PicoJoule processorEnergy(const ProcessorEnergyParams& params,
+                          const ProcessorActivity& activity);
+
+/// Category breakdown used by the Fig. 10 / Fig. 14 power plots.
+struct SystemEnergyBreakdown {
+  PicoJoule processor = 0;
+  PicoJoule dramActPre = 0;
+  PicoJoule dramStatic = 0;
+  PicoJoule dramRdWr = 0;
+  PicoJoule io = 0;
+
+  PicoJoule total() const {
+    return processor + dramActPre + dramStatic + dramRdWr + io;
+  }
+  /// Average power in watts over `elapsed`.
+  double watts(Tick elapsed) const {
+    return elapsed <= 0 ? 0.0 : total() / (toSeconds(elapsed) * 1e12);
+  }
+};
+
+/// Energy-delay product (J * s); lower is better. The paper reports 1/EDP
+/// normalized to a baseline, which cancels the units.
+double energyDelayProduct(PicoJoule totalEnergy, Tick elapsed);
+
+}  // namespace mb::power

@@ -1,0 +1,85 @@
+#include "sim/experiment.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace mb::sim {
+
+SystemConfig tsiBaselineConfig() {
+  SystemConfig cfg;
+  cfg.phy = interface::PhyKind::LpddrTsi;
+  cfg.ubank = dram::UbankConfig{1, 1};
+  cfg.pagePolicy = core::PolicyKind::Open;
+  cfg.scheduler = mc::SchedulerKind::ParBs;
+  cfg.interleaveBaseBit = -1;  // page interleaving
+  return cfg;
+}
+
+SystemConfig ddr3PcbConfig() {
+  SystemConfig cfg = tsiBaselineConfig();
+  cfg.phy = interface::PhyKind::Ddr3Pcb;
+  return cfg;
+}
+
+SlicePreset slicePresetFromEnv(SlicePreset fallback) {
+  const char* env = std::getenv("MB_SLICE");
+  if (env == nullptr) return fallback;
+  if (std::strcmp(env, "full") == 0) return SlicePreset::Full;
+  if (std::strcmp(env, "fast") == 0) return SlicePreset::Fast;
+  return fallback;
+}
+
+std::int64_t sliceInstructions(SlicePreset preset, bool multicore) {
+  // "Fast" keeps the whole bench suite under an hour on a laptop core
+  // (single-app runs execute four slice copies, so the per-core budget is
+  // modest); "Full" trades ~10x runtime for tighter statistics.
+  switch (preset) {
+    case SlicePreset::Fast: return multicore ? 60000 : 300000;
+    case SlicePreset::Full: return multicore ? 1000000 : 4000000;
+  }
+  return 1000000;
+}
+
+void applySlice(SystemConfig& cfg, SlicePreset preset, bool multicore) {
+  cfg.core.maxInstrs = sliceInstructions(preset, multicore);
+}
+
+RunResult runSpecApp(const std::string& appName, const SystemConfig& cfg) {
+  return runSimulation(cfg, WorkloadSpec::spec(appName));
+}
+
+std::vector<RunResult> runSpecGroup(trace::SpecGroup group, const SystemConfig& cfg) {
+  std::vector<RunResult> out;
+  for (const auto& name : trace::specGroupMembers(group))
+    out.push_back(runSpecApp(name, cfg));
+  return out;
+}
+
+double ratio(const RunResult& test, const RunResult& baseline,
+             const std::function<double(const RunResult&)>& metric) {
+  const double b = metric(baseline);
+  MB_CHECK(b > 0.0);
+  return metric(test) / b;
+}
+
+double meanRatio(const std::vector<RunResult>& test,
+                 const std::vector<RunResult>& baseline,
+                 const std::function<double(const RunResult&)>& metric) {
+  MB_CHECK(test.size() == baseline.size() && !test.empty());
+  double sum = 0.0;
+  for (size_t i = 0; i < test.size(); ++i) sum += ratio(test[i], baseline[i], metric);
+  return sum / static_cast<double>(test.size());
+}
+
+const std::vector<int>& sweepAxis() {
+  static const std::vector<int> axis{1, 2, 4, 8, 16};
+  return axis;
+}
+
+std::vector<NamedUbank> representativeConfigs() {
+  return {{1, 1, "(1,1)"}, {2, 8, "(2,8)"}, {4, 4, "(4,4)"}, {8, 2, "(8,2)"}};
+}
+
+}  // namespace mb::sim

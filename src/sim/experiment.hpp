@@ -1,0 +1,63 @@
+// Experiment helpers shared by the bench binaries and examples: canonical
+// configurations, group averaging, and relative-metric utilities that match
+// how the paper reports its figures (everything normalized to a named
+// baseline configuration).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/system.hpp"
+
+namespace mb::sim {
+
+/// Canonical baseline of the μbank study: LPDDR-TSI, (nW, nB) = (1, 1),
+/// open page, PAR-BS, page interleaving.
+SystemConfig tsiBaselineConfig();
+
+/// The paper's overall baseline: DDR3 modules over PCB.
+SystemConfig ddr3PcbConfig();
+
+/// Instruction-slice presets. The full-size runs use more instructions for
+/// tighter statistics; benches default to `Fast` to keep the whole suite
+/// runnable in minutes. Override with the MB_SLICE environment variable
+/// ("fast", "full").
+enum class SlicePreset { Fast, Full };
+SlicePreset slicePresetFromEnv(SlicePreset fallback = SlicePreset::Fast);
+std::int64_t sliceInstructions(SlicePreset preset, bool multicore);
+
+/// Apply a slice preset to a config.
+void applySlice(SystemConfig& cfg, SlicePreset preset, bool multicore);
+
+/// Run one single-threaded SPEC application (1 core, 1 channel, §VI-A).
+RunResult runSpecApp(const std::string& appName, const SystemConfig& cfg);
+
+/// Run every app in a group and return the per-app results (Table II order).
+std::vector<RunResult> runSpecGroup(trace::SpecGroup group, const SystemConfig& cfg);
+
+/// Arithmetic mean of per-app metric ratios vs. a baseline run list.
+double meanRatio(const std::vector<RunResult>& test,
+                 const std::vector<RunResult>& baseline,
+                 const std::function<double(const RunResult&)>& metric);
+
+/// Relative metric for a single pair.
+double ratio(const RunResult& test, const RunResult& baseline,
+             const std::function<double(const RunResult&)>& metric);
+
+/// Standard metric accessors.
+inline double ipcOf(const RunResult& r) { return r.systemIpc; }
+inline double invEdpOf(const RunResult& r) { return r.invEdp; }
+
+/// The (nW, nB) axes of the paper's 5x5 sweeps.
+const std::vector<int>& sweepAxis();
+
+/// The representative low-area-overhead configs of Fig. 10 / 12 / 13.
+struct NamedUbank {
+  int nW;
+  int nB;
+  std::string label;  // "(2,8)" etc.
+};
+std::vector<NamedUbank> representativeConfigs();  // (1,1),(2,8),(4,4),(8,2)
+
+}  // namespace mb::sim

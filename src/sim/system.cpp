@@ -1,0 +1,220 @@
+#include "sim/system.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/event_queue.hpp"
+#include "core/address_map.hpp"
+#include "trace/trace_file.hpp"
+
+namespace mb::sim {
+
+dram::Geometry geometryFor(const SystemConfig& cfg, int channels) {
+  const auto phy = interface::PhyModel::make(cfg.phy);
+  dram::Geometry g;
+  g.channels = channels;
+  g.ranksPerChannel = phy.ranksPerChannel;
+  g.banksPerRank = 8;  // 8 banks per channel-die (§IV-B)
+  g.ubank = cfg.ubank;
+  g.rowBytes = 8 * kKiB;
+  g.capacityBytes = std::max<std::int64_t>(4 * kGiB, 4 * kGiB * channels);
+  MB_CHECK(g.valid());
+  return g;
+}
+
+namespace {
+
+struct BuiltSystem {
+  EventQueue eq;
+  dram::Geometry geom;
+  std::vector<std::unique_ptr<mc::MemoryController>> mcs;
+  std::unique_ptr<cpu::MemoryHierarchy> hier;
+  std::vector<std::unique_ptr<trace::TraceSource>> traces;
+  std::vector<std::unique_ptr<cpu::RobCore>> cores;
+  int coresDone = 0;
+};
+
+void buildMemorySystem(const SystemConfig& cfg, int channels, BuiltSystem& sys) {
+  const auto phy = interface::PhyModel::make(cfg.phy);
+  sys.geom = geometryFor(cfg, channels);
+  const int baseBit = cfg.interleaveBaseBit < 0
+                          ? 6 + exactLog2(sys.geom.linesPerUbankRow())
+                          : cfg.interleaveBaseBit;
+  core::AddressMap map(sys.geom, baseBit, cfg.xorBankHash);
+
+  mc::ControllerConfig mcCfg;
+  mcCfg.queueDepth = cfg.queueDepth;
+  mcCfg.scheduler = cfg.scheduler;
+  mcCfg.pagePolicy = cfg.pagePolicy;
+  mcCfg.enableTimingCheck = cfg.timingCheck;
+  mcCfg.refreshEnabled = cfg.refresh;
+  mcCfg.perBankRefresh = cfg.perBankRefresh;
+
+  dram::TimingParams timing = phy.timing;
+  if (cfg.scaleActWindowWithRowSize && cfg.ubank.nW > 1) {
+    // A 1/nW-sized row draws ~1/nW of the activation current, so the rank
+    // power-delivery window admits activates proportionally faster.
+    timing.tRRD = std::max<Tick>(timing.tRRD / cfg.ubank.nW, timing.tCMD);
+    timing.tFAW = std::max<Tick>(timing.tFAW / cfg.ubank.nW, 4 * timing.tRRD);
+  }
+
+  for (int ch = 0; ch < channels; ++ch) {
+    sys.mcs.push_back(std::make_unique<mc::MemoryController>(
+        ch, sys.geom, timing, phy.energy, map, mcCfg, sys.eq));
+  }
+}
+
+}  // namespace
+
+RunResult runSimulation(const SystemConfig& cfg, const WorkloadSpec& workload) {
+  const auto phy = interface::PhyModel::make(cfg.phy);
+
+  // Resolve core/channel population per workload kind.
+  cpu::HierarchyConfig hierCfg = cfg.hier;
+  int channels = cfg.channels;
+  if (workload.kind == WorkloadSpec::Kind::SingleSpec ||
+      workload.kind == WorkloadSpec::Kind::TraceFile) {
+    hierCfg.numCores = cfg.specCopies;
+    hierCfg.coresPerCluster = cfg.specCopies;  // one cluster shares the L2
+    if (channels < 0) channels = 1;  // §VI-A: one MC for single-threaded runs
+  } else {
+    if (channels < 0) channels = phy.channels;
+  }
+  MB_CHECK(channels >= 1);
+
+  auto sys = std::make_unique<BuiltSystem>();
+  buildMemorySystem(cfg, channels, *sys);
+  hierCfg.memLinkLatency = phy.linkLatency;
+  sys->hier = std::make_unique<cpu::MemoryHierarchy>(hierCfg, sys->mcs, sys->eq);
+
+  // ---- Workload placement -------------------------------------------------
+  const int numCores = hierCfg.numCores;
+  std::vector<std::string> appNames;  // for Single/Mix
+  switch (workload.kind) {
+    case WorkloadSpec::Kind::SingleSpec: {
+      // One independently seeded slice per core (top-4 SimPoints, §VI-A).
+      appNames.assign(static_cast<size_t>(numCores), workload.name);
+      break;
+    }
+    case WorkloadSpec::Kind::Mix: {
+      appNames = trace::mixWorkload(workload.name, numCores);
+      break;
+    }
+    case WorkloadSpec::Kind::Multithreaded: {
+      trace::MtParams mt;
+      mt.kind = workload.mtKind;
+      mt.numThreads = numCores;
+      mt.seed = cfg.seed;
+      for (int c = 0; c < numCores; ++c)
+        sys->traces.push_back(trace::makeMtSource(mt, c));
+      break;
+    }
+    case WorkloadSpec::Kind::TraceFile: {
+      for (int c = 0; c < numCores; ++c) {
+        sys->traces.push_back(std::make_unique<trace::TraceFileSource>(
+            trace::traceFilePath(workload.name, c)));
+      }
+      break;
+    }
+  }
+  if (!appNames.empty()) {
+    for (int c = 0; c < numCores; ++c) {
+      trace::SyntheticParams p = trace::specProfile(appNames[static_cast<size_t>(c)]).params;
+      // Private 8 GiB address slice per core: no unintended sharing between
+      // the independent programs of a mix.
+      p.baseAddr = static_cast<std::uint64_t>(c) << 33;
+      p.seed = cfg.seed * 1000003 + static_cast<std::uint64_t>(c);
+      sys->traces.push_back(std::make_unique<trace::SyntheticSource>(p));
+    }
+  }
+
+  for (int c = 0; c < numCores; ++c) {
+    sys->cores.push_back(std::make_unique<cpu::RobCore>(
+        c, cfg.core, *sys->traces[static_cast<size_t>(c)], *sys->hier, sys->eq));
+    sys->cores.back()->setOnDone([&sys] { ++sys->coresDone; });
+  }
+  for (auto& corePtr : sys->cores) corePtr->start();
+
+  // ---- Run ----------------------------------------------------------------
+  // Hard event cap guards against pathological configurations in tests.
+  const std::uint64_t maxEvents =
+      2000000000ull;  // far above any legitimate run in this repo
+  std::uint64_t events = 0;
+  while (sys->coresDone < numCores) {
+    if (!sys->eq.step()) break;
+    MB_CHECK(++events < maxEvents);
+  }
+  MB_CHECK(sys->coresDone == numCores);
+
+  // ---- Collect ------------------------------------------------------------
+  RunResult r;
+  r.workload = workload.name;
+  Tick elapsed = 0;
+  for (const auto& corePtr : sys->cores) {
+    elapsed = std::max(elapsed, corePtr->finishTick());
+    r.instructions += corePtr->instrsRetired();
+    r.coreIpc.push_back(corePtr->ipc());
+    r.systemIpc += corePtr->ipc();
+  }
+  r.elapsed = std::max<Tick>(elapsed, 1);
+
+  power::SystemEnergyBreakdown e;
+  std::int64_t rowHits = 0, rowTotal = 0, specDec = 0, specOk = 0;
+  double queueOccSum = 0.0, latSum = 0.0, busSum = 0.0;
+  std::int64_t latCount = 0;
+  for (auto& mcPtr : sys->mcs) {
+    mcPtr->finalize(r.elapsed);
+    const auto s = mcPtr->stats();
+    const auto& m = mcPtr->energyMeter();
+    e.dramActPre += m.actPre();
+    e.dramRdWr += m.rdwr();
+    e.io += m.io();
+    e.dramStatic += m.staticEnergy();
+    rowHits += s.rowHits;
+    rowTotal += s.rowHits + s.rowMisses + s.rowConflicts;
+    specDec += s.specDecisions;
+    specOk += s.specCorrect;
+    queueOccSum += s.avgQueueOccupancy;
+    busSum += s.dataBusUtilization;
+    if (s.reads > 0) {
+      latSum += s.avgReadLatencyNs * static_cast<double>(s.reads);
+      latCount += s.reads;
+    }
+    r.dramReads += s.reads;
+    r.dramWrites += s.writes;
+    r.activations += s.activations;
+  }
+  r.rowHitRate = rowTotal == 0 ? 0.0
+                               : static_cast<double>(rowHits) / static_cast<double>(rowTotal);
+  // The perfect oracle never records a speculation: report it as 1.0.
+  r.predictorHitRate =
+      cfg.pagePolicy == core::PolicyKind::Perfect
+          ? 1.0
+          : (specDec == 0 ? 0.0
+                          : static_cast<double>(specOk) / static_cast<double>(specDec));
+  r.avgQueueOccupancy = queueOccSum / static_cast<double>(sys->mcs.size());
+  r.dataBusUtilization = busSum / static_cast<double>(sys->mcs.size());
+  r.avgReadLatencyNs = latCount == 0 ? 0.0 : latSum / static_cast<double>(latCount);
+
+  r.hierarchy = sys->hier->stats();
+  r.mapki = r.instructions == 0
+                ? 0.0
+                : 1000.0 * static_cast<double>(r.dramReads + r.dramWrites) /
+                      static_cast<double>(r.instructions);
+
+  power::ProcessorActivity act;
+  act.instructions = r.instructions;
+  act.l1Accesses = r.hierarchy.accesses;
+  act.l2Accesses = r.hierarchy.accesses - r.hierarchy.l1Hits;
+  act.cores = numCores;
+  act.l2Slices = hierCfg.numClusters();
+  act.elapsed = r.elapsed;
+  e.processor = power::processorEnergy(cfg.procEnergy, act);
+
+  r.energy = e;
+  const double edp = power::energyDelayProduct(e.total(), r.elapsed);
+  r.invEdp = edp > 0.0 ? 1.0 / edp : 0.0;
+  return r;
+}
+
+}  // namespace mb::sim

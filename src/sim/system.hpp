@@ -1,0 +1,115 @@
+// Full-system assembly and simulation driver.
+//
+// SystemConfig captures everything the paper's evaluation varies:
+// processor-memory interface (PHY), μbank partitioning (nW, nB), page
+// policy, scheduler, interleaving base bit, queue depth, and the CPU-side
+// configuration. WorkloadSpec names what to run on it. runSimulation()
+// builds the system, runs it to completion, and returns the metrics every
+// figure of the paper is drawn from.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/page_policy.hpp"
+#include "cpu/core.hpp"
+#include "cpu/hierarchy.hpp"
+#include "dram/geometry.hpp"
+#include "interface/phy.hpp"
+#include "mc/controller.hpp"
+#include "power/mcpat_lite.hpp"
+#include "trace/generator.hpp"
+#include "trace/profiles.hpp"
+
+namespace mb::sim {
+
+struct SystemConfig {
+  interface::PhyKind phy = interface::PhyKind::LpddrTsi;
+  dram::UbankConfig ubank{1, 1};
+  /// -1: use the PHY's channel count; single-threaded runs use 1 (§VI-A:
+  /// "we populated only one memory controller ... to stress bandwidth").
+  int channels = -1;
+  /// Cores used for a SingleSpec workload: the paper evaluates each SPEC
+  /// application through its top-4 SimPoint slices (§VI-A), so four
+  /// independently seeded copies run on one 4-core cluster against the one
+  /// populated channel.
+  int specCopies = 4;
+  core::PolicyKind pagePolicy = core::PolicyKind::Open;
+  mc::SchedulerKind scheduler = mc::SchedulerKind::ParBs;
+  /// -1: page interleaving (the maximum legal base bit); 6: cache-line.
+  int interleaveBaseBit = -1;
+  /// Extension: permutation-based interleaving — XOR-fold low row bits into
+  /// the bank/μbank indices (the system-level bank-conflict remedy that
+  /// μbank is the device-level alternative to).
+  bool xorBankHash = false;
+  int queueDepth = 32;
+  bool refresh = true;
+  /// Extension: per-bank rotating refresh instead of all-bank tRFC.
+  bool perBankRefresh = false;
+  /// Extension: scale the rank activation window (tRRD/tFAW) with the
+  /// μbank row size — a 1/nW row draws ~1/nW activation current, so the
+  /// power-delivery window can admit activates proportionally faster.
+  bool scaleActWindowWithRowSize = false;
+  bool timingCheck = false;
+
+  cpu::HierarchyConfig hier;
+  cpu::CoreParams core;
+  power::ProcessorEnergyParams procEnergy;
+  std::uint64_t seed = 12345;
+};
+
+struct WorkloadSpec {
+  enum class Kind { SingleSpec, Mix, Multithreaded, TraceFile };
+  Kind kind = Kind::SingleSpec;
+  std::string name;  // app / mix / kernel name, or a trace-file prefix
+  trace::MtKind mtKind = trace::MtKind::Radix;
+
+  static WorkloadSpec spec(const std::string& appName) {
+    return WorkloadSpec{Kind::SingleSpec, appName, trace::MtKind::Radix};
+  }
+  static WorkloadSpec mix(const std::string& mixName) {
+    return WorkloadSpec{Kind::Mix, mixName, trace::MtKind::Radix};
+  }
+  static WorkloadSpec mt(trace::MtKind kind) {
+    return WorkloadSpec{Kind::Multithreaded, trace::mtKindName(kind), kind};
+  }
+  /// Replay recorded traces: one file per core, "<prefix>.<core>.mbt"
+  /// (see trace/trace_file.hpp and tools/mbtrace.cpp). Core count follows
+  /// `SystemConfig::specCopies`, channels default to 1 like SingleSpec.
+  static WorkloadSpec traceFiles(const std::string& prefix) {
+    return WorkloadSpec{Kind::TraceFile, prefix, trace::MtKind::Radix};
+  }
+};
+
+struct RunResult {
+  std::string workload;
+  double systemIpc = 0.0;   // sum of per-core IPC (multiprogram throughput)
+  Tick elapsed = 0;         // latest core finish tick
+  std::int64_t instructions = 0;
+
+  power::SystemEnergyBreakdown energy;
+  double invEdp = 0.0;  // 1 / (totalEnergy * elapsed); normalize vs a baseline
+
+  // Memory-system behaviour.
+  double rowHitRate = 0.0;
+  double predictorHitRate = 0.0;
+  double avgQueueOccupancy = 0.0;
+  double avgReadLatencyNs = 0.0;
+  double dataBusUtilization = 0.0;
+  std::int64_t dramReads = 0;
+  std::int64_t dramWrites = 0;
+  std::int64_t activations = 0;
+  double mapki = 0.0;  // measured main-memory accesses per kilo-instruction
+  cpu::HierarchyStats hierarchy;
+  std::vector<double> coreIpc;
+};
+
+/// Derive the DRAM geometry a SystemConfig implies.
+dram::Geometry geometryFor(const SystemConfig& cfg, int channels);
+
+/// Build and run one simulation to completion.
+RunResult runSimulation(const SystemConfig& cfg, const WorkloadSpec& workload);
+
+}  // namespace mb::sim

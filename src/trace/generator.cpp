@@ -1,0 +1,242 @@
+#include "trace/generator.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace mb::trace {
+
+namespace {
+constexpr std::uint64_t kLine = kCacheLineBytes;
+
+std::uint32_t drawGap(Rng& rng, double meanInstrs) {
+  // Geometric gaps give a memoryless arrival process; the +0 floor keeps
+  // back-to-back references possible (bursty codes).
+  if (meanInstrs <= 0.0) return 0;
+  const double p = 1.0 / (meanInstrs + 1.0);
+  const auto g = rng.nextGeometric(p);
+  return static_cast<std::uint32_t>(std::min<std::int64_t>(g, 100000));
+}
+}  // namespace
+
+SyntheticSource::SyntheticSource(const SyntheticParams& params)
+    : p_(params), rng_(params.seed) {
+  MB_CHECK(p_.mapki > 0.0);
+  MB_CHECK(p_.footprintBytes >= p_.hotBytes);
+  MB_CHECK(p_.streamFrac + p_.chaseFrac <= 1.0 + 1e-9);
+  MB_CHECK(p_.numStreams >= 1);
+  footprintLines_ = static_cast<std::uint64_t>(p_.footprintBytes) / kLine;
+  hotLines_ = static_cast<std::uint64_t>(p_.hotBytes) / kLine;
+  const double refsPerKilo = p_.mapki * (1.0 + p_.hotRefsPerColdRef);
+  gapMeanInstrs_ = 1000.0 / refsPerKilo;
+
+  // Partition the footprint among streams so each cursor walks its own span.
+  const std::uint64_t span = footprintLines_ / static_cast<std::uint64_t>(p_.numStreams);
+  streamCursors_.resize(static_cast<size_t>(p_.numStreams));
+  streamBases_.resize(static_cast<size_t>(p_.numStreams));
+  for (int s = 0; s < p_.numStreams; ++s) {
+    streamBases_[static_cast<size_t>(s)] = static_cast<std::uint64_t>(s) * span;
+    streamCursors_[static_cast<size_t>(s)] =
+        rng_.nextBounded(span > 0 ? span : 1);
+  }
+}
+
+std::uint64_t SyntheticSource::randomColdLine() {
+  return rng_.nextBounded(footprintLines_);
+}
+
+std::uint64_t SyntheticSource::streamLine() {
+  const auto s = static_cast<size_t>(nextStream_);
+  nextStream_ = (nextStream_ + 1) % p_.numStreams;
+  const std::uint64_t span =
+      std::max<std::uint64_t>(1, footprintLines_ / static_cast<std::uint64_t>(p_.numStreams));
+  auto& cur = streamCursors_[s];
+  cur = (cur + static_cast<std::uint64_t>(p_.strideLines)) % span;
+  return streamBases_[s] + cur;
+}
+
+Record SyntheticSource::next() {
+  Record r;
+  r.gapInstrs = drawGap(rng_, gapMeanInstrs_);
+
+  const double hotProb = p_.hotRefsPerColdRef / (1.0 + p_.hotRefsPerColdRef);
+  if (rng_.nextBool(hotProb)) {
+    // Cache-resident reference.
+    const std::uint64_t line = rng_.nextBounded(std::max<std::uint64_t>(1, hotLines_));
+    r.addr = p_.baseAddr + line * kLine;
+    r.write = rng_.nextBool(0.3);
+    return r;
+  }
+
+  const double u = rng_.nextDouble();
+  std::uint64_t line;
+  if (u < p_.streamFrac) {
+    line = streamLine();
+  } else if (u < p_.streamFrac + p_.chaseFrac) {
+    line = randomColdLine();
+    r.dependent = true;
+  } else {
+    line = randomColdLine();
+  }
+  // Cold space starts above the hot region.
+  r.addr = p_.baseAddr + (hotLines_ + line) * kLine;
+  r.write = rng_.nextBool(p_.writeFrac);
+  if (r.dependent) r.write = false;  // chases are loads
+  return r;
+}
+
+std::string mtKindName(MtKind kind) {
+  switch (kind) {
+    case MtKind::Radix: return "RADIX";
+    case MtKind::Fft: return "FFT";
+    case MtKind::Canneal: return "canneal";
+    case MtKind::TpcC: return "TPC-C";
+    case MtKind::TpcH: return "TPC-H";
+  }
+  return "unknown";
+}
+
+RadixSource::RadixSource(const MtParams& params, ThreadId thread)
+    : rng_(params.seed * 7919 + static_cast<std::uint64_t>(thread) + 1) {
+  const std::uint64_t totalLines =
+      static_cast<std::uint64_t>(params.sharedFootprintBytes) / kLine;
+  // First half: private key partitions. Second half: shared bucket space.
+  const std::uint64_t keyLines = totalLines / 2;
+  readSpanLines_ = keyLines / static_cast<std::uint64_t>(params.numThreads);
+  readBase_ = static_cast<std::uint64_t>(thread) * readSpanLines_;
+  // Random starting phase: real heap allocations are not aligned to the
+  // partition size, so cursors must not all start on the same channel/bank.
+  readCursor_ = rng_.nextBounded(std::max<std::uint64_t>(1, readSpanLines_));
+
+  constexpr int kBuckets = 64;
+  const std::uint64_t bucketSpan = (totalLines - keyLines) / kBuckets;
+  bucketCursors_.resize(kBuckets);
+  bucketBases_.resize(kBuckets);
+  for (int b = 0; b < kBuckets; ++b) {
+    bucketBases_[static_cast<size_t>(b)] =
+        keyLines + static_cast<std::uint64_t>(b) * bucketSpan;
+    // Each thread owns a distinct slice inside every bucket so threads do
+    // not write-share lines (radix counts presort per-thread offsets); the
+    // cursor starts at a random phase within the slice so the slices do not
+    // all begin on the same channel/bank (heap allocations are unaligned).
+    const std::uint64_t slice = bucketSpan / static_cast<std::uint64_t>(params.numThreads);
+    bucketCursors_[static_cast<size_t>(b)] =
+        static_cast<std::uint64_t>(thread) * slice +
+        rng_.nextBounded(std::max<std::uint64_t>(1, slice / 2));
+  }
+  gapMeanInstrs_ = 18.0;  // high MAPKI (§VI-B)
+}
+
+Record RadixSource::next() {
+  Record r;
+  r.gapInstrs = drawGap(rng_, gapMeanInstrs_);
+  if (rng_.nextBool(0.5)) {
+    // Sequential key read.
+    readCursor_ = (readCursor_ + 1) % std::max<std::uint64_t>(1, readSpanLines_);
+    r.addr = (readBase_ + readCursor_) * kLine;
+    r.write = false;
+  } else {
+    // Scattered bucket write: random bucket, sequential within the bucket.
+    const auto b = static_cast<size_t>(rng_.nextBounded(bucketCursors_.size()));
+    r.addr = (bucketBases_[b] + bucketCursors_[b]) * kLine;
+    bucketCursors_[b] += 1;
+    r.write = true;
+  }
+  return r;
+}
+
+FftSource::FftSource(const MtParams& params, ThreadId thread)
+    : rng_(params.seed * 104729 + static_cast<std::uint64_t>(thread) + 1) {
+  const std::uint64_t totalLines =
+      static_cast<std::uint64_t>(params.sharedFootprintBytes) / kLine;
+  spanLines_ = totalLines / static_cast<std::uint64_t>(params.numThreads);
+  base_ = static_cast<std::uint64_t>(thread) * spanLines_;
+  // Transpose stride: far larger than a DRAM row so every access opens a row.
+  strideLines_ = 1024;  // 64 KiB
+  phaseLeft_ = 512;
+  cursor_ = rng_.nextBounded(std::max<std::uint64_t>(1, spanLines_));
+  gapMeanInstrs_ = 40.0;
+}
+
+Record FftSource::next() {
+  Record r;
+  r.gapInstrs = drawGap(rng_, gapMeanInstrs_);
+  if (--phaseLeft_ <= 0) {
+    transposePhase_ = !transposePhase_;
+    phaseLeft_ = transposePhase_ ? 256 : 512;
+    cursor_ = rng_.nextBounded(std::max<std::uint64_t>(1, spanLines_));
+  }
+  if (transposePhase_) {
+    cursor_ = (cursor_ + strideLines_) % std::max<std::uint64_t>(1, spanLines_);
+  } else {
+    cursor_ = (cursor_ + 1) % std::max<std::uint64_t>(1, spanLines_);
+  }
+  r.addr = (base_ + cursor_) * kLine;
+  r.write = rng_.nextBool(0.45);
+  return r;
+}
+
+CannealSource::CannealSource(const MtParams& params, ThreadId thread)
+    : rng_(params.seed * 15485863 + static_cast<std::uint64_t>(thread) + 1) {
+  spanLines_ = static_cast<std::uint64_t>(params.sharedFootprintBytes) / kLine;
+  gapMeanInstrs_ = 45.0;
+}
+
+Record CannealSource::next() {
+  Record r;
+  r.gapInstrs = drawGap(rng_, gapMeanInstrs_);
+  if (burstLeft_ <= 0) {
+    // Pick a random element; its fields span several adjacent lines.
+    burstBase_ = rng_.nextBounded(spanLines_);
+    burstLeft_ = static_cast<int>(rng_.nextRange(4, 10));
+    burstWrite_ = rng_.nextBool(0.25);
+  }
+  r.addr = (burstBase_++ % spanLines_) * kLine;
+  --burstLeft_;
+  r.write = burstWrite_ && rng_.nextBool(0.5);
+  return r;
+}
+
+TpcSource::TpcSource(const MtParams& params, ThreadId thread)
+    : rng_(params.seed * 32452843 + static_cast<std::uint64_t>(thread) + 1) {
+  spanLines_ = static_cast<std::uint64_t>(params.sharedFootprintBytes) / kLine;
+  const bool scanHeavy = params.kind == MtKind::TpcH;
+  // TPC-H backends run many concurrent scan operators (hash joins and
+  // aggregations over several tables at once); TPC-C is probe-dominated.
+  const int scans = scanHeavy ? 12 : 3;
+  scanCursors_.resize(static_cast<size_t>(scans));
+  for (auto& c : scanCursors_) c = rng_.nextBounded(spanLines_);
+  scanFrac_ = scanHeavy ? 0.80 : 0.40;
+  writeFrac_ = scanHeavy ? 0.10 : 0.30;
+  gapMeanInstrs_ = scanHeavy ? 35.0 : 50.0;
+}
+
+Record TpcSource::next() {
+  Record r;
+  r.gapInstrs = drawGap(rng_, gapMeanInstrs_);
+  if (rng_.nextBool(scanFrac_)) {
+    auto& cur = scanCursors_[static_cast<size_t>(nextScan_)];
+    nextScan_ = (nextScan_ + 1) % static_cast<int>(scanCursors_.size());
+    cur = (cur + 1) % spanLines_;
+    r.addr = cur * kLine;
+    r.write = false;
+  } else {
+    r.addr = rng_.nextBounded(spanLines_) * kLine;
+    r.write = rng_.nextBool(writeFrac_);
+  }
+  return r;
+}
+
+std::unique_ptr<TraceSource> makeMtSource(const MtParams& params, ThreadId thread) {
+  switch (params.kind) {
+    case MtKind::Radix: return std::make_unique<RadixSource>(params, thread);
+    case MtKind::Fft: return std::make_unique<FftSource>(params, thread);
+    case MtKind::Canneal: return std::make_unique<CannealSource>(params, thread);
+    case MtKind::TpcC:
+    case MtKind::TpcH: return std::make_unique<TpcSource>(params, thread);
+  }
+  MB_CHECK(false && "unknown multithreaded kind");
+  return nullptr;
+}
+
+}  // namespace mb::trace

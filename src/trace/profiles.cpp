@@ -1,0 +1,132 @@
+#include "trace/profiles.hpp"
+
+#include "common/check.hpp"
+
+namespace mb::trace {
+
+std::string specGroupName(SpecGroup group) {
+  switch (group) {
+    case SpecGroup::High: return "spec-high";
+    case SpecGroup::Med: return "spec-med";
+    case SpecGroup::Low: return "spec-low";
+  }
+  return "unknown";
+}
+
+namespace {
+
+SyntheticParams makeParams(double mapki, double footprintMiB, double streamFrac,
+                           double chaseFrac, int numStreams, double writeFrac,
+                           int strideLines = 1) {
+  SyntheticParams p;
+  p.mapki = mapki;
+  p.footprintBytes = static_cast<std::int64_t>(footprintMiB * static_cast<double>(kMiB));
+  p.streamFrac = streamFrac;
+  p.chaseFrac = chaseFrac;
+  p.numStreams = numStreams;
+  p.writeFrac = writeFrac;
+  p.strideLines = strideLines;
+  return p;
+}
+
+std::vector<AppProfile> buildProfiles() {
+  using G = SpecGroup;
+  std::vector<AppProfile> v;
+  auto add = [&](const char* name, G g, SyntheticParams p) {
+    v.push_back(AppProfile{name, g, p});
+  };
+
+  // ---- spec-high (Table II): bandwidth-hungry applications --------------
+  // 429.mcf: network simplex; pointer-heavy, huge footprint, poor spatial
+  // locality -> close-page friendly (§VI-C).
+  add("429.mcf", G::High, makeParams(36.0, 1600.0, 0.05, 0.55, 2, 0.22));
+  // 433.milc: lattice QCD; strided sweeps over large arrays.
+  add("433.milc", G::High, makeParams(26.0, 640.0, 0.55, 0.00, 8, 0.35));
+  // 437.leslie3d: CFD stencil; many concurrent array streams.
+  add("437.leslie3d", G::High, makeParams(22.0, 130.0, 0.70, 0.00, 12, 0.40));
+  // 450.soplex: LP solver; mixed sparse matrix traversal.
+  add("450.soplex", G::High, makeParams(27.0, 250.0, 0.40, 0.15, 6, 0.20));
+  // 459.GemsFDTD: FDTD stencil; wide streaming with heavy writes.
+  add("459.GemsFDTD", G::High, makeParams(24.0, 800.0, 0.75, 0.00, 16, 0.45));
+  // 462.libquantum: quantum simulation; nearly pure streaming.
+  add("462.libquantum", G::High, makeParams(30.0, 64.0, 0.95, 0.00, 2, 0.30));
+  // 470.lbm: lattice Boltzmann; streaming with ~50% stores.
+  add("470.lbm", G::High, makeParams(32.0, 400.0, 0.85, 0.00, 10, 0.50));
+  // 471.omnetpp: discrete-event simulation; pointer chasing over the heap.
+  add("471.omnetpp", G::High, makeParams(21.0, 170.0, 0.10, 0.50, 2, 0.30));
+  // 482.sphinx3: speech recognition; mixed scans and random probes.
+  add("482.sphinx3", G::High, makeParams(15.0, 180.0, 0.50, 0.10, 4, 0.15));
+
+  // ---- spec-med ----------------------------------------------------------
+  add("403.gcc", G::Med, makeParams(5.0, 90.0, 0.25, 0.25, 4, 0.30));
+  add("410.bwaves", G::Med, makeParams(8.0, 420.0, 0.80, 0.00, 8, 0.35));
+  add("434.zeusmp", G::Med, makeParams(6.0, 240.0, 0.65, 0.00, 8, 0.40));
+  add("436.cactusADM", G::Med, makeParams(5.0, 190.0, 0.70, 0.00, 6, 0.40));
+  add("458.sjeng", G::Med, makeParams(2.5, 170.0, 0.05, 0.30, 2, 0.25));
+  add("464.h264ref", G::Med, makeParams(3.0, 64.0, 0.55, 0.05, 6, 0.30));
+  add("465.tonto", G::Med, makeParams(2.5, 45.0, 0.40, 0.10, 4, 0.30));
+  add("473.astar", G::Med, makeParams(4.0, 180.0, 0.05, 0.45, 2, 0.25));
+  add("481.wrf", G::Med, makeParams(6.0, 300.0, 0.70, 0.00, 10, 0.40));
+  add("483.xalancbmk", G::Med, makeParams(4.0, 130.0, 0.10, 0.40, 2, 0.20));
+
+  // ---- spec-low ----------------------------------------------------------
+  add("400.perlbench", G::Low, makeParams(0.8, 60.0, 0.15, 0.30, 2, 0.30));
+  add("401.bzip2", G::Low, makeParams(1.2, 90.0, 0.45, 0.05, 4, 0.35));
+  add("416.gamess", G::Low, makeParams(0.3, 20.0, 0.50, 0.00, 4, 0.30));
+  add("435.gromacs", G::Low, makeParams(0.9, 25.0, 0.45, 0.05, 4, 0.30));
+  add("444.namd", G::Low, makeParams(0.6, 45.0, 0.50, 0.05, 4, 0.25));
+  add("445.gobmk", G::Low, makeParams(0.7, 28.0, 0.10, 0.25, 2, 0.25));
+  add("447.dealII", G::Low, makeParams(0.9, 50.0, 0.35, 0.15, 4, 0.30));
+  add("453.povray", G::Low, makeParams(0.3, 10.0, 0.20, 0.15, 2, 0.20));
+  add("454.calculix", G::Low, makeParams(0.5, 60.0, 0.55, 0.00, 6, 0.35));
+  add("456.hmmer", G::Low, makeParams(0.6, 30.0, 0.60, 0.00, 4, 0.30));
+
+  return v;
+}
+
+}  // namespace
+
+const std::vector<AppProfile>& specProfiles() {
+  static const std::vector<AppProfile> profiles = buildProfiles();
+  return profiles;
+}
+
+const AppProfile& specProfile(const std::string& name) {
+  for (const auto& p : specProfiles())
+    if (p.name == name) return p;
+  MB_CHECK(false && "unknown SPEC profile");
+  return specProfiles().front();
+}
+
+std::vector<std::string> specGroupMembers(SpecGroup group) {
+  std::vector<std::string> out;
+  for (const auto& p : specProfiles())
+    if (p.group == group) out.push_back(p.name);
+  return out;
+}
+
+std::vector<std::string> mixWorkload(const std::string& mixName, int numCores) {
+  std::vector<std::string> pool;
+  if (mixName == "mix-high") {
+    pool = specGroupMembers(SpecGroup::High);
+  } else if (mixName == "mix-blend") {
+    // One slice from each group in rotation, weighted toward high as the
+    // paper populates simulation points proportionally to weight.
+    const auto high = specGroupMembers(SpecGroup::High);
+    const auto med = specGroupMembers(SpecGroup::Med);
+    const auto low = specGroupMembers(SpecGroup::Low);
+    for (size_t i = 0; pool.size() < static_cast<size_t>(numCores) * 3; ++i) {
+      pool.push_back(high[i % high.size()]);
+      pool.push_back(med[i % med.size()]);
+      pool.push_back(low[i % low.size()]);
+    }
+  } else {
+    MB_CHECK(false && "unknown mix name");
+  }
+  std::vector<std::string> out;
+  out.reserve(static_cast<size_t>(numCores));
+  for (int c = 0; c < numCores; ++c) out.push_back(pool[static_cast<size_t>(c) % pool.size()]);
+  return out;
+}
+
+}  // namespace mb::trace

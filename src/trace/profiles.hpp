@@ -1,0 +1,43 @@
+// Per-benchmark synthetic profiles.
+//
+// Table II of the paper groups the SPEC CPU2006 applications by main-memory
+// accesses per kilo-instruction (MAPKI): spec-high (9 apps), spec-med
+// (10 apps), spec-low (10 apps). The parameters below encode each
+// application's published memory character — intensity, footprint,
+// streaming vs. pointer-chasing vs. random mix, and write share — at the
+// level of detail the memory-system study needs. Values are calibrated, not
+// measured from real traces (see DESIGN.md §2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/generator.hpp"
+
+namespace mb::trace {
+
+enum class SpecGroup { High, Med, Low };
+
+std::string specGroupName(SpecGroup group);
+
+struct AppProfile {
+  std::string name;
+  SpecGroup group;
+  SyntheticParams params;
+};
+
+/// All 29 SPEC CPU2006 applications of Table II.
+const std::vector<AppProfile>& specProfiles();
+
+/// Profile lookup by name ("429.mcf"); aborts on unknown names.
+const AppProfile& specProfile(const std::string& name);
+
+/// Names in one group, in Table II order.
+std::vector<std::string> specGroupMembers(SpecGroup group);
+
+/// Multiprogrammed mixes (§VI-A): 64 single-threaded slices.
+///   mix-high:  drawn from spec-high only.
+///   mix-blend: drawn from all three groups.
+std::vector<std::string> mixWorkload(const std::string& mixName, int numCores);
+
+}  // namespace mb::trace

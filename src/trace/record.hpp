@@ -1,0 +1,21 @@
+// Trace record: the unit of work a core consumes.
+//
+// A record means "execute `gapInstrs` non-memory instructions, then one
+// memory operation at `addr`". `dependent` marks loads whose address depends
+// on the previous load (pointer chasing): the core may not issue them until
+// the previous load's data returns, which collapses memory-level parallelism
+// exactly the way linked-list traversal does in 429.mcf or omnetpp.
+#pragma once
+
+#include <cstdint>
+
+namespace mb::trace {
+
+struct Record {
+  std::uint32_t gapInstrs = 0;
+  std::uint64_t addr = 0;
+  bool write = false;
+  bool dependent = false;
+};
+
+}  // namespace mb::trace

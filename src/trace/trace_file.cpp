@@ -1,0 +1,110 @@
+#include "trace/trace_file.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace mb::trace {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'B', 'T', 'R', 'A', 'C', 'E', '1'};
+constexpr std::uint32_t kVersion = 1;
+
+void writeBytes(std::FILE* f, const void* data, size_t n) {
+  const size_t written = std::fwrite(data, 1, n, f);
+  MB_CHECK(written == n);
+}
+
+template <typename T>
+void writeScalar(std::FILE* f, T value) {
+  // The format is little-endian; every supported build target is
+  // little-endian, so a plain byte copy is the portable-enough encoding.
+  writeBytes(f, &value, sizeof(T));
+}
+
+template <typename T>
+bool readScalar(std::FILE* f, T* out) {
+  return std::fread(out, 1, sizeof(T), f) == sizeof(T);
+}
+
+}  // namespace
+
+TraceFileWriter::TraceFileWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  MB_CHECK(file_ != nullptr && "cannot open trace file for writing");
+  writeBytes(file_, kMagic, sizeof(kMagic));
+  writeScalar<std::uint32_t>(file_, kVersion);
+  writeScalar<std::uint32_t>(file_, 0);  // reserved
+}
+
+TraceFileWriter::~TraceFileWriter() { close(); }
+
+void TraceFileWriter::append(const Record& record) {
+  MB_CHECK(file_ != nullptr && "append after close");
+  writeScalar<std::uint32_t>(file_, record.gapInstrs);
+  writeScalar<std::uint64_t>(file_, record.addr);
+  const std::uint8_t flags = static_cast<std::uint8_t>((record.write ? 1u : 0u) |
+                                                       (record.dependent ? 2u : 0u));
+  writeScalar<std::uint8_t>(file_, flags);
+  ++written_;
+}
+
+void TraceFileWriter::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+TraceFileSource::TraceFileSource(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  MB_CHECK(f != nullptr && "cannot open trace file for reading");
+  char magic[8];
+  MB_CHECK(std::fread(magic, 1, sizeof(magic), f) == sizeof(magic));
+  MB_CHECK(std::memcmp(magic, kMagic, sizeof(kMagic)) == 0 && "not a trace file");
+  std::uint32_t version = 0, reserved = 0;
+  MB_CHECK(readScalar(f, &version) && version == kVersion);
+  MB_CHECK(readScalar(f, &reserved));
+
+  for (;;) {
+    Record r;
+    std::uint32_t gap = 0;
+    std::uint64_t addr = 0;
+    std::uint8_t flags = 0;
+    if (!readScalar(f, &gap)) break;
+    // A trailing partial record means a truncated file: reject loudly
+    // rather than silently replaying a corrupt tail.
+    MB_CHECK(readScalar(f, &addr) && readScalar(f, &flags) &&
+             "truncated trace record");
+    r.gapInstrs = gap;
+    r.addr = addr;
+    r.write = (flags & 1u) != 0;
+    r.dependent = (flags & 2u) != 0;
+    records_.push_back(r);
+  }
+  std::fclose(f);
+  MB_CHECK(!records_.empty() && "empty trace file");
+}
+
+Record TraceFileSource::next() {
+  const Record r = records_[cursor_];
+  if (++cursor_ == records_.size()) {
+    cursor_ = 0;
+    ++wraps_;
+  }
+  return r;
+}
+
+void recordTrace(TraceSource& source, const std::string& path, std::int64_t count) {
+  MB_CHECK(count > 0);
+  TraceFileWriter writer(path);
+  for (std::int64_t i = 0; i < count; ++i) writer.append(source.next());
+  writer.close();
+}
+
+std::string traceFilePath(const std::string& prefix, int core) {
+  return prefix + "." + std::to_string(core) + ".mbt";
+}
+
+}  // namespace mb::trace

@@ -1,0 +1,91 @@
+#include "common/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mb {
+namespace {
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  eq.scheduleAt(30, [&] { order.push_back(3); });
+  eq.scheduleAt(10, [&] { order.push_back(1); });
+  eq.scheduleAt(20, [&] { order.push_back(2); });
+  eq.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eq.now(), 30);
+}
+
+TEST(EventQueue, SameTickFifoOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) eq.scheduleAt(5, [&order, i] { order.push_back(i); });
+  eq.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, CallbackMaySchedule) {
+  EventQueue eq;
+  int fired = 0;
+  eq.scheduleAt(1, [&] {
+    ++fired;
+    eq.scheduleAfter(9, [&] { ++fired; });
+  });
+  eq.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(eq.now(), 10);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue eq;
+  int fired = 0;
+  eq.scheduleAt(5, [&] { ++fired; });
+  eq.scheduleAt(15, [&] { ++fired; });
+  eq.runUntil(10);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eq.now(), 10);
+  eq.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  EventQueue eq;
+  EXPECT_FALSE(eq.step());
+  eq.scheduleAt(0, [] {});
+  EXPECT_TRUE(eq.step());
+  EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, NextEventTime) {
+  EventQueue eq;
+  EXPECT_EQ(eq.nextEventTime(), kTickNever);
+  eq.scheduleAt(42, [] {});
+  EXPECT_EQ(eq.nextEventTime(), 42);
+}
+
+TEST(EventQueue, ProcessedCountAccumulates) {
+  EventQueue eq;
+  for (int i = 0; i < 5; ++i) eq.scheduleAt(i, [] {});
+  eq.run();
+  EXPECT_EQ(eq.processedCount(), 5u);
+}
+
+TEST(EventQueue, RunWithEventCapStopsEarly) {
+  EventQueue eq;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) eq.scheduleAt(i, [&] { ++fired; });
+  eq.run(3);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueueDeath, SchedulingInThePastAborts) {
+  EventQueue eq;
+  eq.scheduleAt(10, [] {});
+  eq.run();
+  EXPECT_DEATH(eq.scheduleAt(5, [] {}), "check failed");
+}
+
+}  // namespace
+}  // namespace mb

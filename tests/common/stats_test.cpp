@@ -1,0 +1,118 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mb {
+namespace {
+
+TEST(Counter, StartsAtZeroAndIncrements) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5);
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(Accumulator, TracksMoments) {
+  Accumulator a;
+  a.add(1.0);
+  a.add(2.0);
+  a.add(3.0);
+  EXPECT_EQ(a.count(), 3);
+  EXPECT_DOUBLE_EQ(a.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+  EXPECT_NEAR(a.variance(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(Accumulator, NegativeSamples) {
+  Accumulator a;
+  a.add(-5.0);
+  a.add(5.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), -5.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+TEST(Histogram, BucketsSamples) {
+  Histogram h(10.0, 5);  // [0,10), [10,20), ... [40,50), overflow
+  h.add(0.0);
+  h.add(9.99);
+  h.add(10.0);
+  h.add(49.0);
+  h.add(1000.0);
+  EXPECT_EQ(h.bucketCount(0), 2);
+  EXPECT_EQ(h.bucketCount(1), 1);
+  EXPECT_EQ(h.bucketCount(4), 1);
+  EXPECT_EQ(h.overflowCount(), 1);
+  EXPECT_EQ(h.totalCount(), 5);
+}
+
+TEST(Histogram, NegativeGoesToFirstBucket) {
+  Histogram h(1.0, 4);
+  h.add(-3.0);
+  EXPECT_EQ(h.bucketCount(0), 1);
+}
+
+TEST(Histogram, PercentileIsMonotonic) {
+  Histogram h(1.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_LE(h.percentile(0.5), h.percentile(0.9));
+  EXPECT_NEAR(h.percentile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.percentile(0.99), 99.0, 2.0);
+}
+
+TEST(TimeWeightedLevel, AveragesOverTime) {
+  TimeWeightedLevel l;
+  l.update(0, 10.0);   // level 10 from t=0
+  l.update(100, 0.0);  // level 0 from t=100
+  // Average over [0, 200]: (10*100 + 0*100) / 200 = 5.
+  EXPECT_DOUBLE_EQ(l.average(200), 5.0);
+  EXPECT_DOUBLE_EQ(l.current(), 0.0);
+}
+
+TEST(TimeWeightedLevel, ConstantLevel) {
+  TimeWeightedLevel l;
+  l.update(0, 3.0);
+  EXPECT_DOUBLE_EQ(l.average(50), 3.0);
+}
+
+TEST(StatRegistry, CountersAndAccumulatorsByName) {
+  StatRegistry reg;
+  reg.counter("a.hits").inc(3);
+  reg.accumulator("a.lat").add(4.0);
+  reg.accumulator("a.lat").add(6.0);
+  EXPECT_EQ(reg.counterValue("a.hits"), 3);
+  EXPECT_DOUBLE_EQ(reg.accumulatorMean("a.lat"), 5.0);
+  EXPECT_EQ(reg.counterValue("missing"), 0);
+  EXPECT_DOUBLE_EQ(reg.accumulatorMean("missing"), 0.0);
+}
+
+TEST(StatRegistry, SnapshotContainsAll) {
+  StatRegistry reg;
+  reg.counter("x").inc();
+  reg.accumulator("y").add(2.0);
+  const auto snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.at("x"), 1.0);
+  EXPECT_DOUBLE_EQ(snap.at("y.mean"), 2.0);
+}
+
+TEST(StatRegistry, ResetClearsValues) {
+  StatRegistry reg;
+  reg.counter("x").inc(5);
+  reg.reset();
+  EXPECT_EQ(reg.counterValue("x"), 0);
+}
+
+}  // namespace
+}  // namespace mb

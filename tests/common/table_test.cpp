@@ -1,0 +1,79 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mb {
+namespace {
+
+TEST(FormatDouble, RespectsPrecision) {
+  EXPECT_EQ(formatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(formatDouble(1.0, 3), "1.000");
+  EXPECT_EQ(formatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.addRow({"a", "1"});
+  t.addRow({"longer-name", "22"});
+  const std::string s = t.toString();
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_EQ(t.numRows(), 2);
+}
+
+TEST(TablePrinter, NumericRowHelper) {
+  TablePrinter t({"label", "x", "y"});
+  t.addRow("row", {1.5, 2.25}, 2);
+  const std::string s = t.toString();
+  EXPECT_NE(s.find("1.50"), std::string::npos);
+  EXPECT_NE(s.find("2.25"), std::string::npos);
+}
+
+TEST(TablePrinterDeath, WrongArityAborts) {
+  TablePrinter t({"a", "b"});
+  EXPECT_DEATH(t.addRow({"only-one"}), "check failed");
+}
+
+TEST(TablePrinter, CsvOutput) {
+  TablePrinter t({"h1", "h2"});
+  t.addRow({"v1", "v2"});
+  std::ostringstream os;
+  t.writeCsv(os);
+  EXPECT_EQ(os.str(), "h1,h2\nv1,v2\n");
+}
+
+TEST(GridPrinter, StoresAndRetrievesByAxes) {
+  GridPrinter g("test", {1, 2, 4}, {1, 2});
+  g.set(2, 1, 3.5);
+  g.set(4, 2, 7.0);
+  EXPECT_DOUBLE_EQ(g.get(2, 1), 3.5);
+  EXPECT_DOUBLE_EQ(g.get(4, 2), 7.0);
+}
+
+TEST(GridPrinter, PrintsPaperLayout) {
+  GridPrinter g("area", {1, 16}, {1, 16});
+  g.set(1, 1, 1.0);
+  g.set(16, 1, 1.031);
+  g.set(1, 16, 1.014);
+  g.set(16, 16, 1.268);
+  std::ostringstream os;
+  g.print(os, 3);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("1.268"), std::string::npos);
+  EXPECT_NE(s.find("nB\\nW"), std::string::npos);
+}
+
+TEST(GridPrinterDeath, OffAxisValueAborts) {
+  GridPrinter g("t", {1, 2}, {1, 2});
+  EXPECT_DEATH(g.set(3, 1, 0.0), "check failed");
+}
+
+TEST(GridPrinterDeath, ReadingUnfilledCellAborts) {
+  GridPrinter g("t", {1, 2}, {1, 2});
+  EXPECT_DEATH((void)g.get(1, 1), "check failed");
+}
+
+}  // namespace
+}  // namespace mb

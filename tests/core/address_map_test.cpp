@@ -1,0 +1,227 @@
+#include "core/address_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace mb::core {
+namespace {
+
+dram::Geometry testGeometry(int nW = 1, int nB = 1) {
+  dram::Geometry g;
+  g.channels = 16;
+  g.ranksPerChannel = 2;
+  g.banksPerRank = 8;
+  g.ubank = {nW, nB};
+  return g;
+}
+
+TEST(AddressMap, PageInterleaveBaseBitIs13ForFullRow) {
+  // Fig. 11: 8 KB row -> 128 lines -> column bits [6..12], iB = 13.
+  const auto map = AddressMap::pageInterleaved(testGeometry());
+  EXPECT_EQ(map.interleaveBaseBit(), 13);
+}
+
+TEST(AddressMap, MaxBaseBitTracksUbankRowSize) {
+  // Fig. 12 x-axis: max iB is 13 for (1,1), 12 for (2,8), 11 for (4,4),
+  // 10 for (8,2) — the μbank row shrinks with nW.
+  EXPECT_EQ(AddressMap::pageInterleaved(testGeometry(1, 1)).interleaveBaseBit(), 13);
+  EXPECT_EQ(AddressMap::pageInterleaved(testGeometry(2, 8)).interleaveBaseBit(), 12);
+  EXPECT_EQ(AddressMap::pageInterleaved(testGeometry(4, 4)).interleaveBaseBit(), 11);
+  EXPECT_EQ(AddressMap::pageInterleaved(testGeometry(8, 2)).interleaveBaseBit(), 10);
+}
+
+TEST(AddressMap, LineInterleaveSpreadsConsecutiveLinesAcrossChannels) {
+  const auto map = AddressMap::lineInterleaved(testGeometry());
+  std::set<int> channels;
+  for (std::uint64_t line = 0; line < 16; ++line) {
+    channels.insert(map.decompose(line * 64).channel);
+  }
+  EXPECT_EQ(channels.size(), 16u);
+}
+
+TEST(AddressMap, PageInterleaveKeepsRowInOneUbank) {
+  const auto g = testGeometry(2, 8);
+  const auto map = AddressMap::pageInterleaved(g);
+  const auto first = map.decompose(0);
+  for (std::uint64_t line = 0; line < static_cast<std::uint64_t>(g.linesPerUbankRow());
+       ++line) {
+    const auto da = map.decompose(line * 64);
+    EXPECT_EQ(da.channel, first.channel);
+    EXPECT_EQ(da.bank, first.bank);
+    EXPECT_EQ(da.ubank, first.ubank);
+    EXPECT_EQ(da.row, first.row);
+    EXPECT_EQ(da.column, static_cast<std::int64_t>(line));
+  }
+  // The very next line starts a new (channel, ...) coordinate.
+  const auto next = map.decompose(static_cast<std::uint64_t>(g.ubankRowBytes()));
+  EXPECT_NE(next.channel, first.channel);
+}
+
+TEST(AddressMap, ComposeInvertsDecompose) {
+  for (int nW : {1, 2, 8}) {
+    for (int nB : {1, 4, 16}) {
+      const auto g = testGeometry(nW, nB);
+      for (int iB : {6, 8, 6 + exactLog2(g.linesPerUbankRow())}) {
+        const AddressMap map(g, iB);
+        Rng rng(99);
+        for (int i = 0; i < 2000; ++i) {
+          const std::uint64_t addr = (rng.nextU64() % (1ull << 40)) & ~63ull;
+          EXPECT_EQ(map.compose(map.decompose(addr)), addr);
+        }
+      }
+    }
+  }
+}
+
+TEST(AddressMap, DecomposeInvertsCompose) {
+  const auto g = testGeometry(4, 4);
+  const AddressMap map(g, 9);
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    DramAddress da;
+    da.channel = static_cast<int>(rng.nextBounded(16));
+    da.rank = static_cast<int>(rng.nextBounded(2));
+    da.bank = static_cast<int>(rng.nextBounded(8));
+    da.ubank = static_cast<int>(rng.nextBounded(16));
+    da.row = static_cast<std::int64_t>(rng.nextBounded(1 << 20));
+    da.column = static_cast<std::int64_t>(
+        rng.nextBounded(static_cast<std::uint64_t>(g.linesPerUbankRow())));
+    EXPECT_EQ(map.decompose(map.compose(da)), da);
+  }
+}
+
+TEST(AddressMap, DistinctLinesMapToDistinctCoordinates) {
+  const auto g = testGeometry(2, 2);
+  const AddressMap map(g, 8);
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t line = 0; line < 4096; ++line) {
+    const auto da = map.decompose(line * 64);
+    const std::uint64_t key =
+        ((static_cast<std::uint64_t>(da.flatUbank(g)) << 40) |
+         (static_cast<std::uint64_t>(da.row) << 10) |
+         static_cast<std::uint64_t>(da.column));
+    EXPECT_TRUE(seen.insert(key).second) << "aliased at line " << line;
+  }
+}
+
+TEST(AddressMap, FieldsStayInRange) {
+  const auto g = testGeometry(8, 2);
+  const AddressMap map(g, 7);
+  Rng rng(123);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t addr = (rng.nextU64() % (1ull << 42)) & ~63ull;
+    const auto da = map.decompose(addr);
+    EXPECT_GE(da.channel, 0);
+    EXPECT_LT(da.channel, g.channels);
+    EXPECT_GE(da.rank, 0);
+    EXPECT_LT(da.rank, g.ranksPerChannel);
+    EXPECT_GE(da.bank, 0);
+    EXPECT_LT(da.bank, g.banksPerRank);
+    EXPECT_GE(da.ubank, 0);
+    EXPECT_LT(da.ubank, g.ubanksPerBank());
+    EXPECT_GE(da.column, 0);
+    EXPECT_LT(da.column, g.linesPerUbankRow());
+    EXPECT_GE(da.row, 0);
+  }
+}
+
+TEST(AddressMap, IntermediateBaseBitSplitsColumn) {
+  // iB = 8: two column bits below the channel field, the rest above.
+  const auto g = testGeometry();
+  const AddressMap map(g, 8);
+  // Lines 0..3 differ only in column-low: same row, same channel after 4.
+  const auto da0 = map.decompose(0);
+  const auto da3 = map.decompose(3 * 64);
+  EXPECT_EQ(da0.channel, da3.channel);
+  EXPECT_EQ(da0.row, da3.row);
+  EXPECT_EQ(da3.column, 3);
+  // Line 4 crosses into the next channel.
+  EXPECT_NE(map.decompose(4 * 64).channel, da0.channel);
+}
+
+TEST(AddressMap, FlatUbankIsDense) {
+  const auto g = testGeometry(2, 2);
+  std::set<std::int64_t> ids;
+  for (int ch = 0; ch < g.channels; ++ch)
+    for (int rk = 0; rk < g.ranksPerChannel; ++rk)
+      for (int bk = 0; bk < g.banksPerRank; ++bk)
+        for (int ub = 0; ub < g.ubanksPerBank(); ++ub) {
+          DramAddress da;
+          da.channel = ch;
+          da.rank = rk;
+          da.bank = bk;
+          da.ubank = ub;
+          ids.insert(da.flatUbank(g));
+        }
+  EXPECT_EQ(static_cast<std::int64_t>(ids.size()), g.totalUbanks());
+  EXPECT_EQ(*ids.begin(), 0);
+  EXPECT_EQ(*ids.rbegin(), g.totalUbanks() - 1);
+}
+
+TEST(AddressMap, XorHashStaysBijective) {
+  for (int nW : {1, 4}) {
+    for (int nB : {1, 8}) {
+      const auto g = testGeometry(nW, nB);
+      const AddressMap map(g, 8, /*xorBankHash=*/true);
+      Rng rng(321);
+      for (int i = 0; i < 3000; ++i) {
+        const std::uint64_t addr = (rng.nextU64() % (1ull << 40)) & ~63ull;
+        EXPECT_EQ(map.compose(map.decompose(addr)), addr);
+      }
+    }
+  }
+}
+
+TEST(AddressMap, XorHashSpreadsConsecutiveRowsAcrossBanks) {
+  // Under the plain page-interleaved map, rows r and r + banks land in the
+  // same bank; with the hash they scatter.
+  const auto g = testGeometry(1, 1);
+  const AddressMap plain = AddressMap::pageInterleaved(g);
+  const AddressMap hashed(g, plain.interleaveBaseBit(), /*xorBankHash=*/true);
+  std::set<int> plainBanks, hashedBanks;
+  for (std::int64_t r = 0; r < 8; ++r) {
+    DramAddress da;
+    da.row = r;  // consecutive rows of bank 0
+    plainBanks.insert(plain.decompose(plain.compose(da)).bank);
+    // Re-decompose the same *physical* addresses under the hashed map.
+    hashedBanks.insert(hashed.decompose(plain.compose(da)).bank);
+  }
+  EXPECT_EQ(plainBanks.size(), 1u);
+  EXPECT_GT(hashedBanks.size(), 4u);
+}
+
+TEST(AddressMap, XorHashPreservesRowAndColumn) {
+  const auto g = testGeometry(2, 2);
+  const AddressMap hashed(g, 9, /*xorBankHash=*/true);
+  const AddressMap plain(g, 9, /*xorBankHash=*/false);
+  Rng rng(77);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t addr = (rng.nextU64() % (1ull << 38)) & ~63ull;
+    const auto h = hashed.decompose(addr);
+    const auto p = plain.decompose(addr);
+    EXPECT_EQ(h.row, p.row);
+    EXPECT_EQ(h.column, p.column);
+    EXPECT_EQ(h.channel, p.channel);
+    EXPECT_EQ(h.rank, p.rank);
+  }
+}
+
+TEST(AddressMapDeath, RejectsBaseBitOutOfRange) {
+  const auto g = testGeometry();
+  EXPECT_DEATH(AddressMap(g, 5), "check failed");
+  EXPECT_DEATH(AddressMap(g, 14), "check failed");
+}
+
+TEST(DramAddress, ToStringIsReadable) {
+  DramAddress da;
+  da.channel = 3;
+  da.row = 42;
+  EXPECT_NE(da.toString().find("ch3"), std::string::npos);
+  EXPECT_NE(da.toString().find("row42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mb::core

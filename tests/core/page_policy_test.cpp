@@ -1,0 +1,151 @@
+#include "core/page_policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mb::core {
+namespace {
+
+TEST(TwoBitCounter, StartsWeaklyOpen) {
+  TwoBitCounter c;
+  EXPECT_TRUE(c.predictsOpen());
+  EXPECT_EQ(c.state(), 1);
+}
+
+TEST(TwoBitCounter, SaturatesBothWays) {
+  TwoBitCounter c;
+  for (int i = 0; i < 10; ++i) c.train(false);
+  EXPECT_EQ(c.state(), 3);
+  EXPECT_FALSE(c.predictsOpen());
+  for (int i = 0; i < 10; ++i) c.train(true);
+  EXPECT_EQ(c.state(), 0);
+  EXPECT_TRUE(c.predictsOpen());
+}
+
+TEST(TwoBitCounter, HysteresisNeedsTwoFlips) {
+  TwoBitCounter c;
+  c.train(true);  // strongly open (0)
+  c.train(false);  // 1: still predicts open
+  EXPECT_TRUE(c.predictsOpen());
+  c.train(false);  // 2: now predicts close
+  EXPECT_FALSE(c.predictsOpen());
+}
+
+TEST(PolicyFactory, CreatesEveryKind) {
+  for (auto kind : {PolicyKind::Open, PolicyKind::Close, PolicyKind::MinimalistOpen,
+                    PolicyKind::LocalBimodal, PolicyKind::GlobalBimodal,
+                    PolicyKind::Tournament, PolicyKind::Perfect}) {
+    auto p = makePagePolicy(kind);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->kind(), kind);
+    EXPECT_FALSE(p->name().empty());
+  }
+}
+
+TEST(StaticPolicies, AlwaysReturnTheirDecision) {
+  OpenPagePolicy open;
+  ClosePagePolicy close;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(open.decide(i, 0), PageDecision::KeepOpen);
+    EXPECT_EQ(close.decide(i, 0), PageDecision::Close);
+  }
+}
+
+TEST(PerfectPolicy, IsLazy) {
+  PerfectPolicy p;
+  EXPECT_EQ(p.decide(0, 0), PageDecision::Lazy);
+}
+
+TEST(MinimalistOpen, ClosesAfterHitBudget) {
+  MinimalistOpenPolicy p(2);
+  EXPECT_EQ(p.decide(1, 0), PageDecision::KeepOpen);
+  p.onAccess(1, true);
+  EXPECT_EQ(p.decide(1, 0), PageDecision::KeepOpen);
+  p.onAccess(1, true);
+  EXPECT_EQ(p.decide(1, 0), PageDecision::Close);
+}
+
+TEST(MinimalistOpen, MissResetsBudget) {
+  MinimalistOpenPolicy p(1);
+  p.onAccess(1, true);
+  EXPECT_EQ(p.decide(1, 0), PageDecision::Close);
+  p.onAccess(1, false);  // fresh activation
+  EXPECT_EQ(p.decide(1, 0), PageDecision::KeepOpen);
+}
+
+TEST(MinimalistOpen, TracksUbanksIndependently) {
+  MinimalistOpenPolicy p(1);
+  p.onAccess(1, true);
+  EXPECT_EQ(p.decide(1, 0), PageDecision::Close);
+  EXPECT_EQ(p.decide(2, 0), PageDecision::KeepOpen);
+}
+
+TEST(LocalBimodal, LearnsPerUbank) {
+  LocalBimodalPolicy p;
+  // μbank 1 sees row misses; μbank 2 sees hits.
+  for (int i = 0; i < 4; ++i) {
+    p.observeOutcome(1, 0, false);
+    p.observeOutcome(2, 0, true);
+  }
+  EXPECT_EQ(p.decide(1, 0), PageDecision::Close);
+  EXPECT_EQ(p.decide(2, 0), PageDecision::KeepOpen);
+}
+
+TEST(GlobalBimodal, LearnsPerThread) {
+  GlobalBimodalPolicy p;
+  for (int i = 0; i < 4; ++i) {
+    p.observeOutcome(1, /*thread=*/7, false);
+    p.observeOutcome(2, /*thread=*/9, true);
+  }
+  // Thread 7 closes everywhere, thread 9 keeps open everywhere.
+  EXPECT_EQ(p.decide(55, 7), PageDecision::Close);
+  EXPECT_EQ(p.decide(55, 9), PageDecision::KeepOpen);
+}
+
+TEST(Tournament, ConvergesToCloseOnAllMisses) {
+  TournamentPolicy p;
+  for (int i = 0; i < 16; ++i) p.observeOutcome(1, 0, false);
+  EXPECT_EQ(p.decide(1, 0), PageDecision::Close);
+  // The winning candidate should be the static-close or a dynamic candidate
+  // predicting close; its score must dominate static-open's.
+  EXPECT_NE(p.bestCandidate(1), 0);
+}
+
+TEST(Tournament, ConvergesToOpenOnAllHits) {
+  TournamentPolicy p;
+  for (int i = 0; i < 16; ++i) p.observeOutcome(1, 0, true);
+  EXPECT_EQ(p.decide(1, 0), PageDecision::KeepOpen);
+}
+
+TEST(Tournament, AdaptsToAlternatingPatternViaDynamicCandidate) {
+  // A pattern that alternates per μbank: μbank 1 always misses, μbank 2
+  // always hits, same thread. The local candidate tracks both perfectly;
+  // the statics each get one μbank wrong. The tournament should match the
+  // local candidate's decisions.
+  TournamentPolicy p;
+  for (int i = 0; i < 20; ++i) {
+    p.observeOutcome(1, 0, false);
+    p.observeOutcome(2, 0, true);
+  }
+  EXPECT_EQ(p.decide(1, 0), PageDecision::Close);
+  EXPECT_EQ(p.decide(2, 0), PageDecision::KeepOpen);
+}
+
+TEST(Tournament, ScoresAreIndependentPerUbank) {
+  TournamentPolicy p;
+  for (int i = 0; i < 8; ++i) p.observeOutcome(1, 0, false);
+  // μbank 99 has no history: default weakly-open behaviour.
+  EXPECT_EQ(p.decide(99, 0), PageDecision::KeepOpen);
+}
+
+TEST(PolicyKindName, AllNamed) {
+  EXPECT_EQ(policyKindName(PolicyKind::Open), "open");
+  EXPECT_EQ(policyKindName(PolicyKind::Close), "close");
+  EXPECT_EQ(policyKindName(PolicyKind::LocalBimodal), "local");
+  EXPECT_EQ(policyKindName(PolicyKind::GlobalBimodal), "global");
+  EXPECT_EQ(policyKindName(PolicyKind::Tournament), "tournament");
+  EXPECT_EQ(policyKindName(PolicyKind::Perfect), "perfect");
+  EXPECT_EQ(policyKindName(PolicyKind::MinimalistOpen), "minimalist-open");
+}
+
+}  // namespace
+}  // namespace mb::core

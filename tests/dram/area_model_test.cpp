@@ -1,0 +1,108 @@
+#include "dram/area_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+namespace mb::dram {
+namespace {
+
+// The full matrix the paper publishes in Fig. 6(a): (nW, nB) -> relative area.
+struct Fig6aEntry {
+  int nW;
+  int nB;
+  double relativeArea;
+};
+
+const std::vector<Fig6aEntry>& fig6aMatrix() {
+  static const std::vector<Fig6aEntry> m = {
+      {1, 1, 1.000},  {1, 2, 1.001},  {1, 4, 1.003},  {1, 8, 1.007},  {1, 16, 1.014},
+      {2, 1, 1.004},  {2, 2, 1.006},  {2, 4, 1.010},  {2, 8, 1.017},  {2, 16, 1.033},
+      {4, 1, 1.008},  {4, 2, 1.012},  {4, 4, 1.019},  {4, 8, 1.035},  {4, 16, 1.066},
+      {8, 1, 1.015},  {8, 2, 1.023},  {8, 4, 1.039},  {8, 8, 1.070},  {8, 16, 1.132},
+      {16, 1, 1.031}, {16, 2, 1.047}, {16, 4, 1.078}, {16, 8, 1.142}, {16, 16, 1.268},
+  };
+  return m;
+}
+
+TEST(AreaModel, BaselineIsUnity) {
+  AreaModel model;
+  EXPECT_DOUBLE_EQ(model.relativeArea({1, 1}), 1.0);
+}
+
+TEST(AreaModel, CalibrationCornersAreExact) {
+  AreaModel model;
+  EXPECT_NEAR(model.relativeArea({16, 1}), 1.031, 1e-9);
+  EXPECT_NEAR(model.relativeArea({1, 16}), 1.014, 1e-9);
+  EXPECT_NEAR(model.relativeArea({16, 16}), 1.268, 1e-9);
+}
+
+TEST(AreaModel, ReproducesFig6aWithin0p3Percent) {
+  AreaModel model;
+  for (const auto& e : fig6aMatrix()) {
+    EXPECT_NEAR(model.relativeArea({e.nW, e.nB}), e.relativeArea, 0.003)
+        << "(nW,nB)=(" << e.nW << "," << e.nB << ")";
+  }
+}
+
+TEST(AreaModel, MonotonicInBothAxes) {
+  AreaModel model;
+  for (int nw : {1, 2, 4, 8}) {
+    for (int nb : {1, 2, 4, 8}) {
+      EXPECT_LT(model.relativeArea({nw, nb}), model.relativeArea({nw * 2, nb}));
+      EXPECT_LT(model.relativeArea({nw, nb}), model.relativeArea({nw, nb * 2}));
+    }
+  }
+}
+
+TEST(AreaModel, WordlinePartitionsCostMoreThanBitline) {
+  // §IV-B: global datalines/muxes (nW) are costlier than latch rows (nB).
+  AreaModel model;
+  for (int n : {2, 4, 8, 16}) {
+    EXPECT_GT(model.relativeArea({n, 1}), model.relativeArea({1, n}));
+  }
+}
+
+TEST(AreaModel, MostConfigsUnderFivePercent) {
+  // §IV-B: "for most of the other μbank configurations (nW x nB < 64), the
+  // area overhead is under 5%."
+  AreaModel model;
+  for (const auto& e : fig6aMatrix()) {
+    if (e.nW * e.nB < 64) {
+      EXPECT_LT(model.overhead({e.nW, e.nB}), 0.05)
+          << "(nW,nB)=(" << e.nW << "," << e.nB << ")";
+    }
+  }
+}
+
+TEST(AreaModel, RepresentativeConfigsWithinThreePercentBudget) {
+  // Fig. 10 picks configs under a 3% area budget.
+  AreaModel model;
+  EXPECT_TRUE(model.withinAreaBudget({1, 1}));
+  EXPECT_TRUE(model.withinAreaBudget({2, 8}));
+  EXPECT_TRUE(model.withinAreaBudget({4, 4}));
+  EXPECT_TRUE(model.withinAreaBudget({8, 2}));
+  EXPECT_FALSE(model.withinAreaBudget({16, 16}));
+}
+
+TEST(AreaModel, DieAreaScalesFrom80mm2) {
+  AreaModel model;
+  EXPECT_DOUBLE_EQ(model.dieAreaMm2({1, 1}), 80.0);
+  EXPECT_NEAR(model.dieAreaMm2({16, 16}), 80.0 * 1.268, 0.01);
+}
+
+TEST(AreaModel, SingleSubarrayStrawmanIsInfeasible) {
+  // §IV-A: one mat per cache line inflates the die 3.8x.
+  EXPECT_DOUBLE_EQ(AreaModel::singleSubarrayRelativeArea(), 3.8);
+  AreaModel model;
+  EXPECT_LT(model.relativeArea({16, 16}), AreaModel::singleSubarrayRelativeArea());
+}
+
+TEST(AreaModelDeath, RejectsInvalidConfig) {
+  AreaModel model;
+  EXPECT_DEATH((void)model.relativeArea({3, 1}), "check failed");
+}
+
+}  // namespace
+}  // namespace mb::dram

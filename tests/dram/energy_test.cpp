@@ -1,0 +1,103 @@
+#include "dram/energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mb::dram {
+namespace {
+
+TEST(EnergyParams, TableIValues) {
+  const auto pcb = EnergyParams::ddr3Pcb();
+  EXPECT_DOUBLE_EQ(pcb.ioPerBit, 20.0);
+  EXPECT_DOUBLE_EQ(pcb.rdwrPerBit, 13.0);
+  EXPECT_DOUBLE_EQ(pcb.actPreFullRow, 30000.0);  // 30 nJ
+
+  const auto lp = EnergyParams::lpddrTsi();
+  EXPECT_DOUBLE_EQ(lp.ioPerBit, 4.0);
+  EXPECT_DOUBLE_EQ(lp.rdwrPerBit, 4.0);
+}
+
+TEST(EnergyParams, Ddr3TsiSitsBetween) {
+  const auto pcb = EnergyParams::ddr3Pcb();
+  const auto tsi = EnergyParams::ddr3Tsi();
+  const auto lp = EnergyParams::lpddrTsi();
+  EXPECT_LT(tsi.ioPerBit, pcb.ioPerBit);
+  EXPECT_GT(tsi.ioPerBit, lp.ioPerBit);
+}
+
+TEST(EnergyParams, ActPreScalesWithRowSize) {
+  const auto p = EnergyParams::lpddrTsi();
+  EXPECT_DOUBLE_EQ(p.actPreEnergy(8 * kKiB), 30000.0);
+  EXPECT_DOUBLE_EQ(p.actPreEnergy(4 * kKiB), 15000.0);
+  EXPECT_DOUBLE_EQ(p.actPreEnergy(512), 30000.0 / 16.0);
+}
+
+TEST(EnergyParams, ActPreDominatesCasForFullRow) {
+  // §IV-A: activate/precharge of an 8 KB row is ~15x the cost of moving a
+  // cache line through TSI channels.
+  const auto p = EnergyParams::lpddrTsi();
+  const auto act = p.actPreEnergy(8 * kKiB);
+  const auto cas = p.casEnergy(64, 1);
+  EXPECT_GT(act / cas, 6.0);
+  EXPECT_NEAR(act / (64.0 * 8.0 * (p.rdwrPerBit + p.ioPerBit)), 7.3, 0.1);
+}
+
+TEST(EnergyMeter, AccumulatesByCategory) {
+  EnergyMeter m(EnergyParams::lpddrTsi());
+  m.onActivate(8 * kKiB);
+  m.onCas(64, 1);
+  EXPECT_DOUBLE_EQ(m.actPre(), 30000.0);
+  EXPECT_DOUBLE_EQ(m.io(), 64 * 8 * 4.0);
+  EXPECT_GT(m.rdwr(), 0.0);
+  EXPECT_EQ(m.activations(), 1);
+  EXPECT_EQ(m.casOps(), 1);
+}
+
+TEST(EnergyMeter, StaticEnergyIntegratesOverTime) {
+  EnergyMeter m(EnergyParams::lpddrTsi());
+  m.finalizeStatic(kSecond, 2);  // 1 s, 2 ranks
+  // 0.03 W x 2 ranks x 1 s = 0.06 J = 6e10 pJ (no DLL/ODT on the LPDDR PHY).
+  EXPECT_NEAR(m.staticEnergy(), 6e10, 1e6);
+}
+
+TEST(EnergyMeter, RefreshCountsAsActPre) {
+  EnergyMeter m(EnergyParams::lpddrTsi());
+  m.onRefresh();
+  EXPECT_GT(m.actPre(), 0.0);
+  EXPECT_EQ(m.refreshes(), 1);
+}
+
+TEST(EnergyPerRead, FallsWithNw) {
+  const auto p = EnergyParams::lpddrTsi();
+  Geometry g;
+  double prev = 1e18;
+  for (int nw : {1, 2, 4, 8, 16}) {
+    g.ubank = {nw, 1};
+    const double e = energyPerRead(p, g, 1.0);
+    EXPECT_LT(e, prev);
+    prev = e;
+  }
+}
+
+TEST(EnergyPerRead, BetaAmortizesActivation) {
+  const auto p = EnergyParams::lpddrTsi();
+  Geometry g;
+  const double high = energyPerRead(p, g, 1.0);
+  const double low = energyPerRead(p, g, 0.1);
+  EXPECT_GT(high, low);
+  // At beta=0.1 the activation contributes 3000 pJ vs 30000 at beta=1.
+  EXPECT_NEAR(high - low, 27000.0, 1.0);
+}
+
+TEST(EnergyPerRead, NwSixteenAtBetaOneCutsMostEnergy) {
+  // The Fig. 6(b) shape: at beta = 1, (nW = 16) removes ~15/16 of the
+  // activation energy, the dominant term.
+  const auto p = EnergyParams::lpddrTsi();
+  Geometry g;
+  const double base = energyPerRead(p, g, 1.0);
+  g.ubank = {16, 1};
+  const double cut = energyPerRead(p, g, 1.0);
+  EXPECT_LT(cut / base, 0.25);
+}
+
+}  // namespace
+}  // namespace mb::dram

@@ -1,0 +1,90 @@
+#include "dram/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mb::dram {
+namespace {
+
+TEST(UbankConfig, ConventionalBankIsOneByOne) {
+  UbankConfig c{1, 1};
+  EXPECT_TRUE(c.valid());
+  EXPECT_EQ(c.ubanksPerBank(), 1);
+}
+
+TEST(UbankConfig, ValidRangeIsPow2UpTo16) {
+  for (int nw : {1, 2, 4, 8, 16}) {
+    for (int nb : {1, 2, 4, 8, 16}) {
+      EXPECT_TRUE((UbankConfig{nw, nb}.valid()));
+    }
+  }
+  EXPECT_FALSE((UbankConfig{3, 1}.valid()));
+  EXPECT_FALSE((UbankConfig{0, 1}.valid()));
+  EXPECT_FALSE((UbankConfig{32, 1}.valid()));
+  EXPECT_FALSE((UbankConfig{1, 32}.valid()));
+}
+
+TEST(Geometry, DefaultIsValid) {
+  Geometry g;
+  EXPECT_TRUE(g.valid());
+}
+
+TEST(Geometry, UbankRowShrinksWithNw) {
+  Geometry g;
+  g.ubank = {4, 2};
+  EXPECT_EQ(g.ubankRowBytes(), 2 * kKiB);  // 8 KB / 4
+  EXPECT_EQ(g.linesPerUbankRow(), 32);
+  EXPECT_EQ(g.ubanksPerBank(), 8);
+}
+
+TEST(Geometry, TotalUbanksMultiplies) {
+  Geometry g;  // 16 ch x 2 rk x 8 bk
+  g.ubank = {2, 8};
+  EXPECT_EQ(g.totalUbanks(), 16LL * 2 * 8 * 16);
+}
+
+TEST(Geometry, OpenRowBytesGrowWithNbNotNw) {
+  // §IV: nB multiplies open rows at full size; nW shrinks each row, so the
+  // total simultaneously-open bytes depend on nB only.
+  Geometry base;
+  Geometry moreNw = base;
+  moreNw.ubank = {16, 1};
+  Geometry moreNb = base;
+  moreNb.ubank = {1, 16};
+  EXPECT_EQ(base.maxOpenRowBytes(), moreNw.maxOpenRowBytes());
+  EXPECT_EQ(moreNb.maxOpenRowBytes(), 16 * base.maxOpenRowBytes());
+}
+
+TEST(Geometry, RowsPerUbankConsistentWithCapacity) {
+  Geometry g;
+  g.ubank = {2, 8};
+  const auto totalBytes =
+      g.rowsPerUbank() * g.ubankRowBytes() * g.totalUbanks();
+  EXPECT_EQ(totalBytes, g.capacityBytes);
+}
+
+TEST(Geometry, InvalidWhenNotPowerOfTwo) {
+  Geometry g;
+  g.channels = 3;
+  EXPECT_FALSE(g.valid());
+}
+
+TEST(Geometry, InvalidWhenRowNotDivisible) {
+  Geometry g;
+  g.rowBytes = 96;  // not a power of two
+  EXPECT_FALSE(g.valid());
+}
+
+TEST(Geometry, PaperScaleSystem) {
+  // §VI-A: 16 channels, 64 GB; LPDDR-TSI: 8 ranks per channel.
+  Geometry g;
+  g.channels = 16;
+  g.ranksPerChannel = 8;
+  g.capacityBytes = 64 * kGiB;
+  g.ubank = {16, 16};
+  EXPECT_TRUE(g.valid());
+  EXPECT_EQ(g.totalUbanks(), 16LL * 8 * 8 * 256);
+  EXPECT_EQ(g.ubankRowBytes(), 512);
+}
+
+}  // namespace
+}  // namespace mb::dram

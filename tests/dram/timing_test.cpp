@@ -1,0 +1,65 @@
+#include "dram/timing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mb::dram {
+namespace {
+
+TEST(TimingParams, TableIValuesForDdr3) {
+  const auto t = TimingParams::ddr3();
+  EXPECT_EQ(t.tRCD, ns(14));
+  EXPECT_EQ(t.tAA, ns(14));
+  EXPECT_EQ(t.tRAS, ns(35));
+  EXPECT_EQ(t.tRP, ns(14));
+  EXPECT_TRUE(t.valid());
+}
+
+TEST(TimingParams, TableIValuesForTsi) {
+  const auto t = TimingParams::tsi();
+  EXPECT_EQ(t.tAA, ns(12));  // Table I: TSI read-to-first-data is 12 ns
+  EXPECT_EQ(t.tRCD, ns(14));
+  EXPECT_TRUE(t.valid());
+}
+
+TEST(TimingParams, RowCycleIsActPlusPre) {
+  const auto t = TimingParams::ddr3();
+  EXPECT_EQ(t.tRC(), ns(49));
+}
+
+TEST(TimingParams, BurstMatches16GBpsChannel) {
+  // 64 B at 16 GB/s = 4 ns (§IV-B).
+  const auto t = TimingParams::tsi();
+  EXPECT_EQ(t.tBURST, ns(4));
+}
+
+TEST(TimingParams, ConflictLatencyComposition) {
+  const auto t = TimingParams::ddr3();
+  EXPECT_EQ(t.conflictLatency(), t.tRP + t.tRCD + t.tAA + t.tBURST);
+}
+
+TEST(TimingParams, InvalidWhenRasBelowRcd) {
+  auto t = TimingParams::ddr3();
+  t.tRAS = t.tRCD - 1;
+  EXPECT_FALSE(t.valid());
+}
+
+TEST(TimingParams, InvalidWhenFawBelowRrd) {
+  auto t = TimingParams::ddr3();
+  t.tFAW = t.tRRD - 1;
+  EXPECT_FALSE(t.valid());
+}
+
+TEST(TimingParams, InvalidWhenRefreshSaturates) {
+  auto t = TimingParams::ddr3();
+  t.tREFI = t.tRFC;
+  EXPECT_FALSE(t.valid());
+}
+
+TEST(TimingParams, InvalidOnNonPositiveFields) {
+  auto t = TimingParams::ddr3();
+  t.tBURST = 0;
+  EXPECT_FALSE(t.valid());
+}
+
+}  // namespace
+}  // namespace mb::dram

@@ -1,0 +1,194 @@
+// Directional trend tests: small, fast runs asserting the qualitative
+// relationships the paper's evaluation is built on. Absolute values are
+// checked loosely; the *ordering* must hold for the figure reproductions to
+// be meaningful.
+#include <gtest/gtest.h>
+
+#include "dram/area_model.hpp"
+#include "sim/experiment.hpp"
+
+namespace mb::sim {
+namespace {
+
+SystemConfig fast(int maxInstrs = 150000) {
+  SystemConfig cfg = tsiBaselineConfig();
+  cfg.core.maxInstrs = maxInstrs;
+  return cfg;
+}
+
+TEST(Trends, UbanksImproveMcfIpc) {
+  // Fig. 8(a): 429.mcf gains from both partitioning directions.
+  auto base = fast();
+  const auto r11 = runSpecApp("429.mcf", base);
+  auto cfg44 = base;
+  cfg44.ubank = {4, 4};
+  const auto r44 = runSpecApp("429.mcf", cfg44);
+  auto cfg1616 = base;
+  cfg1616.ubank = {16, 16};
+  const auto r1616 = runSpecApp("429.mcf", cfg1616);
+  EXPECT_GT(r44.systemIpc, r11.systemIpc * 1.05);
+  EXPECT_GE(r1616.systemIpc, r44.systemIpc * 0.98);  // diminishing but not worse
+}
+
+TEST(Trends, UbanksReduceReadLatency) {
+  auto base = fast();
+  const auto r11 = runSpecApp("429.mcf", base);
+  auto cfg = base;
+  cfg.ubank = {4, 4};
+  const auto r44 = runSpecApp("429.mcf", cfg);
+  EXPECT_LT(r44.avgReadLatencyNs, r11.avgReadLatencyNs);
+}
+
+TEST(Trends, NwCutsActivationEnergy) {
+  // Fig. 6(b) realized in simulation: more wordline partitions, less
+  // ACT/PRE energy for the same work.
+  auto base = fast();
+  const auto r1 = runSpecApp("433.milc", base);
+  auto cfg = base;
+  cfg.ubank = {8, 1};
+  const auto r8 = runSpecApp("433.milc", cfg);
+  const double perAccess1 =
+      r1.energy.dramActPre / static_cast<double>(r1.dramReads + r1.dramWrites);
+  const double perAccess8 =
+      r8.energy.dramActPre / static_cast<double>(r8.dramReads + r8.dramWrites);
+  EXPECT_LT(perAccess8, perAccess1 * 0.6);
+}
+
+TEST(Trends, EdpGainExceedsIpcGainWithNw) {
+  // Fig. 9 vs Fig. 8: energy falls with nW, so 1/EDP improves more than IPC.
+  auto base = fast();
+  const auto r11 = runSpecApp("429.mcf", base);
+  auto cfg = base;
+  cfg.ubank = {8, 8};
+  const auto r88 = runSpecApp("429.mcf", cfg);
+  const double ipcGain = r88.systemIpc / r11.systemIpc;
+  const double edpGain = r88.invEdp / r11.invEdp;
+  EXPECT_GT(edpGain, ipcGain);
+}
+
+TEST(Trends, StreamingAppPrefersPageInterleavingWithUbanks) {
+  // Fig. 12: with many open rows, open-page + page interleaving beats
+  // cache-line interleaving.
+  auto cfg = fast();
+  cfg.ubank = {2, 8};
+  const auto page = runSpecApp("462.libquantum", cfg);
+  auto lineCfg = cfg;
+  lineCfg.interleaveBaseBit = 6;
+  const auto line = runSpecApp("462.libquantum", lineCfg);
+  EXPECT_GT(page.rowHitRate, line.rowHitRate);
+}
+
+TEST(Trends, CloseBeatsOpenOnMcfWithoutUbanks) {
+  // Fig. 13 at (1,1): mcf's low locality favors close-page.
+  auto open = fast();
+  open.pagePolicy = core::PolicyKind::Open;
+  auto close = fast();
+  close.pagePolicy = core::PolicyKind::Close;
+  const auto ro = runSpecApp("429.mcf", open);
+  const auto rc = runSpecApp("429.mcf", close);
+  EXPECT_GT(rc.systemIpc, ro.systemIpc * 0.99);
+  EXPECT_GT(rc.predictorHitRate, ro.predictorHitRate);
+}
+
+TEST(Trends, OpenBeatsCloseOnStreamingApp) {
+  auto open = fast();
+  open.pagePolicy = core::PolicyKind::Open;
+  auto close = fast();
+  close.pagePolicy = core::PolicyKind::Close;
+  const auto ro = runSpecApp("462.libquantum", open);
+  const auto rc = runSpecApp("462.libquantum", close);
+  EXPECT_GT(ro.systemIpc, rc.systemIpc);
+}
+
+TEST(Trends, PerfectPolicyIsUpperBoundish) {
+  // The oracle should beat both statics on a mixed-locality app.
+  auto cfg = fast();
+  for (const char* app : {"450.soplex", "482.sphinx3"}) {
+    auto open = cfg;
+    open.pagePolicy = core::PolicyKind::Open;
+    auto close = cfg;
+    close.pagePolicy = core::PolicyKind::Close;
+    auto perfect = cfg;
+    perfect.pagePolicy = core::PolicyKind::Perfect;
+    const auto ro = runSpecApp(app, open);
+    const auto rc = runSpecApp(app, close);
+    const auto rp = runSpecApp(app, perfect);
+    EXPECT_GE(rp.systemIpc, std::max(ro.systemIpc, rc.systemIpc) * 0.995) << app;
+  }
+}
+
+TEST(Trends, TournamentTracksBestStatic) {
+  // §V: the tournament adapts; it should be within a few percent of the
+  // better static policy on both a close-friendly and an open-friendly app.
+  for (const char* app : {"429.mcf", "462.libquantum"}) {
+    auto open = fast();
+    open.pagePolicy = core::PolicyKind::Open;
+    auto close = fast();
+    close.pagePolicy = core::PolicyKind::Close;
+    auto tour = fast();
+    tour.pagePolicy = core::PolicyKind::Tournament;
+    const auto ro = runSpecApp(app, open);
+    const auto rc = runSpecApp(app, close);
+    const auto rt = runSpecApp(app, tour);
+    EXPECT_GE(rt.systemIpc, std::max(ro.systemIpc, rc.systemIpc) * 0.93) << app;
+  }
+}
+
+TEST(Trends, TsiInterfacesBeatPcb) {
+  // Fig. 14 ordering on a bandwidth-hungry mix, scaled to 16 cores.
+  auto mk = [&](interface::PhyKind phy) {
+    auto cfg = fast(60000);
+    cfg.phy = phy;
+    cfg.hier.numCores = 16;
+    cfg.channels = phy == interface::PhyKind::Ddr3Pcb ? 2 : 4;  // pin limit
+    return runSimulation(cfg, WorkloadSpec::mix("mix-high"));
+  };
+  const auto pcb = mk(interface::PhyKind::Ddr3Pcb);
+  const auto dtsi = mk(interface::PhyKind::Ddr3Tsi);
+  const auto ltsi = mk(interface::PhyKind::LpddrTsi);
+  EXPECT_GT(dtsi.systemIpc, pcb.systemIpc);
+  EXPECT_GT(ltsi.systemIpc, dtsi.systemIpc * 0.98);
+  EXPECT_GT(ltsi.invEdp, pcb.invEdp);
+}
+
+TEST(Trends, LpddrTsiShiftsEnergyTowardActPre) {
+  // Fig. 14 / Fig. 1: with cheap I/O, ACT/PRE dominates DRAM energy.
+  auto pcb = fast();
+  pcb.phy = interface::PhyKind::Ddr3Pcb;
+  auto ltsi = fast();
+  ltsi.phy = interface::PhyKind::LpddrTsi;
+  const auto rp = runSpecApp("429.mcf", pcb);
+  const auto rl = runSpecApp("429.mcf", ltsi);
+  const double pcbShare =
+      rp.energy.dramActPre /
+      (rp.energy.dramActPre + rp.energy.dramRdWr + rp.energy.io + rp.energy.dramStatic);
+  const double ltsiShare =
+      rl.energy.dramActPre /
+      (rl.energy.dramActPre + rl.energy.dramRdWr + rl.energy.io + rl.energy.dramStatic);
+  EXPECT_GT(ltsiShare, pcbShare);
+  EXPECT_GT(ltsiShare, 0.5);
+}
+
+TEST(Trends, QueueOccupancyDropsWithUbanks) {
+  // §V's motivation: μbanks spread the stream over more banks and serve it
+  // faster, starving the per-bank pending-request information.
+  auto base = fast();
+  const auto r11 = runSpecApp("429.mcf", base);
+  auto cfg = base;
+  cfg.ubank = {4, 4};
+  const auto r44 = runSpecApp("429.mcf", cfg);
+  EXPECT_LT(r44.avgQueueOccupancy, r11.avgQueueOccupancy);
+}
+
+TEST(Trends, AreaBudgetSelectionMatchesPaper) {
+  // The representative configs all fit in 3% area; the big corners do not.
+  dram::AreaModel area;
+  for (const auto& c : representativeConfigs()) {
+    EXPECT_TRUE(area.withinAreaBudget({c.nW, c.nB})) << c.label;
+  }
+  EXPECT_FALSE(area.withinAreaBudget({16, 16}));
+  EXPECT_FALSE(area.withinAreaBudget({8, 16}));
+}
+
+}  // namespace
+}  // namespace mb::sim

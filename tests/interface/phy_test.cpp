@@ -1,0 +1,90 @@
+#include "interface/phy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mb::interface {
+namespace {
+
+TEST(PhyModel, Ddr3PcbIsPinLimited) {
+  const auto m = PhyModel::make(PhyKind::Ddr3Pcb);
+  EXPECT_EQ(m.channels, 8);  // ~1600 pins (§VI-D)
+  EXPECT_EQ(m.ranksPerChannel, 2);
+  EXPECT_EQ(m.timing.tAA, ns(14));
+  EXPECT_EQ(m.timing.tBURST, ns(5));  // 12.8 GB/s DIMM (§II)
+  EXPECT_EQ(m.timing.tRTRS, ns(2));
+  EXPECT_DOUBLE_EQ(m.energy.ioPerBit, 20.0);
+}
+
+TEST(PhyModel, Ddr3TsiDropsPinLimitKeepsPhyCost) {
+  const auto m = PhyModel::make(PhyKind::Ddr3Tsi);
+  EXPECT_EQ(m.channels, 16);
+  EXPECT_EQ(m.ranksPerChannel, 1);  // one 8-die-stack rank (§VI-D)
+  EXPECT_EQ(m.timing.tAA, ns(12));
+  EXPECT_EQ(m.timing.tBURST, ns(4));
+  // I/O energy between PCB (20) and LPDDR (4): the DDR3 PHY survives.
+  EXPECT_GT(m.energy.ioPerBit, 4.0);
+  EXPECT_LT(m.energy.ioPerBit, 20.0);
+}
+
+TEST(PhyModel, LpddrTsiIsTheEfficientEndpoint) {
+  const auto m = PhyModel::make(PhyKind::LpddrTsi);
+  EXPECT_EQ(m.channels, 16);
+  EXPECT_EQ(m.ranksPerChannel, 4);  // die = rank; 4 x 8Gb dies per channel
+  EXPECT_EQ(m.timing.tAA, ns(12));
+  EXPECT_EQ(m.timing.tRTRS, 0);
+  EXPECT_DOUBLE_EQ(m.energy.ioPerBit, 4.0);
+  EXPECT_DOUBLE_EQ(m.energy.rdwrPerBit, 4.0);
+  // No DLL/ODT: lowest static PHY power of the three.
+  EXPECT_LT(m.energy.staticPowerPerRankWatts,
+            PhyModel::make(PhyKind::Ddr3Pcb).energy.staticPowerPerRankWatts);
+}
+
+TEST(PhyModel, BankParallelismOrderingDrivesFig14) {
+  // Banks per channel: DDR3-TSI (8) < DDR3-PCB (16) < LPDDR-TSI (32).
+  auto banks = [](PhyKind k) { return PhyModel::make(k).ranksPerChannel * 8; };
+  EXPECT_EQ(banks(PhyKind::Ddr3Tsi), 8);
+  EXPECT_EQ(banks(PhyKind::Ddr3Pcb), 16);
+  EXPECT_EQ(banks(PhyKind::LpddrTsi), 32);
+}
+
+TEST(PhyModel, AllTimingsValid) {
+  for (auto kind :
+       {PhyKind::Ddr3Pcb, PhyKind::Ddr3Tsi, PhyKind::LpddrTsi, PhyKind::Hmc}) {
+    EXPECT_TRUE(PhyModel::make(kind).timing.valid()) << phyKindName(kind);
+  }
+}
+
+TEST(PhyModel, HmcTradesLatencyAndStaticPowerForLinks) {
+  // The extension models the paper's §VII characterization: serial links
+  // add latency and always-on power relative to TSI interposer wires.
+  const auto hmc = PhyModel::make(PhyKind::Hmc);
+  const auto tsi = PhyModel::make(PhyKind::LpddrTsi);
+  EXPECT_GT(hmc.linkLatency, 0);
+  EXPECT_EQ(tsi.linkLatency, 0);
+  EXPECT_GT(hmc.energy.staticPowerPerRankWatts, tsi.energy.staticPowerPerRankWatts);
+  EXPECT_GT(hmc.energy.ioPerBit, tsi.energy.ioPerBit);
+  EXPECT_EQ(hmc.channels, 16);
+}
+
+TEST(PhyModel, Names) {
+  EXPECT_EQ(phyKindName(PhyKind::Ddr3Pcb), "DDR3-PCB");
+  EXPECT_EQ(phyKindName(PhyKind::Ddr3Tsi), "DDR3-TSI");
+  EXPECT_EQ(phyKindName(PhyKind::LpddrTsi), "LPDDR-TSI");
+  EXPECT_EQ(phyKindName(PhyKind::Hmc), "HMC");
+}
+
+TEST(PhyModel, ChannelBandwidthMatchesBurst) {
+  // 64 B per tBURST must equal the stated channel bandwidth.
+  for (auto kind : {PhyKind::Ddr3Pcb, PhyKind::Ddr3Tsi, PhyKind::LpddrTsi}) {
+    const auto m = PhyModel::make(kind);
+    const double gbps = 64.0 / (toNs(m.timing.tBURST));  // GB/s
+    if (kind == PhyKind::Ddr3Pcb) {
+      EXPECT_NEAR(gbps, 12.8, 0.01);
+    } else {
+      EXPECT_NEAR(gbps, 16.0, 0.01);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mb::interface

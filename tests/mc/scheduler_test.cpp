@@ -1,0 +1,171 @@
+#include "mc/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mb::mc {
+namespace {
+
+Candidate cand(int idx, std::uint64_t id, ThreadId thread, Tick arrival, Tick earliest,
+               bool rowHit) {
+  Candidate c;
+  c.queueIndex = idx;
+  c.id = id;
+  c.thread = thread;
+  c.arrival = arrival;
+  c.earliestIssue = earliest;
+  c.rowHit = rowHit;
+  return c;
+}
+
+MemRequest req(std::uint64_t id, ThreadId thread, Tick arrival) {
+  MemRequest r;
+  r.id = id;
+  r.thread = thread;
+  r.arrival = arrival;
+  return r;
+}
+
+TEST(SchedulerFactory, CreatesAllKinds) {
+  for (auto kind :
+       {SchedulerKind::Fcfs, SchedulerKind::FrFcfs, SchedulerKind::ParBs}) {
+    auto s = makeScheduler(kind);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->kind(), kind);
+  }
+}
+
+TEST(Fcfs, PicksOldestIssuable) {
+  FcfsScheduler s;
+  std::vector<Candidate> cands{
+      cand(0, 1, 0, 100, 0, true),
+      cand(1, 2, 0, 50, 0, false),
+      cand(2, 3, 0, 75, 0, true),
+  };
+  EXPECT_EQ(s.pick(cands, 0), 1);
+}
+
+TEST(Fcfs, SkipsFutureCandidates) {
+  FcfsScheduler s;
+  std::vector<Candidate> cands{
+      cand(0, 1, 0, 10, 500, false),
+      cand(1, 2, 0, 90, 0, false),
+  };
+  EXPECT_EQ(s.pick(cands, 100), 1);
+}
+
+TEST(Fcfs, ReturnsMinusOneWhenNothingIssuable) {
+  FcfsScheduler s;
+  std::vector<Candidate> cands{cand(0, 1, 0, 10, 500, false)};
+  EXPECT_EQ(s.pick(cands, 100), -1);
+  EXPECT_EQ(s.pick(cands, 500), 0);
+}
+
+TEST(FrFcfs, PrefersRowHitOverAge) {
+  FrFcfsScheduler s;
+  std::vector<Candidate> cands{
+      cand(0, 1, 0, 10, 0, false),  // older conflict
+      cand(1, 2, 0, 90, 0, true),   // younger hit
+  };
+  EXPECT_EQ(s.pick(cands, 100), 1);
+}
+
+TEST(FrFcfs, AgeBreaksTiesAmongHits) {
+  FrFcfsScheduler s;
+  std::vector<Candidate> cands{
+      cand(0, 1, 0, 90, 0, true),
+      cand(1, 2, 0, 10, 0, true),
+  };
+  EXPECT_EQ(s.pick(cands, 100), 1);
+}
+
+TEST(ParBs, MarkedBeatsUnmarkedRowHit) {
+  ParBsScheduler s(/*markingCap=*/1);
+  // Queue: thread 0 has an old request (gets marked), thread 1's second
+  // request arrives after batch formation and is unmarked.
+  const auto r1 = req(1, 0, 10);
+  s.onEnqueue(r1);
+  std::vector<Candidate> round1{cand(0, 1, 0, 10, 0, false)};
+  EXPECT_EQ(s.pick(round1, 100), 0);  // forms batch, picks marked
+  EXPECT_TRUE(s.isMarked(1));
+
+  const auto r2 = req(2, 1, 20);
+  s.onEnqueue(r2);
+  std::vector<Candidate> round2{
+      cand(0, 1, 0, 10, 0, false),  // marked conflict
+      cand(1, 2, 1, 20, 0, true),   // unmarked hit
+  };
+  EXPECT_EQ(s.pick(round2, 100), 0);
+}
+
+TEST(ParBs, NewBatchFormsWhenMarkedDrains) {
+  ParBsScheduler s(2);
+  const auto r1 = req(1, 0, 10);
+  s.onEnqueue(r1);
+  std::vector<Candidate> c1{cand(0, 1, 0, 10, 0, false)};
+  (void)s.pick(c1, 100);
+  EXPECT_TRUE(s.isMarked(1));
+  s.onDequeue(r1);
+  EXPECT_FALSE(s.isMarked(1));
+
+  const auto r2 = req(2, 1, 20);
+  s.onEnqueue(r2);
+  std::vector<Candidate> c2{cand(0, 2, 1, 20, 0, false)};
+  (void)s.pick(c2, 100);
+  EXPECT_TRUE(s.isMarked(2));
+}
+
+TEST(ParBs, MarkingCapLimitsPerThread) {
+  ParBsScheduler s(2);
+  for (std::uint64_t i = 1; i <= 5; ++i) s.onEnqueue(req(i, 0, static_cast<Tick>(i)));
+  std::vector<Candidate> cands;
+  for (std::uint64_t i = 1; i <= 5; ++i)
+    cands.push_back(cand(static_cast<int>(i - 1), i, 0, static_cast<Tick>(i), 0, false));
+  (void)s.pick(cands, 100);
+  int marked = 0;
+  for (std::uint64_t i = 1; i <= 5; ++i) marked += s.isMarked(i) ? 1 : 0;
+  EXPECT_EQ(marked, 2);
+  EXPECT_TRUE(s.isMarked(1));  // oldest first
+  EXPECT_TRUE(s.isMarked(2));
+}
+
+TEST(ParBs, ShortestJobThreadRankedFirst) {
+  ParBsScheduler s(5);
+  // Thread 0: three requests; thread 1: one request. All arrive before the
+  // batch forms; thread 1 (fewer marked) should be served first among
+  // equally-old, equally-row-state candidates.
+  for (std::uint64_t i = 1; i <= 3; ++i) s.onEnqueue(req(i, 0, 10));
+  s.onEnqueue(req(4, 1, 10));
+  std::vector<Candidate> cands{
+      cand(0, 1, 0, 10, 0, false),
+      cand(1, 2, 0, 10, 0, false),
+      cand(2, 3, 0, 10, 0, false),
+      cand(3, 4, 1, 10, 0, false),
+  };
+  EXPECT_EQ(s.pick(cands, 100), 3);
+}
+
+TEST(ParBs, RowHitStillWinsWithinBatch) {
+  ParBsScheduler s(5);
+  s.onEnqueue(req(1, 0, 10));
+  s.onEnqueue(req(2, 0, 20));
+  std::vector<Candidate> cands{
+      cand(0, 1, 0, 10, 0, false),
+      cand(1, 2, 0, 20, 0, true),
+  };
+  EXPECT_EQ(s.pick(cands, 100), 1);
+}
+
+TEST(ParBs, EmptyCandidatesReturnsMinusOne) {
+  ParBsScheduler s;
+  std::vector<Candidate> cands;
+  EXPECT_EQ(s.pick(cands, 0), -1);
+}
+
+TEST(SchedulerKindName, AllNamed) {
+  EXPECT_EQ(schedulerKindName(SchedulerKind::Fcfs), "FCFS");
+  EXPECT_EQ(schedulerKindName(SchedulerKind::FrFcfs), "FR-FCFS");
+  EXPECT_EQ(schedulerKindName(SchedulerKind::ParBs), "PAR-BS");
+}
+
+}  // namespace
+}  // namespace mb::mc

@@ -1,0 +1,158 @@
+#include "mc/timing_checker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mb::mc {
+namespace {
+
+dram::Geometry geom() {
+  dram::Geometry g;
+  g.channels = 1;
+  g.ranksPerChannel = 2;
+  g.banksPerRank = 2;
+  g.ubank = {2, 2};
+  g.capacityBytes = 4 * kGiB;
+  return g;
+}
+
+core::DramAddress addr(int rank, int bank, int ubank, std::int64_t row) {
+  core::DramAddress da;
+  da.rank = rank;
+  da.bank = bank;
+  da.ubank = ubank;
+  da.row = row;
+  return da;
+}
+
+class TimingCheckerTest : public ::testing::Test {
+ protected:
+  TimingCheckerTest() : t_(dram::TimingParams::tsi()), chk_(geom(), t_) {
+    chk_.softFail = true;  // return false instead of aborting
+  }
+  dram::TimingParams t_;
+  TimingChecker chk_;
+};
+
+TEST_F(TimingCheckerTest, LegalSequencePasses) {
+  const auto a = addr(0, 0, 0, 5);
+  EXPECT_TRUE(chk_.onCommand(DramCommand::Act, a, 0));
+  EXPECT_TRUE(chk_.onCommand(DramCommand::Read, a, t_.tRCD));
+  EXPECT_TRUE(chk_.onCommand(DramCommand::Pre, a, t_.tRAS));
+  EXPECT_TRUE(chk_.onCommand(DramCommand::Act, a, t_.tRAS + t_.tRP));
+  EXPECT_EQ(chk_.commandsChecked(), 4);
+}
+
+TEST_F(TimingCheckerTest, EarlyCasFailsTrcd) {
+  const auto a = addr(0, 0, 0, 5);
+  chk_.onCommand(DramCommand::Act, a, 0);
+  EXPECT_FALSE(chk_.onCommand(DramCommand::Read, a, t_.tRCD - 1));
+}
+
+TEST_F(TimingCheckerTest, EarlyPreFailsTras) {
+  const auto a = addr(0, 0, 0, 5);
+  chk_.onCommand(DramCommand::Act, a, 0);
+  EXPECT_FALSE(chk_.onCommand(DramCommand::Pre, a, t_.tRAS - 1));
+}
+
+TEST_F(TimingCheckerTest, EarlyReactivateFailsTrp) {
+  const auto a = addr(0, 0, 0, 5);
+  chk_.onCommand(DramCommand::Act, a, 0);
+  chk_.onCommand(DramCommand::Pre, a, t_.tRAS);
+  EXPECT_FALSE(chk_.onCommand(DramCommand::Act, a, t_.tRAS + t_.tRP - 1));
+}
+
+TEST_F(TimingCheckerTest, CasToWrongRowFails) {
+  chk_.onCommand(DramCommand::Act, addr(0, 0, 0, 5), 0);
+  EXPECT_FALSE(chk_.onCommand(DramCommand::Read, addr(0, 0, 0, 6), t_.tRCD));
+}
+
+TEST_F(TimingCheckerTest, ActToOpenBankFails) {
+  chk_.onCommand(DramCommand::Act, addr(0, 0, 0, 5), 0);
+  EXPECT_FALSE(chk_.onCommand(DramCommand::Act, addr(0, 0, 0, 6), t_.tRC()));
+}
+
+TEST_F(TimingCheckerTest, PreToClosedBankFails) {
+  EXPECT_FALSE(chk_.onCommand(DramCommand::Pre, addr(0, 0, 0, 5), 0));
+}
+
+TEST_F(TimingCheckerTest, TrrdViolationFails) {
+  chk_.onCommand(DramCommand::Act, addr(0, 0, 0, 1), 0);
+  EXPECT_FALSE(chk_.onCommand(DramCommand::Act, addr(0, 1, 0, 1), t_.tRRD - 1));
+}
+
+TEST_F(TimingCheckerTest, DifferentRanksIgnoreTrrd) {
+  chk_.onCommand(DramCommand::Act, addr(0, 0, 0, 1), 0);
+  EXPECT_TRUE(chk_.onCommand(DramCommand::Act, addr(1, 0, 0, 1), t_.tCMD));
+}
+
+TEST_F(TimingCheckerTest, FawViolationFails) {
+  Tick at = 0;
+  for (int u = 0; u < 4; ++u) {
+    EXPECT_TRUE(chk_.onCommand(DramCommand::Act, addr(0, 0, u, 1), at));
+    at += t_.tRRD;
+  }
+  // Fifth activate inside the window of the first.
+  EXPECT_FALSE(chk_.onCommand(DramCommand::Act, addr(0, 1, 0, 1), at));
+}
+
+TEST_F(TimingCheckerTest, FifthActAfterFawPasses) {
+  Tick at = 0;
+  for (int u = 0; u < 4; ++u) {
+    chk_.onCommand(DramCommand::Act, addr(0, 0, u, 1), at);
+    at += t_.tRRD;
+  }
+  EXPECT_TRUE(chk_.onCommand(DramCommand::Act, addr(0, 1, 0, 1), t_.tFAW));
+}
+
+TEST_F(TimingCheckerTest, DataBusOverlapFails) {
+  const auto a = addr(0, 0, 0, 5);
+  const auto b = addr(0, 1, 0, 7);
+  chk_.onCommand(DramCommand::Act, a, 0);
+  chk_.onCommand(DramCommand::Act, b, t_.tRRD);
+  chk_.onCommand(DramCommand::Read, a, t_.tRCD);
+  // A CAS one tick later would overlap the first burst.
+  EXPECT_FALSE(chk_.onCommand(DramCommand::Read, b, t_.tRCD + t_.tCCD - 1));
+}
+
+TEST_F(TimingCheckerTest, WriteToReadTurnaroundEnforced) {
+  const auto a = addr(0, 0, 0, 5);
+  const auto b = addr(0, 1, 0, 7);
+  chk_.onCommand(DramCommand::Act, a, 0);
+  chk_.onCommand(DramCommand::Act, b, t_.tRRD);
+  chk_.onCommand(DramCommand::Write, a, t_.tRCD);
+  const Tick wrEnd = t_.tRCD + t_.tAA + t_.tBURST;
+  EXPECT_FALSE(chk_.onCommand(DramCommand::Read, b, wrEnd + t_.tWTR - 1));
+}
+
+TEST_F(TimingCheckerTest, WriteRecoveryBeforePreEnforced) {
+  const auto a = addr(0, 0, 0, 5);
+  chk_.onCommand(DramCommand::Act, a, 0);
+  chk_.onCommand(DramCommand::Write, a, t_.tRCD);
+  const Tick wrEnd = t_.tRCD + t_.tAA + t_.tBURST;
+  EXPECT_FALSE(chk_.onCommand(DramCommand::Pre, a, wrEnd + t_.tWR - 1));
+  EXPECT_TRUE(chk_.onCommand(DramCommand::Pre, a, wrEnd + t_.tWR));
+}
+
+TEST_F(TimingCheckerTest, ReadToPreRespectsTrtp) {
+  const auto a = addr(0, 0, 0, 5);
+  chk_.onCommand(DramCommand::Act, a, 0);
+  const Tick cas = t_.tRAS - t_.tRTP + 1;  // late CAS so tRTP binds, not tRAS
+  chk_.onCommand(DramCommand::Read, a, cas);
+  EXPECT_FALSE(chk_.onCommand(DramCommand::Pre, a, cas + t_.tRTP - 1));
+}
+
+TEST_F(TimingCheckerTest, CommandBusSlotEnforced) {
+  chk_.onCommand(DramCommand::Act, addr(0, 0, 0, 1), 0);
+  EXPECT_FALSE(chk_.onCommand(DramCommand::Act, addr(1, 0, 0, 1), t_.tCMD - 1));
+}
+
+TEST(TimingCheckerDeath, HardFailAborts) {
+  TimingChecker chk(geom(), dram::TimingParams::tsi());
+  core::DramAddress a;
+  a.row = 1;
+  chk.onCommand(DramCommand::Act, a, 0);
+  EXPECT_DEATH(chk.onCommand(DramCommand::Read, a, 0), "timing violation");
+}
+
+}  // namespace
+}  // namespace mb::mc

@@ -1,0 +1,89 @@
+#include "sim/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace mb::sim {
+namespace {
+
+TEST(Configs, TsiBaselineShape) {
+  const auto cfg = tsiBaselineConfig();
+  EXPECT_EQ(cfg.phy, interface::PhyKind::LpddrTsi);
+  EXPECT_EQ(cfg.ubank.nW, 1);
+  EXPECT_EQ(cfg.ubank.nB, 1);
+  EXPECT_EQ(cfg.pagePolicy, core::PolicyKind::Open);
+  EXPECT_EQ(cfg.scheduler, mc::SchedulerKind::ParBs);
+}
+
+TEST(Configs, Ddr3PcbDiffersOnlyInPhy) {
+  const auto cfg = ddr3PcbConfig();
+  EXPECT_EQ(cfg.phy, interface::PhyKind::Ddr3Pcb);
+  EXPECT_EQ(cfg.pagePolicy, core::PolicyKind::Open);
+}
+
+TEST(SlicePresets, FullIsLargerThanFast) {
+  EXPECT_GT(sliceInstructions(SlicePreset::Full, false),
+            sliceInstructions(SlicePreset::Fast, false));
+  EXPECT_GT(sliceInstructions(SlicePreset::Full, true),
+            sliceInstructions(SlicePreset::Fast, true));
+}
+
+TEST(SlicePresets, EnvOverride) {
+  setenv("MB_SLICE", "full", 1);
+  EXPECT_EQ(slicePresetFromEnv(), SlicePreset::Full);
+  setenv("MB_SLICE", "fast", 1);
+  EXPECT_EQ(slicePresetFromEnv(), SlicePreset::Fast);
+  setenv("MB_SLICE", "garbage", 1);
+  EXPECT_EQ(slicePresetFromEnv(SlicePreset::Full), SlicePreset::Full);
+  unsetenv("MB_SLICE");
+  EXPECT_EQ(slicePresetFromEnv(), SlicePreset::Fast);
+}
+
+TEST(ApplySlice, SetsCoreBudget) {
+  SystemConfig cfg;
+  applySlice(cfg, SlicePreset::Fast, false);
+  EXPECT_EQ(cfg.core.maxInstrs, sliceInstructions(SlicePreset::Fast, false));
+}
+
+TEST(Ratios, RatioAndMeanRatio) {
+  RunResult a, b, c, d;
+  a.systemIpc = 2.0;
+  b.systemIpc = 1.0;
+  c.systemIpc = 3.0;
+  d.systemIpc = 2.0;
+  EXPECT_DOUBLE_EQ(ratio(a, b, ipcOf), 2.0);
+  EXPECT_DOUBLE_EQ(meanRatio({a, c}, {b, d}, ipcOf), (2.0 + 1.5) / 2.0);
+}
+
+TEST(RatiosDeath, ZeroBaselineAborts) {
+  RunResult a, b;
+  a.systemIpc = 1.0;
+  b.systemIpc = 0.0;
+  EXPECT_DEATH((void)ratio(a, b, ipcOf), "check failed");
+}
+
+TEST(Axes, SweepAxisIsPaper5x5) {
+  EXPECT_EQ(sweepAxis(), (std::vector<int>{1, 2, 4, 8, 16}));
+}
+
+TEST(Axes, RepresentativeConfigsMatchFig10) {
+  const auto cfgs = representativeConfigs();
+  ASSERT_EQ(cfgs.size(), 4u);
+  EXPECT_EQ(cfgs[0].label, "(1,1)");
+  EXPECT_EQ(cfgs[1].nW, 2);
+  EXPECT_EQ(cfgs[1].nB, 8);
+  EXPECT_EQ(cfgs[3].nW, 8);
+  EXPECT_EQ(cfgs[3].nB, 2);
+}
+
+TEST(RunSpecGroup, RunsWholeGroup) {
+  SystemConfig cfg = tsiBaselineConfig();
+  cfg.core.maxInstrs = 8000;
+  const auto results = runSpecGroup(trace::SpecGroup::Low, cfg);
+  EXPECT_EQ(results.size(), 10u);
+  for (const auto& r : results) EXPECT_GT(r.systemIpc, 0.0);
+}
+
+}  // namespace
+}  // namespace mb::sim

@@ -1,0 +1,261 @@
+#include "trace/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+#include <set>
+
+namespace mb::trace {
+namespace {
+
+SyntheticParams smallParams() {
+  SyntheticParams p;
+  p.mapki = 20.0;
+  p.footprintBytes = 64 * kMiB;
+  p.hotBytes = 64 * kKiB;
+  p.streamFrac = 0.5;
+  p.chaseFrac = 0.2;
+  p.numStreams = 4;
+  p.writeFrac = 0.3;
+  p.seed = 42;
+  return p;
+}
+
+TEST(SyntheticSource, IsDeterministicForSameSeed) {
+  SyntheticSource a(smallParams()), b(smallParams());
+  for (int i = 0; i < 5000; ++i) {
+    const auto ra = a.next();
+    const auto rb = b.next();
+    EXPECT_EQ(ra.addr, rb.addr);
+    EXPECT_EQ(ra.gapInstrs, rb.gapInstrs);
+    EXPECT_EQ(ra.write, rb.write);
+    EXPECT_EQ(ra.dependent, rb.dependent);
+  }
+}
+
+TEST(SyntheticSource, DifferentSeedsDiffer) {
+  auto p = smallParams();
+  SyntheticSource a(p);
+  p.seed = 43;
+  SyntheticSource b(p);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next().addr == b.next().addr) ++same;
+  }
+  EXPECT_LT(same, 100);
+}
+
+TEST(SyntheticSource, AddressesStayInFootprint) {
+  const auto p = smallParams();
+  SyntheticSource s(p);
+  const std::uint64_t limit =
+      p.baseAddr + static_cast<std::uint64_t>(p.hotBytes + p.footprintBytes) + 64;
+  for (int i = 0; i < 20000; ++i) {
+    const auto r = s.next();
+    EXPECT_GE(r.addr, p.baseAddr);
+    EXPECT_LT(r.addr, limit);
+    EXPECT_EQ(r.addr % 64, 0u);
+  }
+}
+
+TEST(SyntheticSource, BaseAddrOffsetsWholeStream) {
+  auto p = smallParams();
+  p.baseAddr = 1ull << 33;
+  SyntheticSource s(p);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(s.next().addr, p.baseAddr);
+}
+
+TEST(SyntheticSource, GapMeanMatchesMapki) {
+  const auto p = smallParams();
+  SyntheticSource s(p);
+  double gapSum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) gapSum += s.next().gapInstrs;
+  // refs per kilo-instr = mapki * (1 + hot) = 60 -> mean gap ~ 16.7.
+  const double expected = 1000.0 / (p.mapki * (1.0 + p.hotRefsPerColdRef));
+  EXPECT_NEAR(gapSum / kN, expected, expected * 0.1);
+}
+
+TEST(SyntheticSource, WriteFractionRoughlyHonored) {
+  auto p = smallParams();
+  p.chaseFrac = 0.0;
+  SyntheticSource s(p);
+  int writes = 0, total = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const auto r = s.next();
+    ++total;
+    writes += r.write ? 1 : 0;
+  }
+  // The aggregate mixes hot (0.3) and cold (p.writeFrac) writes.
+  EXPECT_NEAR(static_cast<double>(writes) / total, 0.3, 0.05);
+}
+
+TEST(SyntheticSource, DependentFlagOnlyOnChases) {
+  auto p = smallParams();
+  p.chaseFrac = 0.0;
+  SyntheticSource s(p);
+  for (int i = 0; i < 10000; ++i) EXPECT_FALSE(s.next().dependent);
+
+  p.chaseFrac = 1.0;
+  p.streamFrac = 0.0;
+  p.hotRefsPerColdRef = 0.0;
+  SyntheticSource chaser(p);
+  int dependent = 0;
+  for (int i = 0; i < 1000; ++i) dependent += chaser.next().dependent ? 1 : 0;
+  EXPECT_EQ(dependent, 1000);
+}
+
+TEST(SyntheticSource, StreamingProducesSequentialRuns) {
+  auto p = smallParams();
+  p.streamFrac = 1.0;
+  p.chaseFrac = 0.0;
+  p.hotRefsPerColdRef = 0.0;
+  p.numStreams = 1;
+  SyntheticSource s(p);
+  std::uint64_t prev = s.next().addr;
+  int sequential = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto r = s.next();
+    if (r.addr == prev + 64) ++sequential;
+    prev = r.addr;
+  }
+  EXPECT_GT(sequential, 990);  // wraps at most a handful of times
+}
+
+TEST(SyntheticSource, PureRandomHasLowRowLocality) {
+  auto p = smallParams();
+  p.streamFrac = 0.0;
+  p.chaseFrac = 0.0;
+  p.hotRefsPerColdRef = 0.0;
+  SyntheticSource s(p);
+  std::uint64_t prev = ~0ull;
+  int sameRow = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const auto r = s.next();
+    if ((r.addr >> 13) == (prev >> 13)) ++sameRow;  // 8 KB rows
+    prev = r.addr;
+  }
+  EXPECT_LT(sameRow, 50);
+}
+
+TEST(MtSources, AllKindsConstructAndGenerate) {
+  MtParams p;
+  p.numThreads = 8;
+  for (auto kind :
+       {MtKind::Radix, MtKind::Fft, MtKind::Canneal, MtKind::TpcC, MtKind::TpcH}) {
+    p.kind = kind;
+    for (int t = 0; t < 8; ++t) {
+      auto src = makeMtSource(p, t);
+      for (int i = 0; i < 1000; ++i) {
+        const auto r = src->next();
+        EXPECT_LT(r.addr, static_cast<std::uint64_t>(p.sharedFootprintBytes) + 64);
+        EXPECT_EQ(r.addr % 64, 0u);
+      }
+    }
+  }
+}
+
+TEST(MtSources, ThreadsProduceDistinctStreams) {
+  MtParams p;
+  p.kind = MtKind::Radix;
+  p.numThreads = 4;
+  auto a = makeMtSource(p, 0);
+  auto b = makeMtSource(p, 1);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a->next().addr == b->next().addr) ++same;
+  }
+  EXPECT_LT(same, 10);
+}
+
+TEST(RadixSource, WritesScatterAcrossManyRows) {
+  MtParams p;
+  p.kind = MtKind::Radix;
+  p.numThreads = 4;
+  RadixSource s(p, 0);
+  std::set<std::uint64_t> writeRows;
+  int writes = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const auto r = s.next();
+    if (r.write) {
+      ++writes;
+      writeRows.insert(r.addr >> 13);
+    }
+  }
+  EXPECT_GT(writes, 1000);
+  // Writes rotate over ~64 bucket cursors -> many distinct rows live at once.
+  EXPECT_GT(writeRows.size(), 40u);
+}
+
+TEST(FftSource, HasStridedAndSequentialPhases) {
+  MtParams p;
+  p.kind = MtKind::Fft;
+  p.numThreads = 4;
+  FftSource s(p, 0);
+  std::map<std::uint64_t, int> strideCounts;
+  std::uint64_t prev = s.next().addr;
+  for (int i = 0; i < 3000; ++i) {
+    const auto r = s.next();
+    strideCounts[r.addr - prev] += 1;
+    prev = r.addr;
+  }
+  EXPECT_GT(strideCounts[64], 500);          // unit-stride phase
+  EXPECT_GT(strideCounts[64 * 1024], 200);   // transpose phase (64 KiB)
+}
+
+TEST(CannealSource, BurstsAreSpatiallyLocal) {
+  MtParams p;
+  p.kind = MtKind::Canneal;
+  p.numThreads = 4;
+  CannealSource s(p, 0);
+  std::uint64_t prev = s.next().addr;
+  int adjacent = 0;
+  constexpr int kN = 5000;
+  for (int i = 0; i < kN; ++i) {
+    const auto r = s.next();
+    if (r.addr == prev + 64) ++adjacent;
+    prev = r.addr;
+  }
+  // Bursts of 4-10 adjacent lines: most steps are +64 B.
+  EXPECT_GT(static_cast<double>(adjacent) / kN, 0.6);
+}
+
+TEST(TpcSources, TpcHIsMoreScanHeavyThanTpcC) {
+  MtParams p;
+  p.numThreads = 4;
+  p.kind = MtKind::TpcH;
+  TpcSource h(p, 0);
+  p.kind = MtKind::TpcC;
+  TpcSource c(p, 0);
+  auto seqFraction = [](TpcSource& s) {
+    // Scans round-robin over several cursors: an access is "sequential" if
+    // it extends any recently seen address by one line.
+    std::deque<std::uint64_t> window;
+    int seq = 0;
+    for (int i = 0; i < 20000; ++i) {
+      const auto r = s.next();
+      for (const auto w : window) {
+        if (r.addr == w + 64) {
+          ++seq;
+          break;
+        }
+      }
+      window.push_back(r.addr);
+      if (window.size() > 16) window.pop_front();
+    }
+    return static_cast<double>(seq) / 20000.0;
+  };
+  EXPECT_GT(seqFraction(h), seqFraction(c));
+}
+
+TEST(MtKindNames, AllNamed) {
+  EXPECT_EQ(mtKindName(MtKind::Radix), "RADIX");
+  EXPECT_EQ(mtKindName(MtKind::Fft), "FFT");
+  EXPECT_EQ(mtKindName(MtKind::Canneal), "canneal");
+  EXPECT_EQ(mtKindName(MtKind::TpcC), "TPC-C");
+  EXPECT_EQ(mtKindName(MtKind::TpcH), "TPC-H");
+}
+
+}  // namespace
+}  // namespace mb::trace

@@ -1,0 +1,107 @@
+#include "trace/profiles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mb::trace {
+namespace {
+
+TEST(Profiles, TableIICountsMatch) {
+  // Table II: 9 spec-high, 10 spec-med, 10 spec-low.
+  EXPECT_EQ(specGroupMembers(SpecGroup::High).size(), 9u);
+  EXPECT_EQ(specGroupMembers(SpecGroup::Med).size(), 10u);
+  EXPECT_EQ(specGroupMembers(SpecGroup::Low).size(), 10u);
+  EXPECT_EQ(specProfiles().size(), 29u);
+}
+
+TEST(Profiles, TableIIHighGroupMembership) {
+  const auto high = specGroupMembers(SpecGroup::High);
+  const std::set<std::string> expected{
+      "429.mcf",         "433.milc", "437.leslie3d", "450.soplex",
+      "459.GemsFDTD",    "462.libquantum", "470.lbm", "471.omnetpp",
+      "482.sphinx3"};
+  EXPECT_EQ(std::set<std::string>(high.begin(), high.end()), expected);
+}
+
+TEST(Profiles, GroupsOrderedByMapki) {
+  // Every high app exceeds every med app; every med exceeds every low.
+  double minHigh = 1e9, maxMed = 0, minMed = 1e9, maxLow = 0;
+  for (const auto& p : specProfiles()) {
+    switch (p.group) {
+      case SpecGroup::High: minHigh = std::min(minHigh, p.params.mapki); break;
+      case SpecGroup::Med:
+        maxMed = std::max(maxMed, p.params.mapki);
+        minMed = std::min(minMed, p.params.mapki);
+        break;
+      case SpecGroup::Low: maxLow = std::max(maxLow, p.params.mapki); break;
+    }
+  }
+  EXPECT_GT(minHigh, maxMed);
+  EXPECT_GT(minMed, maxLow);
+}
+
+TEST(Profiles, AllParamsValid) {
+  for (const auto& p : specProfiles()) {
+    EXPECT_GT(p.params.mapki, 0.0) << p.name;
+    EXPECT_GE(p.params.footprintBytes, p.params.hotBytes) << p.name;
+    EXPECT_LE(p.params.streamFrac + p.params.chaseFrac, 1.0) << p.name;
+    EXPECT_GE(p.params.numStreams, 1) << p.name;
+    EXPECT_GE(p.params.writeFrac, 0.0) << p.name;
+    EXPECT_LE(p.params.writeFrac, 1.0) << p.name;
+    // Each profile must construct a working generator.
+    SyntheticSource src(p.params);
+    for (int i = 0; i < 100; ++i) (void)src.next();
+  }
+}
+
+TEST(Profiles, McfIsPointerChaserWithHugeFootprint) {
+  const auto& mcf = specProfile("429.mcf");
+  EXPECT_GT(mcf.params.chaseFrac, 0.4);
+  EXPECT_GT(mcf.params.footprintBytes, kGiB);
+  EXPECT_LT(mcf.params.streamFrac, 0.2);
+}
+
+TEST(Profiles, LibquantumAndLbmAreStreaming) {
+  EXPECT_GT(specProfile("462.libquantum").params.streamFrac, 0.9);
+  EXPECT_GT(specProfile("470.lbm").params.streamFrac, 0.8);
+  EXPECT_GE(specProfile("470.lbm").params.writeFrac, 0.45);
+}
+
+TEST(ProfilesDeath, UnknownNameAborts) {
+  EXPECT_DEATH((void)specProfile("999.nothere"), "check failed");
+}
+
+TEST(Mixes, MixHighDrawsOnlyFromHighGroup) {
+  const auto apps = mixWorkload("mix-high", 64);
+  ASSERT_EQ(apps.size(), 64u);
+  const auto high = specGroupMembers(SpecGroup::High);
+  const std::set<std::string> highSet(high.begin(), high.end());
+  for (const auto& a : apps) EXPECT_TRUE(highSet.count(a)) << a;
+}
+
+TEST(Mixes, MixBlendDrawsFromAllGroups) {
+  const auto apps = mixWorkload("mix-blend", 64);
+  ASSERT_EQ(apps.size(), 64u);
+  std::set<SpecGroup> groups;
+  for (const auto& a : apps) groups.insert(specProfile(a).group);
+  EXPECT_EQ(groups.size(), 3u);
+}
+
+TEST(Mixes, SizeMatchesCoreCount) {
+  EXPECT_EQ(mixWorkload("mix-high", 16).size(), 16u);
+  EXPECT_EQ(mixWorkload("mix-blend", 4).size(), 4u);
+}
+
+TEST(MixesDeath, UnknownMixAborts) {
+  EXPECT_DEATH((void)mixWorkload("mix-nope", 4), "check failed");
+}
+
+TEST(GroupNames, AllNamed) {
+  EXPECT_EQ(specGroupName(SpecGroup::High), "spec-high");
+  EXPECT_EQ(specGroupName(SpecGroup::Med), "spec-med");
+  EXPECT_EQ(specGroupName(SpecGroup::Low), "spec-low");
+}
+
+}  // namespace
+}  // namespace mb::trace

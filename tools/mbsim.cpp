@@ -1,0 +1,164 @@
+// mbsim — command-line driver for single simulations.
+//
+// Runs one workload on one configuration and prints a full report, so the
+// library can be driven without writing C++:
+//
+//   mbsim --workload=429.mcf --nw=4 --nb=4
+//   mbsim --workload=TPC-H --phy=ddr3-pcb --policy=close --scheduler=frfcfs
+//   mbsim --workload=mix-high --instrs=500000 --ib=6 --seed=7
+//
+// Flags (all optional):
+//   --workload=NAME   SPEC app ("429.mcf"), mix ("mix-high"/"mix-blend"),
+//                     a kernel ("RADIX"/"FFT"/"canneal"/"TPC-C"/"TPC-H"),
+//                     or recorded traces ("trace:PREFIX" -> PREFIX.<core>.mbt,
+//                     written by tools/mbtrace)
+//   --nw=N --nb=N     μbank partitioning (powers of two, 1..16)
+//   --phy=KIND        ddr3-pcb | ddr3-tsi | lpddr-tsi | hmc
+//   --policy=KIND     open|close|minimalist|local|global|tournament|perfect
+//   --scheduler=KIND  fcfs | frfcfs | parbs
+//   --ib=N            interleaving base bit (6 = cache line; default page)
+//   --instrs=N        instruction slice per core
+//   --queue=N         scheduler-visible request window
+//   --seed=N          workload seed
+//   --xor-bank-hash   permutation-based bank-index hashing
+//   --per-bank-refresh, --no-refresh, --no-prefetch, --timing-check
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/string_util.hpp"
+#include "sim/experiment.hpp"
+
+namespace {
+
+using namespace mb;
+
+[[noreturn]] void usage(const char* msg) {
+  std::fprintf(stderr, "mbsim: %s\n(see the header of tools/mbsim.cpp for flags)\n",
+               msg);
+  std::exit(2);
+}
+
+bool matchFlag(const std::string& arg, const std::string& name, std::string* value) {
+  const std::string prefix = "--" + name + "=";
+  if (!startsWith(arg, prefix)) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+sim::WorkloadSpec workloadByName(const std::string& name) {
+  if (startsWith(name, "trace:"))
+    return sim::WorkloadSpec::traceFiles(name.substr(6));
+  if (name == "mix-high" || name == "mix-blend") return sim::WorkloadSpec::mix(name);
+  for (auto kind : {trace::MtKind::Radix, trace::MtKind::Fft, trace::MtKind::Canneal,
+                    trace::MtKind::TpcC, trace::MtKind::TpcH}) {
+    if (name == trace::mtKindName(kind)) return sim::WorkloadSpec::mt(kind);
+  }
+  return sim::WorkloadSpec::spec(name);  // validated by the profile lookup
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::SystemConfig cfg = sim::tsiBaselineConfig();
+  std::string workload = "429.mcf";
+  std::string value;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (matchFlag(arg, "workload", &value)) {
+      workload = value;
+    } else if (matchFlag(arg, "nw", &value)) {
+      cfg.ubank.nW = std::atoi(value.c_str());
+    } else if (matchFlag(arg, "nb", &value)) {
+      cfg.ubank.nB = std::atoi(value.c_str());
+    } else if (matchFlag(arg, "phy", &value)) {
+      if (value == "ddr3-pcb") cfg.phy = interface::PhyKind::Ddr3Pcb;
+      else if (value == "ddr3-tsi") cfg.phy = interface::PhyKind::Ddr3Tsi;
+      else if (value == "lpddr-tsi") cfg.phy = interface::PhyKind::LpddrTsi;
+      else if (value == "hmc") cfg.phy = interface::PhyKind::Hmc;
+      else usage("unknown --phy");
+    } else if (matchFlag(arg, "policy", &value)) {
+      if (value == "open") cfg.pagePolicy = core::PolicyKind::Open;
+      else if (value == "close") cfg.pagePolicy = core::PolicyKind::Close;
+      else if (value == "minimalist") cfg.pagePolicy = core::PolicyKind::MinimalistOpen;
+      else if (value == "local") cfg.pagePolicy = core::PolicyKind::LocalBimodal;
+      else if (value == "global") cfg.pagePolicy = core::PolicyKind::GlobalBimodal;
+      else if (value == "tournament") cfg.pagePolicy = core::PolicyKind::Tournament;
+      else if (value == "perfect") cfg.pagePolicy = core::PolicyKind::Perfect;
+      else usage("unknown --policy");
+    } else if (matchFlag(arg, "scheduler", &value)) {
+      if (value == "fcfs") cfg.scheduler = mc::SchedulerKind::Fcfs;
+      else if (value == "frfcfs") cfg.scheduler = mc::SchedulerKind::FrFcfs;
+      else if (value == "parbs") cfg.scheduler = mc::SchedulerKind::ParBs;
+      else usage("unknown --scheduler");
+    } else if (matchFlag(arg, "ib", &value)) {
+      cfg.interleaveBaseBit = std::atoi(value.c_str());
+    } else if (matchFlag(arg, "instrs", &value)) {
+      cfg.core.maxInstrs = std::atoll(value.c_str());
+    } else if (matchFlag(arg, "queue", &value)) {
+      cfg.queueDepth = std::atoi(value.c_str());
+    } else if (matchFlag(arg, "seed", &value)) {
+      cfg.seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+    } else if (arg == "--xor-bank-hash") {
+      cfg.xorBankHash = true;
+    } else if (arg == "--per-bank-refresh") {
+      cfg.perBankRefresh = true;
+    } else if (arg == "--no-refresh") {
+      cfg.refresh = false;
+    } else if (arg == "--no-prefetch") {
+      cfg.hier.enablePrefetch = false;
+    } else if (arg == "--timing-check") {
+      cfg.timingCheck = true;
+    } else {
+      usage(("unrecognized argument: " + arg).c_str());
+    }
+  }
+  if (!cfg.ubank.valid()) usage("--nw/--nb must be powers of two in [1,16]");
+
+  auto spec = workloadByName(workload);
+  if (spec.kind != sim::WorkloadSpec::Kind::SingleSpec &&
+      spec.kind != sim::WorkloadSpec::Kind::TraceFile) {
+    const auto phy = interface::PhyModel::make(cfg.phy);
+    cfg.hier.numCores = 64;
+    cfg.hier.coresPerCluster = 4;
+    if (cfg.channels < 0) cfg.channels = phy.channels;
+  }
+
+  const auto r = sim::runSimulation(cfg, spec);
+
+  std::printf("workload            %s\n", r.workload.c_str());
+  std::printf("phy                 %s\n", interface::phyKindName(cfg.phy).c_str());
+  std::printf("ubank (nW,nB)       (%d,%d)\n", cfg.ubank.nW, cfg.ubank.nB);
+  std::printf("page policy         %s\n", core::policyKindName(cfg.pagePolicy).c_str());
+  std::printf("scheduler           %s\n", mc::schedulerKindName(cfg.scheduler).c_str());
+  std::printf("\n");
+  std::printf("system IPC          %.3f (%zu cores)\n", r.systemIpc, r.coreIpc.size());
+  std::printf("elapsed             %.3f ms\n", toSeconds(r.elapsed) * 1e3);
+  std::printf("instructions        %lld\n", static_cast<long long>(r.instructions));
+  std::printf("DRAM reads/writes   %lld / %lld (MAPKI %.1f)\n",
+              static_cast<long long>(r.dramReads), static_cast<long long>(r.dramWrites),
+              r.mapki);
+  std::printf("row hit rate        %.3f\n", r.rowHitRate);
+  std::printf("predictor hit rate  %.3f\n", r.predictorHitRate);
+  std::printf("avg read latency    %.1f ns\n", r.avgReadLatencyNs);
+  std::printf("avg queue occupancy %.2f\n", r.avgQueueOccupancy);
+  std::printf("data bus util       %.2f\n", r.dataBusUtilization);
+  std::printf("prefetch issued     %lld (useful %lld)\n",
+              static_cast<long long>(r.hierarchy.prefetchIssued),
+              static_cast<long long>(r.hierarchy.prefetchUseful));
+  const double sec = toSeconds(r.elapsed);
+  std::printf("\nenergy (mJ) / avg power (W):\n");
+  auto line = [&](const char* tag, double pj) {
+    std::printf("  %-12s %8.3f mJ  %7.3f W\n", tag, pj * 1e-9, pj * 1e-12 / sec);
+  };
+  line("processor", r.energy.processor);
+  line("ACT/PRE", r.energy.dramActPre);
+  line("DRAM static", r.energy.dramStatic);
+  line("RD/WR", r.energy.dramRdWr);
+  line("I/O", r.energy.io);
+  line("total", r.energy.total());
+  std::printf("\n1/EDP               %.4g (J*s)^-1\n", r.invEdp);
+  return 0;
+}
