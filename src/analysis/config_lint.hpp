@@ -1,0 +1,57 @@
+// Static configuration linter: rejects invalid experiment configurations
+// before any simulation tick runs.
+//
+// The μbank design space is a (nW, nB) grid where one mis-derived timing or
+// address-map parameter silently corrupts every downstream figure, so the
+// linter enforces the cross-invariants over dram::Geometry /
+// dram::TimingParams / core::AddressMap statically:
+//   - power-of-two (nW, nB) grids and structure counts (MB-CFG-0xx),
+//   - address-map bit fields covering the physical address exactly once
+//     with no overlap, interleave base bit in range (MB-MAP-0xx),
+//   - timing sanity: tRAS >= tRCD, tFAW >= tRRD, tCCD >= tBURST,
+//     tREFI > tRFC, all parameters positive (MB-TIM-1xx),
+//   - μbank-scaled parameter derivation and Table I conformance of the
+//     interface timing sets (MB-DRV-0xx).
+//
+// Rules never construct simulator objects (an AddressMap constructor aborts
+// on a bad config — exactly what the linter exists to prevent); every
+// invariant is recomputed from plain arithmetic. All findings go to the
+// caller's DiagnosticEngine; nothing here aborts.
+//
+// Adding a rule: pick the next free code in the family (registry in
+// DESIGN.md §"Static analysis & diagnostics"), emit one Diagnostic per
+// independent defect with enough context to fix the config, and seed a
+// deliberately-broken config in tests/analysis/config_lint_test.cpp that
+// expects the new code.
+#pragma once
+
+#include "analysis/diagnostic.hpp"
+#include "dram/geometry.hpp"
+#include "dram/timing.hpp"
+#include "sim/system.hpp"
+
+namespace mb::analysis {
+
+class ConfigLinter {
+ public:
+  explicit ConfigLinter(DiagnosticEngine& engine) : engine_(engine) {}
+
+  /// Lint a full experiment configuration (geometry derivation, address
+  /// map, interface timing, controller parameters). Returns true when no
+  /// Error/Fatal diagnostic was produced by THIS call.
+  bool lintSystem(const sim::SystemConfig& cfg);
+
+  /// Granular entry points (also used by lintSystem).
+  bool lintGeometry(const dram::Geometry& g);
+  bool lintTiming(const dram::TimingParams& t);
+  /// `interleaveBaseBit` as in SystemConfig: -1 selects page interleaving.
+  bool lintAddressMap(const dram::Geometry& g, int interleaveBaseBit,
+                      bool xorBankHash);
+  /// Table I conformance of an interface timing set (MB-DRV-001).
+  bool lintTableI(const dram::TimingParams& t, interface::PhyKind kind);
+
+ private:
+  DiagnosticEngine& engine_;
+};
+
+}  // namespace mb::analysis

@@ -1,0 +1,116 @@
+#include "analysis/diagnostic.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace mb::analysis {
+
+const char* severityName(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+    case Severity::Fatal: return "fatal";
+  }
+  return "unknown";
+}
+
+Diagnostic& Diagnostic::with(std::string key, std::string value) {
+  context.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Diagnostic& Diagnostic::with(std::string key, std::int64_t value) {
+  return with(std::move(key), std::to_string(value));
+}
+
+Diagnostic& Diagnostic::with(std::string key, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return with(std::move(key), std::string(buf));
+}
+
+std::string Diagnostic::text() const {
+  std::ostringstream os;
+  os << severityName(severity) << ' ' << code << ": " << message;
+  if (where.known()) os << " [" << where.file << ':' << where.line << ']';
+  for (const auto& [k, v] : context) os << "\n  " << k << ": " << v;
+  return os.str();
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Diagnostic::json() const {
+  std::ostringstream os;
+  os << "{\"code\":\"" << jsonEscape(code) << "\",\"severity\":\""
+     << severityName(severity) << "\",\"message\":\"" << jsonEscape(message) << '"';
+  if (where.known())
+    os << ",\"location\":{\"file\":\"" << jsonEscape(where.file)
+       << "\",\"line\":" << where.line << '}';
+  os << ",\"context\":{";
+  bool first = true;
+  for (const auto& [k, v] : context) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << jsonEscape(k) << "\":\"" << jsonEscape(v) << '"';
+  }
+  os << "}}";
+  return os.str();
+}
+
+void DiagnosticEngine::report(Diagnostic d) {
+  if (onReport) onReport(d);
+  ++counts_[static_cast<int>(d.severity)];
+  if (diags_.size() < maxStored) diags_.push_back(std::move(d));
+}
+
+std::int64_t DiagnosticEngine::total() const {
+  std::int64_t t = 0;
+  for (const auto c : counts_) t += c;
+  return t;
+}
+
+void DiagnosticEngine::clear() {
+  diags_.clear();
+  for (auto& c : counts_) c = 0;
+}
+
+std::string DiagnosticEngine::renderText() const {
+  std::ostringstream os;
+  for (const auto& d : diags_) os << d.text() << '\n';
+  return os.str();
+}
+
+std::string DiagnosticEngine::renderJson() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < diags_.size(); ++i) {
+    if (i) os << ',';
+    os << diags_[i].json();
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace mb::analysis

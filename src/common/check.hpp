@@ -2,23 +2,53 @@
 //
 // MB_CHECK is always on (simulator correctness beats the last few percent of
 // speed; the hot paths have been measured and the checks are branch-predicted
-// away). MB_DCHECK compiles out in NDEBUG builds for checks inside the
-// innermost loops.
+// away). MB_CHECK_MSG carries printf-style context so a failure deep inside a
+// long run names the offending values, not just the expression. MB_DCHECK
+// compiles out in NDEBUG builds for checks inside the innermost loops.
+//
+// These macros guard *internal invariants* — conditions that are unreachable
+// from any linted configuration. User-facing validation (configs, protocol
+// conformance) goes through analysis::Diagnostic instead, which reports
+// structured, recoverable findings rather than aborting.
 #pragma once
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 
 namespace mb::detail {
+
 [[noreturn]] inline void checkFailed(const char* expr, const char* file, int line) {
   std::fprintf(stderr, "check failed: %s at %s:%d\n", expr, file, line);
   std::abort();
 }
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 4, 5)))
+#endif
+[[noreturn]] inline void
+checkFailedMsg(const char* expr, const char* file, int line, const char* fmt, ...) {
+  char msg[512];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(msg, sizeof(msg), fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "check failed: %s (%s) at %s:%d\n", expr, msg, file, line);
+  std::abort();
+}
+
 }  // namespace mb::detail
 
 #define MB_CHECK(expr)                                          \
   do {                                                          \
     if (!(expr)) ::mb::detail::checkFailed(#expr, __FILE__, __LINE__); \
+  } while (false)
+
+/// MB_CHECK with printf-style context: MB_CHECK_MSG(a < b, "a=%d b=%d", a, b).
+#define MB_CHECK_MSG(expr, ...)                                       \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::mb::detail::checkFailedMsg(#expr, __FILE__, __LINE__, __VA_ARGS__); \
   } while (false)
 
 #ifdef NDEBUG

@@ -21,7 +21,8 @@ class EventQueue {
 
   /// Schedule `cb` to run at absolute time `when` (>= now()).
   void scheduleAt(Tick when, Callback cb) {
-    MB_CHECK(when >= now_);
+    MB_CHECK_MSG(when >= now_, "scheduling into the past: when=%lldps now=%lldps",
+                 static_cast<long long>(when), static_cast<long long>(now_));
     heap_.push(Event{when, nextSeq_++, std::move(cb)});
   }
 

@@ -81,7 +81,8 @@ class Histogram {
 class TimeWeightedLevel {
  public:
   void update(Tick now, double newLevel) {
-    MB_CHECK(now >= lastTick_);
+    MB_CHECK_MSG(now >= lastTick_, "time ran backwards: now=%lldps last=%lldps",
+                 static_cast<long long>(now), static_cast<long long>(lastTick_));
     weightedSum_ += level_ * static_cast<double>(now - lastTick_);
     lastTick_ = now;
     level_ = newLevel;

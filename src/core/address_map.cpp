@@ -22,9 +22,15 @@ std::string DramAddress::toString() const {
 AddressMap::AddressMap(const dram::Geometry& geometry, int interleaveBaseBit,
                        bool xorBankHash)
     : geom_(geometry), iB_(interleaveBaseBit), xorHash_(xorBankHash) {
-  MB_CHECK(geom_.valid());
+  MB_CHECK_MSG(geom_.valid(),
+               "invalid geometry: ch=%d rk=%d bk=%d nW=%d nB=%d row=%lldB cap=%lldB",
+               geom_.channels, geom_.ranksPerChannel, geom_.banksPerRank,
+               geom_.ubank.nW, geom_.ubank.nB,
+               static_cast<long long>(geom_.rowBytes),
+               static_cast<long long>(geom_.capacityBytes));
   colBits_ = exactLog2(geom_.linesPerUbankRow());
-  MB_CHECK(iB_ >= 6 && iB_ <= 6 + colBits_);
+  MB_CHECK_MSG(iB_ >= 6 && iB_ <= 6 + colBits_,
+               "interleave base bit %d outside [6, %d]", iB_, 6 + colBits_);
   colLowBits_ = iB_ - 6;
   chBits_ = exactLog2(geom_.channels);
   rankBits_ = exactLog2(geom_.ranksPerChannel);

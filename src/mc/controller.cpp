@@ -22,7 +22,10 @@ MemoryController::MemoryController(ChannelId id, const dram::Geometry& geom,
       policy_(core::makePagePolicy(config.pagePolicy)) {
   channel_.refreshEnabled = cfg_.refreshEnabled;
   channel_.perBankRefresh = cfg_.perBankRefresh;
-  if (cfg_.enableTimingCheck) checker_.emplace(geom, timing);
+  if (cfg_.enableTimingCheck) {
+    checker_.emplace(geom, timing);
+    checker_->diagnostics = cfg_.diagnostics;
+  }
 }
 
 void MemoryController::enqueue(MemRequest req) {
@@ -194,7 +197,11 @@ void MemoryController::buildCandidates(Tick now, std::vector<Candidate>& cands,
 void MemoryController::issueFor(Pending& p, Tick now) {
   DramCommand cmd{};
   const Tick earliest = earliestFor(p, now, cmd);
-  MB_CHECK(earliest <= now);
+  MB_CHECK_MSG(earliest <= now,
+               "scheduler committed %s for %s before it is legal: earliest=%lldps "
+               "now=%lldps",
+               commandName(cmd), p.req.da.toString().c_str(),
+               static_cast<long long>(earliest), static_cast<long long>(now));
   if (commandTrace) commandTrace(cmd, p.req.da, now);
   switch (cmd) {
     case DramCommand::Pre: {
@@ -259,7 +266,9 @@ void MemoryController::onRequestServiced(Pending& p, Tick dataEnd) {
   };
   if (!eraseFrom(readQ_)) {
     const bool erased = eraseFrom(writeQ_);
-    MB_CHECK(erased);
+    MB_CHECK_MSG(erased, "serviced request %llu (%s) found in neither queue",
+                 static_cast<unsigned long long>(p.req.id),
+                 p.req.da.toString().c_str());
     if (static_cast<int>(writeQ_.size()) <= cfg_.writeLowWatermark)
       drainingWrites_ = false;
   }

@@ -50,6 +50,10 @@ struct ControllerConfig {
   bool enableTimingCheck = false;
   bool refreshEnabled = true;
   bool perBankRefresh = false;  // extension: rotate tRFCpb refreshes per bank
+  /// Optional sink for structured protocol diagnostics. When set (together
+  /// with enableTimingCheck), timing violations are collected here instead
+  /// of aborting the process. Not owned; must outlive the controller.
+  analysis::DiagnosticEngine* diagnostics = nullptr;
 };
 
 /// Aggregated per-controller statistics snapshot.

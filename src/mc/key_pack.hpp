@@ -1,0 +1,71 @@
+// Collision-free map keys for per-structure shadow state.
+//
+// The TimingChecker (and any future per-μbank bookkeeping) keys hash maps by
+// a flattened structure id. The original packing multiplied ids by the
+// geometry extents, which silently aliases two different structures the
+// moment an id escapes its geometry bound (e.g. a corrupted decompose
+// handing bank == banksPerRank). These helpers pack each id into a fixed
+// bit field wide enough for any supported geometry and check both the
+// geometry bound and the field width, so no two distinct (channel, rank,
+// bank, μbank) tuples can ever produce the same key.
+//
+// Field widths (LSB to MSB): [ubank:12][bank:12][rank:8][channel:12] = 44
+// bits, comfortably inside int64. Supported geometries are far smaller
+// (channels <= 4096, ranks <= 256, banks <= 4096, μbanks <= 4096 covers
+// every configuration the area model can even express).
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "core/address_map.hpp"
+#include "dram/geometry.hpp"
+
+namespace mb::mc {
+
+inline constexpr int kKeyUbankBits = 12;
+inline constexpr int kKeyBankBits = 12;
+inline constexpr int kKeyRankBits = 8;
+inline constexpr int kKeyChannelBits = 12;
+
+namespace detail {
+inline std::int64_t checkedField(std::int64_t id, std::int64_t bound, int bits,
+                                 const char* name) {
+  MB_CHECK_MSG(id >= 0 && id < bound, "%s id %lld outside geometry bound %lld", name,
+               static_cast<long long>(id), static_cast<long long>(bound));
+  MB_CHECK_MSG(bound <= (std::int64_t{1} << bits),
+               "%s bound %lld overflows its %d-bit key field", name,
+               static_cast<long long>(bound), bits);
+  return id;
+}
+}  // namespace detail
+
+/// Unique key for one μbank. Aborts (with context) on any id outside the
+/// geometry, instead of silently aliasing a different μbank's history.
+inline std::int64_t packUbankKey(const dram::Geometry& g, int channel, int rank,
+                                 int bank, int ubank) {
+  std::int64_t key = detail::checkedField(channel, g.channels, kKeyChannelBits, "channel");
+  key = (key << kKeyRankBits) |
+        detail::checkedField(rank, g.ranksPerChannel, kKeyRankBits, "rank");
+  key = (key << kKeyBankBits) |
+        detail::checkedField(bank, g.banksPerRank, kKeyBankBits, "bank");
+  key = (key << kKeyUbankBits) |
+        detail::checkedField(ubank, g.ubanksPerBank(), kKeyUbankBits, "ubank");
+  return key;
+}
+
+inline std::int64_t packUbankKey(const dram::Geometry& g, const core::DramAddress& da) {
+  return packUbankKey(g, da.channel, da.rank, da.bank, da.ubank);
+}
+
+/// Unique key for one rank (never collides with another rank in any
+/// geometry; shares no key space with packUbankKey maps, which are separate
+/// containers).
+inline std::int64_t packRankKey(const dram::Geometry& g, int channel, int rank) {
+  std::int64_t key = detail::checkedField(channel, g.channels, kKeyChannelBits, "channel");
+  key = (key << kKeyRankBits) |
+        detail::checkedField(rank, g.ranksPerChannel, kKeyRankBits, "rank");
+  return key;
+}
+
+}  // namespace mb::mc

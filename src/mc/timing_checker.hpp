@@ -1,13 +1,26 @@
 // Incremental DRAM protocol-timing validator.
 //
 // The controller can feed every command it issues into this checker, which
-// keeps O(1) state per structure and aborts (MB_CHECK) on any violation of:
+// keeps O(1) state per structure and flags any violation of:
 //   same μbank:  ACT->CAS >= tRCD, ACT->PRE >= tRAS, PRE->ACT >= tRP,
 //                CAS only to the open row, read CAS->PRE >= tRTP,
 //                write-data-end->PRE >= tWR
 //   same rank:   ACT->ACT >= tRRD, <= 4 ACTs in any tFAW window
 //   same channel: command slots >= tCMD apart, CAS->CAS >= tCCD,
 //                data bursts non-overlapping, write-data->read CAS >= tWTR
+//
+// Every violation is materialized as an analysis::Diagnostic carrying a
+// stable MB-TIM-0xx code, the offending command and address, the violated
+// constraint with its bound and earliest-legal tick, and the full shadow
+// history of the μbank / rank / channel involved. Disposition:
+//   - `diagnostics` attached: the diagnostic is reported to the engine and
+//     onCommand returns false — collection mode for property tests and
+//     post-mortem tooling.
+//   - `softFail` set: onCommand returns false silently (the checker's own
+//     unit tests probe individual constraints this way).
+//   - otherwise: the rendered diagnostic goes to stderr and the process
+//     aborts — a timing violation inside a real run is an unrecoverable
+//     modelling bug.
 //
 // Property tests drive random traffic through a controller with the checker
 // enabled; the checker itself is unit-tested against hand-built sequences.
@@ -17,6 +30,7 @@
 #include <deque>
 #include <unordered_map>
 
+#include "analysis/diagnostic.hpp"
 #include "common/types.hpp"
 #include "core/address_map.hpp"
 #include "dram/timing.hpp"
@@ -30,8 +44,8 @@ class TimingChecker {
       : geom_(geom), timing_(timing) {}
 
   /// Validate and record one command. `row` is meaningful for ACT and CAS.
-  /// Returns false (instead of aborting) when `softFail` is set — used by
-  /// the checker's own unit tests.
+  /// Returns false (instead of aborting) when `softFail` is set or a
+  /// diagnostics engine is attached.
   bool onCommand(DramCommand cmd, const core::DramAddress& da, Tick at);
 
   /// A refresh closed rows (the device folds the implicit precharges into
@@ -46,6 +60,9 @@ class TimingChecker {
 
   std::int64_t commandsChecked() const { return commandsChecked_; }
   bool softFail = false;
+  /// Optional structured sink: violations are reported here (and onCommand
+  /// returns false) instead of aborting. Not owned.
+  analysis::DiagnosticEngine* diagnostics = nullptr;
 
  private:
   struct UbankHistory {
@@ -61,7 +78,16 @@ class TimingChecker {
     Tick lastWriteDataEndAt = -1;
   };
 
-  bool fail(const char* what, Tick at);
+  /// Describes one violated constraint for the diagnostic renderers.
+  struct Violation {
+    const char* code;        // stable registry code, e.g. "MB-TIM-012"
+    const char* constraint;  // human label, e.g. "tRCD (ACT->CAS)"
+    Tick bound = -1;         // the timing parameter value, if applicable
+    Tick earliestLegal = -1; // first tick at which the command would pass
+  };
+
+  bool fail(const Violation& v, DramCommand cmd, const core::DramAddress& da,
+            Tick at, const UbankHistory& ub, const RankHistory& rk);
 
   dram::Geometry geom_;
   dram::TimingParams timing_;

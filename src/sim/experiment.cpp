@@ -23,6 +23,54 @@ SystemConfig ddr3PcbConfig() {
   return cfg;
 }
 
+std::vector<NamedConfig> shippedPresets() {
+  std::vector<NamedConfig> out;
+  out.push_back({"tsi-baseline", tsiBaselineConfig()});
+  out.push_back({"ddr3-pcb", ddr3PcbConfig()});
+  {
+    SystemConfig c = tsiBaselineConfig();
+    c.phy = interface::PhyKind::Ddr3Tsi;
+    out.push_back({"ddr3-tsi", c});
+  }
+  {
+    SystemConfig c = tsiBaselineConfig();
+    c.phy = interface::PhyKind::Hmc;
+    out.push_back({"hmc", c});
+  }
+  for (const auto& nc : representativeConfigs()) {
+    SystemConfig c = tsiBaselineConfig();
+    c.ubank = dram::UbankConfig{nc.nW, nc.nB};
+    out.push_back({"tsi-ubank" + nc.label, c});
+  }
+  {
+    SystemConfig c = tsiBaselineConfig();
+    c.pagePolicy = core::PolicyKind::Close;
+    out.push_back({"tsi-close-page", c});
+  }
+  {
+    SystemConfig c = tsiBaselineConfig();
+    c.interleaveBaseBit = 6;
+    out.push_back({"tsi-line-interleave", c});
+  }
+  {
+    SystemConfig c = tsiBaselineConfig();
+    c.xorBankHash = true;
+    out.push_back({"tsi-xor-bank-hash", c});
+  }
+  {
+    SystemConfig c = tsiBaselineConfig();
+    c.perBankRefresh = true;
+    out.push_back({"tsi-per-bank-refresh", c});
+  }
+  {
+    SystemConfig c = tsiBaselineConfig();
+    c.ubank = dram::UbankConfig{4, 4};
+    c.scaleActWindowWithRowSize = true;
+    out.push_back({"tsi-ubank(4,4)-scaled-act-window", c});
+  }
+  return out;
+}
+
 SlicePreset slicePresetFromEnv(SlicePreset fallback) {
   const char* env = std::getenv("MB_SLICE");
   if (env == nullptr) return fallback;

@@ -19,6 +19,16 @@ SystemConfig tsiBaselineConfig();
 /// The paper's overall baseline: DDR3 modules over PCB.
 SystemConfig ddr3PcbConfig();
 
+/// Every configuration preset the repo ships under a stable name: the two
+/// baselines, each interface generation, the representative low-area μbank
+/// organizations, and the extension features. `mblint` lints all of these
+/// pre-flight, so a preset can never regress into an invalid configuration.
+struct NamedConfig {
+  std::string name;
+  SystemConfig cfg;
+};
+std::vector<NamedConfig> shippedPresets();
+
 /// Instruction-slice presets. The full-size runs use more instructions for
 /// tighter statistics; benches default to `Fast` to keep the whole suite
 /// runnable in minutes. Override with the MB_SLICE environment variable

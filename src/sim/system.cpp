@@ -18,7 +18,9 @@ dram::Geometry geometryFor(const SystemConfig& cfg, int channels) {
   g.ubank = cfg.ubank;
   g.rowBytes = 8 * kKiB;
   g.capacityBytes = std::max<std::int64_t>(4 * kGiB, 4 * kGiB * channels);
-  MB_CHECK(g.valid());
+  MB_CHECK_MSG(g.valid(),
+               "derived geometry invalid (run mblint): ch=%d rk=%d nW=%d nB=%d",
+               g.channels, g.ranksPerChannel, g.ubank.nW, g.ubank.nB);
   return g;
 }
 
@@ -142,9 +144,14 @@ RunResult runSimulation(const SystemConfig& cfg, const WorkloadSpec& workload) {
   std::uint64_t events = 0;
   while (sys->coresDone < numCores) {
     if (!sys->eq.step()) break;
-    MB_CHECK(++events < maxEvents);
+    MB_CHECK_MSG(++events < maxEvents,
+                 "event cap hit at t=%lldps with %d/%d cores done — runaway "
+                 "configuration?",
+                 static_cast<long long>(sys->eq.now()), sys->coresDone, numCores);
   }
-  MB_CHECK(sys->coresDone == numCores);
+  MB_CHECK_MSG(sys->coresDone == numCores,
+               "event queue drained with only %d/%d cores finished (workload %s)",
+               sys->coresDone, numCores, workload.name.c_str());
 
   // ---- Collect ------------------------------------------------------------
   RunResult r;

@@ -32,7 +32,8 @@ bool readScalar(std::FILE* f, T* out) {
 
 TraceFileWriter::TraceFileWriter(const std::string& path) {
   file_ = std::fopen(path.c_str(), "wb");
-  MB_CHECK(file_ != nullptr && "cannot open trace file for writing");
+  MB_CHECK_MSG(file_ != nullptr, "cannot open trace file for writing: %s",
+               path.c_str());
   writeBytes(file_, kMagic, sizeof(kMagic));
   writeScalar<std::uint32_t>(file_, kVersion);
   writeScalar<std::uint32_t>(file_, 0);  // reserved
@@ -59,7 +60,8 @@ void TraceFileWriter::close() {
 
 TraceFileSource::TraceFileSource(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  MB_CHECK(f != nullptr && "cannot open trace file for reading");
+  MB_CHECK_MSG(f != nullptr, "cannot open trace file for reading: %s",
+               path.c_str());
   char magic[8];
   MB_CHECK(std::fread(magic, 1, sizeof(magic), f) == sizeof(magic));
   MB_CHECK(std::memcmp(magic, kMagic, sizeof(kMagic)) == 0 && "not a trace file");

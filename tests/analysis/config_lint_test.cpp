@@ -1,0 +1,232 @@
+// Seeds deliberately-invalid configurations and asserts that the
+// ConfigLinter rejects each one with the expected stable diagnostic code —
+// and that every shipped preset lints clean.
+#include "analysis/config_lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+
+namespace mb::analysis {
+namespace {
+
+bool hasCode(const DiagnosticEngine& e, const std::string& code) {
+  for (const auto& d : e.diagnostics()) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+std::string codes(const DiagnosticEngine& e) {
+  std::string out;
+  for (const auto& d : e.diagnostics()) out += d.code + " ";
+  return out;
+}
+
+class ConfigLintTest : public ::testing::Test {
+ protected:
+  DiagnosticEngine engine;
+  ConfigLinter linter{engine};
+
+  void expectSystemRejected(const sim::SystemConfig& cfg, const std::string& code) {
+    EXPECT_FALSE(linter.lintSystem(cfg));
+    EXPECT_TRUE(engine.hasErrors());
+    EXPECT_TRUE(hasCode(engine, code)) << "expected " << code << ", got: "
+                                       << codes(engine);
+  }
+  void expectTimingRejected(const dram::TimingParams& t, const std::string& code) {
+    EXPECT_FALSE(linter.lintTiming(t));
+    EXPECT_TRUE(hasCode(engine, code)) << "expected " << code << ", got: "
+                                       << codes(engine);
+  }
+};
+
+// ---- Seeded invalid configurations (acceptance: >= 10, each with a stable
+// ---- expected code) ------------------------------------------------------
+
+TEST_F(ConfigLintTest, Invalid01_NwNotPowerOfTwo) {
+  auto cfg = sim::tsiBaselineConfig();
+  cfg.ubank.nW = 3;
+  expectSystemRejected(cfg, "MB-CFG-001");
+}
+
+TEST_F(ConfigLintTest, Invalid02_NbOutOfRange) {
+  auto cfg = sim::tsiBaselineConfig();
+  cfg.ubank.nB = 32;
+  expectSystemRejected(cfg, "MB-CFG-002");
+}
+
+TEST_F(ConfigLintTest, Invalid03_ChannelsNotPowerOfTwo) {
+  auto cfg = sim::tsiBaselineConfig();
+  cfg.channels = 3;
+  expectSystemRejected(cfg, "MB-CFG-011");
+}
+
+TEST_F(ConfigLintTest, Invalid04_ZeroChannels) {
+  auto cfg = sim::tsiBaselineConfig();
+  cfg.channels = 0;
+  expectSystemRejected(cfg, "MB-CFG-011");
+}
+
+TEST_F(ConfigLintTest, Invalid05_QueueDepthZero) {
+  auto cfg = sim::tsiBaselineConfig();
+  cfg.queueDepth = 0;
+  expectSystemRejected(cfg, "MB-CFG-009");
+}
+
+TEST_F(ConfigLintTest, Invalid06_NoSpecCopies) {
+  auto cfg = sim::tsiBaselineConfig();
+  cfg.specCopies = 0;
+  expectSystemRejected(cfg, "MB-CFG-010");
+}
+
+TEST_F(ConfigLintTest, Invalid07_InterleaveBaseBitBelowLineOffset) {
+  auto cfg = sim::tsiBaselineConfig();
+  cfg.interleaveBaseBit = 5;
+  expectSystemRejected(cfg, "MB-MAP-001");
+}
+
+TEST_F(ConfigLintTest, Invalid08_InterleaveBaseBitAboveColumnField) {
+  auto cfg = sim::tsiBaselineConfig();
+  cfg.ubank = dram::UbankConfig{16, 1};  // 512 B μbank row -> max iB = 9
+  cfg.interleaveBaseBit = 10;
+  expectSystemRejected(cfg, "MB-MAP-001");
+}
+
+TEST_F(ConfigLintTest, Invalid09_GeometryRanksNotPowerOfTwo) {
+  dram::Geometry g;
+  g.ranksPerChannel = 3;
+  EXPECT_FALSE(linter.lintGeometry(g));
+  EXPECT_TRUE(hasCode(engine, "MB-CFG-004"));
+}
+
+TEST_F(ConfigLintTest, Invalid10_GeometryBanksNotPowerOfTwo) {
+  dram::Geometry g;
+  g.banksPerRank = 6;
+  EXPECT_FALSE(linter.lintGeometry(g));
+  EXPECT_TRUE(hasCode(engine, "MB-CFG-005"));
+}
+
+TEST_F(ConfigLintTest, Invalid11_RowNotDivisibleByNwLines) {
+  dram::Geometry g;
+  g.rowBytes = 512;
+  g.ubank = dram::UbankConfig{16, 1};  // 512 / (16*64) does not divide
+  EXPECT_FALSE(linter.lintGeometry(g));
+  EXPECT_TRUE(hasCode(engine, "MB-CFG-006"));
+}
+
+TEST_F(ConfigLintTest, Invalid12_CapacityTooSmallForOneRowPerUbank) {
+  dram::Geometry g;
+  g.capacityBytes = kMiB;  // 16ch*2rk*8bk*8KB rows alone exceed 1 MiB
+  EXPECT_FALSE(linter.lintGeometry(g));
+  EXPECT_TRUE(hasCode(engine, "MB-CFG-007"));
+}
+
+TEST_F(ConfigLintTest, Invalid13_CapacityNotPowerOfTwo) {
+  dram::Geometry g;
+  g.capacityBytes = 3 * kGiB;
+  EXPECT_FALSE(linter.lintGeometry(g));
+  EXPECT_TRUE(hasCode(engine, "MB-CFG-007"));
+}
+
+TEST_F(ConfigLintTest, Invalid14_LineBytesNotPowerOfTwo) {
+  dram::Geometry g;
+  g.lineBytes = 48;
+  EXPECT_FALSE(linter.lintGeometry(g));
+  EXPECT_TRUE(hasCode(engine, "MB-CFG-008"));
+}
+
+TEST_F(ConfigLintTest, Invalid15_TrasShorterThanTrcd) {
+  auto t = dram::TimingParams::tsi();
+  t.tRAS = t.tRCD - 1;
+  expectTimingRejected(t, "MB-TIM-102");
+}
+
+TEST_F(ConfigLintTest, Invalid16_FawWindowShorterThanTrrd) {
+  auto t = dram::TimingParams::tsi();
+  t.tFAW = t.tRRD - 1;
+  expectTimingRejected(t, "MB-TIM-103");
+}
+
+TEST_F(ConfigLintTest, Invalid17_CcdShorterThanBurst) {
+  auto t = dram::TimingParams::tsi();
+  t.tCCD = t.tBURST - 1;
+  expectTimingRejected(t, "MB-TIM-104");
+}
+
+TEST_F(ConfigLintTest, Invalid18_RefreshSaturatesRank) {
+  auto t = dram::TimingParams::tsi();
+  t.tREFI = t.tRFC;
+  expectTimingRejected(t, "MB-TIM-105");
+}
+
+TEST_F(ConfigLintTest, Invalid19_NonPositiveTiming) {
+  auto t = dram::TimingParams::tsi();
+  t.tRCD = 0;
+  expectTimingRejected(t, "MB-TIM-101");
+}
+
+TEST_F(ConfigLintTest, Invalid20_NegativeRankSwitchPenalty) {
+  auto t = dram::TimingParams::ddr3();
+  t.tRTRS = -1;
+  expectTimingRejected(t, "MB-TIM-106");
+}
+
+TEST_F(ConfigLintTest, Invalid21_TableIDeviation) {
+  auto t = dram::TimingParams::tsi();
+  t.tAA = ns(14);  // LPDDR-TSI must publish 12 ns (Table I)
+  EXPECT_FALSE(linter.lintTableI(t, interface::PhyKind::LpddrTsi));
+  EXPECT_TRUE(hasCode(engine, "MB-DRV-001"));
+}
+
+// ---- Warnings ------------------------------------------------------------
+
+TEST_F(ConfigLintTest, WarnsWhenFawNeverBinds) {
+  auto t = dram::TimingParams::tsi();
+  t.tFAW = 2 * t.tRRD;  // >= tRRD but < 4*tRRD
+  EXPECT_TRUE(linter.lintTiming(t));  // warning, not an error
+  EXPECT_TRUE(hasCode(engine, "MB-TIM-107"));
+  EXPECT_FALSE(engine.hasErrors());
+}
+
+TEST_F(ConfigLintTest, WarnsOnMoreChannelsThanPackage) {
+  auto cfg = sim::ddr3PcbConfig();
+  cfg.channels = 16;  // DDR3-PCB package supports 8
+  EXPECT_TRUE(linter.lintSystem(cfg));
+  EXPECT_TRUE(hasCode(engine, "MB-CFG-012"));
+  EXPECT_FALSE(engine.hasErrors());
+}
+
+// ---- Every shipped preset must lint clean --------------------------------
+
+TEST_F(ConfigLintTest, AllShippedPresetsLintClean) {
+  for (const auto& preset : sim::shippedPresets()) {
+    DiagnosticEngine e;
+    ConfigLinter l(e);
+    EXPECT_TRUE(l.lintSystem(preset.cfg)) << preset.name << ": " << e.renderText();
+    EXPECT_FALSE(e.hasErrors()) << preset.name;
+  }
+}
+
+TEST_F(ConfigLintTest, BaselineProducesNoDiagnosticsAtAll) {
+  EXPECT_TRUE(linter.lintSystem(sim::tsiBaselineConfig()));
+  EXPECT_TRUE(engine.empty()) << engine.renderText();
+}
+
+// Each diagnostic carries enough context to fix the configuration.
+TEST_F(ConfigLintTest, DiagnosticsCarryOffendingValues) {
+  auto cfg = sim::tsiBaselineConfig();
+  cfg.ubank.nW = 5;
+  linter.lintSystem(cfg);
+  ASSERT_FALSE(engine.diagnostics().empty());
+  const auto& d = engine.diagnostics().front();
+  EXPECT_EQ(d.code, "MB-CFG-001");
+  bool sawValue = false;
+  for (const auto& [k, v] : d.context) {
+    if (k == "nW" && v == "5") sawValue = true;
+  }
+  EXPECT_TRUE(sawValue) << d.text();
+}
+
+}  // namespace
+}  // namespace mb::analysis

@@ -1,0 +1,96 @@
+#include "analysis/diagnostic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mb::analysis {
+namespace {
+
+TEST(DiagnosticTest, TextRendererCarriesCodeSeverityAndContext) {
+  Diagnostic d("MB-TIM-012", Severity::Error, "tRCD violated");
+  d.with("command", "RD").with("at_ps", std::int64_t{17500});
+  const std::string text = d.text();
+  EXPECT_NE(text.find("error MB-TIM-012: tRCD violated"), std::string::npos);
+  EXPECT_NE(text.find("command: RD"), std::string::npos);
+  EXPECT_NE(text.find("at_ps: 17500"), std::string::npos);
+}
+
+TEST(DiagnosticTest, TextRendererIncludesSourceLocation) {
+  Diagnostic d("MB-CFG-001", Severity::Warning, "m");
+  d.where = SourceLocation{"geometry.cpp", 42};
+  EXPECT_NE(d.text().find("[geometry.cpp:42]"), std::string::npos);
+}
+
+TEST(DiagnosticTest, JsonRendererProducesStructuredObject) {
+  Diagnostic d("MB-CFG-001", Severity::Error, "bad nW");
+  d.with("nW", std::int64_t{3});
+  EXPECT_EQ(d.json(),
+            "{\"code\":\"MB-CFG-001\",\"severity\":\"error\","
+            "\"message\":\"bad nW\",\"context\":{\"nW\":\"3\"}}");
+}
+
+TEST(DiagnosticTest, JsonEscapesSpecialCharacters) {
+  Diagnostic d("MB-X", Severity::Note, "quote \" backslash \\ newline \n tab \t");
+  const std::string j = d.json();
+  EXPECT_NE(j.find("quote \\\" backslash \\\\ newline \\n tab \\t"),
+            std::string::npos);
+  EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(DiagnosticTest, ContextPreservesInsertionOrder) {
+  Diagnostic d("MB-X", Severity::Note, "m");
+  d.with("zeta", "1").with("alpha", "2");
+  const std::string j = d.json();
+  EXPECT_LT(j.find("zeta"), j.find("alpha"));
+}
+
+TEST(DiagnosticEngineTest, CountsBySeverityAndDetectsErrors) {
+  DiagnosticEngine e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_FALSE(e.hasErrors());
+  e.report(Diagnostic("MB-A", Severity::Warning, "w"));
+  EXPECT_FALSE(e.hasErrors());
+  e.report(Diagnostic("MB-B", Severity::Error, "e"));
+  e.report(Diagnostic("MB-C", Severity::Fatal, "f"));
+  EXPECT_TRUE(e.hasErrors());
+  EXPECT_EQ(e.count(Severity::Warning), 1);
+  EXPECT_EQ(e.count(Severity::Error), 1);
+  EXPECT_EQ(e.count(Severity::Fatal), 1);
+  EXPECT_EQ(e.total(), 3);
+  e.clear();
+  EXPECT_TRUE(e.empty());
+  EXPECT_TRUE(e.diagnostics().empty());
+}
+
+TEST(DiagnosticEngineTest, StorageCapKeepsExactCounts) {
+  DiagnosticEngine e;
+  e.maxStored = 4;
+  for (int i = 0; i < 10; ++i) e.report(Diagnostic("MB-X", Severity::Error, "e"));
+  EXPECT_EQ(e.diagnostics().size(), 4u);
+  EXPECT_EQ(e.count(Severity::Error), 10);
+}
+
+TEST(DiagnosticEngineTest, OnReportStreamsBeforeStorage) {
+  DiagnosticEngine e;
+  int streamed = 0;
+  e.onReport = [&](const Diagnostic& d) {
+    ++streamed;
+    EXPECT_EQ(d.code, "MB-Y");
+  };
+  e.report(Diagnostic("MB-Y", Severity::Note, "n"));
+  EXPECT_EQ(streamed, 1);
+}
+
+TEST(DiagnosticEngineTest, RenderJsonIsAnArray) {
+  DiagnosticEngine e;
+  EXPECT_EQ(e.renderJson(), "[]");
+  e.report(Diagnostic("MB-A", Severity::Note, "a"));
+  e.report(Diagnostic("MB-B", Severity::Note, "b"));
+  const std::string j = e.renderJson();
+  EXPECT_EQ(j.front(), '[');
+  EXPECT_EQ(j.back(), ']');
+  EXPECT_NE(j.find("\"MB-A\""), std::string::npos);
+  EXPECT_NE(j.find("},{"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mb::analysis

@@ -1,0 +1,99 @@
+// Regression test for the shadow-state map key packing: no two distinct
+// (channel, rank, bank, μbank) tuples may ever produce the same key, and an
+// id outside the geometry must trap instead of silently aliasing another
+// structure's history (the failure mode of the old multiplicative packing
+// when an id escaped its bound).
+#include "mc/key_pack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace mb::mc {
+namespace {
+
+dram::Geometry smallGeom() {
+  dram::Geometry g;
+  g.channels = 4;
+  g.ranksPerChannel = 2;
+  g.banksPerRank = 4;
+  g.ubank = {2, 4};
+  g.capacityBytes = 4 * kGiB;
+  return g;
+}
+
+TEST(KeyPackTest, UbankKeysAreUniqueAcrossTheWholeGeometry) {
+  const auto g = smallGeom();
+  std::unordered_set<std::int64_t> seen;
+  for (int ch = 0; ch < g.channels; ++ch)
+    for (int rk = 0; rk < g.ranksPerChannel; ++rk)
+      for (int bk = 0; bk < g.banksPerRank; ++bk)
+        for (int ub = 0; ub < g.ubanksPerBank(); ++ub)
+          EXPECT_TRUE(seen.insert(packUbankKey(g, ch, rk, bk, ub)).second)
+              << "aliased key for ch" << ch << " rk" << rk << " bk" << bk << " ub"
+              << ub;
+  EXPECT_EQ(seen.size(),
+            static_cast<std::size_t>(g.channels) *
+                static_cast<std::size_t>(g.ranksPerChannel) *
+                static_cast<std::size_t>(g.banksPerRank) *
+                static_cast<std::size_t>(g.ubanksPerBank()));
+}
+
+TEST(KeyPackTest, RankKeysAreUniqueAcrossChannelsAndRanks) {
+  const auto g = smallGeom();
+  std::unordered_set<std::int64_t> seen;
+  for (int ch = 0; ch < g.channels; ++ch)
+    for (int rk = 0; rk < g.ranksPerChannel; ++rk)
+      EXPECT_TRUE(seen.insert(packRankKey(g, ch, rk)).second);
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(g.channels * g.ranksPerChannel));
+}
+
+// The old multiplicative packing aliased e.g. (bank+1, ubank=0) with
+// (bank, ubank=ubanksPerBank) once an id escaped its bound. The bit-field
+// packing cannot: neighbouring tuples differ in disjoint fields.
+TEST(KeyPackTest, AdjacentTuplesDifferInDisjointBitFields) {
+  const auto g = smallGeom();
+  const auto a = packUbankKey(g, 0, 0, 1, 0);
+  const auto b = packUbankKey(g, 0, 0, 0, g.ubanksPerBank() - 1);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a >> kKeyUbankBits, 1);  // bank field lives above the ubank field
+  EXPECT_EQ(b >> kKeyUbankBits, 0);
+}
+
+TEST(KeyPackTest, DramAddressOverloadMatchesExplicitFields) {
+  const auto g = smallGeom();
+  core::DramAddress da;
+  da.channel = 3;
+  da.rank = 1;
+  da.bank = 2;
+  da.ubank = 5;
+  EXPECT_EQ(packUbankKey(g, da), packUbankKey(g, 3, 1, 2, 5));
+}
+
+using KeyPackDeath = ::testing::Test;
+
+TEST(KeyPackDeath, UbankIdOutsideGeometryTraps) {
+  const auto g = smallGeom();
+  EXPECT_DEATH(packUbankKey(g, 0, 0, 0, g.ubanksPerBank()),
+               "ubank id .* outside geometry bound");
+}
+
+TEST(KeyPackDeath, BankIdOutsideGeometryTraps) {
+  const auto g = smallGeom();
+  EXPECT_DEATH(packUbankKey(g, 0, 0, g.banksPerRank, 0),
+               "bank id .* outside geometry bound");
+}
+
+TEST(KeyPackDeath, NegativeChannelTraps) {
+  const auto g = smallGeom();
+  EXPECT_DEATH(packRankKey(g, -1, 0), "channel id .* outside geometry bound");
+}
+
+TEST(KeyPackDeath, RankIdOutsideGeometryTraps) {
+  const auto g = smallGeom();
+  EXPECT_DEATH(packRankKey(g, 0, g.ranksPerChannel),
+               "rank id .* outside geometry bound");
+}
+
+}  // namespace
+}  // namespace mb::mc

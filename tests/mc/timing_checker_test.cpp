@@ -146,6 +146,109 @@ TEST_F(TimingCheckerTest, CommandBusSlotEnforced) {
   EXPECT_FALSE(chk_.onCommand(DramCommand::Act, addr(1, 0, 0, 1), t_.tCMD - 1));
 }
 
+// ---- Structured diagnostics ----------------------------------------------
+// A violation must produce a machine-readable diagnostic naming the
+// offending command, the violated constraint, and the shadow history of the
+// μbank / rank / channel involved — in both text and JSON.
+
+class TimingCheckerDiagnosticsTest : public TimingCheckerTest {
+ protected:
+  TimingCheckerDiagnosticsTest() {
+    chk_.softFail = false;  // the engine, not softFail, must absorb failures
+    chk_.diagnostics = &engine_;
+  }
+  analysis::DiagnosticEngine engine_;
+};
+
+TEST_F(TimingCheckerDiagnosticsTest, ViolationIsCollectedNotFatal) {
+  const auto a = addr(0, 0, 0, 5);
+  chk_.onCommand(DramCommand::Act, a, 0);
+  EXPECT_FALSE(chk_.onCommand(DramCommand::Read, a, t_.tRCD - 1));
+  ASSERT_EQ(engine_.diagnostics().size(), 1u);
+  EXPECT_TRUE(engine_.hasErrors());
+}
+
+TEST_F(TimingCheckerDiagnosticsTest, DiagnosticCarriesCommandConstraintAndShadowState) {
+  const auto a = addr(0, 1, 1, 5);
+  chk_.onCommand(DramCommand::Act, a, 0);
+  chk_.onCommand(DramCommand::Read, a, t_.tRCD - 1);
+  ASSERT_EQ(engine_.diagnostics().size(), 1u);
+  const auto& d = engine_.diagnostics().front();
+  EXPECT_EQ(d.code, "MB-TIM-012");
+  EXPECT_EQ(d.severity, analysis::Severity::Error);
+
+  auto ctx = [&](const std::string& key) -> std::string {
+    for (const auto& [k, v] : d.context)
+      if (k == key) return v;
+    return "<missing " + key + ">";
+  };
+  EXPECT_EQ(ctx("command"), "RD");
+  EXPECT_EQ(ctx("address"), a.toString());
+  EXPECT_EQ(ctx("at_ps"), std::to_string(t_.tRCD - 1));
+  EXPECT_EQ(ctx("constraint"), "tRCD (ACT->CAS)");
+  EXPECT_EQ(ctx("bound_ps"), std::to_string(t_.tRCD));
+  EXPECT_EQ(ctx("earliest_legal_ps"), std::to_string(t_.tRCD));
+  // μbank shadow history: the ACT at t=0 opened row 5.
+  EXPECT_EQ(ctx("ubank.open_row"), "5");
+  EXPECT_EQ(ctx("ubank.last_act_ps"), "0");
+  // Rank / channel shadow history.
+  EXPECT_EQ(ctx("rank.last_act_ps"), "0");
+  EXPECT_EQ(ctx("rank.acts_in_faw_window"), "1");
+  EXPECT_EQ(ctx("channel.last_cmd_ps"), "0");
+}
+
+TEST_F(TimingCheckerDiagnosticsTest, TextRenderingNamesTheViolation) {
+  const auto a = addr(0, 0, 0, 5);
+  chk_.onCommand(DramCommand::Act, a, 0);
+  chk_.onCommand(DramCommand::Pre, a, t_.tRAS - 1);
+  ASSERT_EQ(engine_.diagnostics().size(), 1u);
+  const std::string text = engine_.diagnostics().front().text();
+  EXPECT_NE(text.find("error MB-TIM-008"), std::string::npos) << text;
+  EXPECT_NE(text.find("DRAM timing violation: tRAS (ACT->PRE)"), std::string::npos);
+  EXPECT_NE(text.find("command: PRE"), std::string::npos);
+  EXPECT_NE(text.find("ubank.last_act_ps: 0"), std::string::npos);
+}
+
+TEST_F(TimingCheckerDiagnosticsTest, JsonRenderingIsStructured) {
+  const auto a = addr(0, 0, 0, 5);
+  chk_.onCommand(DramCommand::Act, a, 0);
+  chk_.onCommand(DramCommand::Read, a, t_.tRCD - 1);
+  ASSERT_EQ(engine_.diagnostics().size(), 1u);
+  const std::string j = engine_.diagnostics().front().json();
+  EXPECT_NE(j.find("\"code\":\"MB-TIM-012\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"severity\":\"error\""), std::string::npos);
+  EXPECT_NE(j.find("\"command\":\"RD\""), std::string::npos);
+  EXPECT_NE(j.find("\"constraint\":\"tRCD (ACT->CAS)\""), std::string::npos);
+  EXPECT_NE(j.find("\"ubank.open_row\":\"5\""), std::string::npos);
+}
+
+TEST_F(TimingCheckerDiagnosticsTest, EachConstraintHasItsOwnStableCode) {
+  // tFAW: four fast ACTs then a fifth inside the window.
+  Tick at = 0;
+  for (int u = 0; u < 4; ++u) {
+    chk_.onCommand(DramCommand::Act, addr(0, 0, u, 1), at);
+    at += t_.tRRD;
+  }
+  chk_.onCommand(DramCommand::Act, addr(0, 1, 0, 1), at);
+  ASSERT_EQ(engine_.diagnostics().size(), 1u);
+  EXPECT_EQ(engine_.diagnostics().front().code, "MB-TIM-006");
+  engine_.clear();
+
+  // Command-bus slot.
+  chk_.onCommand(DramCommand::Act, addr(1, 0, 0, 1), at + t_.tFAW);
+  chk_.onCommand(DramCommand::Act, addr(1, 1, 0, 1), at + t_.tFAW + t_.tCMD - 1);
+  ASSERT_EQ(engine_.diagnostics().size(), 1u);
+  EXPECT_EQ(engine_.diagnostics().front().code, "MB-TIM-002");
+}
+
+TEST_F(TimingCheckerDiagnosticsTest, LegalTrafficProducesZeroDiagnostics) {
+  const auto a = addr(0, 0, 0, 5);
+  EXPECT_TRUE(chk_.onCommand(DramCommand::Act, a, 0));
+  EXPECT_TRUE(chk_.onCommand(DramCommand::Read, a, t_.tRCD));
+  EXPECT_TRUE(chk_.onCommand(DramCommand::Pre, a, t_.tRAS));
+  EXPECT_TRUE(engine_.empty());
+}
+
 TEST(TimingCheckerDeath, HardFailAborts) {
   TimingChecker chk(geom(), dram::TimingParams::tsi());
   core::DramAddress a;

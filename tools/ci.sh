@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# CI gate: build + full ctest under ASan+UBSan, then clang-tidy over src/.
+#
+# Usage:  tools/ci.sh [build-dir]        (default: build-ci)
+#
+# The sanitizer run is the hard gate — any leak, overflow, or UB aborts the
+# suite and this script exits non-zero. clang-tidy runs when available and
+# is skipped with a notice otherwise (the container image may not ship it);
+# when it does run, its warnings fail the gate too.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build-ci}"
+
+echo "== configure (${build}) with MB_SANITIZE=address;undefined =="
+cmake -B "$build" -S "$repo" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DMB_SANITIZE="address;undefined" \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+
+echo "== build =="
+cmake --build "$build" -j"$(nproc)"
+
+echo "== ctest under ASan+UBSan =="
+# halt_on_error makes UBSan findings fatal instead of log-and-continue, so a
+# green suite really means zero sanitizer reports.
+ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1 \
+UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+  ctest --test-dir "$build" --output-on-failure -j"$(nproc)"
+
+echo "== mblint conformance =="
+"$build/tools/mblint" --all-presets
+
+echo "== clang-tidy over src/ =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  # run-clang-tidy parallelises when present; fall back to a plain loop.
+  files=$(find "$repo/src" -name '*.cpp' | sort)
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -p "$build" -quiet $files
+  else
+    status=0
+    for f in $files; do
+      clang-tidy -p "$build" --quiet "$f" || status=1
+    done
+    [ "$status" -eq 0 ]
+  fi
+else
+  echo "clang-tidy not installed; skipping tidy pass (build+sanitizer gate still enforced)"
+fi
+
+echo "== CI gate passed =="

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/config_lint.hpp"
 #include "common/string_util.hpp"
 #include "sim/experiment.hpp"
 
@@ -115,7 +116,17 @@ int main(int argc, char** argv) {
       usage(("unrecognized argument: " + arg).c_str());
     }
   }
-  if (!cfg.ubank.valid()) usage("--nw/--nb must be powers of two in [1,16]");
+  // Pre-flight static analysis: reject an invalid configuration with
+  // structured diagnostics before any simulation tick runs.
+  {
+    analysis::DiagnosticEngine engine;
+    analysis::ConfigLinter linter(engine);
+    if (!linter.lintSystem(cfg)) {
+      std::fprintf(stderr, "mbsim: configuration rejected by mblint rules:\n%s",
+                   engine.renderText().c_str());
+      return 2;
+    }
+  }
 
   auto spec = workloadByName(workload);
   if (spec.kind != sim::WorkloadSpec::Kind::SingleSpec &&
