@@ -1,13 +1,38 @@
 #include "bench_util.hpp"
 
 #include <cstdio>
-#include <future>
-#include <thread>
-#include <vector>
+#include <cstdlib>
+#include <cstring>
+#include <iterator>
 
 #include "common/check.hpp"
 
 namespace mb::bench {
+
+int jobsFromArgs(int argc, char** argv) {
+  int jobs = 0;  // 0: let resolveJobs pick MB_JOBS / hardware concurrency
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      value = arg + 7;
+    } else if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+      value = argv[++i];
+    } else {
+      std::fprintf(stderr, "unrecognized argument: %s (benches take --jobs N)\n",
+                   arg);
+      std::exit(2);
+    }
+    char* end = nullptr;
+    const long v = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || v < 1) {
+      std::fprintf(stderr, "--jobs expects a positive integer, got \"%s\"\n", value);
+      std::exit(2);
+    }
+    jobs = static_cast<int>(v);
+  }
+  return sim::resolveJobs(jobs);
+}
 
 void printBanner(const std::string& artifact, const std::string& what) {
   std::printf("================================================================\n");
@@ -30,67 +55,93 @@ sim::SystemConfig sliced(sim::SystemConfig cfg, bool multicore) {
   return cfg;
 }
 
-std::vector<sim::RunResult> runWorkload(const std::string& name,
-                                        const sim::SystemConfig& cfg) {
+namespace {
+
+/// Expand a named workload into its constituent sweep points (one per
+/// single-app slice run, or one multicore run for mixes/kernels), applying
+/// the same slicing rules the serial path used.
+std::vector<sim::SweepPoint> workloadPoints(const std::string& name,
+                                            const sim::SystemConfig& cfg) {
   using trace::SpecGroup;
-  auto runGroup = [&](std::vector<std::string> apps) {
-    // Each simulation is fully self-contained (its own event queue, device
-    // state, and seeded generators), so group members run concurrently —
-    // results are bitwise identical to a serial run, just wall-clock faster.
+  auto groupPoints = [&](const std::vector<std::string>& apps) {
     const auto c = sliced(cfg, false);
-    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-    std::vector<sim::RunResult> out(apps.size());
-    size_t next = 0;
-    while (next < apps.size()) {
-      const size_t batch = std::min<size_t>(hw, apps.size() - next);
-      std::vector<std::future<sim::RunResult>> futs;
-      futs.reserve(batch);
-      for (size_t i = 0; i < batch; ++i) {
-        futs.push_back(std::async(std::launch::async,
-                                  [&c, app = apps[next + i]] {
-                                    return sim::runSpecApp(app, c);
-                                  }));
-      }
-      for (size_t i = 0; i < batch; ++i) out[next + i] = futs[i].get();
-      next += batch;
-    }
-    return out;
+    std::vector<sim::SweepPoint> pts;
+    pts.reserve(apps.size());
+    for (const auto& app : apps)
+      pts.push_back({name + "/" + app, c, sim::WorkloadSpec::spec(app)});
+    return pts;
   };
 
-  if (name == "spec-high") return runGroup(trace::specGroupMembers(SpecGroup::High));
-  if (name == "spec-med") return runGroup(trace::specGroupMembers(SpecGroup::Med));
-  if (name == "spec-low") return runGroup(trace::specGroupMembers(SpecGroup::Low));
+  if (name == "spec-high") return groupPoints(trace::specGroupMembers(SpecGroup::High));
+  if (name == "spec-med") return groupPoints(trace::specGroupMembers(SpecGroup::Med));
+  if (name == "spec-low") return groupPoints(trace::specGroupMembers(SpecGroup::Low));
   if (name == "spec-all") {
     std::vector<std::string> all;
     for (const auto& p : trace::specProfiles()) all.push_back(p.name);
-    return runGroup(all);
+    return groupPoints(all);
   }
   if (name == "mix-high" || name == "mix-blend") {
-    return {sim::runSimulation(sliced(multicoreConfig(cfg), true),
-                               sim::WorkloadSpec::mix(name))};
+    return {{name, sliced(multicoreConfig(cfg), true), sim::WorkloadSpec::mix(name)}};
   }
   for (auto kind : {trace::MtKind::Radix, trace::MtKind::Fft, trace::MtKind::Canneal,
                     trace::MtKind::TpcC, trace::MtKind::TpcH}) {
     if (name == trace::mtKindName(kind)) {
-      return {sim::runSimulation(sliced(multicoreConfig(cfg), true),
-                                 sim::WorkloadSpec::mt(kind))};
+      return {{name, sliced(multicoreConfig(cfg), true), sim::WorkloadSpec::mt(kind)}};
     }
   }
   // Single SPEC application.
-  return {sim::runSpecApp(name, sliced(cfg, false))};
+  return {{name, sliced(cfg, false), sim::WorkloadSpec::spec(name)}};
+}
+
+}  // namespace
+
+std::size_t SweepPlan::add(const std::string& workload, const sim::SystemConfig& cfg) {
+  MB_CHECK(!ran_);
+  auto pts = workloadPoints(workload, cfg);
+  Cell cell;
+  cell.firstPoint = points_.size();
+  cell.numPoints = pts.size();
+  for (auto& p : pts) points_.push_back(std::move(p));
+  cells_.push_back(std::move(cell));
+  return cells_.size() - 1;
+}
+
+void SweepPlan::run(int jobs) {
+  MB_CHECK(!ran_);
+  sim::SweepOptions opts;
+  opts.jobs = jobs;
+  opts.progress = true;
+  auto results = sim::SweepRunner(opts).runAll(points_);
+  for (auto& cell : cells_) {
+    cell.results.assign(
+        std::make_move_iterator(results.begin() + static_cast<std::ptrdiff_t>(cell.firstPoint)),
+        std::make_move_iterator(results.begin() +
+                                static_cast<std::ptrdiff_t>(cell.firstPoint + cell.numPoints)));
+  }
+  ran_ = true;
+}
+
+const std::vector<sim::RunResult>& SweepPlan::results(std::size_t cell) const {
+  MB_CHECK(ran_ && cell < cells_.size());
+  return cells_[cell].results;
+}
+
+std::vector<sim::RunResult> runWorkload(const std::string& name,
+                                        const sim::SystemConfig& cfg) {
+  return runWorkload(name, cfg, 0);
+}
+
+std::vector<sim::RunResult> runWorkload(const std::string& name,
+                                        const sim::SystemConfig& cfg, int jobs) {
+  sim::SweepOptions opts;
+  opts.jobs = jobs;
+  return sim::SweepRunner(opts).runAll(workloadPoints(name, cfg));
 }
 
 double relative(const std::vector<sim::RunResult>& test,
                 const std::vector<sim::RunResult>& baseline,
                 double (*metric)(const sim::RunResult&)) {
-  MB_CHECK(test.size() == baseline.size() && !test.empty());
-  double sum = 0.0;
-  for (size_t i = 0; i < test.size(); ++i) {
-    const double b = metric(baseline[i]);
-    MB_CHECK(b > 0.0);
-    sum += metric(test[i]) / b;
-  }
-  return sum / static_cast<double>(test.size());
+  return sim::meanRatio(test, baseline, metric);
 }
 
 PowerBreakdownW powerBreakdown(const std::vector<sim::RunResult>& runs) {

@@ -4,15 +4,28 @@
 // system configuration used, and the table/series in the paper's layout.
 // Slices default to the "fast" preset (whole bench suite in minutes); set
 // MB_SLICE=full for longer, tighter-statistics runs.
+//
+// Grid benches run their simulation points through sim::SweepRunner: pass
+// --jobs N (or set MB_JOBS) to bound the worker pool; the default is the
+// hardware concurrency and --jobs 1 reproduces the old serial walk. Metric
+// output on stdout is byte-identical for every jobs value — only wall-clock
+// and the stderr progress stream change.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
 #include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
 #include "sim/system.hpp"
 
 namespace mb::bench {
+
+/// Parse `--jobs=N` / `--jobs N` out of argv (consuming nothing else) and
+/// resolve the default through sim::resolveJobs (MB_JOBS, then hardware
+/// concurrency). Any unrecognized argument is rejected with exit 2.
+int jobsFromArgs(int argc, char** argv);
 
 /// Print the standard bench banner.
 void printBanner(const std::string& artifact, const std::string& what);
@@ -24,15 +37,50 @@ sim::SystemConfig multicoreConfig(sim::SystemConfig base);
 /// Apply the slice preset from MB_SLICE to single- or multi-core configs.
 sim::SystemConfig sliced(sim::SystemConfig cfg, bool multicore);
 
+/// Batches every (workload, config) cell of a bench into one flat point
+/// list, runs it through sim::SweepRunner, and hands each cell its results
+/// back in submission order. Flattening matters: a 5x5 grid of spec-high
+/// cells is 250 independent single-app simulations, and one shared pool
+/// keeps every worker busy across cell boundaries instead of paying a
+/// serial barrier per cell.
+class SweepPlan {
+ public:
+  /// Queue one workload/config cell (workload names as in runWorkload()).
+  /// Returns the cell id to pass to results() after run().
+  std::size_t add(const std::string& workload, const sim::SystemConfig& cfg);
+
+  /// Run all queued cells with `jobs` workers (<= 0: MB_JOBS / hardware
+  /// concurrency). If any point fails, every failure is reported on stderr
+  /// before the process aborts — one bad point no longer hides the others.
+  void run(int jobs);
+
+  /// Per-constituent results of a cell, in the same order runWorkload()
+  /// would return them. Valid after run().
+  const std::vector<sim::RunResult>& results(std::size_t cell) const;
+
+ private:
+  struct Cell {
+    std::size_t firstPoint = 0;
+    std::size_t numPoints = 0;
+    std::vector<sim::RunResult> results;
+  };
+  std::vector<sim::SweepPoint> points_;
+  std::vector<Cell> cells_;
+  bool ran_ = false;
+};
+
 /// Run a named workload:
 ///   - a SPEC app name ("429.mcf"): single core, single channel;
 ///   - "spec-high"/"spec-med"/"spec-low"/"spec-all": per-app runs, averaged
 ///     as ratios by the caller (returns all apps' results);
 ///   - "mix-high"/"mix-blend": 64-core multiprogrammed;
 ///   - "RADIX"/"FFT"/"canneal"/"TPC-C"/"TPC-H": 64-thread kernels.
-/// Returns one result per constituent run.
+/// Returns one result per constituent run. Group members run concurrently
+/// (`jobs` as in SweepPlan::run; the no-jobs overload uses the default).
 std::vector<sim::RunResult> runWorkload(const std::string& name,
                                         const sim::SystemConfig& cfg);
+std::vector<sim::RunResult> runWorkload(const std::string& name,
+                                        const sim::SystemConfig& cfg, int jobs);
 
 /// Mean metric ratio of `test` over `baseline` (paired per constituent).
 double relative(const std::vector<sim::RunResult>& test,

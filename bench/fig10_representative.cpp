@@ -7,15 +7,20 @@
 // Paper shape: memory-intensive workloads gain the most; configurations
 // with more wordline partitions dissipate the least ACT/PRE power; RADIX
 // gains ~49% IPC at (8,2).
+//
+// All (workload, config) runs execute in parallel via sim::SweepRunner
+// (--jobs N / MB_JOBS; --jobs 1 is the old serial walk, same stdout).
 #include <cstdio>
 #include <iostream>
+#include <map>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "dram/area_model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mb;
+  const int jobs = bench::jobsFromArgs(argc, argv);
   bench::printBanner("Figure 10",
                      "representative <3%-area ubank configs: IPC, 1/EDP, power");
 
@@ -31,14 +36,25 @@ int main() {
   const std::vector<std::string> workloads = {"429.mcf",  "450.soplex", "spec-high",
                                               "spec-all", "mix-high",   "mix-blend",
                                               "RADIX",    "FFT"};
+  bench::SweepPlan plan;
+  std::map<std::string, std::size_t> baselineCell;
+  std::map<std::string, std::map<std::string, std::size_t>> configCell;
   for (const auto& workload : workloads) {
-    const auto baseline = bench::runWorkload(workload, base);
-    TablePrinter t({"(nW,nB)", "rel IPC", "rel 1/EDP", "Proc W", "ACT/PRE W",
-                    "DRAM static W", "RD/WR W", "I/O W"});
+    baselineCell[workload] = plan.add(workload, base);
     for (const auto& c : configs) {
       sim::SystemConfig cfg = base;
       cfg.ubank = dram::UbankConfig{c.nW, c.nB};
-      const auto runs = bench::runWorkload(workload, cfg);
+      configCell[workload][c.label] = plan.add(workload, cfg);
+    }
+  }
+  plan.run(jobs);
+
+  for (const auto& workload : workloads) {
+    const auto& baseline = plan.results(baselineCell[workload]);
+    TablePrinter t({"(nW,nB)", "rel IPC", "rel 1/EDP", "Proc W", "ACT/PRE W",
+                    "DRAM static W", "RD/WR W", "I/O W"});
+    for (const auto& c : configs) {
+      const auto& runs = plan.results(configCell[workload][c.label]);
       const auto p = bench::powerBreakdown(runs);
       t.addRow(c.label,
                {bench::relative(runs, baseline, bench::ipcMetric),

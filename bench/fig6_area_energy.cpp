@@ -11,8 +11,11 @@
 #include "dram/area_model.hpp"
 #include "dram/energy.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mb;
+  // Both grids are closed-form (no simulation), so --jobs only exists for
+  // CLI uniformity with the other grid benches; the work is instant.
+  (void)bench::jobsFromArgs(argc, argv);
   bench::printBanner("Figure 6", "ubank area and energy overhead grids");
 
   const auto& axis = sim::sweepAxis();

@@ -5,27 +5,49 @@
 // Paper shape: mcf gains from both axes (1.55x at (16,16)); spec-high gains
 // are modest (~1.2x); TPC-H jumps sharply with nB and saturates, with weak
 // nW sensitivity; diminishing returns everywhere.
+//
+// All grid points are independent simulations and run in parallel through
+// sim::SweepRunner: --jobs N / MB_JOBS bounds the pool (default: hardware
+// concurrency; 1 is the old serial walk; stdout is identical either way).
 #include <cstdio>
 #include <iostream>
+#include <map>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mb;
+  const int jobs = bench::jobsFromArgs(argc, argv);
   bench::printBanner("Figure 8", "relative IPC over the (nW, nB) grid");
 
   const auto& axis = sim::sweepAxis();
   const sim::SystemConfig base = sim::tsiBaselineConfig();
+  const std::vector<std::string> workloads = {"429.mcf", "spec-high", "TPC-H"};
 
-  for (const char* workload : {"429.mcf", "spec-high", "TPC-H"}) {
-    const auto baseline = bench::runWorkload(workload, base);
-    GridPrinter grid(std::string("relative IPC: ") + workload, axis, axis);
+  // One flat plan for every workload's baseline and grid cells: the sweep
+  // pool stays saturated across workload boundaries.
+  bench::SweepPlan plan;
+  std::map<std::string, std::size_t> baselineCell;
+  std::map<std::string, std::map<std::pair<int, int>, std::size_t>> gridCell;
+  for (const auto& workload : workloads) {
+    baselineCell[workload] = plan.add(workload, base);
     for (int nw : axis) {
       for (int nb : axis) {
         sim::SystemConfig cfg = base;
         cfg.ubank = dram::UbankConfig{nw, nb};
-        const auto runs = bench::runWorkload(workload, cfg);
+        gridCell[workload][{nw, nb}] = plan.add(workload, cfg);
+      }
+    }
+  }
+  plan.run(jobs);
+
+  for (const auto& workload : workloads) {
+    const auto& baseline = plan.results(baselineCell[workload]);
+    GridPrinter grid(std::string("relative IPC: ") + workload, axis, axis);
+    for (int nw : axis) {
+      for (int nb : axis) {
+        const auto& runs = plan.results(gridCell[workload][{nw, nb}]);
         grid.set(nw, nb, bench::relative(runs, baseline, bench::ipcMetric));
       }
     }

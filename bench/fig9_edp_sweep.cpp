@@ -5,27 +5,46 @@
 // Paper shape: 1/EDP gains exceed the IPC gains of Fig. 8 because nW also
 // cuts activation energy; mcf reaches ~4.9x at (8,16); TPC-H ~3.6x at
 // (16,8); the best-EDP corner always has nW >= 2.
+//
+// Grid points run in parallel via sim::SweepRunner (--jobs N / MB_JOBS;
+// --jobs 1 reproduces the old serial walk with identical stdout).
 #include <cstdio>
 #include <iostream>
+#include <map>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mb;
+  const int jobs = bench::jobsFromArgs(argc, argv);
   bench::printBanner("Figure 9", "relative 1/EDP over the (nW, nB) grid");
 
   const auto& axis = sim::sweepAxis();
   const sim::SystemConfig base = sim::tsiBaselineConfig();
+  const std::vector<std::string> workloads = {"429.mcf", "spec-high", "TPC-H"};
 
-  for (const char* workload : {"429.mcf", "spec-high", "TPC-H"}) {
-    const auto baseline = bench::runWorkload(workload, base);
-    GridPrinter grid(std::string("relative 1/EDP: ") + workload, axis, axis);
+  bench::SweepPlan plan;
+  std::map<std::string, std::size_t> baselineCell;
+  std::map<std::string, std::map<std::pair<int, int>, std::size_t>> gridCell;
+  for (const auto& workload : workloads) {
+    baselineCell[workload] = plan.add(workload, base);
     for (int nw : axis) {
       for (int nb : axis) {
         sim::SystemConfig cfg = base;
         cfg.ubank = dram::UbankConfig{nw, nb};
-        const auto runs = bench::runWorkload(workload, cfg);
+        gridCell[workload][{nw, nb}] = plan.add(workload, cfg);
+      }
+    }
+  }
+  plan.run(jobs);
+
+  for (const auto& workload : workloads) {
+    const auto& baseline = plan.results(baselineCell[workload]);
+    GridPrinter grid(std::string("relative 1/EDP: ") + workload, axis, axis);
+    for (int nw : axis) {
+      for (int nb : axis) {
+        const auto& runs = plan.results(gridCell[workload][{nw, nb}]);
         grid.set(nw, nb, bench::relative(runs, baseline, bench::invEdpMetric));
       }
     }

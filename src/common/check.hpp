@@ -15,12 +15,30 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
-namespace mb::detail {
+namespace mb {
+
+/// Thrown instead of aborting when a ScopedCheckTrap is active on the current
+/// thread. Carries the fully formatted failure text ("check failed: ...").
+struct CheckFailure {
+  std::string message;
+};
+
+namespace detail {
+
+inline thread_local bool g_checkTrapActive = false;
+
+[[noreturn]] inline void raiseCheckFailure(std::string message) {
+  if (g_checkTrapActive) throw CheckFailure{std::move(message)};
+  std::fprintf(stderr, "%s\n", message.c_str());
+  std::abort();
+}
 
 [[noreturn]] inline void checkFailed(const char* expr, const char* file, int line) {
-  std::fprintf(stderr, "check failed: %s at %s:%d\n", expr, file, line);
-  std::abort();
+  char msg[512];
+  std::snprintf(msg, sizeof(msg), "check failed: %s at %s:%d", expr, file, line);
+  raiseCheckFailure(msg);
 }
 
 #if defined(__GNUC__) || defined(__clang__)
@@ -33,11 +51,32 @@ checkFailedMsg(const char* expr, const char* file, int line, const char* fmt, ..
   va_start(args, fmt);
   std::vsnprintf(msg, sizeof(msg), fmt, args);
   va_end(args);
-  std::fprintf(stderr, "check failed: %s (%s) at %s:%d\n", expr, msg, file, line);
-  std::abort();
+  char full[768];
+  std::snprintf(full, sizeof(full), "check failed: %s (%s) at %s:%d", expr, msg, file,
+                line);
+  raiseCheckFailure(full);
 }
 
-}  // namespace mb::detail
+}  // namespace detail
+
+/// While alive, MB_CHECK / MB_CHECK_MSG failures on THIS thread throw
+/// CheckFailure instead of aborting the process. Used by sim::SweepRunner to
+/// isolate a failing sweep point as a recorded error rather than killing the
+/// whole sweep. Nests; restores the previous state on destruction.
+class ScopedCheckTrap {
+ public:
+  ScopedCheckTrap() : prev_(detail::g_checkTrapActive) {
+    detail::g_checkTrapActive = true;
+  }
+  ~ScopedCheckTrap() { detail::g_checkTrapActive = prev_; }
+  ScopedCheckTrap(const ScopedCheckTrap&) = delete;
+  ScopedCheckTrap& operator=(const ScopedCheckTrap&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace mb
 
 #define MB_CHECK(expr)                                          \
   do {                                                          \

@@ -88,9 +88,15 @@ class TimeWeightedLevel {
     level_ = newLevel;
   }
 
-  /// Average level over [0, now].
+  /// Average level over [0, now]. A zero-length window (now == 0, including
+  /// now == lastTick_ == 0 right after an update) has no time to average
+  /// over and reports 0.0 — not the instantaneous level, and never NaN/inf
+  /// from a zero divisor — so downstream energy integration of an empty run
+  /// stays finite.
   double average(Tick now) const {
-    if (now == 0) return level_;
+    if (now <= 0) return 0.0;
+    MB_CHECK_MSG(now >= lastTick_, "average asked before last update: now=%lldps last=%lldps",
+                 static_cast<long long>(now), static_cast<long long>(lastTick_));
     const double total =
         weightedSum_ + level_ * static_cast<double>(now - lastTick_);
     return total / static_cast<double>(now);

@@ -1,9 +1,13 @@
 #include "sim/experiment.hpp"
 
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 
 #include "common/check.hpp"
+#include "sim/sweep.hpp"
 
 namespace mb::sim {
 
@@ -76,7 +80,13 @@ SlicePreset slicePresetFromEnv(SlicePreset fallback) {
   if (env == nullptr) return fallback;
   if (std::strcmp(env, "full") == 0) return SlicePreset::Full;
   if (std::strcmp(env, "fast") == 0) return SlicePreset::Fast;
-  return fallback;
+  // Silently falling back here would let a typo ("ful", "FAST") change every
+  // reported number without any sign of it; reject loudly instead.
+  std::fprintf(stderr,
+               "mb: unrecognized MB_SLICE value \"%s\" (expected \"fast\" or "
+               "\"full\")\n",
+               env);
+  std::exit(2);
 }
 
 std::int64_t sliceInstructions(SlicePreset preset, bool multicore) {
@@ -105,20 +115,60 @@ std::vector<RunResult> runSpecGroup(trace::SpecGroup group, const SystemConfig& 
   return out;
 }
 
+std::vector<RunResult> runSpecGroup(trace::SpecGroup group, const SystemConfig& cfg,
+                                    int jobs) {
+  std::vector<SweepPoint> points;
+  for (const auto& name : trace::specGroupMembers(group))
+    points.push_back({name, cfg, WorkloadSpec::spec(name)});
+  SweepOptions opts;
+  opts.jobs = jobs;
+  return SweepRunner(opts).runAll(points);
+}
+
+namespace {
+
+/// Report a zero/negative baseline metric (see header for the contract).
+void reportZeroBaseline(const RunResult& baseline, double value,
+                        analysis::DiagnosticEngine& diags) {
+  diags.report(analysis::Diagnostic("MB-EXP-001", analysis::Severity::Error,
+                                    "baseline metric is not strictly positive; "
+                                    "ratio is undefined")
+                   .with("workload", baseline.workload)
+                   .with("baselineMetric", value));
+}
+
+}  // namespace
+
 double ratio(const RunResult& test, const RunResult& baseline,
-             const std::function<double(const RunResult&)>& metric) {
+             const std::function<double(const RunResult&)>& metric,
+             analysis::DiagnosticEngine* diags) {
   const double b = metric(baseline);
-  MB_CHECK(b > 0.0);
+  if (!(b > 0.0)) {
+    MB_CHECK_MSG(diags != nullptr,
+                 "baseline metric %g is not strictly positive (workload %s)", b,
+                 baseline.workload.c_str());
+    reportZeroBaseline(baseline, b, *diags);
+    return std::numeric_limits<double>::quiet_NaN();
+  }
   return metric(test) / b;
 }
 
 double meanRatio(const std::vector<RunResult>& test,
                  const std::vector<RunResult>& baseline,
-                 const std::function<double(const RunResult&)>& metric) {
+                 const std::function<double(const RunResult&)>& metric,
+                 analysis::DiagnosticEngine* diags) {
   MB_CHECK(test.size() == baseline.size() && !test.empty());
   double sum = 0.0;
-  for (size_t i = 0; i < test.size(); ++i) sum += ratio(test[i], baseline[i], metric);
-  return sum / static_cast<double>(test.size());
+  std::size_t valid = 0;
+  for (size_t i = 0; i < test.size(); ++i) {
+    const double r = ratio(test[i], baseline[i], metric, diags);
+    // Diagnosed pairs come back NaN; excluding them keeps one degenerate
+    // baseline from turning the whole group mean into inf/NaN.
+    if (std::isnan(r)) continue;
+    sum += r;
+    ++valid;
+  }
+  return valid == 0 ? 0.0 : sum / static_cast<double>(valid);
 }
 
 const std::vector<int>& sweepAxis() {

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostic.hpp"
 #include "sim/system.hpp"
 
 namespace mb::sim {
@@ -32,7 +33,8 @@ std::vector<NamedConfig> shippedPresets();
 /// Instruction-slice presets. The full-size runs use more instructions for
 /// tighter statistics; benches default to `Fast` to keep the whole suite
 /// runnable in minutes. Override with the MB_SLICE environment variable
-/// ("fast", "full").
+/// ("fast", "full"). Any other MB_SLICE value is rejected with a clear
+/// error (exit 2) — a typo must not silently change every reported number.
 enum class SlicePreset { Fast, Full };
 SlicePreset slicePresetFromEnv(SlicePreset fallback = SlicePreset::Fast);
 std::int64_t sliceInstructions(SlicePreset preset, bool multicore);
@@ -46,14 +48,31 @@ RunResult runSpecApp(const std::string& appName, const SystemConfig& cfg);
 /// Run every app in a group and return the per-app results (Table II order).
 std::vector<RunResult> runSpecGroup(trace::SpecGroup group, const SystemConfig& cfg);
 
+/// Parallel variant: shard the group's apps across `jobs` workers via
+/// SweepRunner (jobs <= 0 resolves through MB_JOBS / hardware concurrency;
+/// 1 is serial). Results are bit-identical to the serial overload.
+std::vector<RunResult> runSpecGroup(trace::SpecGroup group, const SystemConfig& cfg,
+                                    int jobs);
+
 /// Arithmetic mean of per-app metric ratios vs. a baseline run list.
+///
+/// A baseline metric of 0 is a methodology error (the paper normalizes every
+/// figure to a strictly positive baseline). Without `diags` it aborts via
+/// MB_CHECK; with `diags` it is reported as diagnostic MB-EXP-001 naming the
+/// offending workload, the pair is excluded from the mean (so one bad pair
+/// cannot poison the group average with inf), and the mean of the remaining
+/// pairs is returned (0.0 if none remain).
 double meanRatio(const std::vector<RunResult>& test,
                  const std::vector<RunResult>& baseline,
-                 const std::function<double(const RunResult&)>& metric);
+                 const std::function<double(const RunResult&)>& metric,
+                 analysis::DiagnosticEngine* diags = nullptr);
 
-/// Relative metric for a single pair.
+/// Relative metric for a single pair. On a zero/negative baseline metric:
+/// aborts without `diags`; with `diags`, reports MB-EXP-001 and returns a
+/// quiet NaN (callers must check diags->hasErrors() before trusting it).
 double ratio(const RunResult& test, const RunResult& baseline,
-             const std::function<double(const RunResult&)>& metric);
+             const std::function<double(const RunResult&)>& metric,
+             analysis::DiagnosticEngine* diags = nullptr);
 
 /// Standard metric accessors.
 inline double ipcOf(const RunResult& r) { return r.systemIpc; }

@@ -1,0 +1,91 @@
+// Parallel sweep engine.
+//
+// The paper's evaluation is built from dense grids of *independent*
+// simulations — 5x5 (nW, nB) points per workload in Figs. 6/8/9, one run per
+// representative config in Fig. 10 — and every simulation is a pure function
+// of (SystemConfig, WorkloadSpec): its own event queue, device state, and
+// seeded generators, with no shared mutable state. SweepRunner exploits that:
+// a bounded thread pool shards the points across workers while guaranteeing
+// results identical to a serial walk.
+//
+// Guarantees:
+//   - Determinism: outcomes depend only on the point list, never on worker
+//     count or completion order. Per-point seeds (when `reseedPoints` is set)
+//     are a pure function of (point seed, point index) via SplitMix64, so
+//     `jobs=N` is bit-identical to `jobs=1`.
+//   - Ordered collection: outcome[i] always corresponds to points[i].
+//   - Failure isolation: an MB_CHECK that trips inside one point (or any
+//     exception it throws) is recorded as that point's error string; the
+//     remaining points still run and the process does not abort.
+//   - Progress: an optional stderr reporter prints completed/total and an
+//     ETA while the sweep runs (never on stdout, so piped metric output is
+//     unaffected by `jobs`).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/system.hpp"
+
+namespace mb::sim {
+
+/// Derive the effective seed of sweep point `index` from a base seed by
+/// folding the index through SplitMix64. A pure function — independent of
+/// execution order — so parallel and serial sweeps draw identical seeds.
+std::uint64_t foldPointSeed(std::uint64_t baseSeed, std::size_t index);
+
+/// Resolve a worker count: `requested` > 0 wins; otherwise the MB_JOBS
+/// environment variable; otherwise std::thread::hardware_concurrency().
+/// An unparseable or non-positive MB_JOBS is rejected with a clear error
+/// (exit 2) — a typo must not silently change how the suite runs.
+int resolveJobs(int requested = 0);
+
+/// One unit of work: a fully specified simulation.
+struct SweepPoint {
+  std::string label;  // "(4,4)/429.mcf" — used in progress and error reports
+  SystemConfig cfg;
+  WorkloadSpec workload;
+};
+
+/// Result slot for one point, in submission order.
+struct SweepOutcome {
+  std::size_t index = 0;
+  std::string label;
+  bool ok = false;
+  RunResult result;   // valid only when ok
+  std::string error;  // MB_CHECK / exception text when !ok
+};
+
+struct SweepOptions {
+  /// Worker threads; <= 0 resolves via resolveJobs() (MB_JOBS, then
+  /// hardware concurrency). 1 runs the points serially on the calling
+  /// thread — today's behavior, same outcomes.
+  int jobs = 0;
+  /// Re-seed each point as foldPointSeed(cfg.seed, index). Off by default:
+  /// the figure benches deliberately run every grid point with the *same*
+  /// seed so that ratios against the baseline are paired. Turn on for
+  /// statistical replicates of one configuration.
+  bool reseedPoints = false;
+  /// Print completed/total + ETA to stderr while running.
+  bool progress = false;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions opts = {}) : opts_(opts) {}
+
+  /// Run all points; outcome[i] corresponds to points[i]. Never aborts on a
+  /// point failure (see header notes); the caller inspects `ok`.
+  std::vector<SweepOutcome> run(const std::vector<SweepPoint>& points) const;
+
+  /// Convenience for callers that treat any point failure as fatal (the
+  /// pre-SweepRunner behavior): runs, and on failure reports every failed
+  /// point before aborting. Returns results in submission order.
+  std::vector<RunResult> runAll(const std::vector<SweepPoint>& points) const;
+
+ private:
+  SweepOptions opts_;
+};
+
+}  // namespace mb::sim

@@ -72,6 +72,40 @@ TEST(Histogram, PercentileIsMonotonic) {
   EXPECT_NEAR(h.percentile(0.99), 99.0, 2.0);
 }
 
+TEST(Histogram, PercentileEdgeFractions) {
+  Histogram h(1.0, 10);
+  h.add(4.5);  // single sample in bucket [4, 5)
+  // fraction 0 is the lower edge, not the upper edge of some empty leading
+  // bucket; fraction 1 is the upper edge of the last occupied bucket.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 5.0);
+  // A tiny fraction still targets the first sample, never "rank 0".
+  EXPECT_DOUBLE_EQ(h.percentile(1e-9), 5.0);
+}
+
+TEST(Histogram, PercentileEmptyIsZero) {
+  Histogram h(1.0, 10);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 0.0);
+}
+
+TEST(Histogram, PercentileSkipsEmptyLeadingBuckets) {
+  Histogram h(1.0, 10);
+  h.add(7.2);
+  h.add(7.8);
+  // Every fraction lands in the single occupied bucket [7, 8).
+  EXPECT_DOUBLE_EQ(h.percentile(0.25), 8.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 8.0);
+}
+
+TEST(HistogramDeath, PercentileRejectsOutOfRangeFraction) {
+  Histogram h(1.0, 10);
+  h.add(1.0);
+  EXPECT_DEATH((void)h.percentile(-0.1), "check failed");
+  EXPECT_DEATH((void)h.percentile(1.1), "check failed");
+}
+
 TEST(TimeWeightedLevel, AveragesOverTime) {
   TimeWeightedLevel l;
   l.update(0, 10.0);   // level 10 from t=0
@@ -85,6 +119,18 @@ TEST(TimeWeightedLevel, ConstantLevel) {
   TimeWeightedLevel l;
   l.update(0, 3.0);
   EXPECT_DOUBLE_EQ(l.average(50), 3.0);
+}
+
+TEST(TimeWeightedLevel, ZeroLengthWindowIsZero) {
+  // A zero-length run has no time to average over: report 0, not the
+  // instantaneous level and never NaN/inf from the zero divisor — this is
+  // what keeps energy integration of an empty run finite.
+  TimeWeightedLevel l;
+  EXPECT_DOUBLE_EQ(l.average(0), 0.0);
+  l.update(0, 7.0);  // now == lastTick_ == 0 after an update
+  EXPECT_DOUBLE_EQ(l.average(0), 0.0);
+  EXPECT_DOUBLE_EQ(l.current(), 7.0);
+  EXPECT_DOUBLE_EQ(l.average(10), 7.0);  // a real window still averages
 }
 
 TEST(StatRegistry, CountersAndAccumulatorsByName) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 
 namespace mb::sim {
@@ -34,10 +35,18 @@ TEST(SlicePresets, EnvOverride) {
   EXPECT_EQ(slicePresetFromEnv(), SlicePreset::Full);
   setenv("MB_SLICE", "fast", 1);
   EXPECT_EQ(slicePresetFromEnv(), SlicePreset::Fast);
-  setenv("MB_SLICE", "garbage", 1);
-  EXPECT_EQ(slicePresetFromEnv(SlicePreset::Full), SlicePreset::Full);
   unsetenv("MB_SLICE");
   EXPECT_EQ(slicePresetFromEnv(), SlicePreset::Fast);
+  EXPECT_EQ(slicePresetFromEnv(SlicePreset::Full), SlicePreset::Full);
+}
+
+TEST(SlicePresetsDeath, RejectsUnrecognizedValue) {
+  // A typo must not silently fall back and change every reported number.
+  setenv("MB_SLICE", "ful", 1);
+  EXPECT_EXIT((void)slicePresetFromEnv(), testing::ExitedWithCode(2), "MB_SLICE");
+  setenv("MB_SLICE", "FAST", 1);
+  EXPECT_EXIT((void)slicePresetFromEnv(), testing::ExitedWithCode(2), "FAST");
+  unsetenv("MB_SLICE");
 }
 
 TEST(ApplySlice, SetsCoreBudget) {
@@ -61,6 +70,43 @@ TEST(RatiosDeath, ZeroBaselineAborts) {
   a.systemIpc = 1.0;
   b.systemIpc = 0.0;
   EXPECT_DEATH((void)ratio(a, b, ipcOf), "check failed");
+}
+
+TEST(Ratios, ZeroBaselineIsDiagnosedNotInf) {
+  RunResult a, b;
+  a.systemIpc = 1.0;
+  a.workload = "429.mcf";
+  b.systemIpc = 0.0;
+  b.workload = "429.mcf";
+  analysis::DiagnosticEngine diags;
+  const double r = ratio(a, b, ipcOf, &diags);
+  EXPECT_TRUE(std::isnan(r));
+  ASSERT_TRUE(diags.hasErrors());
+  ASSERT_EQ(diags.diagnostics().size(), 1u);
+  EXPECT_EQ(diags.diagnostics()[0].code, "MB-EXP-001");
+}
+
+TEST(Ratios, MeanRatioExcludesDiagnosedPairs) {
+  RunResult t1, t2, b1, b2;
+  t1.systemIpc = 2.0;
+  b1.systemIpc = 1.0;
+  t2.systemIpc = 3.0;
+  b2.systemIpc = 0.0;  // degenerate pair: diagnosed, excluded from the mean
+  b2.workload = "dead.app";
+  analysis::DiagnosticEngine diags;
+  const double m = meanRatio({t1, t2}, {b1, b2}, ipcOf, &diags);
+  EXPECT_DOUBLE_EQ(m, 2.0);  // not inf: the bad pair did not poison the mean
+  EXPECT_TRUE(diags.hasErrors());
+  EXPECT_EQ(diags.count(analysis::Severity::Error), 1);
+}
+
+TEST(Ratios, MeanRatioAllPairsDegenerateIsZero) {
+  RunResult t, b;
+  t.systemIpc = 1.0;
+  b.systemIpc = 0.0;
+  analysis::DiagnosticEngine diags;
+  EXPECT_DOUBLE_EQ(meanRatio({t}, {b}, ipcOf, &diags), 0.0);
+  EXPECT_TRUE(diags.hasErrors());
 }
 
 TEST(Axes, SweepAxisIsPaper5x5) {

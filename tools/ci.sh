@@ -1,16 +1,21 @@
 #!/usr/bin/env bash
-# CI gate: build + full ctest under ASan+UBSan, then clang-tidy over src/.
+# CI gate: build + full ctest under ASan+UBSan, a TSan pass over the parallel
+# sweep tests, then clang-tidy over src/.
 #
 # Usage:  tools/ci.sh [build-dir]        (default: build-ci)
 #
-# The sanitizer run is the hard gate — any leak, overflow, or UB aborts the
-# suite and this script exits non-zero. clang-tidy runs when available and
-# is skipped with a notice otherwise (the container image may not ship it);
-# when it does run, its warnings fail the gate too.
+# The sanitizer runs are the hard gate — any leak, overflow, UB, or data race
+# aborts the suite and this script exits non-zero. TSan cannot coexist with
+# ASan in one binary, so the race check uses its own build tree
+# (<build-dir>-tsan) and only rebuilds the thread-bearing sim tests.
+# clang-tidy runs when available and is skipped with a notice otherwise (the
+# container image may not ship it); when it does run, its warnings fail the
+# gate too.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build-ci}"
+build_tsan="${build}-tsan"
 
 echo "== configure (${build}) with MB_SANITIZE=address;undefined =="
 cmake -B "$build" -S "$repo" \
@@ -27,6 +32,21 @@ echo "== ctest under ASan+UBSan =="
 ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1 \
 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
   ctest --test-dir "$build" --output-on-failure -j"$(nproc)"
+
+echo "== configure (${build_tsan}) with MB_SANITIZE=thread =="
+cmake -B "$build_tsan" -S "$repo" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DMB_SANITIZE="thread"
+
+echo "== build sim_tests for TSan =="
+cmake --build "$build_tsan" -j"$(nproc)" --target sim_tests
+
+echo "== parallel-sweep tests under TSan =="
+# The SweepRunner worker pool and the parallel runSpecGroup overload are the
+# only intentionally multithreaded code paths; any report here is a real race.
+TSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir "$build_tsan" --output-on-failure \
+    -R 'SweepRunner|RunSpecGroupParallel'
 
 echo "== mblint conformance =="
 "$build/tools/mblint" --all-presets

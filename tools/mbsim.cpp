@@ -22,6 +22,23 @@
 //   --seed=N          workload seed
 //   --xor-bank-hash   permutation-based bank-index hashing
 //   --per-bank-refresh, --no-refresh, --no-prefetch, --timing-check
+//
+// Sweep mode — run the workload over EVERY shipped preset in parallel and
+// print one summary row per preset:
+//
+//   mbsim --sweep --workload=429.mcf --jobs=8
+//
+//   --sweep           run all shipped presets (tools/mblint --all-presets
+//                     lints the same list) through sim::SweepRunner
+//   --jobs=N          worker threads (default: MB_JOBS, then hardware
+//                     concurrency; 1 = serial, identical output)
+//   --reseed          derive each point's seed as foldPointSeed(seed, index)
+//                     instead of running every preset with the same seed
+//                     (same-seed runs are paired and directly comparable;
+//                     reseeded runs are statistically independent)
+//
+// A preset that fails mid-simulation is reported as an ERROR row (exit 1)
+// after the rest of the sweep completes — not a process abort.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -30,6 +47,7 @@
 #include "analysis/config_lint.hpp"
 #include "common/string_util.hpp"
 #include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
 
 namespace {
 
@@ -59,16 +77,79 @@ sim::WorkloadSpec workloadByName(const std::string& name) {
   return sim::WorkloadSpec::spec(name);  // validated by the profile lookup
 }
 
+/// Populate cores/channels for a multicore workload (the single main() path
+/// below does the same inline for its one config).
+void applyWorkloadShape(sim::SystemConfig& cfg, const sim::WorkloadSpec& spec) {
+  if (spec.kind != sim::WorkloadSpec::Kind::SingleSpec &&
+      spec.kind != sim::WorkloadSpec::Kind::TraceFile) {
+    const auto phy = interface::PhyModel::make(cfg.phy);
+    cfg.hier.numCores = 64;
+    cfg.hier.coresPerCluster = 4;
+    if (cfg.channels < 0) cfg.channels = phy.channels;
+  }
+}
+
+int runPresetSweep(const sim::SystemConfig& userCfg, const std::string& workload,
+                   int jobs, bool reseed) {
+  const auto spec = workloadByName(workload);
+  std::vector<sim::SweepPoint> points;
+  for (const auto& preset : sim::shippedPresets()) {
+    sim::SystemConfig cfg = preset.cfg;
+    // Carry the user's run-shaping flags into every preset; the preset owns
+    // the architecture (phy/ubank/policy/...), the user owns the run.
+    cfg.core.maxInstrs = userCfg.core.maxInstrs;
+    cfg.seed = userCfg.seed;
+    applyWorkloadShape(cfg, spec);
+    points.push_back({preset.name, cfg, spec});
+  }
+
+  sim::SweepOptions opts;
+  opts.jobs = jobs;
+  opts.reseedPoints = reseed;
+  opts.progress = true;
+  const auto outcomes = sim::SweepRunner(opts).run(points);
+
+  std::printf("preset sweep: workload=%s jobs=%d%s\n\n", workload.c_str(),
+              sim::resolveJobs(jobs), reseed ? " (reseeded per point)" : "");
+  std::printf("%-32s %10s %12s %9s %7s\n", "preset", "IPC", "1/EDP", "row-hit",
+              "MAPKI");
+  int failures = 0;
+  for (const auto& o : outcomes) {
+    if (!o.ok) {
+      ++failures;
+      std::printf("%-32s ERROR: %s\n", o.label.c_str(), o.error.c_str());
+      continue;
+    }
+    std::printf("%-32s %10.3f %12.4g %9.3f %7.1f\n", o.label.c_str(),
+                o.result.systemIpc, o.result.invEdp, o.result.rowHitRate,
+                o.result.mapki);
+  }
+  if (failures > 0)
+    std::printf("\n%d of %zu presets failed (see rows above)\n", failures,
+                outcomes.size());
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   sim::SystemConfig cfg = sim::tsiBaselineConfig();
   std::string workload = "429.mcf";
   std::string value;
+  bool sweep = false;
+  bool reseed = false;
+  int jobs = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (matchFlag(arg, "workload", &value)) {
+    if (arg == "--sweep") {
+      sweep = true;
+    } else if (arg == "--reseed") {
+      reseed = true;
+    } else if (matchFlag(arg, "jobs", &value)) {
+      jobs = std::atoi(value.c_str());
+      if (jobs < 1) usage("--jobs expects a positive integer");
+    } else if (matchFlag(arg, "workload", &value)) {
       workload = value;
     } else if (matchFlag(arg, "nw", &value)) {
       cfg.ubank.nW = std::atoi(value.c_str());
@@ -117,7 +198,9 @@ int main(int argc, char** argv) {
     }
   }
   // Pre-flight static analysis: reject an invalid configuration with
-  // structured diagnostics before any simulation tick runs.
+  // structured diagnostics before any simulation tick runs. This fires in
+  // sweep mode too — the presets own the architecture there, but a config
+  // flag bad enough to fail lint is a user error, not something to ignore.
   {
     analysis::DiagnosticEngine engine;
     analysis::ConfigLinter linter(engine);
@@ -128,14 +211,10 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (sweep) return runPresetSweep(cfg, workload, jobs, reseed);
+
   auto spec = workloadByName(workload);
-  if (spec.kind != sim::WorkloadSpec::Kind::SingleSpec &&
-      spec.kind != sim::WorkloadSpec::Kind::TraceFile) {
-    const auto phy = interface::PhyModel::make(cfg.phy);
-    cfg.hier.numCores = 64;
-    cfg.hier.coresPerCluster = 4;
-    if (cfg.channels < 0) cfg.channels = phy.channels;
-  }
+  applyWorkloadShape(cfg, spec);
 
   const auto r = sim::runSimulation(cfg, spec);
 
