@@ -1,0 +1,800 @@
+#include "analysis/trace_audit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "core/address_map.hpp"
+
+namespace mb::analysis {
+
+namespace {
+
+using mc::CmdEvent;
+using mc::CmdEventKind;
+using mc::CmdTrace;
+using mc::CmdTraceConfig;
+
+bool isCas(CmdEventKind k) {
+  return k == CmdEventKind::Read || k == CmdEventKind::Write;
+}
+bool isAddressed(CmdEventKind k) {
+  return k == CmdEventKind::Act || k == CmdEventKind::Pre || isCas(k) ||
+         k == CmdEventKind::OraclePre;
+}
+
+core::DramAddress addrOf(const CmdEvent& ev) {
+  core::DramAddress da;
+  da.channel = ev.channel;
+  da.rank = ev.rank;
+  da.bank = ev.bank;
+  da.ubank = ev.ubank;
+  da.row = ev.row;
+  da.column = ev.column;
+  return da;
+}
+
+// ---- Independent shadow state ----------------------------------------------
+//
+// Deliberately NOT mc::TimingChecker's hash-map state: dense vectors indexed
+// by flattened coordinates, with the same commit semantics re-derived from
+// the protocol rules. The overlap in field names is the protocol, not shared
+// code.
+
+struct UbankShadow {
+  Tick lastActAt = -1;
+  Tick lastPreAt = -1;
+  Tick lastReadCasAt = -1;
+  Tick lastWriteDataEndAt = -1;
+  std::int64_t openRow = -1;
+};
+struct RankShadow {
+  Tick lastActAt = -1;
+  std::deque<Tick> actWindow;  // pruned to the tFAW horizon on commit
+  Tick lastWriteDataEndAt = -1;
+};
+struct ChannelShadow {
+  Tick lastCmdAt = -1;
+  Tick lastCasAt = -1;
+  Tick lastDataEndAt = -1;
+  int lastCasRank = -1;
+};
+
+class ShadowState {
+ public:
+  explicit ShadowState(const CmdTraceConfig& cfg) : cfg_(cfg) {
+    // A malformed header (fuzzed file) must not drive the allocations: the
+    // auditor bails on !geom.valid() before replaying any event.
+    if (!cfg.geom.valid()) return;
+    rowsPerUbank_ = cfg.geom.rowsPerUbank();
+    linesPerRow_ = cfg.geom.linesPerUbankRow();
+    ubanks_.resize(static_cast<std::size_t>(cfg.geom.totalUbanks()));
+    ranks_.resize(static_cast<std::size_t>(cfg.geom.channels) *
+                  static_cast<std::size_t>(cfg.geom.ranksPerChannel));
+    channels_.resize(static_cast<std::size_t>(cfg.geom.channels));
+  }
+
+  std::int64_t rowsPerUbank() const { return rowsPerUbank_; }
+  std::int64_t linesPerRow() const { return linesPerRow_; }
+
+  UbankShadow& ub(int channel, int rank, int bank, int ubank) {
+    const auto& g = cfg_.geom;
+    const std::size_t idx = static_cast<std::size_t>(
+        ((static_cast<std::int64_t>(channel) * g.ranksPerChannel + rank) *
+             g.banksPerRank +
+         bank) *
+            g.ubanksPerBank() +
+        ubank);
+    return ubanks_[idx];
+  }
+  UbankShadow& ub(const CmdEvent& ev) {
+    return ub(ev.channel, ev.rank, ev.bank, ev.ubank);
+  }
+  RankShadow& rk(const CmdEvent& ev) {
+    return ranks_[static_cast<std::size_t>(
+        static_cast<std::int64_t>(ev.channel) * cfg_.geom.ranksPerChannel + ev.rank)];
+  }
+  ChannelShadow& ch(const CmdEvent& ev) {
+    return channels_[static_cast<std::size_t>(ev.channel)];
+  }
+
+  /// First out-of-bounds field of `ev`, or nullptr when all fields are legal
+  /// for the recorded geometry. `valueOut`/`limitOut` describe the offender.
+  const char* boundsViolation(const CmdEvent& ev, std::int64_t& valueOut,
+                              std::int64_t& limitOut) const {
+    const auto& g = cfg_.geom;
+    const auto bad = [&](const char* field, std::int64_t v, std::int64_t limit) {
+      valueOut = v;
+      limitOut = limit;
+      return field;
+    };
+    if (ev.channel < 0 || ev.channel >= g.channels)
+      return bad("channel", ev.channel, g.channels);
+    if (ev.rank < 0 || ev.rank >= g.ranksPerChannel)
+      return bad("rank", ev.rank, g.ranksPerChannel);
+    if (ev.kind == CmdEventKind::Refresh) {
+      // bank -1 denotes an all-bank refresh; row/column/ubank are unused.
+      if (ev.bank < -1 || ev.bank >= g.banksPerRank)
+        return bad("bank", ev.bank, g.banksPerRank);
+      return nullptr;
+    }
+    if (ev.bank < 0 || ev.bank >= g.banksPerRank)
+      return bad("bank", ev.bank, g.banksPerRank);
+    if (ev.ubank < 0 || ev.ubank >= g.ubanksPerBank())
+      return bad("ubank", ev.ubank, g.ubanksPerBank());
+    // The row index is the unbounded MSB remainder of the physical address:
+    // workloads deliberately place private slices above the nominal
+    // capacity (trace placement uses 8 GiB strides), so only negativity is
+    // illegal. Column bits, by contrast, are masked by the address map and
+    // can never reach linesPerUbankRow.
+    if (ev.row < 0) return bad("row", ev.row, -1);
+    if (ev.column < 0 || ev.column >= linesPerRow_)
+      return bad("column", ev.column, linesPerRow_);
+    return nullptr;
+  }
+
+  /// Apply a legal event to the shadow state (protocol commit semantics).
+  void commit(const CmdEvent& ev) {
+    switch (ev.kind) {
+      case CmdEventKind::Act: {
+        auto& u = ub(ev);
+        auto& r = rk(ev);
+        u.lastActAt = ev.at;
+        u.openRow = ev.row;
+        u.lastReadCasAt = -1;
+        u.lastWriteDataEndAt = -1;
+        r.lastActAt = ev.at;
+        r.actWindow.push_back(ev.at);
+        while (r.actWindow.size() > 4 ||
+               (!r.actWindow.empty() &&
+                r.actWindow.front() + cfg_.timing.tFAW <= ev.at))
+          r.actWindow.pop_front();
+        ch(ev).lastCmdAt = ev.at;
+        break;
+      }
+      case CmdEventKind::Pre: {
+        auto& u = ub(ev);
+        u.lastPreAt = ev.at;
+        u.openRow = -1;
+        ch(ev).lastCmdAt = ev.at;
+        break;
+      }
+      case CmdEventKind::Read:
+      case CmdEventKind::Write: {
+        auto& u = ub(ev);
+        auto& r = rk(ev);
+        auto& c = ch(ev);
+        c.lastDataEndAt = ev.dataEnd;
+        c.lastCasAt = ev.at;
+        c.lastCasRank = ev.rank;
+        if (ev.kind == CmdEventKind::Write) {
+          u.lastWriteDataEndAt = ev.dataEnd;
+          r.lastWriteDataEndAt = ev.dataEnd;
+        } else {
+          u.lastReadCasAt = ev.at;
+        }
+        c.lastCmdAt = ev.at;
+        break;
+      }
+      case CmdEventKind::Refresh: {
+        // The refresh window folds in the implicit precharges: reset the row
+        // state of every refreshed μbank. Refresh occupies no command-bus
+        // slot in the live model, so the channel history is untouched.
+        const auto& g = cfg_.geom;
+        const int b0 = ev.bank < 0 ? 0 : ev.bank;
+        const int b1 = ev.bank < 0 ? g.banksPerRank : ev.bank + 1;
+        for (int bank = b0; bank < b1; ++bank) {
+          for (int u = 0; u < g.ubanksPerBank(); ++u) {
+            auto& s = ub(ev.channel, ev.rank, bank, u);
+            s.openRow = -1;
+            s.lastPreAt = -1;
+            s.lastReadCasAt = -1;
+            s.lastWriteDataEndAt = -1;
+          }
+        }
+        break;
+      }
+      case CmdEventKind::OraclePre: {
+        // Retroactive close decided by the perfect-oracle policy: no bus
+        // slot, no PRE->ACT window (the device charged it retroactively).
+        auto& u = ub(ev);
+        u.openRow = -1;
+        u.lastPreAt = -1;
+        u.lastReadCasAt = -1;
+        u.lastWriteDataEndAt = -1;
+        break;
+      }
+      case CmdEventKind::EndOfRun:
+        break;
+    }
+  }
+
+ private:
+  const CmdTraceConfig& cfg_;
+  std::int64_t rowsPerUbank_ = 0;
+  std::int64_t linesPerRow_ = 0;
+  std::vector<UbankShadow> ubanks_;
+  std::vector<RankShadow> ranks_;
+  std::vector<ChannelShadow> channels_;
+};
+
+// ---- The auditor -----------------------------------------------------------
+
+class Auditor {
+ public:
+  Auditor(const CmdTrace& trace, DiagnosticEngine& diags,
+          const TraceAuditOptions& opts)
+      : trace_(trace), diags_(diags), opts_(opts), state_(trace.config) {
+    const auto& g = trace.config.geom;
+    if (!g.valid()) return;
+    const int minBit = 6;
+    const int maxBit = 6 + exactLog2(g.linesPerUbankRow());
+    if (trace.config.interleaveBaseBit >= minBit &&
+        trace.config.interleaveBaseBit <= maxBit) {
+      map_.emplace(g, trace.config.interleaveBaseBit, trace.config.xorBankHash);
+    }
+  }
+
+  TraceAuditResult run() {
+    if (opts_.expectConfig != nullptr) checkExpectedConfig(*opts_.expectConfig);
+    if (!headerSane()) return result_;
+    for (std::size_t i = 0; i < trace_.events.size(); ++i) {
+      const CmdEvent& ev = trace_.events[i];
+      ++result_.eventsAudited;
+      accrueEnergy(ev);
+      if (checkEvent(i, ev)) state_.commit(ev);
+    }
+    checkTrailer();
+    return result_;
+  }
+
+ private:
+  // One event: all structure + protocol checks, in an order that mirrors the
+  // live TimingChecker (out-of-order, then structural, then bus slot, then
+  // the per-kind rules) so an injected defect surfaces as the most specific
+  // code. Returns false when the event is rejected (no state update).
+  bool checkEvent(std::size_t i, const CmdEvent& ev) {
+    const auto& t = trace_.config.timing;
+    const bool timed = ev.kind != CmdEventKind::Refresh &&
+                       ev.kind != CmdEventKind::OraclePre &&
+                       ev.kind != CmdEventKind::EndOfRun;
+
+    // Bounds come first: every later check (and the shadow-state lookups
+    // they use) assumes the coordinates index the recorded geometry.
+    std::int64_t badValue = 0, badLimit = 0;
+    if (const char* field = state_.boundsViolation(ev, badValue, badLimit)) {
+      Diagnostic d("MB-AUD-018", Severity::Error,
+                   "command-trace audit violation: address field out of bounds");
+      d.with("event_index", static_cast<std::int64_t>(i))
+          .with("event", mc::cmdEventKindName(ev.kind))
+          .with("field", field)
+          .with("value", badValue)
+          .with("limit", badLimit)
+          .with("address", addrOf(ev).toString())
+          .with("at_ps", ev.at);
+      diags_.report(std::move(d));
+      ++result_.commandsRejected;
+      return false;
+    }
+
+    auto& c = state_.ch(ev);
+    if (timed && ev.at < c.lastCmdAt)
+      return fail("MB-AUD-001", "command recorded out of order", i, ev, -1,
+                  c.lastCmdAt);
+
+    if (isAddressed(ev.kind) && map_.has_value()) {
+      const core::DramAddress da = addrOf(ev);
+      const core::DramAddress back = map_->decompose(map_->compose(da));
+      if (!(back == da)) {
+        Diagnostic d("MB-AUD-017", Severity::Error,
+                     "command-trace audit violation: address map round-trip "
+                     "mismatch");
+        d.with("event_index", static_cast<std::int64_t>(i))
+            .with("event", mc::cmdEventKindName(ev.kind))
+            .with("address", da.toString())
+            .with("round_trip", back.toString())
+            .with("interleave_base_bit",
+                  static_cast<std::int64_t>(trace_.config.interleaveBaseBit));
+        diags_.report(std::move(d));
+        ++result_.commandsRejected;
+        return false;
+      }
+    }
+
+    if (isCas(ev.kind)) {
+      const Tick wantStart = ev.at + t.tAA;
+      const Tick wantEnd = wantStart + t.tBURST;
+      if (ev.dataStart != wantStart || ev.dataEnd != wantEnd) {
+        Diagnostic d("MB-AUD-016", Severity::Error,
+                     "command-trace audit violation: CAS burst bounds do not "
+                     "derive from tAA/tBURST");
+        d.with("event_index", static_cast<std::int64_t>(i))
+            .with("event", mc::cmdEventKindName(ev.kind))
+            .with("address", addrOf(ev).toString())
+            .with("at_ps", ev.at)
+            .with("data_start_ps", ev.dataStart)
+            .with("data_end_ps", ev.dataEnd)
+            .with("expected_start_ps", wantStart)
+            .with("expected_end_ps", wantEnd);
+        diags_.report(std::move(d));
+        ++result_.commandsRejected;
+        return false;
+      }
+    }
+
+    if (timed && c.lastCmdAt >= 0 && ev.at < c.lastCmdAt + t.tCMD)
+      return fail("MB-AUD-002", "command bus slot (tCMD)", i, ev, t.tCMD,
+                  c.lastCmdAt + t.tCMD);
+
+    switch (ev.kind) {
+      case CmdEventKind::Act: {
+        auto& u = state_.ub(ev);
+        auto& r = state_.rk(ev);
+        if (u.openRow >= 0)
+          return fail("MB-AUD-003", "ACT to a bank with an open row", i, ev);
+        if (u.lastPreAt >= 0 && ev.at < u.lastPreAt + t.tRP)
+          return fail("MB-AUD-004", "tRP (PRE->ACT)", i, ev, t.tRP,
+                      u.lastPreAt + t.tRP);
+        if (r.lastActAt >= 0 && ev.at < r.lastActAt + t.tRRD)
+          return fail("MB-AUD-005", "tRRD (ACT->ACT same rank)", i, ev, t.tRRD,
+                      r.lastActAt + t.tRRD);
+        if (r.actWindow.size() >= 4 && ev.at < r.actWindow.front() + t.tFAW)
+          return fail("MB-AUD-006", "tFAW (five ACTs in window)", i, ev, t.tFAW,
+                      r.actWindow.front() + t.tFAW);
+        break;
+      }
+      case CmdEventKind::Pre: {
+        auto& u = state_.ub(ev);
+        if (u.openRow < 0)
+          return fail("MB-AUD-007", "PRE to a precharged bank", i, ev);
+        if (u.lastActAt >= 0 && ev.at < u.lastActAt + t.tRAS)
+          return fail("MB-AUD-008", "tRAS (ACT->PRE)", i, ev, t.tRAS,
+                      u.lastActAt + t.tRAS);
+        if (u.lastReadCasAt >= 0 && ev.at < u.lastReadCasAt + t.tRTP)
+          return fail("MB-AUD-009", "tRTP (RD->PRE)", i, ev, t.tRTP,
+                      u.lastReadCasAt + t.tRTP);
+        if (u.lastWriteDataEndAt >= 0 && ev.at < u.lastWriteDataEndAt + t.tWR)
+          return fail("MB-AUD-010", "tWR (WR data->PRE)", i, ev, t.tWR,
+                      u.lastWriteDataEndAt + t.tWR);
+        break;
+      }
+      case CmdEventKind::Read:
+      case CmdEventKind::Write: {
+        auto& u = state_.ub(ev);
+        auto& r = state_.rk(ev);
+        if (u.openRow != ev.row)
+          return fail("MB-AUD-011", "CAS to a row that is not open", i, ev);
+        if (u.lastActAt >= 0 && ev.at < u.lastActAt + t.tRCD)
+          return fail("MB-AUD-012", "tRCD (ACT->CAS)", i, ev, t.tRCD,
+                      u.lastActAt + t.tRCD);
+        if (c.lastCasAt >= 0 && ev.at < c.lastCasAt + t.tCCD)
+          return fail("MB-AUD-013", "tCCD (CAS->CAS)", i, ev, t.tCCD,
+                      c.lastCasAt + t.tCCD);
+        if (ev.kind == CmdEventKind::Read && r.lastWriteDataEndAt >= 0 &&
+            ev.at < r.lastWriteDataEndAt + t.tWTR)
+          return fail("MB-AUD-014", "tWTR (WR data->RD)", i, ev, t.tWTR,
+                      r.lastWriteDataEndAt + t.tWTR);
+        Tick busReady = c.lastDataEndAt;
+        if (c.lastCasRank >= 0 && c.lastCasRank != ev.rank) busReady += t.tRTRS;
+        if (c.lastDataEndAt >= 0 && ev.dataStart < busReady)
+          return fail("MB-AUD-015",
+                      "data bus burst overlap / rank switch (tRTRS)", i, ev,
+                      t.tRTRS, busReady - t.tAA);
+        break;
+      }
+      case CmdEventKind::Refresh:
+      case CmdEventKind::OraclePre:
+      case CmdEventKind::EndOfRun:
+        break;
+    }
+    return true;
+  }
+
+  bool fail(const char* code, const char* constraint, std::size_t i,
+            const CmdEvent& ev, Tick bound = -1, Tick earliestLegal = -1) {
+    Diagnostic d(code, Severity::Error,
+                 std::string("command-trace audit violation: ") + constraint);
+    d.with("event_index", static_cast<std::int64_t>(i))
+        .with("event", mc::cmdEventKindName(ev.kind))
+        .with("address", addrOf(ev).toString())
+        .with("at_ps", ev.at)
+        .with("constraint", constraint);
+    if (bound >= 0) d.with("bound_ps", bound);
+    if (earliestLegal >= 0) d.with("earliest_legal_ps", earliestLegal);
+    const auto& u = state_.ub(ev);
+    const auto& r = state_.rk(ev);
+    const auto& c = state_.ch(ev);
+    d.with("ubank.open_row", u.openRow)
+        .with("ubank.last_act_ps", u.lastActAt)
+        .with("ubank.last_pre_ps", u.lastPreAt)
+        .with("rank.last_act_ps", r.lastActAt)
+        .with("channel.last_cmd_ps", c.lastCmdAt)
+        .with("channel.last_data_end_ps", c.lastDataEndAt);
+    diags_.report(std::move(d));
+    ++result_.commandsRejected;
+    return false;
+  }
+
+  bool headerSane() {
+    const auto& cfg = trace_.config;
+    if (!cfg.geom.valid()) {
+      Diagnostic d("MB-AUD-018", Severity::Error,
+                   "command-trace audit violation: trace header geometry is "
+                   "invalid");
+      d.with("channels", static_cast<std::int64_t>(cfg.geom.channels))
+          .with("ranks_per_channel",
+                static_cast<std::int64_t>(cfg.geom.ranksPerChannel))
+          .with("banks_per_rank", static_cast<std::int64_t>(cfg.geom.banksPerRank))
+          .with("nw", static_cast<std::int64_t>(cfg.geom.ubank.nW))
+          .with("nb", static_cast<std::int64_t>(cfg.geom.ubank.nB));
+      diags_.report(std::move(d));
+      return false;
+    }
+    if (!map_.has_value()) {
+      Diagnostic d("MB-AUD-018", Severity::Error,
+                   "command-trace audit violation: interleave base bit out of "
+                   "range for the recorded geometry");
+      d.with("interleave_base_bit",
+             static_cast<std::int64_t>(cfg.interleaveBaseBit))
+          .with("min", static_cast<std::int64_t>(6))
+          .with("max",
+                static_cast<std::int64_t>(6 + exactLog2(cfg.geom.linesPerUbankRow())));
+      diags_.report(std::move(d));
+      return false;
+    }
+    return true;
+  }
+
+  void checkExpectedConfig(const CmdTraceConfig& want) {
+    const auto& got = trace_.config;
+    std::vector<std::pair<std::string, std::pair<std::string, std::string>>> bad;
+    const auto cmpI = [&](const char* field, std::int64_t g, std::int64_t w) {
+      if (g != w) bad.push_back({field, {std::to_string(g), std::to_string(w)}});
+    };
+    const auto cmpD = [&](const char* field, double g, double w) {
+      if (g != w) bad.push_back({field, {std::to_string(g), std::to_string(w)}});
+    };
+    cmpI("geom.channels", got.geom.channels, want.geom.channels);
+    cmpI("geom.ranks_per_channel", got.geom.ranksPerChannel,
+         want.geom.ranksPerChannel);
+    cmpI("geom.banks_per_rank", got.geom.banksPerRank, want.geom.banksPerRank);
+    cmpI("geom.nw", got.geom.ubank.nW, want.geom.ubank.nW);
+    cmpI("geom.nb", got.geom.ubank.nB, want.geom.ubank.nB);
+    cmpI("geom.row_bytes", got.geom.rowBytes, want.geom.rowBytes);
+    cmpI("geom.capacity_bytes", got.geom.capacityBytes, want.geom.capacityBytes);
+    cmpI("geom.line_bytes", got.geom.lineBytes, want.geom.lineBytes);
+    cmpI("interleave_base_bit", got.interleaveBaseBit, want.interleaveBaseBit);
+    cmpI("xor_bank_hash", got.xorBankHash ? 1 : 0, want.xorBankHash ? 1 : 0);
+    const auto& gt = got.timing;
+    const auto& wt = want.timing;
+    cmpI("timing.t_cmd", gt.tCMD, wt.tCMD);
+    cmpI("timing.t_burst", gt.tBURST, wt.tBURST);
+    cmpI("timing.t_ccd", gt.tCCD, wt.tCCD);
+    cmpI("timing.t_rtrs", gt.tRTRS, wt.tRTRS);
+    cmpI("timing.t_rcd", gt.tRCD, wt.tRCD);
+    cmpI("timing.t_aa", gt.tAA, wt.tAA);
+    cmpI("timing.t_ras", gt.tRAS, wt.tRAS);
+    cmpI("timing.t_rp", gt.tRP, wt.tRP);
+    cmpI("timing.t_rrd", gt.tRRD, wt.tRRD);
+    cmpI("timing.t_faw", gt.tFAW, wt.tFAW);
+    cmpI("timing.t_wr", gt.tWR, wt.tWR);
+    cmpI("timing.t_wtr", gt.tWTR, wt.tWTR);
+    cmpI("timing.t_rtp", gt.tRTP, wt.tRTP);
+    cmpI("timing.t_refi", gt.tREFI, wt.tREFI);
+    cmpI("timing.t_rfc", gt.tRFC, wt.tRFC);
+    cmpI("timing.t_rfc_pb", gt.tRFCpb, wt.tRFCpb);
+    const auto& ge = got.energy;
+    const auto& we = want.energy;
+    cmpD("energy.act_pre_full_row", ge.actPreFullRow, we.actPreFullRow);
+    cmpI("energy.full_row_bytes", ge.fullRowBytes, we.fullRowBytes);
+    cmpD("energy.rdwr_per_bit", ge.rdwrPerBit, we.rdwrPerBit);
+    cmpD("energy.io_per_bit", ge.ioPerBit, we.ioPerBit);
+    cmpD("energy.latch_per_ubank_access", ge.latchPerUbankAccess,
+         we.latchPerUbankAccess);
+    cmpD("energy.static_power_per_rank_w", ge.staticPowerPerRankWatts,
+         we.staticPowerPerRankWatts);
+    cmpD("energy.refresh_per_rank", ge.refreshPerRank, we.refreshPerRank);
+    if (bad.empty()) return;
+    Diagnostic d("MB-AUD-021", Severity::Error,
+                 "trace header does not match the expected configuration");
+    d.with("mismatched_fields", static_cast<std::int64_t>(bad.size()));
+    for (const auto& [field, gw] : bad)
+      d.with(field, gw.first + " (expected " + gw.second + ")");
+    diags_.report(std::move(d));
+  }
+
+  // Energy is accrued for every recorded event: a recorded event is, by
+  // definition, one the live controller committed and charged, so the
+  // recompute must charge it too even when the audit rejects it.
+  void accrueEnergy(const CmdEvent& ev) {
+    const auto& e = trace_.config.energy;
+    const auto& g = trace_.config.geom;
+    switch (ev.kind) {
+      case CmdEventKind::Act:
+        result_.actPre += e.actPreEnergy(g.ubankRowBytes());
+        ++result_.activations;
+        break;
+      case CmdEventKind::Read:
+      case CmdEventKind::Write: {
+        const double bits = static_cast<double>(g.lineBytes) * 8.0;
+        result_.rdwr += e.casEnergy(g.lineBytes, g.ubanksPerBank()) -
+                        bits * e.ioPerBit;
+        result_.io += bits * e.ioPerBit;
+        ++result_.casOps;
+        break;
+      }
+      case CmdEventKind::Refresh:
+        result_.actPre +=
+            e.refreshPerRank *
+            (ev.bank < 0 ? 1.0 : 1.0 / static_cast<double>(g.banksPerRank));
+        ++result_.refreshes;
+        break;
+      case CmdEventKind::Pre:
+      case CmdEventKind::OraclePre:
+      case CmdEventKind::EndOfRun:
+        break;  // PRE energy is folded into the ACT+PRE pair charge
+    }
+  }
+
+  void checkTrailer() {
+    const auto& tr = trace_.trailer;
+    if (!tr.present) {
+      Diagnostic d("MB-AUD-022", Severity::Warning,
+                   "trace carries no end-of-run trailer: energy and count "
+                   "cross-checks skipped");
+      d.with("events", result_.eventsAudited);
+      diags_.report(std::move(d));
+      return;
+    }
+    const auto& cfg = trace_.config;
+    result_.staticEnergy = cfg.energy.staticPowerPerRankWatts *
+                           static_cast<double>(cfg.geom.channels) *
+                           static_cast<double>(cfg.geom.ranksPerChannel) *
+                           toSeconds(tr.elapsed) * 1e12;
+
+    if (result_.activations != tr.activations || result_.casOps != tr.casOps ||
+        result_.refreshes != tr.refreshes) {
+      Diagnostic d("MB-AUD-020", Severity::Error,
+                   "recomputed event counts disagree with the recorded run");
+      d.with("activations", result_.activations)
+          .with("activations_recorded", tr.activations)
+          .with("cas_ops", result_.casOps)
+          .with("cas_ops_recorded", tr.casOps)
+          .with("refreshes", result_.refreshes)
+          .with("refreshes_recorded", tr.refreshes);
+      diags_.report(std::move(d));
+    }
+
+    const auto relErr = [](double a, double b) {
+      const double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+      return std::fabs(a - b) / scale;
+    };
+    struct Cat {
+      const char* name;
+      double recomputed;
+      double recorded;
+    };
+    const double recTotal = tr.actPre + tr.rdwr + tr.io + tr.staticEnergy;
+    const Cat cats[] = {
+        {"act_pre", result_.actPre, tr.actPre},
+        {"rdwr", result_.rdwr, tr.rdwr},
+        {"io", result_.io, tr.io},
+        {"static", result_.staticEnergy, tr.staticEnergy},
+        {"total", result_.recomputedTotal(), recTotal},
+    };
+    const Cat* worst = nullptr;
+    for (const auto& c : cats) {
+      if (relErr(c.recomputed, c.recorded) <= opts_.energyRelTol) continue;
+      if (worst == nullptr ||
+          relErr(c.recomputed, c.recorded) > relErr(worst->recomputed, worst->recorded))
+        worst = &c;
+    }
+    if (worst == nullptr) return;
+    Diagnostic d("MB-AUD-019", Severity::Error,
+                 std::string("recomputed DRAM energy disagrees with the "
+                             "recorded run (worst category: ") +
+                     worst->name + ")");
+    d.with("tolerance", opts_.energyRelTol);
+    for (const auto& c : cats) {
+      d.with(std::string(c.name) + "_recomputed_pj", c.recomputed);
+      d.with(std::string(c.name) + "_recorded_pj", c.recorded);
+      d.with(std::string(c.name) + "_rel_err", relErr(c.recomputed, c.recorded));
+    }
+    diags_.report(std::move(d));
+  }
+
+  const CmdTrace& trace_;
+  DiagnosticEngine& diags_;
+  TraceAuditOptions opts_;
+  ShadowState state_;
+  std::optional<core::AddressMap> map_;
+  TraceAuditResult result_;
+};
+
+}  // namespace
+
+TraceAuditResult auditCmdTrace(const CmdTrace& trace, DiagnosticEngine& diags,
+                               const TraceAuditOptions& opts) {
+  return Auditor(trace, diags, opts).run();
+}
+
+// ---- Mutation self-test harness -------------------------------------------
+
+const char* traceMutationName(TraceMutation m) {
+  switch (m) {
+    case TraceMutation::CasBeforeTrcd: return "cas-before-trcd";
+    case TraceMutation::ActBeforeTrp: return "act-before-trp";
+    case TraceMutation::PreOnIdleUbank: return "pre-on-idle-ubank";
+    case TraceMutation::PreBecomesAct: return "pre-becomes-act";
+    case TraceMutation::CasRowMismatch: return "cas-row-mismatch";
+    case TraceMutation::BurstBoundsTampered: return "burst-bounds-tampered";
+    case TraceMutation::ColumnOutOfRange: return "column-out-of-range";
+    case TraceMutation::TrailerEnergyTampered: return "trailer-energy-tampered";
+  }
+  return "?";
+}
+
+const char* traceMutationExpectedCode(TraceMutation m) {
+  switch (m) {
+    case TraceMutation::CasBeforeTrcd: return "MB-AUD-012";
+    case TraceMutation::ActBeforeTrp: return "MB-AUD-004";
+    case TraceMutation::PreOnIdleUbank: return "MB-AUD-007";
+    case TraceMutation::PreBecomesAct: return "MB-AUD-003";
+    case TraceMutation::CasRowMismatch: return "MB-AUD-011";
+    case TraceMutation::BurstBoundsTampered: return "MB-AUD-016";
+    case TraceMutation::ColumnOutOfRange: return "MB-AUD-018";
+    case TraceMutation::TrailerEnergyTampered: return "MB-AUD-019";
+  }
+  return "?";
+}
+
+std::optional<TraceMutation> traceMutationFromName(const std::string& name) {
+  for (int k = 0; k < kTraceMutationCount; ++k) {
+    const auto m = static_cast<TraceMutation>(k);
+    if (name == traceMutationName(m)) return m;
+  }
+  return std::nullopt;
+}
+
+bool applyTraceMutation(mc::CmdTrace& trace, TraceMutation m, std::uint64_t seed) {
+  if (m == TraceMutation::TrailerEnergyTampered) {
+    if (!trace.trailer.present) return false;
+    // 5% plus an absolute pJ: decisively past any recompute tolerance even
+    // when the category happens to be zero.
+    trace.trailer.actPre = trace.trailer.actPre * 1.05 + 1.0;
+    return true;
+  }
+  if (!trace.config.geom.valid()) return false;
+  const auto& t = trace.config.timing;
+  const auto& g = trace.config.geom;
+
+  struct Victim {
+    std::size_t idx;
+    Tick newAt = -1;
+    int altBank = -1;
+    int altUbank = -1;
+  };
+  std::vector<Victim> victims;
+  ShadowState st(trace.config);
+
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const CmdEvent& ev = trace.events[i];
+    // Only ACT/PRE/RD/WR are mutation targets; the predicates below need
+    // addressed shadow state that Refresh (bank may be -1) does not have.
+    if (ev.kind == CmdEventKind::Refresh || ev.kind == CmdEventKind::OraclePre ||
+        ev.kind == CmdEventKind::EndOfRun) {
+      st.commit(ev);
+      continue;
+    }
+    const auto& u = st.ub(ev);
+    const auto& r = st.rk(ev);
+    const auto& c = st.ch(ev);
+    // Every eligibility rule below guarantees that, in the mutant, no check
+    // ordered before the targeted one fires on the victim event: the checks
+    // preceding the target still pass against the same shadow state.
+    switch (m) {
+      case TraceMutation::CasBeforeTrcd: {
+        if (!isCas(ev.kind) || u.lastActAt < 0) break;
+        const Tick newAt = u.lastActAt + t.tRCD - 1;
+        if (newAt < 0 || newAt >= ev.at) break;                       // must move earlier
+        if (c.lastCmdAt >= 0 && newAt < c.lastCmdAt + t.tCMD) break;  // 001/002
+        if (u.openRow != ev.row) break;                               // 011
+        if (c.lastCasAt >= 0 && newAt < c.lastCasAt + t.tCCD) break;  // 013
+        if (ev.kind == CmdEventKind::Read && r.lastWriteDataEndAt >= 0 &&
+            newAt < r.lastWriteDataEndAt + t.tWTR)
+          break;  // 014
+        Tick busReady = c.lastDataEndAt;
+        if (c.lastCasRank >= 0 && c.lastCasRank != ev.rank) busReady += t.tRTRS;
+        if (c.lastDataEndAt >= 0 && newAt + t.tAA < busReady) break;  // 015
+        victims.push_back({i, newAt, -1, -1});
+        break;
+      }
+      case TraceMutation::ActBeforeTrp: {
+        if (ev.kind != CmdEventKind::Act || u.lastPreAt < 0) break;
+        const Tick newAt = u.lastPreAt + t.tRP - 1;
+        if (newAt < 0 || newAt >= ev.at) break;
+        if (c.lastCmdAt >= 0 && newAt < c.lastCmdAt + t.tCMD) break;  // 001/002
+        if (u.openRow >= 0) break;                                    // 003
+        if (r.lastActAt >= 0 && newAt < r.lastActAt + t.tRRD) break;  // 005
+        if (r.actWindow.size() >= 4 && newAt < r.actWindow.front() + t.tFAW)
+          break;  // 006
+        victims.push_back({i, newAt, -1, -1});
+        break;
+      }
+      case TraceMutation::PreOnIdleUbank: {
+        if (ev.kind != CmdEventKind::Pre) break;
+        // Retarget at any μbank of the same rank whose row is closed.
+        bool found = false;
+        for (int bank = 0; bank < g.banksPerRank && !found; ++bank) {
+          for (int ub = 0; ub < g.ubanksPerBank() && !found; ++ub) {
+            if (bank == ev.bank && ub == ev.ubank) continue;
+            if (st.ub(ev.channel, ev.rank, bank, ub).openRow >= 0) continue;
+            victims.push_back({i, -1, bank, ub});
+            found = true;
+          }
+        }
+        break;
+      }
+      case TraceMutation::PreBecomesAct: {
+        if (ev.kind != CmdEventKind::Pre || u.openRow < 0) break;
+        victims.push_back({i, -1, -1, -1});
+        break;
+      }
+      case TraceMutation::CasRowMismatch: {
+        if (!isCas(ev.kind) || st.rowsPerUbank() < 2) break;
+        if (u.openRow != ev.row) break;
+        victims.push_back({i, -1, -1, -1});
+        break;
+      }
+      case TraceMutation::BurstBoundsTampered: {
+        if (isCas(ev.kind)) victims.push_back({i, -1, -1, -1});
+        break;
+      }
+      case TraceMutation::ColumnOutOfRange: {
+        if (ev.kind == CmdEventKind::Act) victims.push_back({i, -1, -1, -1});
+        break;
+      }
+      case TraceMutation::TrailerEnergyTampered:
+        break;  // handled above
+    }
+    st.commit(ev);
+  }
+  if (victims.empty()) return false;
+
+  const Victim& v = victims[seed % victims.size()];
+  CmdEvent& ev = trace.events[v.idx];
+  switch (m) {
+    case TraceMutation::CasBeforeTrcd: {
+      const Tick delta = ev.at - v.newAt;
+      ev.at = v.newAt;
+      ev.dataStart -= delta;
+      ev.dataEnd -= delta;
+      break;
+    }
+    case TraceMutation::ActBeforeTrp:
+      ev.at = v.newAt;
+      break;
+    case TraceMutation::PreOnIdleUbank:
+      ev.bank = v.altBank;
+      ev.ubank = v.altUbank;
+      break;
+    case TraceMutation::PreBecomesAct:
+      ev.kind = CmdEventKind::Act;
+      break;
+    case TraceMutation::CasRowMismatch:
+      ev.row = (ev.row + 1) % g.rowsPerUbank();
+      break;
+    case TraceMutation::BurstBoundsTampered:
+      ev.dataEnd += 1;
+      break;
+    case TraceMutation::ColumnOutOfRange:
+      ev.column = g.linesPerUbankRow();
+      break;
+    case TraceMutation::TrailerEnergyTampered:
+      break;
+  }
+  return true;
+}
+
+}  // namespace mb::analysis

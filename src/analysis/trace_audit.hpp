@@ -1,0 +1,115 @@
+// Offline command-trace auditor (the analysis side of mc/command_log.hpp).
+//
+// Given a recorded MBCMDT1 command stream, the auditor independently
+// re-derives the full device state — per-μbank open rows and access
+// history, per-rank activation windows, per-channel command/data-bus
+// occupancy — and re-verifies every claim the live run made:
+//
+//   protocol    every Table-I constraint the incremental mc::TimingChecker
+//               enforces (tRCD, tRAS, tRP, tRTP, tWR, tRRD, tFAW, tCCD,
+//               tWTR, tCMD, data-burst overlap / tRTRS), plus bank-state
+//               legality (ACT only to a closed μbank, PRE/CAS only to an
+//               open one, CAS only to the open row)
+//   structure   every address field in bounds for the recorded geometry,
+//               address-map round-trip consistency (compose∘decompose is
+//               the identity for every recorded coordinate tuple), and the
+//               CAS burst bounds matching their tAA/tBURST derivation
+//   energy      the total DRAM energy recomputed from the stream alone
+//               (per-ACT row energy, per-CAS array/I-O split, per-REF rank
+//               fraction, static power over the recorded elapsed time)
+//               must match the live dram::EnergyMeter totals carried in
+//               the trace trailer, category by category, within tolerance
+//
+// The auditor shares NO code with the TimingChecker: it is a second,
+// independent implementation of the protocol rules, so a bug in the live
+// checker (or in the controller paths that feed it) surfaces as a
+// disagreement here instead of being invisibly self-consistent.
+//
+// Violations are reported as stable MB-AUD-0xx diagnostics (registry in
+// DESIGN.md) through the shared DiagnosticEngine; like the live checker, a
+// rejected command does not update the shadow state, so one corrupt record
+// produces one primary diagnostic plus bounded follow-on noise rather than
+// poisoning the rest of the replay.
+//
+// The mutation harness at the bottom is the auditor's own self-test: it
+// plants a single seeded defect in a known-good trace (an early CAS, a
+// retargeted PRE, a tampered burst bound, ...) chosen so that the FIRST
+// diagnostic the audit emits is exactly the expected code — proving each
+// check actually fires, not merely that clean traces pass.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "analysis/diagnostic.hpp"
+#include "mc/command_log.hpp"
+
+namespace mb::analysis {
+
+struct TraceAuditOptions {
+  /// Per-category relative tolerance for the energy recompute (MB-AUD-019).
+  /// The live meter and the auditor use the same per-event formulas, so the
+  /// only legitimate disagreement is floating-point summation order; 0.1%
+  /// is generous by orders of magnitude.
+  double energyRelTol = 1e-3;
+  /// Expected configuration header (e.g. the one a named preset implies):
+  /// any field disagreeing with the trace's own header is reported as
+  /// MB-AUD-021 before the replay starts. Not owned.
+  const mc::CmdTraceConfig* expectConfig = nullptr;
+};
+
+/// What the audit derived from the stream, independent of verdicts.
+struct TraceAuditResult {
+  std::int64_t eventsAudited = 0;
+  /// Events that tripped a protocol/structure check (and therefore did not
+  /// update the shadow state).
+  std::int64_t commandsRejected = 0;
+
+  // Energy (pJ) and event counts recomputed from the stream alone.
+  double actPre = 0.0;
+  double rdwr = 0.0;
+  double io = 0.0;
+  double staticEnergy = 0.0;
+  std::int64_t activations = 0;
+  std::int64_t casOps = 0;
+  std::int64_t refreshes = 0;
+
+  double recomputedTotal() const { return actPre + rdwr + io + staticEnergy; }
+};
+
+/// Replay `trace` and report every violation to `diags` (all Error severity
+/// except MB-AUD-022, a Warning for a missing end-of-run trailer). The
+/// caller decides process fate from diags.hasErrors().
+TraceAuditResult auditCmdTrace(const mc::CmdTrace& trace, DiagnosticEngine& diags,
+                               const TraceAuditOptions& opts = {});
+
+// ---- Mutation self-test harness -------------------------------------------
+
+/// Single-defect mutations of a known-good trace. Each kind is paired with
+/// the MB-AUD code the audit must emit FIRST when replaying the mutant
+/// (traceMutationExpectedCode); later cascade diagnostics are permitted.
+enum class TraceMutation {
+  CasBeforeTrcd,          // shift a CAS (and its burst) before ACT + tRCD -> 012
+  ActBeforeTrp,           // shift an ACT before PRE + tRP                 -> 004
+  PreOnIdleUbank,         // retarget a PRE at a precharged μbank          -> 007
+  PreBecomesAct,          // rewrite a PRE as an ACT to its own open row   -> 003
+  CasRowMismatch,         // point a CAS at a row that is not open         -> 011
+  BurstBoundsTampered,    // stretch a CAS data burst past tBURST          -> 016
+  ColumnOutOfRange,       // push an ACT's column past linesPerUbankRow    -> 018
+  TrailerEnergyTampered,  // inflate the trailer's ACT/PRE energy          -> 019
+};
+inline constexpr int kTraceMutationCount = 8;
+
+const char* traceMutationName(TraceMutation m);
+const char* traceMutationExpectedCode(TraceMutation m);
+std::optional<TraceMutation> traceMutationFromName(const std::string& name);
+
+/// Plant mutation `m` in `trace`, choosing among the eligible victim events
+/// with `seed`. Victim eligibility is computed against a commit-only shadow
+/// replay so that no check ordered before the targeted one fires first —
+/// the mutation is guaranteed to surface as its expected code. Returns
+/// false (trace untouched) when the trace contains no eligible victim.
+bool applyTraceMutation(mc::CmdTrace& trace, TraceMutation m, std::uint64_t seed);
+
+}  // namespace mb::analysis

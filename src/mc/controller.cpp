@@ -62,6 +62,7 @@ void MemoryController::enqueue(MemRequest req) {
                                 ub0.earliestPreAt + channel_.timing().tRP);
       ub0.lazyPending = false;
       if (checker_) checker_->onOraclePre(req.da);
+      if (cfg_.commandLog) cfg_.commandLog->onOraclePre(req.da, eq_.now());
     }
   }
 
@@ -208,6 +209,7 @@ void MemoryController::issueFor(Pending& p, Tick now) {
       p.sawConflict = true;
       channel_.commitPre(p.req.da, now);
       if (checker_) checker_->onCommand(DramCommand::Pre, p.req.da, now);
+      if (cfg_.commandLog) cfg_.commandLog->onCommand(DramCommand::Pre, p.req.da, now, -1, -1);
       break;
     }
     case DramCommand::Act: {
@@ -215,6 +217,7 @@ void MemoryController::issueFor(Pending& p, Tick now) {
       channel_.commitAct(p.req.da, now);
       meter_.onActivate(geom_.ubankRowBytes());
       if (checker_) checker_->onCommand(DramCommand::Act, p.req.da, now);
+      if (cfg_.commandLog) cfg_.commandLog->onCommand(DramCommand::Act, p.req.da, now, -1, -1);
       break;
     }
     case DramCommand::Read:
@@ -222,6 +225,9 @@ void MemoryController::issueFor(Pending& p, Tick now) {
       const Tick dataEnd = channel_.commitCas(p.req.da, p.req.write, now);
       meter_.onCas(geom_.lineBytes, geom_.ubanksPerBank());
       if (checker_) checker_->onCommand(cmd, p.req.da, now);
+      if (cfg_.commandLog)
+        cfg_.commandLog->onCommand(cmd, p.req.da, now, now + channel_.timing().tAA,
+                                   dataEnd);
       onRequestServiced(p, dataEnd);
       break;
     }
@@ -330,9 +336,10 @@ void MemoryController::scheduleKick(Tick at) {
 
 void MemoryController::kick() {
   const Tick now = eq_.now();
-  channel_.maybeRefresh(now, [this](int rank, int bank) {
+  channel_.maybeRefresh(now, [this, now](int rank, int bank) {
     meter_.onRefresh(bank < 0 ? 1.0 : 1.0 / geom_.banksPerRank);
     if (checker_) checker_->onRankRefresh(id_, rank, bank);
+    if (cfg_.commandLog) cfg_.commandLog->onRefresh(id_, rank, bank, now);
   });
 
   for (;;) {
@@ -379,6 +386,8 @@ void MemoryController::kick() {
       if (e <= eq_.now()) {
         channel_.commitPre(da, eq_.now());
         if (checker_) checker_->onCommand(DramCommand::Pre, da, eq_.now());
+        if (cfg_.commandLog)
+          cfg_.commandLog->onCommand(DramCommand::Pre, da, eq_.now(), -1, -1);
         pendingCloses_.erase(it);
         issuedClose = true;
         break;

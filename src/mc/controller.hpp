@@ -33,6 +33,7 @@
 #include "core/address_map.hpp"
 #include "core/page_policy.hpp"
 #include "dram/energy.hpp"
+#include "mc/command_log.hpp"
 #include "mc/device_state.hpp"
 #include "mc/request.hpp"
 #include "mc/scheduler.hpp"
@@ -54,6 +55,11 @@ struct ControllerConfig {
   /// with enableTimingCheck), timing violations are collected here instead
   /// of aborting the process. Not owned; must outlive the controller.
   analysis::DiagnosticEngine* diagnostics = nullptr;
+  /// Optional command-stream sink: fed every committed command (including
+  /// policy-initiated idle precharges), refresh interval, and oracle
+  /// pseudo-precharge, in issue order — the capture side of the offline
+  /// trace auditor (analysis/trace_audit.hpp). Not owned.
+  CommandLog* commandLog = nullptr;
 };
 
 /// Aggregated per-controller statistics snapshot.

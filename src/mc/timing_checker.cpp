@@ -109,7 +109,15 @@ bool TimingChecker::onCommand(DramCommand cmd, const core::DramAddress& da, Tick
       ub.lastWriteDataEndAt = -1;
       rk.lastActAt = at;
       rk.actWindow.push_back(at);
-      while (rk.actWindow.size() > 4) rk.actWindow.pop_front();
+      // Prune the ACT history to the tFAW horizon at commit time: an entry
+      // with front + tFAW <= at can never constrain a later command (every
+      // subsequently *accepted* command has at' >= at, and an out-of-order
+      // command fails MB-TIM-001 before the window is consulted), so
+      // dropping it cannot change any verdict while keeping the shadow
+      // history bounded by the constraint window, not the run length.
+      while (rk.actWindow.size() > 4 ||
+             (!rk.actWindow.empty() && rk.actWindow.front() + timing_.tFAW <= at))
+        rk.actWindow.pop_front();
       break;
     }
     case DramCommand::Pre: {

@@ -59,6 +59,17 @@ class TimingChecker {
   void onOraclePre(const core::DramAddress& da);
 
   std::int64_t commandsChecked() const { return commandsChecked_; }
+
+  /// Deepest per-rank ACT history currently retained. Commit-time pruning
+  /// bounds this at 4 entries (the tFAW occupancy limit) no matter how long
+  /// the run is; exposed so tests can assert the bound holds.
+  std::size_t maxActWindowDepth() const {
+    std::size_t deepest = 0;
+    for (const auto& [key, rk] : ranks_)
+      if (rk.actWindow.size() > deepest) deepest = rk.actWindow.size();
+    return deepest;
+  }
+
   bool softFail = false;
   /// Optional structured sink: violations are reported here (and onCommand
   /// returns false) instead of aborting. Not owned.
@@ -74,6 +85,9 @@ class TimingChecker {
   };
   struct RankHistory {
     Tick lastActAt = -1;
+    /// Recent ACT times, pruned at commit to the tFAW horizon (and to at
+    /// most 4 entries), so the shadow history stays bounded by the largest
+    /// constraint window however long the recorded run is.
     std::deque<Tick> actWindow;
     Tick lastWriteDataEndAt = -1;
   };

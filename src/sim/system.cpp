@@ -24,6 +24,44 @@ dram::Geometry geometryFor(const SystemConfig& cfg, int channels) {
   return g;
 }
 
+int resolvedChannels(const SystemConfig& cfg, const WorkloadSpec& workload) {
+  int channels = cfg.channels;
+  if (workload.kind == WorkloadSpec::Kind::SingleSpec ||
+      workload.kind == WorkloadSpec::Kind::TraceFile) {
+    if (channels < 0) channels = 1;  // §VI-A: one MC for single-threaded runs
+  } else if (channels < 0) {
+    channels = interface::PhyModel::make(cfg.phy).channels;
+  }
+  return channels;
+}
+
+dram::TimingParams effectiveTiming(const SystemConfig& cfg) {
+  dram::TimingParams timing = interface::PhyModel::make(cfg.phy).timing;
+  if (cfg.scaleActWindowWithRowSize && cfg.ubank.nW > 1) {
+    // A 1/nW-sized row draws ~1/nW of the activation current, so the rank
+    // power-delivery window admits activates proportionally faster.
+    timing.tRRD = std::max<Tick>(timing.tRRD / cfg.ubank.nW, timing.tCMD);
+    timing.tFAW = std::max<Tick>(timing.tFAW / cfg.ubank.nW, 4 * timing.tRRD);
+  }
+  return timing;
+}
+
+int resolvedBaseBit(const SystemConfig& cfg, const dram::Geometry& geom) {
+  return cfg.interleaveBaseBit < 0 ? 6 + exactLog2(geom.linesPerUbankRow())
+                                   : cfg.interleaveBaseBit;
+}
+
+mc::CmdTraceConfig cmdTraceConfigFor(const SystemConfig& cfg,
+                                     const WorkloadSpec& workload) {
+  mc::CmdTraceConfig tc;
+  tc.geom = geometryFor(cfg, resolvedChannels(cfg, workload));
+  tc.timing = effectiveTiming(cfg);
+  tc.energy = interface::PhyModel::make(cfg.phy).energy;
+  tc.interleaveBaseBit = resolvedBaseBit(cfg, tc.geom);
+  tc.xorBankHash = cfg.xorBankHash;
+  return tc;
+}
+
 namespace {
 
 struct BuiltSystem {
@@ -33,15 +71,14 @@ struct BuiltSystem {
   std::unique_ptr<cpu::MemoryHierarchy> hier;
   std::vector<std::unique_ptr<trace::TraceSource>> traces;
   std::vector<std::unique_ptr<cpu::RobCore>> cores;
+  std::unique_ptr<mc::CommandLogWriter> cmdLog;
   int coresDone = 0;
 };
 
 void buildMemorySystem(const SystemConfig& cfg, int channels, BuiltSystem& sys) {
   const auto phy = interface::PhyModel::make(cfg.phy);
   sys.geom = geometryFor(cfg, channels);
-  const int baseBit = cfg.interleaveBaseBit < 0
-                          ? 6 + exactLog2(sys.geom.linesPerUbankRow())
-                          : cfg.interleaveBaseBit;
+  const int baseBit = resolvedBaseBit(cfg, sys.geom);
   core::AddressMap map(sys.geom, baseBit, cfg.xorBankHash);
 
   mc::ControllerConfig mcCfg;
@@ -52,12 +89,17 @@ void buildMemorySystem(const SystemConfig& cfg, int channels, BuiltSystem& sys) 
   mcCfg.refreshEnabled = cfg.refresh;
   mcCfg.perBankRefresh = cfg.perBankRefresh;
 
-  dram::TimingParams timing = phy.timing;
-  if (cfg.scaleActWindowWithRowSize && cfg.ubank.nW > 1) {
-    // A 1/nW-sized row draws ~1/nW of the activation current, so the rank
-    // power-delivery window admits activates proportionally faster.
-    timing.tRRD = std::max<Tick>(timing.tRRD / cfg.ubank.nW, timing.tCMD);
-    timing.tFAW = std::max<Tick>(timing.tFAW / cfg.ubank.nW, 4 * timing.tRRD);
+  const dram::TimingParams timing = effectiveTiming(cfg);
+
+  if (!cfg.recordCmdsPath.empty()) {
+    mc::CmdTraceConfig tc;
+    tc.geom = sys.geom;
+    tc.timing = timing;
+    tc.energy = phy.energy;
+    tc.interleaveBaseBit = baseBit;
+    tc.xorBankHash = cfg.xorBankHash;
+    sys.cmdLog = std::make_unique<mc::CommandLogWriter>(cfg.recordCmdsPath, tc);
+    mcCfg.commandLog = sys.cmdLog.get();
   }
 
   for (int ch = 0; ch < channels; ++ch) {
@@ -73,15 +115,12 @@ RunResult runSimulation(const SystemConfig& cfg, const WorkloadSpec& workload) {
 
   // Resolve core/channel population per workload kind.
   cpu::HierarchyConfig hierCfg = cfg.hier;
-  int channels = cfg.channels;
   if (workload.kind == WorkloadSpec::Kind::SingleSpec ||
       workload.kind == WorkloadSpec::Kind::TraceFile) {
     hierCfg.numCores = cfg.specCopies;
     hierCfg.coresPerCluster = cfg.specCopies;  // one cluster shares the L2
-    if (channels < 0) channels = 1;  // §VI-A: one MC for single-threaded runs
-  } else {
-    if (channels < 0) channels = phy.channels;
   }
+  const int channels = resolvedChannels(cfg, workload);
   MB_CHECK(channels >= 1);
 
   auto sys = std::make_unique<BuiltSystem>();
@@ -167,6 +206,7 @@ RunResult runSimulation(const SystemConfig& cfg, const WorkloadSpec& workload) {
 
   power::SystemEnergyBreakdown e;
   std::int64_t rowHits = 0, rowTotal = 0, specDec = 0, specOk = 0;
+  std::int64_t meterActs = 0, meterCas = 0, meterRefs = 0;
   double queueOccSum = 0.0, latSum = 0.0, busSum = 0.0;
   std::int64_t latCount = 0;
   for (auto& mcPtr : sys->mcs) {
@@ -177,6 +217,9 @@ RunResult runSimulation(const SystemConfig& cfg, const WorkloadSpec& workload) {
     e.dramRdWr += m.rdwr();
     e.io += m.io();
     e.dramStatic += m.staticEnergy();
+    meterActs += m.activations();
+    meterCas += m.casOps();
+    meterRefs += m.refreshes();
     rowHits += s.rowHits;
     rowTotal += s.rowHits + s.rowMisses + s.rowConflicts;
     specDec += s.specDecisions;
@@ -202,6 +245,23 @@ RunResult runSimulation(const SystemConfig& cfg, const WorkloadSpec& workload) {
   r.avgQueueOccupancy = queueOccSum / static_cast<double>(sys->mcs.size());
   r.dataBusUtilization = busSum / static_cast<double>(sys->mcs.size());
   r.avgReadLatencyNs = latCount == 0 ? 0.0 : latSum / static_cast<double>(latCount);
+
+  if (sys->cmdLog) {
+    // Seal the recording with the live energy accounting so the offline
+    // auditor can cross-check its independent recompute (MB-AUD-019/020).
+    mc::CmdTraceTrailer trailer;
+    trailer.present = true;
+    trailer.elapsed = r.elapsed;
+    trailer.actPre = e.dramActPre;
+    trailer.rdwr = e.dramRdWr;
+    trailer.io = e.io;
+    trailer.staticEnergy = e.dramStatic;
+    trailer.activations = meterActs;
+    trailer.casOps = meterCas;
+    trailer.refreshes = meterRefs;
+    sys->cmdLog->writeTrailer(trailer);
+    sys->cmdLog->close();
+  }
 
   r.hierarchy = sys->hier->stats();
   r.mapki = r.instructions == 0

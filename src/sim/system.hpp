@@ -53,6 +53,10 @@ struct SystemConfig {
   /// power-delivery window can admit activates proportionally faster.
   bool scaleActWindowWithRowSize = false;
   bool timingCheck = false;
+  /// Non-empty: stream every DRAM command of the run to this MBCMDT1 file
+  /// (see mc/command_log.hpp), including the end-of-run energy trailer, for
+  /// offline re-verification with analysis/trace_audit (tools/mbaudit).
+  std::string recordCmdsPath;
 
   cpu::HierarchyConfig hier;
   cpu::CoreParams core;
@@ -108,6 +112,27 @@ struct RunResult {
 
 /// Derive the DRAM geometry a SystemConfig implies.
 dram::Geometry geometryFor(const SystemConfig& cfg, int channels);
+
+/// Channel population a run of (cfg, workload) uses: single-threaded
+/// workloads stress one controller (§VI-A), the rest default to the PHY's
+/// channel count unless cfg.channels overrides.
+int resolvedChannels(const SystemConfig& cfg, const WorkloadSpec& workload);
+
+/// Effective DRAM timing of a run, including the scaled activation window
+/// (scaleActWindowWithRowSize) — what the controllers are actually built
+/// with, and therefore what a recorded command trace must be audited
+/// against.
+dram::TimingParams effectiveTiming(const SystemConfig& cfg);
+
+/// Resolved interleave base bit (cfg.interleaveBaseBit, or page
+/// interleaving when negative).
+int resolvedBaseBit(const SystemConfig& cfg, const dram::Geometry& geom);
+
+/// The self-describing MBCMDT1 header a recording of (cfg, workload)
+/// carries; mbaudit --geometry uses it to cross-check a trace against a
+/// named preset (MB-AUD-021).
+mc::CmdTraceConfig cmdTraceConfigFor(const SystemConfig& cfg,
+                                     const WorkloadSpec& workload);
 
 /// Build and run one simulation to completion.
 RunResult runSimulation(const SystemConfig& cfg, const WorkloadSpec& workload);

@@ -1,7 +1,9 @@
 #include "trace/trace_file.hpp"
 
 #include <cstring>
+#include <utility>
 
+#include "analysis/diagnostic.hpp"
 #include "common/check.hpp"
 
 namespace mb::trace {
@@ -10,6 +12,16 @@ namespace {
 
 constexpr char kMagic[8] = {'M', 'B', 'T', 'R', 'A', 'C', 'E', '1'};
 constexpr std::uint32_t kVersion = 1;
+
+// Malformed replay input is a user-facing condition, not an internal
+// invariant: report it as a structured MB-TRC diagnostic. The raise still
+// goes through the check-failure channel so it aborts with the full text by
+// default but converts to a catchable CheckFailure under ScopedCheckTrap
+// (sweep isolation, death-test-free unit tests).
+[[noreturn]] void rejectTrace(std::FILE* f, analysis::Diagnostic d) {
+  if (f != nullptr) std::fclose(f);
+  mb::detail::raiseCheckFailure(d.text());
+}
 
 void writeBytes(std::FILE* f, const void* data, size_t n) {
   const size_t written = std::fwrite(data, 1, n, f);
@@ -59,15 +71,34 @@ void TraceFileWriter::close() {
 }
 
 TraceFileSource::TraceFileSource(const std::string& path) {
+  using analysis::Diagnostic;
+  using analysis::Severity;
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  MB_CHECK_MSG(f != nullptr, "cannot open trace file for reading: %s",
-               path.c_str());
+  if (f == nullptr) {
+    rejectTrace(nullptr, Diagnostic("MB-TRC-001", Severity::Error,
+                                    "cannot open trace file for reading")
+                             .with("path", path));
+  }
   char magic[8];
-  MB_CHECK(std::fread(magic, 1, sizeof(magic), f) == sizeof(magic));
-  MB_CHECK(std::memcmp(magic, kMagic, sizeof(kMagic)) == 0 && "not a trace file");
+  if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    rejectTrace(f, Diagnostic("MB-TRC-002", Severity::Error,
+                              "not an MBTRACE1 trace file (bad magic)")
+                       .with("path", path));
+  }
   std::uint32_t version = 0, reserved = 0;
-  MB_CHECK(readScalar(f, &version) && version == kVersion);
-  MB_CHECK(readScalar(f, &reserved));
+  if (!readScalar(f, &version) || !readScalar(f, &reserved)) {
+    rejectTrace(f, Diagnostic("MB-TRC-004", Severity::Error,
+                              "truncated trace file header")
+                       .with("path", path));
+  }
+  if (version != kVersion) {
+    rejectTrace(f, Diagnostic("MB-TRC-003", Severity::Error,
+                              "unsupported trace format version")
+                       .with("path", path)
+                       .with("version", static_cast<std::int64_t>(version))
+                       .with("supported", static_cast<std::int64_t>(kVersion)));
+  }
 
   for (;;) {
     Record r;
@@ -77,8 +108,13 @@ TraceFileSource::TraceFileSource(const std::string& path) {
     if (!readScalar(f, &gap)) break;
     // A trailing partial record means a truncated file: reject loudly
     // rather than silently replaying a corrupt tail.
-    MB_CHECK(readScalar(f, &addr) && readScalar(f, &flags) &&
-             "truncated trace record");
+    if (!readScalar(f, &addr) || !readScalar(f, &flags)) {
+      rejectTrace(f, Diagnostic("MB-TRC-004", Severity::Error,
+                                "truncated final trace record")
+                         .with("path", path)
+                         .with("complete_records",
+                               static_cast<std::int64_t>(records_.size())));
+    }
     r.gapInstrs = gap;
     r.addr = addr;
     r.write = (flags & 1u) != 0;
@@ -86,7 +122,11 @@ TraceFileSource::TraceFileSource(const std::string& path) {
     records_.push_back(r);
   }
   std::fclose(f);
-  MB_CHECK(!records_.empty() && "empty trace file");
+  if (records_.empty()) {
+    rejectTrace(nullptr, Diagnostic("MB-TRC-005", Severity::Error,
+                                    "trace file contains no records")
+                             .with("path", path));
+  }
 }
 
 Record TraceFileSource::next() {

@@ -44,6 +44,11 @@ class TraceFileWriter {
 };
 
 /// Replays a trace file as a TraceSource, looping at end-of-file.
+///
+/// Malformed input (missing file, bad magic, unsupported version, truncated
+/// final record, header with no records) is rejected with a structured
+/// MB-TRC-001..005 diagnostic raised through the check-failure channel:
+/// abort by default, catchable CheckFailure under ScopedCheckTrap.
 class TraceFileSource final : public TraceSource {
  public:
   explicit TraceFileSource(const std::string& path);

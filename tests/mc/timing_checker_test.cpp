@@ -249,6 +249,46 @@ TEST_F(TimingCheckerDiagnosticsTest, LegalTrafficProducesZeroDiagnostics) {
   EXPECT_TRUE(engine_.empty());
 }
 
+// ---- Bounded shadow history ----------------------------------------------
+// The per-rank ACT window is pruned at commit time to the tFAW horizon, so
+// an arbitrarily long run retains at most 4 entries per rank — and pruning
+// must never change a verdict (the window is exactly the state tFAW needs).
+
+TEST_F(TimingCheckerTest, ActHistoryStaysBoundedOverLongRuns) {
+  Tick at = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = addr(0, i % 2, (i / 2) % 2, 1);
+    ASSERT_TRUE(chk_.onCommand(DramCommand::Act, a, at));
+    ASSERT_TRUE(chk_.onCommand(DramCommand::Pre, a, at + t_.tRAS));
+    at += t_.tRC();
+    ASSERT_LE(chk_.maxActWindowDepth(), 4u);
+  }
+  EXPECT_EQ(chk_.commandsChecked(), 2000);
+}
+
+TEST_F(TimingCheckerTest, PruningPreservesFawVerdicts) {
+  // Long warm-up so every rank has pruned many times...
+  Tick at = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto a = addr(0, i % 2, (i / 2) % 2, 1);
+    chk_.onCommand(DramCommand::Act, a, at);
+    chk_.onCommand(DramCommand::Pre, a, at + t_.tRAS);
+    at += t_.tRC();
+  }
+  // ...then the canonical tFAW probe on that same rank must behave exactly
+  // as from scratch: a fifth ACT inside the window of the first still
+  // fails, and the same ACT at exactly tFAW passes.
+  const Tick base = at + t_.tFAW;  // clear of the warm-up window
+  Tick probe = base;
+  for (int u = 0; u < 4; ++u) {
+    ASSERT_TRUE(chk_.onCommand(DramCommand::Act, addr(0, 0, u, 1), probe));
+    probe += t_.tRRD;
+  }
+  EXPECT_FALSE(chk_.onCommand(DramCommand::Act, addr(0, 1, 0, 1), probe));
+  EXPECT_TRUE(chk_.onCommand(DramCommand::Act, addr(0, 1, 0, 1), base + t_.tFAW));
+  EXPECT_LE(chk_.maxActWindowDepth(), 4u);
+}
+
 TEST(TimingCheckerDeath, HardFailAborts) {
   TimingChecker chk(geom(), dram::TimingParams::tsi());
   core::DramAddress a;

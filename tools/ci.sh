@@ -51,6 +51,24 @@ TSAN_OPTIONS=halt_on_error=1 \
 echo "== mblint conformance =="
 "$build/tools/mblint" --all-presets
 
+echo "== offline command-trace audit =="
+# Record a short run of every shipped preset (one trace per sweep point)
+# and let the independent auditor re-verify each; --audit makes mbsim exit
+# non-zero if any trace fails. Then the auditor must reject a seeded
+# single-command mutant with a non-zero exit (proving the audit actually
+# fires, not merely that clean traces pass).
+audit_dir="$build/ci-audit"
+mkdir -p "$audit_dir"
+"$build/tools/mbsim" --sweep --workload=429.mcf --instrs=10000 \
+  --record-cmds="$audit_dir/cmds.mbc" --audit >/dev/null
+"$build/tools/mbaudit" "$audit_dir/cmds.tsi-baseline.mbc" --geometry=tsi-baseline
+if "$build/tools/mbaudit" "$audit_dir/cmds.tsi-baseline.mbc" \
+     --mutate=cas-before-trcd >/dev/null 2>&1; then
+  echo "FAIL: mbaudit accepted a mutated trace" >&2
+  exit 1
+fi
+rm -rf "$audit_dir"
+
 echo "== clang-tidy over src/ =="
 if command -v clang-tidy >/dev/null 2>&1; then
   # run-clang-tidy parallelises when present; fall back to a plain loop.
@@ -64,6 +82,9 @@ if command -v clang-tidy >/dev/null 2>&1; then
     done
     [ "$status" -eq 0 ]
   fi
+elif [ "${MB_REQUIRE_TIDY:-0}" = "1" ]; then
+  echo "FAIL: clang-tidy not installed but MB_REQUIRE_TIDY=1" >&2
+  exit 1
 else
   echo "clang-tidy not installed; skipping tidy pass (build+sanitizer gate still enforced)"
 fi

@@ -22,6 +22,14 @@
 //   --seed=N          workload seed
 //   --xor-bank-hash   permutation-based bank-index hashing
 //   --per-bank-refresh, --no-refresh, --no-prefetch, --timing-check
+//   --record-cmds=PATH  stream every DRAM command to an MBCMDT1 trace
+//                     (offline re-verification: tools/mbaudit). Under
+//                     --sweep, one trace per preset: PATH gains a
+//                     ".<preset>" suffix before its extension
+//   --audit           after the run(s), replay the recorded trace(s)
+//                     through the offline auditor and fail (exit 1) on any
+//                     MB-AUD violation; implies --record-cmds (default
+//                     "mbsim-cmds.mbc" when not given)
 //
 // Sweep mode — run the workload over EVERY shipped preset in parallel and
 // print one summary row per preset:
@@ -39,12 +47,14 @@
 //
 // A preset that fails mid-simulation is reported as an ERROR row (exit 1)
 // after the rest of the sweep completes — not a process abort.
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "analysis/config_lint.hpp"
+#include "analysis/trace_audit.hpp"
 #include "common/string_util.hpp"
 #include "sim/experiment.hpp"
 #include "sim/sweep.hpp"
@@ -89,8 +99,54 @@ void applyWorkloadShape(sim::SystemConfig& cfg, const sim::WorkloadSpec& spec) {
   }
 }
 
+/// "tsi-ubank(4,4)" -> "tsi-ubank-4-4-": a preset label safe inside a file
+/// name (used to derive per-point --record-cmds paths under --sweep).
+std::string sanitizeLabel(const std::string& label) {
+  std::string out;
+  for (const char c : label)
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-' ||
+            c == '_' || c == '.')
+               ? c
+               : '-';
+  return out;
+}
+
+/// "dir/cmds.mbc" + "ddr3-pcb" -> "dir/cmds.ddr3-pcb.mbc".
+std::string perPointTracePath(const std::string& base, const std::string& label) {
+  const auto dot = base.rfind('.');
+  const auto slash = base.rfind('/');
+  const bool hasExt = dot != std::string::npos &&
+                      (slash == std::string::npos || dot > slash);
+  if (!hasExt) return base + "." + sanitizeLabel(label);
+  return base.substr(0, dot) + "." + sanitizeLabel(label) + base.substr(dot);
+}
+
+/// Audit one recorded trace; prints a one-line verdict. Returns true when
+/// the trace loads and replays clean.
+bool auditRecordedTrace(const std::string& path) {
+  analysis::DiagnosticEngine diags;
+  const auto trace = mc::readCmdTrace(path, diags);
+  if (!trace.has_value()) {
+    std::fprintf(stderr, "%s", diags.renderText().c_str());
+    std::printf("audit %-40s UNREADABLE\n", path.c_str());
+    return false;
+  }
+  const auto res = analysis::auditCmdTrace(*trace, diags);
+  if (diags.hasErrors()) {
+    std::fprintf(stderr, "%s", diags.renderText().c_str());
+    std::printf("audit %-40s VIOLATIONS (%lld of %lld events rejected)\n",
+                path.c_str(), static_cast<long long>(res.commandsRejected),
+                static_cast<long long>(res.eventsAudited));
+    return false;
+  }
+  std::printf("audit %-40s CLEAN (%lld events)\n", path.c_str(),
+              static_cast<long long>(res.eventsAudited));
+  return true;
+}
+
 int runPresetSweep(const sim::SystemConfig& userCfg, const std::string& workload,
-                   int jobs, bool reseed) {
+                   int jobs, bool reseed, const std::string& recordCmds,
+                   bool audit) {
   const auto spec = workloadByName(workload);
   std::vector<sim::SweepPoint> points;
   for (const auto& preset : sim::shippedPresets()) {
@@ -99,6 +155,8 @@ int runPresetSweep(const sim::SystemConfig& userCfg, const std::string& workload
     // the architecture (phy/ubank/policy/...), the user owns the run.
     cfg.core.maxInstrs = userCfg.core.maxInstrs;
     cfg.seed = userCfg.seed;
+    if (!recordCmds.empty())
+      cfg.recordCmdsPath = perPointTracePath(recordCmds, preset.name);
     applyWorkloadShape(cfg, spec);
     points.push_back({preset.name, cfg, spec});
   }
@@ -127,6 +185,13 @@ int runPresetSweep(const sim::SystemConfig& userCfg, const std::string& workload
   if (failures > 0)
     std::printf("\n%d of %zu presets failed (see rows above)\n", failures,
                 outcomes.size());
+
+  if (audit && !recordCmds.empty()) {
+    std::printf("\n");
+    for (const auto& point : points) {
+      if (!auditRecordedTrace(point.cfg.recordCmdsPath)) ++failures;
+    }
+  }
   return failures == 0 ? 0 : 1;
 }
 
@@ -138,6 +203,8 @@ int main(int argc, char** argv) {
   std::string value;
   bool sweep = false;
   bool reseed = false;
+  bool audit = false;
+  std::string recordCmds;
   int jobs = 0;
 
   for (int i = 1; i < argc; ++i) {
@@ -193,6 +260,11 @@ int main(int argc, char** argv) {
       cfg.hier.enablePrefetch = false;
     } else if (arg == "--timing-check") {
       cfg.timingCheck = true;
+    } else if (matchFlag(arg, "record-cmds", &value)) {
+      if (value.empty()) usage("--record-cmds expects a file path");
+      recordCmds = value;
+    } else if (arg == "--audit") {
+      audit = true;
     } else {
       usage(("unrecognized argument: " + arg).c_str());
     }
@@ -211,8 +283,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (sweep) return runPresetSweep(cfg, workload, jobs, reseed);
+  if (audit && recordCmds.empty()) recordCmds = "mbsim-cmds.mbc";
 
+  if (sweep) return runPresetSweep(cfg, workload, jobs, reseed, recordCmds, audit);
+
+  cfg.recordCmdsPath = recordCmds;
   auto spec = workloadByName(workload);
   applyWorkloadShape(cfg, spec);
 
@@ -250,5 +325,10 @@ int main(int argc, char** argv) {
   line("I/O", r.energy.io);
   line("total", r.energy.total());
   std::printf("\n1/EDP               %.4g (J*s)^-1\n", r.invEdp);
+
+  if (audit) {
+    std::printf("\n");
+    if (!auditRecordedTrace(recordCmds)) return 1;
+  }
   return 0;
 }
