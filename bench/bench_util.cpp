@@ -9,6 +9,20 @@
 
 namespace mb::bench {
 
+namespace {
+
+std::int64_t positiveIntArg(const char* flag, const char* value) {
+  char* end = nullptr;
+  const long long v = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0' || v < 1) {
+    std::fprintf(stderr, "%s expects a positive integer, got \"%s\"\n", flag, value);
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
 int jobsFromArgs(int argc, char** argv) {
   int jobs = 0;  // 0: let resolveJobs pick MB_JOBS / hardware concurrency
   for (int i = 1; i < argc; ++i) {
@@ -23,15 +37,35 @@ int jobsFromArgs(int argc, char** argv) {
                    arg);
       std::exit(2);
     }
-    char* end = nullptr;
-    const long v = std::strtol(value, &end, 10);
-    if (end == value || *end != '\0' || v < 1) {
-      std::fprintf(stderr, "--jobs expects a positive integer, got \"%s\"\n", value);
-      std::exit(2);
-    }
-    jobs = static_cast<int>(v);
+    jobs = static_cast<int>(positiveIntArg("--jobs", value));
   }
   return sim::resolveJobs(jobs);
+}
+
+BenchArgs parseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  if (const char* env = std::getenv("MB_WARMUP"))
+    args.warmup = positiveIntArg("MB_WARMUP", env);
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      args.jobs = static_cast<int>(positiveIntArg("--jobs", arg + 7));
+    } else if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+      args.jobs = static_cast<int>(positiveIntArg("--jobs", argv[++i]));
+    } else if (std::strncmp(arg, "--warmup=", 9) == 0) {
+      args.warmup = positiveIntArg("--warmup", arg + 9);
+    } else if (std::strcmp(arg, "--warmup-cold") == 0) {
+      args.warmupCold = true;
+    } else {
+      std::fprintf(stderr,
+                   "unrecognized argument: %s (this bench takes --jobs N, "
+                   "--warmup N, --warmup-cold)\n",
+                   arg);
+      std::exit(2);
+    }
+  }
+  args.jobs = sim::resolveJobs(args.jobs);
+  return args;
 }
 
 void printBanner(const std::string& artifact, const std::string& what) {
@@ -106,8 +140,41 @@ std::size_t SweepPlan::add(const std::string& workload, const sim::SystemConfig&
   return cells_.size() - 1;
 }
 
+void SweepPlan::enableWarmup(std::int64_t records, bool reuseSnapshots) {
+  MB_CHECK(!ran_ && records > 0);
+  warmupRecords_ = records;
+  warmupReuse_ = reuseSnapshots;
+}
+
 void SweepPlan::run(int jobs) {
   MB_CHECK(!ran_);
+  if (warmupRecords_ > 0) {
+    std::size_t captured = 0;
+    for (auto& p : points_) {
+      p.opts.warmupRecords = warmupRecords_;
+      if (!warmupReuse_) continue;
+      const std::uint64_t key =
+          sim::warmupKeyHash(p.cfg, p.workload, warmupRecords_);
+      auto it = warmupSnaps_.find(key);
+      if (it == warmupSnaps_.end()) {
+        // First point with this (workload, seed, processor shape): run the
+        // functional warmup once and snapshot it. Every other grid point
+        // sharing the key restores the snapshot instead of replaying.
+        it = warmupSnaps_
+                 .emplace(key, sim::captureWarmupSnapshot(p.cfg, p.workload,
+                                                          warmupRecords_))
+                 .first;
+        ++captured;
+      }
+      p.opts.warmupRestoreBuf = &it->second;
+    }
+    if (warmupReuse_)
+      std::fprintf(stderr,
+                   "[sweep] warmup: %lld records/core, %zu snapshots shared "
+                   "across %zu points\n",
+                   static_cast<long long>(warmupRecords_), captured,
+                   points_.size());
+  }
   sim::SweepOptions opts;
   opts.jobs = jobs;
   opts.progress = true;

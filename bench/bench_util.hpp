@@ -13,6 +13,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -26,6 +28,20 @@ namespace mb::bench {
 /// resolve the default through sim::resolveJobs (MB_JOBS, then hardware
 /// concurrency). Any unrecognized argument is rejected with exit 2.
 int jobsFromArgs(int argc, char** argv);
+
+/// Common bench arguments for grid benches that support cache warmup:
+///   --jobs=N       worker pool (as jobsFromArgs)
+///   --warmup=N     functional-warmup records per core before measurement
+///                  (default: MB_WARMUP env, else 0 = no warmup)
+///   --warmup-cold  replay the warmup per grid point instead of restoring
+///                  the shared MBCKPT1 warmup snapshot (the slow reference
+///                  path; results are bit-identical either way)
+struct BenchArgs {
+  int jobs = 0;
+  std::int64_t warmup = 0;
+  bool warmupCold = false;
+};
+BenchArgs parseBenchArgs(int argc, char** argv);
 
 /// Print the standard bench banner.
 void printBanner(const std::string& artifact, const std::string& what);
@@ -49,6 +65,15 @@ class SweepPlan {
   /// Returns the cell id to pass to results() after run().
   std::size_t add(const std::string& workload, const sim::SystemConfig& cfg);
 
+  /// Warm each point's caches with `records` functional trace records per
+  /// core before its timed run. With `reuseSnapshots` (the default), the
+  /// warmup runs ONCE per distinct warmup key (workload + seed + processor
+  /// shape — see sim::warmupKeyHash) and every grid point restores the
+  /// shared MBCKPT1 snapshot; the cold path replays the warmup inside every
+  /// point. Both paths produce bit-identical results; reuse just removes
+  /// the per-point replay from a grid that shares one workload.
+  void enableWarmup(std::int64_t records, bool reuseSnapshots = true);
+
   /// Run all queued cells with `jobs` workers (<= 0: MB_JOBS / hardware
   /// concurrency). If any point fails, every failure is reported on stderr
   /// before the process aborts — one bad point no longer hides the others.
@@ -66,6 +91,11 @@ class SweepPlan {
   };
   std::vector<sim::SweepPoint> points_;
   std::vector<Cell> cells_;
+  std::int64_t warmupRecords_ = 0;
+  bool warmupReuse_ = true;
+  /// Warmup key -> encoded snapshot; node-stable so points_ can hold
+  /// pointers into the mapped strings across run().
+  std::map<std::uint64_t, std::string> warmupSnaps_;
   bool ran_ = false;
 };
 

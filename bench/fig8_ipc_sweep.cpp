@@ -9,6 +9,13 @@
 // All grid points are independent simulations and run in parallel through
 // sim::SweepRunner: --jobs N / MB_JOBS bounds the pool (default: hardware
 // concurrency; 1 is the old serial walk; stdout is identical either way).
+//
+// --warmup=N (or MB_WARMUP=N) warms each point's caches with N functional
+// trace records per core before measurement. The warmup state depends only
+// on the workload and the processor shape — not on (nW, nB) or any other
+// memory knob — so it runs once per workload and every grid point restores
+// the shared MBCKPT1 snapshot (--warmup-cold replays it per point instead;
+// the grids are bit-identical, only wall-clock differs).
 #include <cstdio>
 #include <iostream>
 #include <map>
@@ -18,7 +25,8 @@
 
 int main(int argc, char** argv) {
   using namespace mb;
-  const int jobs = bench::jobsFromArgs(argc, argv);
+  const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+  const int jobs = args.jobs;
   bench::printBanner("Figure 8", "relative IPC over the (nW, nB) grid");
 
   const auto& axis = sim::sweepAxis();
@@ -40,6 +48,7 @@ int main(int argc, char** argv) {
       }
     }
   }
+  if (args.warmup > 0) plan.enableWarmup(args.warmup, !args.warmupCold);
   plan.run(jobs);
 
   for (const auto& workload : workloads) {

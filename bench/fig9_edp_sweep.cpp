@@ -8,6 +8,11 @@
 //
 // Grid points run in parallel via sim::SweepRunner (--jobs N / MB_JOBS;
 // --jobs 1 reproduces the old serial walk with identical stdout).
+//
+// --warmup=N / MB_WARMUP=N warms caches with N trace records per core
+// before measurement, capturing one MBCKPT1 warmup snapshot per workload
+// and restoring it at every grid point (--warmup-cold re-simulates the
+// warmup per point instead; same grids, more wall-clock).
 #include <cstdio>
 #include <iostream>
 #include <map>
@@ -17,7 +22,8 @@
 
 int main(int argc, char** argv) {
   using namespace mb;
-  const int jobs = bench::jobsFromArgs(argc, argv);
+  const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+  const int jobs = args.jobs;
   bench::printBanner("Figure 9", "relative 1/EDP over the (nW, nB) grid");
 
   const auto& axis = sim::sweepAxis();
@@ -37,6 +43,7 @@ int main(int argc, char** argv) {
       }
     }
   }
+  if (args.warmup > 0) plan.enableWarmup(args.warmup, !args.warmupCold);
   plan.run(jobs);
 
   for (const auto& workload : workloads) {

@@ -1,0 +1,51 @@
+// Event re-materialization for checkpoint restore.
+//
+// The EventQueue holds closures, which cannot travel through a snapshot.
+// Instead, every component that keeps events in flight reifies them as
+// plain state (tick, payload, and the sequence number the live queue
+// assigned), and after all sections are loaded each component registers a
+// small "arm" closure per pending event here, keyed by the event's
+// *original* sequence number. replay() then re-schedules them in ascending
+// original-seq order: the fresh queue hands out new, ascending sequence
+// numbers, so events that share a tick fire in exactly the order they
+// would have fired in the uninterrupted run — the property the bitwise
+// restore-equivalence tests pin down.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace mb::ckpt {
+
+class EventRestorer {
+ public:
+  /// Register one pending event. `arm` must call EventQueue::scheduleAt
+  /// itself (and stash the new seq wherever the component tracks it).
+  void add(std::uint64_t origSeq, std::function<void()> arm) {
+    entries_.push_back({origSeq, std::move(arm)});
+  }
+
+  /// Re-schedule everything in original firing order.
+  void replay() {
+    std::stable_sort(entries_.begin(), entries_.end(),
+                     [](const Entry& a, const Entry& b) {
+                       return a.origSeq < b.origSeq;
+                     });
+    for (auto& e : entries_) e.arm();
+    entries_.clear();
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t origSeq;
+    std::function<void()> arm;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace mb::ckpt

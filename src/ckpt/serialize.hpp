@@ -1,0 +1,191 @@
+// Binary serialization primitives for the MBCKPT1 checkpoint format.
+//
+// The Serializable protocol: every stateful component implements
+//
+//   void save(ckpt::Writer& w) const;   // append state, little-endian
+//   void load(ckpt::Reader& r);         // restore it; never trust the bytes
+//
+// (virtual on polymorphic bases — TraceSource, Scheduler, PagePolicy — so a
+// snapshot section can be driven through the interface the simulator holds).
+// Structural parameters that come from the constructor (geometry, sizes,
+// timing) are NOT serialized: a snapshot is only loadable into a system
+// built from the identical SystemConfig, which the container enforces with
+// a config hash (snapshot.hpp). save/load therefore cover exactly the
+// mutable state, and a malformed payload must surface as `!r.ok()` rather
+// than undefined behaviour: Reader is bounds-checked, returns zeros after
+// the first failure, and load() implementations call r.fail() on any
+// structural mismatch (wrong counts, out-of-range enums) instead of
+// asserting, so the snapshot reader can reject a corrupt section with a
+// stable diagnostic while the process keeps running.
+//
+// Everything here is header-only and intentionally free of link-time
+// dependencies so that low-level libraries (common, dram, mc, cpu, trace)
+// can implement the protocol without depending on the mb_ckpt library,
+// which owns only the container format.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mb::ckpt {
+
+/// CRC-32 (IEEE 802.3, reflected, init/xorout 0xFFFFFFFF) — the checksum
+/// MBCKPT1 uses per section and for the file trailer. Table-driven; the
+/// table is built once on first use.
+inline std::uint32_t crc32(const void* data, std::size_t len,
+                           std::uint32_t seed = 0) {
+  static const auto table = [] {
+    struct Table {
+      std::uint32_t entry[256];
+    } t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c >> 1) ^ ((c & 1u) ? 0xEDB88320u : 0u);
+      t.entry[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i)
+    c = table.entry[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+inline std::uint32_t crc32(std::string_view s, std::uint32_t seed = 0) {
+  return crc32(s.data(), s.size(), seed);
+}
+
+/// FNV-1a over a byte string; used for the config / warmup-key hashes the
+/// snapshot header carries. 64-bit so accidental collisions across the
+/// config space are not a practical concern.
+inline std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Append-only little-endian encoder.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void b(bool v) { u8(v ? 1 : 0); }
+  void u32(std::uint32_t v) { putLe(v); }
+  void u64(std::uint64_t v) { putLe(v); }
+  void i32(std::int32_t v) { putLe(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { putLe(static_cast<std::uint64_t>(v)); }
+  /// Doubles travel as their exact bit pattern — restore is bitwise.
+  void f64(double v) { putLe(std::bit_cast<std::uint64_t>(v)); }
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.append(s.data(), s.size());
+  }
+  void bytes(const void* data, std::size_t len) {
+    buf_.append(static_cast<const char*>(data), len);
+  }
+
+  const std::string& str() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void putLe(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian decoder. After any underflow or explicit
+/// fail(), every further read returns zero and ok() is false; callers check
+/// `r.ok() && r.atEnd()` once at the end of a section instead of sprinkling
+/// error handling through every load().
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  bool b() { return u8() != 0; }
+  std::uint32_t u32() { return getLe<std::uint32_t>(); }
+  std::uint64_t u64() { return getLe<std::uint64_t>(); }
+  std::int32_t i32() { return static_cast<std::int32_t>(getLe<std::uint32_t>()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(getLe<std::uint64_t>()); }
+  double f64() { return std::bit_cast<double>(getLe<std::uint64_t>()); }
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (!need(n)) return {};
+    std::string out(data_.substr(pos_, n));
+    pos_ += n;
+    return out;
+  }
+  /// Element count for a container about to be decoded. `elemBytes` is a
+  /// lower bound on the encoded size of one element; a count that cannot
+  /// possibly fit in the remaining bytes fails immediately instead of
+  /// letting a hostile length trigger a giant allocation.
+  std::uint64_t count(std::size_t elemBytes) {
+    const std::uint64_t n = u64();
+    if (elemBytes > 0 && n > remaining() / elemBytes) {
+      fail();
+      return 0;
+    }
+    return n;
+  }
+
+  /// Mark the payload structurally invalid (bad enum, mismatched size...).
+  void fail() { ok_ = false; }
+  bool ok() const { return ok_; }
+  bool atEnd() const { return ok_ && pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool need(std::size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  template <typename T>
+  T getLe() {
+    if (!need(sizeof(T))) return 0;
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+      v |= static_cast<T>(static_cast<unsigned char>(data_[pos_ + i])) << (8 * i);
+    pos_ += sizeof(T);
+    return v;
+  }
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Serialize an (unordered_)map with integral keys sorted by key, so the
+/// snapshot bytes never depend on hash-table iteration order. `saveValue`
+/// receives each mapped value; the count is written first as u64 and each
+/// key as i64.
+template <typename Map, typename SaveValue>
+void saveMapSorted(Writer& w, const Map& m, SaveValue&& saveValue) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(m.size());
+  for (const auto& [k, v] : m) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  w.u64(keys.size());
+  for (const auto& k : keys) {
+    w.i64(static_cast<std::int64_t>(k));
+    saveValue(m.at(k));
+  }
+}
+
+}  // namespace mb::ckpt

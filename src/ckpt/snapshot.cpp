@@ -1,0 +1,179 @@
+#include "ckpt/snapshot.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace mb::ckpt {
+
+analysis::Diagnostic ckptDiag(const char* code, const std::string& message,
+                              const std::string& label) {
+  analysis::Diagnostic d(code, analysis::Severity::Error, message);
+  d.with("snapshot", label);
+  return d;
+}
+
+const SnapshotSection* Snapshot::section(const std::string& name) const {
+  for (const auto& s : sections)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+void Snapshot::addSection(std::string name, std::string payload) {
+  sections.push_back({std::move(name), std::move(payload)});
+}
+
+std::string Snapshot::encode() const {
+  Writer w;
+  w.bytes(kSnapshotMagic, sizeof(kSnapshotMagic));
+  w.u32(kSnapshotVersion);
+  w.u32(static_cast<std::uint32_t>(kind));
+  w.u64(configHash);
+  w.u64(warmupKey);
+  w.i64(now);
+  w.i32(geometry.channels);
+  w.i32(geometry.ranksPerChannel);
+  w.i32(geometry.banksPerRank);
+  w.i32(geometry.nW);
+  w.i32(geometry.nB);
+  w.str(tool);
+  w.str(workload);
+  w.u32(static_cast<std::uint32_t>(sections.size()));
+  for (const auto& s : sections) {
+    w.str(s.name);
+    w.u64(s.payload.size());
+    w.u32(crc32(s.payload));
+    w.bytes(s.payload.data(), s.payload.size());
+  }
+  std::string out = w.str();
+  Writer trailer;
+  trailer.u32(crc32(out));
+  out += trailer.str();
+  return out;
+}
+
+std::optional<Snapshot> decodeSnapshot(std::string_view data,
+                                       analysis::DiagnosticEngine& diags,
+                                       const std::string& label) {
+  // The trailer covers everything before it, so check it first: a file
+  // damaged anywhere yields the CRC diagnostic rather than whatever
+  // secondary symptom the damage happens to cause — except truncation
+  // below the minimum frame, which is reported as such.
+  if (data.size() < sizeof(kSnapshotMagic) + 4) {
+    diags.report(ckptDiag("MB-CKP-006", "truncated snapshot (shorter than header)",
+                          label));
+    return std::nullopt;
+  }
+  if (std::memcmp(data.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    diags.report(
+        ckptDiag("MB-CKP-002", "not an MBCKPT1 snapshot (bad magic)", label));
+    return std::nullopt;
+  }
+  const std::string_view body = data.substr(0, data.size() - 4);
+  Reader trailer(data.substr(data.size() - 4));
+  const std::uint32_t storedFileCrc = trailer.u32();
+  const std::uint32_t actualFileCrc = crc32(body);
+
+  Reader r(body);
+  for (std::size_t i = 0; i < sizeof(kSnapshotMagic); ++i) r.u8();
+  const std::uint32_t version = r.u32();
+  if (version != kSnapshotVersion) {
+    diags.report(ckptDiag("MB-CKP-003", "unsupported snapshot version", label)
+                     .with("version", static_cast<std::int64_t>(version))
+                     .with("supported", static_cast<std::int64_t>(kSnapshotVersion)));
+    return std::nullopt;
+  }
+
+  Snapshot snap;
+  const std::uint32_t kindRaw = r.u32();
+  snap.configHash = r.u64();
+  snap.warmupKey = r.u64();
+  snap.now = r.i64();
+  snap.geometry.channels = r.i32();
+  snap.geometry.ranksPerChannel = r.i32();
+  snap.geometry.banksPerRank = r.i32();
+  snap.geometry.nW = r.i32();
+  snap.geometry.nB = r.i32();
+  snap.tool = r.str();
+  snap.workload = r.str();
+  const std::uint32_t sectionCount = r.u32();
+  if (!r.ok()) {
+    diags.report(ckptDiag("MB-CKP-006", "truncated snapshot header", label));
+    return std::nullopt;
+  }
+  if (kindRaw > static_cast<std::uint32_t>(SnapshotKind::FullRun)) {
+    diags.report(ckptDiag("MB-CKP-005", "unknown snapshot kind", label)
+                     .with("kind", static_cast<std::int64_t>(kindRaw)));
+    return std::nullopt;
+  }
+  snap.kind = static_cast<SnapshotKind>(kindRaw);
+
+  for (std::uint32_t i = 0; i < sectionCount; ++i) {
+    SnapshotSection s;
+    s.name = r.str();
+    const std::uint64_t len = r.u64();
+    const std::uint32_t storedCrc = r.u32();
+    if (!r.ok() || len > r.remaining()) {
+      diags.report(ckptDiag("MB-CKP-006", "truncated snapshot section", label)
+                       .with("section", s.name));
+      return std::nullopt;
+    }
+    s.payload.resize(len);
+    for (std::uint64_t j = 0; j < len; ++j)
+      s.payload[j] = static_cast<char>(r.u8());
+    if (crc32(s.payload) != storedCrc) {
+      diags.report(ckptDiag("MB-CKP-007", "snapshot section CRC mismatch", label)
+                       .with("section", s.name));
+      return std::nullopt;
+    }
+    snap.sections.push_back(std::move(s));
+  }
+  if (!r.atEnd()) {
+    diags.report(
+        ckptDiag("MB-CKP-011", "trailing bytes after snapshot sections", label));
+    return std::nullopt;
+  }
+  if (storedFileCrc != actualFileCrc) {
+    diags.report(ckptDiag("MB-CKP-008", "snapshot file CRC mismatch", label));
+    return std::nullopt;
+  }
+  return snap;
+}
+
+std::optional<Snapshot> readSnapshotFile(const std::string& path,
+                                         analysis::DiagnosticEngine& diags) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    diags.report(ckptDiag("MB-CKP-001", "cannot open snapshot file", path));
+    return std::nullopt;
+  }
+  std::string data;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  const bool readError = std::ferror(f) != 0;
+  std::fclose(f);
+  if (readError) {
+    diags.report(ckptDiag("MB-CKP-001", "error reading snapshot file", path));
+    return std::nullopt;
+  }
+  return decodeSnapshot(data, diags, path);
+}
+
+bool writeSnapshotFile(const Snapshot& snap, const std::string& path,
+                       analysis::DiagnosticEngine& diags) {
+  const std::string data = snap.encode();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) {
+    diags.report(ckptDiag("MB-CKP-001", "cannot open snapshot file for writing", path));
+    return false;
+  }
+  const bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!ok || !closed) {
+    diags.report(ckptDiag("MB-CKP-001", "error writing snapshot file", path));
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mb::ckpt

@@ -19,14 +19,32 @@ class EventQueue {
  public:
   using Callback = std::function<void()>;
 
-  /// Schedule `cb` to run at absolute time `when` (>= now()).
-  void scheduleAt(Tick when, Callback cb) {
+  /// Schedule `cb` to run at absolute time `when` (>= now()). Returns the
+  /// sequence number assigned to the event: same-tick events fire in
+  /// ascending-seq order, and components that support checkpointing record
+  /// the seq so a restore can re-schedule pending events in the original
+  /// firing order (ckpt::EventRestorer).
+  std::uint64_t scheduleAt(Tick when, Callback cb) {
     MB_CHECK_MSG(when >= now_, "scheduling into the past: when=%lldps now=%lldps",
                  static_cast<long long>(when), static_cast<long long>(now_));
-    heap_.push(Event{when, nextSeq_++, std::move(cb)});
+    const std::uint64_t seq = nextSeq_++;
+    heap_.push(Event{when, seq, std::move(cb)});
+    return seq;
   }
 
-  void scheduleAfter(Tick delay, Callback cb) { scheduleAt(now_ + delay, std::move(cb)); }
+  std::uint64_t scheduleAfter(Tick delay, Callback cb) {
+    return scheduleAt(now_ + delay, std::move(cb));
+  }
+
+  /// Checkpoint restore: jump the clock to the snapshot's capture time
+  /// before pending events are re-scheduled. Only legal on a queue that has
+  /// not run yet and holds no events.
+  void restoreClock(Tick now) {
+    MB_CHECK_MSG(heap_.empty() && processed_ == 0,
+                 "restoreClock on a queue that already ran");
+    MB_CHECK(now >= 0);
+    now_ = now;
+  }
 
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }

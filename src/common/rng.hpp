@@ -98,6 +98,15 @@ class Rng {
   /// Fork a statistically independent child generator (stable given call order).
   Rng fork() { return Rng(nextU64()); }
 
+  /// Checkpoint support: expose / restore the raw xoshiro256** state so a
+  /// snapshot resumes the exact stream position.
+  void getState(std::uint64_t out[4]) const {
+    for (int i = 0; i < 4; ++i) out[i] = state_[i];
+  }
+  void setState(const std::uint64_t in[4]) {
+    for (int i = 0; i < 4; ++i) state_[i] = in[i];
+  }
+
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/serialize.hpp"
 #include "common/check.hpp"
 #include "common/types.hpp"
 
@@ -19,6 +20,9 @@ class Counter {
   void inc(std::int64_t by = 1) { value_ += by; }
   std::int64_t value() const { return value_; }
   void reset() { value_ = 0; }
+
+  void save(ckpt::Writer& w) const { w.i64(value_); }
+  void load(ckpt::Reader& r) { value_ = r.i64(); }
 
  private:
   std::int64_t value_ = 0;
@@ -42,6 +46,21 @@ class Accumulator {
   double max() const { return count_ == 0 ? 0.0 : max_; }
   double variance() const;
   void reset() { *this = Accumulator{}; }
+
+  void save(ckpt::Writer& w) const {
+    w.i64(count_);
+    w.f64(sum_);
+    w.f64(sumSq_);
+    w.f64(min_);
+    w.f64(max_);
+  }
+  void load(ckpt::Reader& r) {
+    count_ = r.i64();
+    sum_ = r.f64();
+    sumSq_ = r.f64();
+    min_ = r.f64();
+    max_ = r.f64();
+  }
 
  private:
   std::int64_t count_ = 0;
@@ -68,6 +87,28 @@ class Histogram {
   double mean() const { return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_); }
   /// Value below which `fraction` of the samples fall (bucket-granular).
   double percentile(double fraction) const;
+
+  /// Bucket geometry is a construction parameter, so load() requires the
+  /// target histogram to have the same width and bucket count and fails the
+  /// reader otherwise.
+  void save(ckpt::Writer& w) const {
+    w.f64(bucketWidth_);
+    w.u64(buckets_.size());
+    for (std::int64_t b : buckets_) w.i64(b);
+    w.i64(total_);
+    w.f64(sum_);
+  }
+  void load(ckpt::Reader& r) {
+    const double width = r.f64();
+    const std::uint64_t n = r.count(8);
+    if (width != bucketWidth_ || n != buckets_.size()) {
+      r.fail();
+      return;
+    }
+    for (auto& b : buckets_) b = r.i64();
+    total_ = r.i64();
+    sum_ = r.f64();
+  }
 
  private:
   double bucketWidth_;
@@ -103,6 +144,17 @@ class TimeWeightedLevel {
   }
 
   double current() const { return level_; }
+
+  void save(ckpt::Writer& w) const {
+    w.i64(lastTick_);
+    w.f64(level_);
+    w.f64(weightedSum_);
+  }
+  void load(ckpt::Reader& r) {
+    lastTick_ = r.i64();
+    level_ = r.f64();
+    weightedSum_ = r.f64();
+  }
 
  private:
   Tick lastTick_ = 0;

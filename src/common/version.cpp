@@ -1,0 +1,16 @@
+#include "common/version.hpp"
+
+namespace mb {
+
+std::string versionString() {
+  return std::string("microbank ") + kMbVersion + " (formats: MBTRACE1 v" +
+         std::to_string(kMbTraceFormatVersion) + ", MBCMDT1 v" +
+         std::to_string(kMbCmdTraceFormatVersion) + ", MBCKPT1 v" +
+         std::to_string(kMbCkptFormatVersion) + ")";
+}
+
+std::string versionBanner(const std::string& tool) {
+  return tool + " — " + versionString() + "\n";
+}
+
+}  // namespace mb

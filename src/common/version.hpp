@@ -1,0 +1,28 @@
+// Build / format version identity shared by every CLI tool.
+//
+// The binary format versions are re-declared here (single integers) so one
+// `--version` banner and one JSON "tool" field can report them without
+// dragging the trace / command-log / checkpoint headers into every tool.
+// Each owning module static_asserts its own constant against these, so the
+// banner cannot silently drift from the formats actually written.
+#pragma once
+
+#include <string>
+
+namespace mb {
+
+/// Semantic version of the simulator itself (bumped per feature PR).
+inline constexpr const char* kMbVersion = "0.4.0";
+
+inline constexpr unsigned kMbTraceFormatVersion = 1;    // MBTRACE1
+inline constexpr unsigned kMbCmdTraceFormatVersion = 1; // MBCMDT1
+inline constexpr unsigned kMbCkptFormatVersion = 1;     // MBCKPT1
+
+/// "microbank 0.4.0 (formats: MBTRACE1 v1, MBCMDT1 v1, MBCKPT1 v1)" — the
+/// string embedded in snapshot headers and JSON outputs.
+std::string versionString();
+
+/// Full `--version` banner for a named tool, newline-terminated.
+std::string versionBanner(const std::string& tool);
+
+}  // namespace mb

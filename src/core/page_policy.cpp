@@ -80,4 +80,26 @@ void TournamentPolicy::onAccess(std::int64_t flatUbank, bool rowHit) {
   global_.onAccess(flatUbank, rowHit);
 }
 
+
+void TournamentPolicy::save(ckpt::Writer& w) const {
+  ckpt::saveMapSorted(w, scores_, [&](const Scores& sc) {
+    for (int c = 0; c < kNumCandidates; ++c) w.i32(sc.score[c]);
+  });
+  local_.save(w);
+  global_.save(w);
+}
+
+void TournamentPolicy::load(ckpt::Reader& r) {
+  scores_.clear();
+  const std::uint64_t n = r.count(8 + 4 * kNumCandidates);
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    const std::int64_t key = r.i64();
+    Scores sc;
+    for (int c = 0; c < kNumCandidates; ++c) sc.score[c] = r.i32();
+    scores_.emplace(key, sc);
+  }
+  local_.load(r);
+  global_.load(r);
+}
+
 }  // namespace mb::core

@@ -22,6 +22,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "ckpt/serialize.hpp"
 #include "common/types.hpp"
 
 namespace mb::core {
@@ -58,6 +59,8 @@ class TwoBitCounter {
     }
   }
   int state() const { return state_; }
+  /// Checkpoint restore; out-of-range values clamp to the nearest state.
+  void setState(int s) { state_ = s < 0 ? 0 : (s > 3 ? 3 : s); }
 
  private:
   int state_ = 1;  // weakly open: matches an open-page default before history
@@ -87,6 +90,11 @@ class PagePolicy {
 
   virtual PolicyKind kind() const = 0;
   std::string name() const { return policyKindName(kind()); }
+
+  /// Serializable protocol. Open/Close/Perfect are stateless; the
+  /// predictive policies serialize their counter maps sorted by key.
+  virtual void save(ckpt::Writer&) const {}
+  virtual void load(ckpt::Reader&) {}
 };
 
 /// Factory for every policy the paper evaluates.
@@ -125,6 +133,18 @@ class MinimalistOpenPolicy final : public PagePolicy {
 
   PolicyKind kind() const override { return PolicyKind::MinimalistOpen; }
 
+  void save(ckpt::Writer& w) const override {
+    ckpt::saveMapSorted(w, hitsSinceAct_, [&](int hits) { w.i32(hits); });
+  }
+  void load(ckpt::Reader& r) override {
+    hitsSinceAct_.clear();
+    const std::uint64_t n = r.count(12);
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+      const std::int64_t key = r.i64();
+      hitsSinceAct_.emplace(key, r.i32());
+    }
+  }
+
  private:
   int hitBudget_;
   std::unordered_map<std::int64_t, int> hitsSinceAct_;
@@ -142,6 +162,19 @@ class LocalBimodalPolicy final : public PagePolicy {
   }
   PolicyKind kind() const override { return PolicyKind::LocalBimodal; }
 
+  void save(ckpt::Writer& w) const override {
+    ckpt::saveMapSorted(w, counters_,
+                        [&](const TwoBitCounter& c) { w.i32(c.state()); });
+  }
+  void load(ckpt::Reader& r) override {
+    counters_.clear();
+    const std::uint64_t n = r.count(12);
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+      const std::int64_t key = r.i64();
+      counters_[key].setState(r.i32());
+    }
+  }
+
  private:
   std::unordered_map<std::int64_t, TwoBitCounter> counters_;
 };
@@ -157,6 +190,19 @@ class GlobalBimodalPolicy final : public PagePolicy {
     counters_[thread].train(sameRow);
   }
   PolicyKind kind() const override { return PolicyKind::GlobalBimodal; }
+
+  void save(ckpt::Writer& w) const override {
+    ckpt::saveMapSorted(w, counters_,
+                        [&](const TwoBitCounter& c) { w.i32(c.state()); });
+  }
+  void load(ckpt::Reader& r) override {
+    counters_.clear();
+    const std::uint64_t n = r.count(12);
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+      const ThreadId key = static_cast<ThreadId>(r.i64());
+      counters_[key].setState(r.i32());
+    }
+  }
 
  private:
   std::unordered_map<ThreadId, TwoBitCounter> counters_;
@@ -175,6 +221,9 @@ class TournamentPolicy final : public PagePolicy {
 
   /// Index of the currently winning candidate for a μbank (for tests).
   int bestCandidate(std::int64_t flatUbank) const;
+
+  void save(ckpt::Writer& w) const override;
+  void load(ckpt::Reader& r) override;
 
  private:
   static constexpr int kNumCandidates = 4;  // open, close, local, global

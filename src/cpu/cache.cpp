@@ -90,4 +90,36 @@ std::int64_t Cache::validLineCount() const {
   return n;
 }
 
+
+void Cache::save(ckpt::Writer& w) const {
+  w.u64(lines_.size());
+  for (const auto& ln : lines_) {
+    w.u64(ln.tag);
+    w.u8(static_cast<std::uint8_t>(ln.state));
+    w.u64(ln.lruStamp);
+    w.b(ln.prefetched);
+  }
+  w.u64(lruCounter_);
+}
+
+void Cache::load(ckpt::Reader& r) {
+  const std::uint64_t n = r.count(18);
+  if (n != lines_.size()) {
+    r.fail();
+    return;
+  }
+  for (auto& ln : lines_) {
+    ln.tag = r.u64();
+    const std::uint8_t st = r.u8();
+    if (st > static_cast<std::uint8_t>(LineState::Modified)) {
+      r.fail();
+      return;
+    }
+    ln.state = static_cast<LineState>(st);
+    ln.lruStamp = r.u64();
+    ln.prefetched = r.b();
+  }
+  lruCounter_ = r.u64();
+}
+
 }  // namespace mb::cpu

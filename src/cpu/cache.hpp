@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/serialize.hpp"
 #include "common/check.hpp"
 #include "common/types.hpp"
 
@@ -54,6 +55,11 @@ class Cache {
   }
   /// Count of non-invalid lines (for tests).
   std::int64_t validLineCount() const;
+
+  /// Serializable protocol: tag/state/LRU for every way (geometry is a
+  /// construction parameter; a line-count mismatch fails the reader).
+  void save(ckpt::Writer& w) const;
+  void load(ckpt::Reader& r);
 
  private:
   std::uint64_t tagOf(std::uint64_t addr) const { return addr >> (setBits_ + lineBits_); }

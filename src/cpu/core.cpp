@@ -16,7 +16,8 @@ RobCore::RobCore(CoreId id, const CoreParams& params, trace::TraceSource& trace,
 
 void RobCore::start() {
   stepScheduled_ = true;
-  eq_.scheduleAt(eq_.now(), [this] {
+  stepAt_ = eq_.now();
+  stepSeq_ = eq_.scheduleAt(stepAt_, [this] {
     stepScheduled_ = false;
     step();
   });
@@ -91,13 +92,12 @@ bool RobCore::dispatchMemOp() {
     // hierarchy handles the fill/ownership traffic asynchronously, but a
     // bounded number of fetch-for-ownership misses may be in flight.
     ring_[slot] = Slot{d + p_.cyclePs, false};
-    auto result =
-        hier_.access(id_, cur_.addr, true, d, [this](Tick) { onStoreDrained(); });
+    auto result = hier_.access(id_, cur_.addr, true, d, makeMemCallback(-1), -1);
     if (!result.immediate) ++outstandingStores_;
   } else {
-    auto result = hier_.access(
-        id_, cur_.addr, false, d,
-        [this, slot](Tick when) { onMemResponse(static_cast<int>(slot), when); });
+    auto result = hier_.access(id_, cur_.addr, false, d,
+                               makeMemCallback(static_cast<int>(slot)),
+                               static_cast<int>(slot));
     if (result.immediate) {
       ring_[slot] = Slot{d + result.latency, false};
       lastLoadPending_ = false;
@@ -137,7 +137,8 @@ void RobCore::step() {
     if (dispatchClock_ > eq_.now() + p_.runAheadQuantum) {
       if (!stepScheduled_) {
         stepScheduled_ = true;
-        eq_.scheduleAt(dispatchClock_, [this] {
+        stepAt_ = dispatchClock_;
+        stepSeq_ = eq_.scheduleAt(stepAt_, [this] {
           stepScheduled_ = false;
           step();
         });
@@ -175,6 +176,91 @@ void RobCore::onMemResponse(int slot, Tick when) {
     wait_ = WaitKind::None;
     step();
   }
+}
+
+std::function<void(Tick)> RobCore::makeMemCallback(int tag) {
+  if (tag < 0) return [this](Tick) { onStoreDrained(); };
+  return [this, tag](Tick when) { onMemResponse(tag, when); };
+}
+
+void RobCore::save(ckpt::Writer& w) const {
+  w.u64(ring_.size());
+  for (const auto& s : ring_) {
+    w.i64(s.completion);
+    w.b(s.pending);
+  }
+  w.u64(idx_);
+  w.i64(dispatchClock_);
+  w.i32(outstandingLoads_);
+  w.i32(outstandingStores_);
+  w.i32(pendingSlots_);
+  w.i32(lastLoadSlot_);
+  w.i64(lastLoadCompletion_);
+  w.b(lastLoadPending_);
+  w.u8(static_cast<std::uint8_t>(wait_));
+  w.i32(waitSlot_);
+  w.u32(cur_.gapInstrs);
+  w.u64(cur_.addr);
+  w.b(cur_.write);
+  w.b(cur_.dependent);
+  w.b(haveCur_);
+  w.u32(gapLeft_);
+  w.i64(recordsDone_);
+  w.i64(instrsRetired_);
+  w.b(budgetReached_);
+  w.b(stepScheduled_);
+  w.i64(stepAt_);
+  w.u64(stepSeq_);
+  w.i64(budgetTick_);
+}
+
+void RobCore::load(ckpt::Reader& r) {
+  if (r.u64() != ring_.size()) {
+    r.fail();
+    return;
+  }
+  for (auto& s : ring_) {
+    s.completion = r.i64();
+    s.pending = r.b();
+  }
+  idx_ = r.u64();
+  dispatchClock_ = r.i64();
+  outstandingLoads_ = r.i32();
+  outstandingStores_ = r.i32();
+  pendingSlots_ = r.i32();
+  lastLoadSlot_ = r.i32();
+  lastLoadCompletion_ = r.i64();
+  lastLoadPending_ = r.b();
+  const std::uint8_t wait = r.u8();
+  if (wait > static_cast<std::uint8_t>(WaitKind::StoreBuffer)) {
+    r.fail();
+    return;
+  }
+  wait_ = static_cast<WaitKind>(wait);
+  waitSlot_ = r.i32();
+  cur_.gapInstrs = r.u32();
+  cur_.addr = r.u64();
+  cur_.write = r.b();
+  cur_.dependent = r.b();
+  haveCur_ = r.b();
+  gapLeft_ = r.u32();
+  recordsDone_ = r.i64();
+  instrsRetired_ = r.i64();
+  budgetReached_ = r.b();
+  stepScheduled_ = r.b();
+  stepAt_ = r.i64();
+  stepSeq_ = r.u64();
+  budgetTick_ = r.i64();
+}
+
+void RobCore::reschedule(ckpt::EventRestorer& er) {
+  if (!stepScheduled_) return;
+  er.add(stepSeq_, [this] {
+    stepSeq_ = eq_.scheduleAt(stepAt_, [this] {
+      stepScheduled_ = false;
+      step();
+    });
+  });
 }
 
 }  // namespace mb::cpu

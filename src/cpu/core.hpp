@@ -22,6 +22,8 @@
 #include <functional>
 #include <vector>
 
+#include "ckpt/restore.hpp"
+#include "ckpt/serialize.hpp"
 #include "common/event_queue.hpp"
 #include "common/types.hpp"
 #include "cpu/hierarchy.hpp"
@@ -65,6 +67,18 @@ class RobCore {
 
   /// Invoked once when the core retires its final instruction.
   void setOnDone(std::function<void()> fn) { onDone_ = std::move(fn); }
+
+  /// The memory-completion callback this core attaches to a hierarchy
+  /// access: `tag` >= 0 names the ROB slot of a load, -1 a store drain.
+  /// Exposed so a restored snapshot can rebuild pending-waiter callbacks.
+  std::function<void(Tick)> makeMemCallback(int tag);
+
+  /// Serializable protocol (the full execution state of the core; the
+  /// attached trace source is serialized separately by the system).
+  void save(ckpt::Writer& w) const;
+  void load(ckpt::Reader& r);
+  /// Re-arm the pending step event (if one was outstanding) after load().
+  void reschedule(ckpt::EventRestorer& er);
 
  private:
   enum class WaitKind { None, RobSlot, Dependence, Mshr, StoreBuffer };
@@ -110,6 +124,8 @@ class RobCore {
   std::int64_t instrsRetired_ = 0;
   bool budgetReached_ = false;
   bool stepScheduled_ = false;
+  Tick stepAt_ = 0;           // tick of the outstanding step event
+  std::uint64_t stepSeq_ = 0; // its event-queue sequence (for restore order)
   Tick budgetTick_ = 0;
   std::function<void()> onDone_;
 };

@@ -107,40 +107,77 @@ int MemoryHierarchy::homeCluster(std::uint64_t lineAddr) const {
 
 void MemoryHierarchy::postDramWrite(std::uint64_t lineAddr, CoreId core, Tick at) {
   ++stats_.dramWrites;
-  const int ch = mcs_.front()->addressMap().decompose(lineAddr).channel;
-  MB_CHECK(ch >= 0 && static_cast<size_t>(ch) < mcs_.size());
-  mc::MemRequest req;
-  req.addr = lineAddr;
-  req.write = true;
-  req.core = core;
-  req.thread = core;
+  if (functional_) return;  // warmup: writebacks are counted, not modelled
   const Tick when = std::max(at, eq_.now());
-  eq_.scheduleAt(when, [this, ch, req]() mutable { mcs_[static_cast<size_t>(ch)]->enqueue(std::move(req)); });
+  trackTransit(Transit::Kind::EnqWrite, when, lineAddr, core);
 }
 
-void MemoryHierarchy::requestDramRead(std::uint64_t lineAddr, CoreId core, Tick at) {
-  ++stats_.dramReads;
-  const int ch = mcs_.front()->addressMap().decompose(lineAddr).channel;
-  MB_CHECK(ch >= 0 && static_cast<size_t>(ch) < mcs_.size());
+std::function<void(Tick)> MemoryHierarchy::makeReadCompletion(std::uint64_t lineAddr,
+                                                              CoreId core) {
   const int cluster = clusterOf(core);
-  mc::MemRequest req;
-  req.addr = lineAddr;
-  req.write = false;
-  req.core = core;
-  req.thread = core;
-  req.onComplete = [this, lineAddr, cluster](Tick dataTick) {
+  return [this, lineAddr, cluster](Tick dataTick) {
     // Response link hop (zero for parallel interfaces).
     if (cfg_.memLinkLatency > 0) {
-      eq_.scheduleAt(dataTick + cfg_.memLinkLatency,
-                     [this, lineAddr, cluster] {
-                       onDramData(lineAddr, cluster, eq_.now());
-                     });
+      trackTransit(Transit::Kind::Hop, dataTick + cfg_.memLinkLatency, lineAddr,
+                   cluster);
     } else {
       onDramData(lineAddr, cluster, dataTick);
     }
   };
+}
+
+void MemoryHierarchy::requestDramRead(std::uint64_t lineAddr, CoreId core, Tick at) {
+  ++stats_.dramReads;
+  if (functional_) {
+    // Warmup: the line appears instantly; cache/directory state evolves
+    // exactly as in a timed run but independent of every memory-side knob.
+    onDramData(lineAddr, clusterOf(core), std::max(at, eq_.now()));
+    return;
+  }
   const Tick when = std::max(at, eq_.now()) + cfg_.memLinkLatency;
-  eq_.scheduleAt(when, [this, ch, req]() mutable { mcs_[static_cast<size_t>(ch)]->enqueue(std::move(req)); });
+  trackTransit(Transit::Kind::EnqRead, when, lineAddr, core);
+}
+
+void MemoryHierarchy::trackTransit(Transit::Kind kind, Tick due,
+                                   std::uint64_t lineAddr, int core) {
+  const std::uint64_t token = nextTransitToken_++;
+  auto& t = transits_[token];
+  t.kind = kind;
+  t.due = due;
+  t.lineAddr = lineAddr;
+  t.core = core;
+  t.seq = eq_.scheduleAt(due, [this, token] { fireTransit(token); });
+}
+
+void MemoryHierarchy::fireTransit(std::uint64_t token) {
+  auto it = transits_.find(token);
+  MB_CHECK(it != transits_.end());
+  const Transit t = it->second;
+  transits_.erase(it);
+  switch (t.kind) {
+    case Transit::Kind::EnqWrite:
+    case Transit::Kind::EnqRead: {
+      const int ch = mcs_.front()->addressMap().decompose(t.lineAddr).channel;
+      MB_CHECK(ch >= 0 && static_cast<size_t>(ch) < mcs_.size());
+      mc::MemRequest req;
+      req.addr = t.lineAddr;
+      req.write = t.kind == Transit::Kind::EnqWrite;
+      req.core = t.core;
+      req.thread = t.core;
+      if (!req.write) req.onComplete = makeReadCompletion(t.lineAddr, t.core);
+      mcs_[static_cast<size_t>(ch)]->enqueue(std::move(req));
+      break;
+    }
+    case Transit::Kind::Hop:
+      // `core` holds the destination cluster for response hops.
+      onDramData(t.lineAddr, t.core, eq_.now());
+      break;
+  }
+}
+
+void MemoryHierarchy::warmAccess(CoreId core, std::uint64_t addr, bool write) {
+  MB_CHECK(functional_);
+  access(core, addr, write, 0, nullptr);
 }
 
 void MemoryHierarchy::invalidateClusterL1s(int cluster, std::uint64_t lineAddr,
@@ -236,7 +273,8 @@ void MemoryHierarchy::onDramData(std::uint64_t lineAddr, int cluster, Tick dataT
 
 MemoryHierarchy::AccessResult MemoryHierarchy::access(CoreId core, std::uint64_t addr,
                                                       bool write, Tick at,
-                                                      std::function<void(Tick)> onDone) {
+                                                      std::function<void(Tick)> onDone,
+                                                      int tag) {
   ++stats_.accesses;
   const std::uint64_t lineAddr = l1s_.front()->lineBase(addr);
   const int cluster = clusterOf(core);
@@ -288,10 +326,10 @@ MemoryHierarchy::AccessResult MemoryHierarchy::access(CoreId core, std::uint64_t
       ++stats_.prefetchUseful;
     }
     if (write && !onDone) {
-      it->second.waiters.push_back(Waiter{core, true, nullptr});
+      it->second.waiters.push_back(Waiter{core, true, nullptr, -1});
       return {true, l1Lat};  // fully posted store (no buffer accounting)
     }
-    it->second.waiters.push_back(Waiter{core, write, std::move(onDone)});
+    it->second.waiters.push_back(Waiter{core, write, std::move(onDone), tag});
     return {false, 0};
   }
 
@@ -425,15 +463,180 @@ MemoryHierarchy::AccessResult MemoryHierarchy::access(CoreId core, std::uint64_t
   PendingFill fill;
   fill.anyWrite = write;
   if (write && !onDone) {
-    fill.waiters.push_back(Waiter{core, true, nullptr});
+    fill.waiters.push_back(Waiter{core, true, nullptr, -1});
     pending_.emplace(key, std::move(fill));
     requestDramRead(lineAddr, core, at);  // fetch-for-ownership
     return {true, l1Lat};                 // fully posted store
   }
-  fill.waiters.push_back(Waiter{core, write, std::move(onDone)});
+  fill.waiters.push_back(Waiter{core, write, std::move(onDone), tag});
   pending_.emplace(key, std::move(fill));
   requestDramRead(lineAddr, core, at);
   return {false, 0};
+}
+
+void MemoryHierarchy::save(ckpt::Writer& w) const {
+  w.u64(l1s_.size());
+  for (const auto& c : l1s_) c->save(w);
+  w.u64(l2s_.size());
+  for (const auto& c : l2s_) c->save(w);
+
+  ckpt::saveMapSorted(w, directory_, [&](const DirEntry& e) {
+    w.u32(e.sharers);
+    w.i32(e.owner);
+  });
+  ckpt::saveMapSorted(w, pending_, [&](const PendingFill& f) {
+    w.b(f.anyWrite);
+    w.b(f.prefetch);
+    w.u64(f.waiters.size());
+    for (const auto& wt : f.waiters) {
+      w.i32(wt.core);
+      w.b(wt.write);
+      w.i32(wt.tag);
+      w.b(static_cast<bool>(wt.onDone));
+    }
+  });
+
+  w.u64(prefetchTables_.size());
+  for (const auto& table : prefetchTables_) {
+    w.u64(table.size());
+    for (const auto& e : table) {
+      w.u64(e.lastLine);
+      w.i64(e.stride);
+      w.i32(e.confidence);
+      w.u64(e.lastUse);
+      w.b(e.valid);
+    }
+  }
+  w.u64(prefetchClock_);
+
+  w.u64(transits_.size());
+  for (const auto& [token, t] : transits_) {
+    w.u64(token);
+    w.u8(static_cast<std::uint8_t>(t.kind));
+    w.u64(t.seq);
+    w.i64(t.due);
+    w.u64(t.lineAddr);
+    w.i32(t.core);
+  }
+  w.u64(nextTransitToken_);
+
+  w.i64(stats_.accesses);
+  w.i64(stats_.l1Hits);
+  w.i64(stats_.l2Hits);
+  w.i64(stats_.dramReads);
+  w.i64(stats_.dramWrites);
+  w.i64(stats_.c2cTransfers);
+  w.i64(stats_.invalidations);
+  w.i64(stats_.upgrades);
+  w.i64(stats_.prefetchIssued);
+  w.i64(stats_.prefetchUseful);
+}
+
+void MemoryHierarchy::load(ckpt::Reader& r) {
+  if (r.u64() != l1s_.size()) {
+    r.fail();
+    return;
+  }
+  for (auto& c : l1s_) c->load(r);
+  if (r.u64() != l2s_.size()) {
+    r.fail();
+    return;
+  }
+  for (auto& c : l2s_) c->load(r);
+
+  directory_.clear();
+  const std::uint64_t nDir = r.count(16);
+  for (std::uint64_t i = 0; i < nDir && r.ok(); ++i) {
+    const auto key = static_cast<std::uint64_t>(r.i64());
+    DirEntry e;
+    e.sharers = r.u32();
+    e.owner = r.i32();
+    directory_.emplace(key, e);
+  }
+  pending_.clear();
+  const std::uint64_t nPend = r.count(18);
+  for (std::uint64_t i = 0; i < nPend && r.ok(); ++i) {
+    const auto key = static_cast<std::uint64_t>(r.i64());
+    PendingFill f;
+    f.anyWrite = r.b();
+    f.prefetch = r.b();
+    const std::uint64_t nWait = r.count(10);
+    for (std::uint64_t j = 0; j < nWait && r.ok(); ++j) {
+      Waiter wt;
+      wt.core = r.i32();
+      wt.write = r.b();
+      wt.tag = r.i32();
+      const bool hasCb = r.b();
+      if (hasCb) {
+        if (!waiterResolver) {
+          r.fail();
+          return;
+        }
+        wt.onDone = waiterResolver(wt.core, wt.tag);
+      }
+      f.waiters.push_back(std::move(wt));
+    }
+    pending_.emplace(key, std::move(f));
+  }
+
+  if (r.u64() != prefetchTables_.size()) {
+    r.fail();
+    return;
+  }
+  for (auto& table : prefetchTables_) {
+    if (r.u64() != table.size()) {
+      r.fail();
+      return;
+    }
+    for (auto& e : table) {
+      e.lastLine = r.u64();
+      e.stride = r.i64();
+      e.confidence = r.i32();
+      e.lastUse = r.u64();
+      e.valid = r.b();
+    }
+  }
+  prefetchClock_ = r.u64();
+
+  transits_.clear();
+  const std::uint64_t nTransit = r.count(37);
+  for (std::uint64_t i = 0; i < nTransit && r.ok(); ++i) {
+    const std::uint64_t token = r.u64();
+    Transit t;
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(Transit::Kind::Hop)) {
+      r.fail();
+      return;
+    }
+    t.kind = static_cast<Transit::Kind>(kind);
+    t.seq = r.u64();
+    t.due = r.i64();
+    t.lineAddr = r.u64();
+    t.core = r.i32();
+    transits_.emplace(token, t);
+  }
+  nextTransitToken_ = r.u64();
+
+  stats_.accesses = r.i64();
+  stats_.l1Hits = r.i64();
+  stats_.l2Hits = r.i64();
+  stats_.dramReads = r.i64();
+  stats_.dramWrites = r.i64();
+  stats_.c2cTransfers = r.i64();
+  stats_.invalidations = r.i64();
+  stats_.upgrades = r.i64();
+  stats_.prefetchIssued = r.i64();
+  stats_.prefetchUseful = r.i64();
+}
+
+void MemoryHierarchy::reschedule(ckpt::EventRestorer& er) {
+  for (const auto& [token, t] : transits_) {
+    const std::uint64_t tok = token;
+    er.add(t.seq, [this, tok] {
+      auto& tr = transits_[tok];
+      tr.seq = eq_.scheduleAt(tr.due, [this, tok] { fireTransit(tok); });
+    });
+  }
 }
 
 }  // namespace mb::cpu

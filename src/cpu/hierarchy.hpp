@@ -16,10 +16,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "ckpt/restore.hpp"
+#include "ckpt/serialize.hpp"
 #include "common/event_queue.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -95,11 +98,43 @@ class MemoryHierarchy {
   /// If the access completes without DRAM involvement, returns
   /// {immediate = true, latency}; otherwise `onDone(tick)` fires when the
   /// data reaches the core. `onDone` may be empty for posted stores.
+  /// `tag` identifies the waiting consumer for checkpointing (a core's ROB
+  /// slot for loads, -1 for store-drain callbacks); it travels with the
+  /// waiter so a restored snapshot can rebuild the callback.
   AccessResult access(CoreId core, std::uint64_t addr, bool write, Tick at,
-                      std::function<void(Tick)> onDone);
+                      std::function<void(Tick)> onDone, int tag = -1);
 
   const HierarchyStats& stats() const { return stats_; }
   const HierarchyConfig& config() const { return cfg_; }
+
+  /// Functional-warmup mode: accesses update cache/directory/prefetcher
+  /// state synchronously with zero latency and never touch the memory
+  /// controllers or the event queue (DRAM reads install instantly, dirty
+  /// writebacks are dropped and only counted). Used to warm caches before
+  /// measurement; a warmup snapshot taken in this mode is independent of
+  /// every memory-side parameter.
+  void setFunctionalMode(bool on) { functional_ = on; }
+  bool functionalMode() const { return functional_; }
+  /// Convenience wrapper for warmup traffic (functional mode must be on).
+  void warmAccess(CoreId core, std::uint64_t addr, bool write);
+  /// Zero the access counters (after warmup, before measurement).
+  void resetStats() { stats_ = HierarchyStats{}; }
+
+  /// The callback a restored MC uses to deliver read data back into the
+  /// hierarchy (the same closure requestDramRead would have attached).
+  std::function<void(Tick)> makeReadCompletion(std::uint64_t lineAddr, CoreId core);
+
+  /// Rebuilds a waiter's onDone callback on restore from (core, tag); wired
+  /// to RobCore::makeMemCallback by the system. Must be set before load()
+  /// when the snapshot carries pending fills with callbacks.
+  std::function<std::function<void(Tick)>(CoreId core, int tag)> waiterResolver;
+
+  /// Serializable protocol (caches, directory, pending fills, prefetcher,
+  /// in-flight hierarchy<->MC transits, stats).
+  void save(ckpt::Writer& w) const;
+  void load(ckpt::Reader& r);
+  /// Re-arm in-flight transit events after load().
+  void reschedule(ckpt::EventRestorer& er);
 
  private:
   struct DirEntry {
@@ -110,11 +145,26 @@ class MemoryHierarchy {
     CoreId core;
     bool write;
     std::function<void(Tick)> onDone;
+    int tag = -1;  // consumer id for checkpoint restore (see access())
   };
   struct PendingFill {
     std::vector<Waiter> waiters;
     bool anyWrite = false;
     bool prefetch = false;  // no waiters; fills the L2 only
+  };
+  /// One in-flight event between the hierarchy and the memory controllers,
+  /// reified so checkpoints can capture it: a request travelling to an MC
+  /// enqueue (write-back or read), or a read response hopping back across
+  /// the memory link. The event-queue closure captures only the token; the
+  /// payload lives here and is rebuilt at fire time.
+  struct Transit {
+    enum class Kind : std::uint8_t { EnqWrite = 0, EnqRead = 1, Hop = 2 };
+    Kind kind = Kind::EnqWrite;
+    std::uint64_t seq = 0;  // event-queue sequence (for restore ordering)
+    Tick due = 0;
+    std::uint64_t lineAddr = 0;
+    // Requesting core for Enq*; destination cluster for Hop.
+    int core = 0;
   };
 
   int clusterOf(CoreId core) const { return core / cfg_.coresPerCluster; }
@@ -126,6 +176,9 @@ class MemoryHierarchy {
 
   void postDramWrite(std::uint64_t lineAddr, CoreId core, Tick at);
   void requestDramRead(std::uint64_t lineAddr, CoreId core, Tick at);
+  /// Register + schedule a reified hierarchy<->MC event (see Transit).
+  void trackTransit(Transit::Kind kind, Tick due, std::uint64_t lineAddr, int core);
+  void fireTransit(std::uint64_t token);
   /// Stride detection on the L1-miss stream; may issue prefetch fills.
   void trainPrefetcher(CoreId core, std::uint64_t lineAddr, Tick at);
   void issuePrefetch(CoreId core, std::uint64_t lineAddr, Tick at);
@@ -155,6 +208,10 @@ class MemoryHierarchy {
   };
   std::vector<std::vector<StreamEntry>> prefetchTables_;  // per core
   std::uint64_t prefetchClock_ = 0;
+
+  std::map<std::uint64_t, Transit> transits_;  // keyed by token
+  std::uint64_t nextTransitToken_ = 0;
+  bool functional_ = false;
 
   HierarchyStats stats_;
 

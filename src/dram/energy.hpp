@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "ckpt/serialize.hpp"
 #include "common/types.hpp"
 #include "dram/geometry.hpp"
 
@@ -98,6 +99,25 @@ class EnergyMeter {
   std::int64_t refreshes() const { return refreshes_; }
 
   const EnergyParams& params() const { return params_; }
+
+  void save(ckpt::Writer& w) const {
+    w.f64(actPre_);
+    w.f64(rdwr_);
+    w.f64(io_);
+    w.f64(staticE_);
+    w.i64(activations_);
+    w.i64(casOps_);
+    w.i64(refreshes_);
+  }
+  void load(ckpt::Reader& r) {
+    actPre_ = r.f64();
+    rdwr_ = r.f64();
+    io_ = r.f64();
+    staticE_ = r.f64();
+    activations_ = r.i64();
+    casOps_ = r.i64();
+    refreshes_ = r.i64();
+  }
 
  private:
   EnergyParams params_;

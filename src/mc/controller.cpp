@@ -83,9 +83,8 @@ void MemoryController::enqueue(MemRequest req) {
       if (w->req.addr == req.addr) {
         forwarded_.inc();
         if (req.onComplete) {
-          auto cb = std::move(req.onComplete);
           const Tick done = eq_.now() + channel_.timing().tCMD;
-          eq_.scheduleAt(done, [cb = std::move(cb), done] { cb(done); });
+          scheduleCompletion(std::move(req.onComplete), done, req.addr, req.core);
         }
         return;
       }
@@ -251,8 +250,8 @@ void MemoryController::onRequestServiced(Pending& p, Tick dataEnd) {
   if (!p.req.write) {
     readLatencyNs_.add(toNs(dataEnd - p.req.arrival));
     if (p.req.onComplete) {
-      auto cb = std::move(p.req.onComplete);
-      eq_.scheduleAt(dataEnd, [cb = std::move(cb), dataEnd] { cb(dataEnd); });
+      scheduleCompletion(std::move(p.req.onComplete), dataEnd, p.req.addr,
+                         p.req.core);
     }
   }
 
@@ -326,12 +325,42 @@ void MemoryController::refillVisibleWindow() {
 void MemoryController::scheduleKick(Tick at) {
   if (at >= nextKickAt_) return;
   nextKickAt_ = at;
-  eq_.scheduleAt(at, [this, at] {
+  armKick(at);
+}
+
+void MemoryController::armKick(Tick at) {
+  // At most one outstanding wake-up event per tick: if one already exists it
+  // will fire first among this tick's kick events anyway (earlier sequence)
+  // and perform the work; a duplicate would be a guaranteed no-op. Keeping
+  // the set deduplicated lets a checkpoint reify it exactly.
+  if (kickEvents_.count(at) != 0) return;
+  kickEvents_[at] = eq_.scheduleAt(at, [this, at] {
+    kickEvents_.erase(at);
     if (nextKickAt_ == at) {
       nextKickAt_ = kTickNever;
       kick();
     }
   });
+}
+
+void MemoryController::scheduleCompletion(std::function<void(Tick)> cb, Tick due,
+                                          std::uint64_t addr, CoreId core) {
+  const std::uint64_t token = nextCompletionToken_++;
+  auto& c = completions_[token];
+  c.due = due;
+  c.addr = addr;
+  c.core = core;
+  c.cb = std::move(cb);
+  c.seq = eq_.scheduleAt(due, [this, token] { fireCompletion(token); });
+}
+
+void MemoryController::fireCompletion(std::uint64_t token) {
+  auto it = completions_.find(token);
+  MB_CHECK(it != completions_.end());
+  auto cb = std::move(it->second.cb);
+  const Tick due = it->second.due;
+  completions_.erase(it);
+  cb(due);
 }
 
 void MemoryController::kick() {
@@ -431,6 +460,219 @@ ControllerStats MemoryController::stats() const {
 void MemoryController::finalize(Tick simEnd) {
   finalizedAt_ = simEnd;
   meter_.finalizeStatic(simEnd, geom_.ranksPerChannel);
+}
+
+void MemoryController::savePending(ckpt::Writer& w, const Pending& p) const {
+  w.u64(p.req.id);
+  w.u64(p.req.addr);
+  w.b(p.req.write);
+  w.i32(p.req.core);
+  w.i32(p.req.thread);
+  w.i64(p.req.arrival);
+  w.b(p.sawConflict);
+  w.b(p.sawAct);
+  w.b(static_cast<bool>(p.req.onComplete));
+}
+
+std::unique_ptr<MemoryController::Pending> MemoryController::loadPending(
+    ckpt::Reader& r) {
+  auto p = std::make_unique<Pending>();
+  p->req.id = r.u64();
+  p->req.addr = r.u64();
+  p->req.write = r.b();
+  p->req.core = r.i32();
+  p->req.thread = r.i32();
+  p->req.arrival = r.i64();
+  p->sawConflict = r.b();
+  p->sawAct = r.b();
+  const bool hasCb = r.b();
+  if (!r.ok()) return p;
+  p->req.da = map_.decompose(p->req.addr);
+  if (hasCb) {
+    if (!completionFactory) {
+      r.fail();
+      return p;
+    }
+    p->req.onComplete = completionFactory(p->req.addr, p->req.core);
+  }
+  return p;
+}
+
+void MemoryController::save(ckpt::Writer& w) const {
+  channel_.save(w);
+  meter_.save(w);
+  scheduler_->save(w);
+  policy_->save(w);
+  w.b(checker_.has_value());
+  if (checker_) checker_->save(w);
+
+  auto saveQueue = [&](const auto& q) {
+    w.u64(q.size());
+    for (const auto& p : q) savePending(w, *p);
+  };
+  saveQueue(readQ_);
+  saveQueue(overflowQ_);
+  saveQueue(writeQ_);
+  w.b(drainingWrites_);
+
+  w.u64(pendingCloses_.size());
+  for (const auto& [flat, da] : pendingCloses_) {
+    w.i64(flat);
+    w.i32(da.channel);
+    w.i32(da.rank);
+    w.i32(da.bank);
+    w.i32(da.ubank);
+    w.i64(da.row);
+    w.i64(da.column);
+  }
+  ckpt::saveMapSorted(w, speculations_, [&](const Speculation& s) {
+    w.u8(static_cast<std::uint8_t>(s.decision));
+    w.i64(s.row);
+    w.i32(s.thread);
+  });
+
+  w.i64(nextKickAt_);
+  w.u64(kickEvents_.size());
+  for (const auto& [at, seq] : kickEvents_) {
+    w.i64(at);
+    w.u64(seq);
+  }
+  w.u64(nextRequestId_);
+  w.u64(nextCompletionToken_);
+  w.u64(completions_.size());
+  for (const auto& [token, c] : completions_) {
+    w.u64(token);
+    w.u64(c.seq);
+    w.i64(c.due);
+    w.u64(c.addr);
+    w.i32(c.core);
+  }
+
+  reads_.save(w);
+  writes_.save(w);
+  rowHits_.save(w);
+  rowMisses_.save(w);
+  rowConflicts_.save(w);
+  forwarded_.save(w);
+  specDecisions_.save(w);
+  specCorrect_.save(w);
+  readLatencyNs_.save(w);
+  queueOcc_.save(w);
+  w.i64(finalizedAt_);
+}
+
+void MemoryController::load(ckpt::Reader& r) {
+  channel_.load(r);
+  meter_.load(r);
+  scheduler_->load(r);
+  policy_->load(r);
+  const bool hadChecker = r.b();
+  if (hadChecker != checker_.has_value()) {
+    r.fail();
+    return;
+  }
+  if (checker_) checker_->load(r);
+
+  auto loadQueue = [&](auto& q) {
+    q.clear();
+    const std::uint64_t n = r.count(28);
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) q.push_back(loadPending(r));
+    if (!r.ok()) q.clear();
+  };
+  loadQueue(readQ_);
+  loadQueue(overflowQ_);
+  loadQueue(writeQ_);
+  drainingWrites_ = r.b();
+
+  pendingCloses_.clear();
+  const std::uint64_t nCloses = r.count(32);
+  for (std::uint64_t i = 0; i < nCloses && r.ok(); ++i) {
+    const std::int64_t flat = r.i64();
+    core::DramAddress da;
+    da.channel = r.i32();
+    da.rank = r.i32();
+    da.bank = r.i32();
+    da.ubank = r.i32();
+    da.row = r.i64();
+    da.column = r.i64();
+    pendingCloses_.emplace(flat, da);
+  }
+  speculations_.clear();
+  const std::uint64_t nSpecs = r.count(21);
+  for (std::uint64_t i = 0; i < nSpecs && r.ok(); ++i) {
+    const std::int64_t flat = r.i64();
+    const std::uint8_t decision = r.u8();
+    if (decision > static_cast<std::uint8_t>(core::PageDecision::Lazy)) {
+      r.fail();
+      return;
+    }
+    Speculation s;
+    s.decision = static_cast<core::PageDecision>(decision);
+    s.row = r.i64();
+    s.thread = r.i32();
+    speculations_.emplace(flat, s);
+  }
+
+  nextKickAt_ = r.i64();
+  kickEvents_.clear();
+  const std::uint64_t nKicks = r.count(16);
+  for (std::uint64_t i = 0; i < nKicks && r.ok(); ++i) {
+    const Tick at = r.i64();
+    kickEvents_.emplace(at, r.u64());
+  }
+  nextRequestId_ = r.u64();
+  nextCompletionToken_ = r.u64();
+  completions_.clear();
+  const std::uint64_t nCompl = r.count(36);
+  for (std::uint64_t i = 0; i < nCompl && r.ok(); ++i) {
+    const std::uint64_t token = r.u64();
+    InflightCompletion c;
+    c.seq = r.u64();
+    c.due = r.i64();
+    c.addr = r.u64();
+    c.core = r.i32();
+    if (!r.ok()) break;
+    if (!completionFactory) {
+      r.fail();
+      return;
+    }
+    c.cb = completionFactory(c.addr, c.core);
+    completions_.emplace(token, std::move(c));
+  }
+
+  reads_.load(r);
+  writes_.load(r);
+  rowHits_.load(r);
+  rowMisses_.load(r);
+  rowConflicts_.load(r);
+  forwarded_.load(r);
+  specDecisions_.load(r);
+  specCorrect_.load(r);
+  readLatencyNs_.load(r);
+  queueOcc_.load(r);
+  finalizedAt_ = r.i64();
+}
+
+void MemoryController::reschedule(ckpt::EventRestorer& er) {
+  for (const auto& [at, seq] : kickEvents_) {
+    const Tick t = at;
+    er.add(seq, [this, t] {
+      kickEvents_[t] = eq_.scheduleAt(t, [this, t] {
+        kickEvents_.erase(t);
+        if (nextKickAt_ == t) {
+          nextKickAt_ = kTickNever;
+          kick();
+        }
+      });
+    });
+  }
+  for (const auto& [token, c] : completions_) {
+    const std::uint64_t tok = token;
+    er.add(c.seq, [this, tok] {
+      auto& ic = completions_[tok];
+      ic.seq = eq_.scheduleAt(ic.due, [this, tok] { fireCompletion(tok); });
+    });
+  }
 }
 
 }  // namespace mb::mc

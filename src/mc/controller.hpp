@@ -22,11 +22,15 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "ckpt/restore.hpp"
+#include "ckpt/serialize.hpp"
 #include "common/event_queue.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -119,6 +123,22 @@ class MemoryController {
   /// Elapsed-time hook used to finalize time-integrated statistics.
   void finalize(Tick simEnd);
 
+  /// Rebuilds read-completion callbacks on restore: given the request's
+  /// address and core, return the callback the original requester would have
+  /// supplied. Must be set before load() when the snapshot carries in-flight
+  /// completions; the system wires it to the memory hierarchy.
+  std::function<std::function<void(Tick)>(std::uint64_t addr, CoreId core)>
+      completionFactory;
+
+  /// Serializable protocol (mutable state only; geometry/timing/config come
+  /// from construction and are covered by the snapshot's config hash).
+  void save(ckpt::Writer& w) const;
+  void load(ckpt::Reader& r);
+  /// Re-arm the controller's pending events (wake-ups and in-flight read
+  /// completions) after load(); original event order is preserved via the
+  /// saved sequence numbers.
+  void reschedule(ckpt::EventRestorer& er);
+
  private:
   struct Pending {
     MemRequest req;
@@ -131,8 +151,25 @@ class MemoryController {
     ThreadId thread;   // thread whose access triggered the decision
   };
 
+  /// In-flight read completion, reified so a checkpoint can capture it. The
+  /// event-queue closure captures only the token; the callback itself lives
+  /// here and is rebuilt through completionFactory on restore.
+  struct InflightCompletion {
+    std::uint64_t seq = 0;  // event-queue sequence (for restore ordering)
+    Tick due = 0;
+    std::uint64_t addr = 0;
+    CoreId core = 0;
+    std::function<void(Tick)> cb;
+  };
+
   void kick();
   void scheduleKick(Tick at);
+  void armKick(Tick at);
+  void scheduleCompletion(std::function<void(Tick)> cb, Tick due,
+                          std::uint64_t addr, CoreId core);
+  void fireCompletion(std::uint64_t token);
+  void savePending(ckpt::Writer& w, const Pending& p) const;
+  std::unique_ptr<Pending> loadPending(ckpt::Reader& r);
   void resolveSpeculation(const core::DramAddress& da, std::int64_t incomingRow);
   void onRequestServiced(Pending& p, Tick dataEnd);
   void maybeSpeculate(const core::DramAddress& da, ThreadId thread);
@@ -165,12 +202,20 @@ class MemoryController {
   bool drainingWrites_ = false;
 
   // Idle precharges requested by the page policy, keyed by flat μbank id.
-  std::unordered_map<std::int64_t, core::DramAddress> pendingCloses_;
+  // Ordered (not hashed) because kick() iterates it: the scan order must be
+  // reproducible across processes for checkpoint/restore equivalence.
+  std::map<std::int64_t, core::DramAddress> pendingCloses_;
   // Unresolved speculative page decisions, keyed by flat μbank id.
   std::unordered_map<std::int64_t, Speculation> speculations_;
 
   Tick nextKickAt_ = kTickNever;
+  // Outstanding wake-up events, one per distinct tick (armKick dedupes), so
+  // a checkpoint can reify them. Value is the event-queue sequence.
+  std::map<Tick, std::uint64_t> kickEvents_;
   std::uint64_t nextRequestId_ = 1;
+  // In-flight read completions keyed by a monotonically increasing token.
+  std::map<std::uint64_t, InflightCompletion> completions_;
+  std::uint64_t nextCompletionToken_ = 0;
 
   // Statistics.
   Counter reads_, writes_, rowHits_, rowMisses_, rowConflicts_, forwarded_;

@@ -219,4 +219,80 @@ double ChannelState::dataBusUtilization(Tick elapsed) const {
   return static_cast<double>(busyTicks_) / static_cast<double>(elapsed);
 }
 
+
+// ---- Serializable protocol -----------------------------------------------
+
+void UbankState::save(ckpt::Writer& w) const {
+  w.i64(openRow);
+  w.i64(actReadyAt);
+  w.i64(lastActAt);
+  w.i64(lastReadCasAt);
+  w.i64(lastWriteDataEndAt);
+  w.b(lazyPending);
+  w.i64(earliestPreAt);
+}
+
+void UbankState::load(ckpt::Reader& r) {
+  openRow = r.i64();
+  actReadyAt = r.i64();
+  lastActAt = r.i64();
+  lastReadCasAt = r.i64();
+  lastWriteDataEndAt = r.i64();
+  lazyPending = r.b();
+  earliestPreAt = r.i64();
+}
+
+void RankState::save(ckpt::Writer& w) const {
+  w.i32(nextRefreshBank);
+  for (const auto& bank : ubanks)
+    for (const auto& ub : bank) ub.save(w);
+  w.i64(lastActAt);
+  w.u64(actWindow.size());
+  for (Tick t : actWindow) w.i64(t);
+  w.i64(lastWriteDataEndAt);
+  w.i64(refreshUntil);
+  w.i64(nextRefreshAt);
+}
+
+void RankState::load(ckpt::Reader& r) {
+  nextRefreshBank = r.i32();
+  for (auto& bank : ubanks)
+    for (auto& ub : bank) ub.load(r);
+  lastActAt = r.i64();
+  const std::uint64_t n = r.count(8);
+  actWindow.clear();
+  for (std::uint64_t i = 0; i < n; ++i) actWindow.push_back(r.i64());
+  lastWriteDataEndAt = r.i64();
+  refreshUntil = r.i64();
+  nextRefreshAt = r.i64();
+}
+
+void ChannelState::save(ckpt::Writer& w) const {
+  w.u64(ranks_.size());
+  for (const auto& rk : ranks_) rk.save(w);
+  w.i64(cmdBusFreeAt_);
+  w.i64(dataBusFreeAt_);
+  w.i64(lastCasAt_);
+  w.i32(lastCasRank_);
+  w.i64(busyTicks_);
+  w.b(refreshEnabled);
+  w.b(perBankRefresh);
+}
+
+void ChannelState::load(ckpt::Reader& r) {
+  const std::uint64_t n = r.count(8);
+  if (n != ranks_.size()) {
+    r.fail();
+    return;
+  }
+  for (auto& rk : ranks_) rk.load(r);
+  cmdBusFreeAt_ = r.i64();
+  dataBusFreeAt_ = r.i64();
+  lastCasAt_ = r.i64();
+  lastCasRank_ = r.i32();
+  busyTicks_ = r.i64();
+  refreshEnabled = r.b();
+  perBankRefresh = r.b();
+}
+
 }  // namespace mb::mc

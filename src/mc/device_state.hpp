@@ -21,6 +21,7 @@
 #include <functional>
 #include <vector>
 
+#include "ckpt/serialize.hpp"
 #include "common/types.hpp"
 #include "core/address_map.hpp"
 #include "dram/geometry.hpp"
@@ -47,6 +48,9 @@ struct UbankState {
   Tick earliestPreAt = 0;
 
   bool rowOpen() const { return openRow >= 0; }
+
+  void save(ckpt::Writer& w) const;
+  void load(ckpt::Reader& r);
 };
 
 /// One rank: shares activation windows and write-to-read turnaround.
@@ -66,6 +70,9 @@ struct RankState {
   UbankState& ubank(const core::DramAddress& da) {
     return ubanks[static_cast<size_t>(da.bank)][static_cast<size_t>(da.ubank)];
   }
+
+  void save(ckpt::Writer& w) const;
+  void load(ckpt::Reader& r);
 };
 
 /// One channel: the controller's view of the attached DRAM.
@@ -119,6 +126,11 @@ class ChannelState {
   /// for the shorter tRFCpb, rotating across banks. With μbanks this
   /// confines refresh interference to one bank's μbanks at a time.
   bool perBankRefresh = false;
+
+  /// Serializable protocol: geometry/timing are construction parameters,
+  /// only the timestamp algebra state travels.
+  void save(ckpt::Writer& w) const;
+  void load(ckpt::Reader& r);
 
  private:
   Tick fawReadyAt(const RankState& rank) const;

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ckpt/serialize.hpp"
 #include "common/types.hpp"
 #include "mc/request.hpp"
 
@@ -57,6 +58,11 @@ class Scheduler {
 
   virtual SchedulerKind kind() const = 0;
   std::string name() const { return schedulerKindName(kind()); }
+
+  /// Serializable protocol. FCFS / FR-FCFS are stateless; PAR-BS carries
+  /// its batch state across a checkpoint.
+  virtual void save(ckpt::Writer&) const {}
+  virtual void load(ckpt::Reader&) {}
 };
 
 std::unique_ptr<Scheduler> makeScheduler(SchedulerKind kind);
@@ -89,6 +95,9 @@ class ParBsScheduler final : public Scheduler {
   bool requestMarked(std::uint64_t requestId) const override {
     return isMarked(requestId);
   }
+
+  void save(ckpt::Writer& w) const override;
+  void load(ckpt::Reader& r) override;
 
  private:
   void formBatch(const std::vector<Candidate>& cands);

@@ -1,6 +1,8 @@
 #include "mc/timing_checker.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "common/check.hpp"
 #include "mc/key_pack.hpp"
@@ -177,6 +179,66 @@ bool TimingChecker::onCommand(DramCommand cmd, const core::DramAddress& da, Tick
   // not corrupt the shadow state used to validate later commands.
   if (cmd != DramCommand::Refresh) lastCmdAt_ = at;
   return true;
+}
+
+
+// ---- Serializable protocol -----------------------------------------------
+//
+// unordered_map contents are emitted sorted by key: lookups never iterate
+// the maps during simulation, so hash order is behaviour-neutral, but the
+// snapshot bytes must not depend on it.
+
+void TimingChecker::save(ckpt::Writer& w) const {
+  ckpt::saveMapSorted(w, ubanks_, [&](const UbankHistory& ub) {
+    w.i64(ub.lastActAt);
+    w.i64(ub.lastPreAt);
+    w.i64(ub.lastReadCasAt);
+    w.i64(ub.lastWriteDataEndAt);
+    w.i64(ub.openRow);
+  });
+  ckpt::saveMapSorted(w, ranks_, [&](const RankHistory& rk) {
+    w.i64(rk.lastActAt);
+    w.u64(rk.actWindow.size());
+    for (Tick t : rk.actWindow) w.i64(t);
+    w.i64(rk.lastWriteDataEndAt);
+  });
+  w.i64(lastCmdAt_);
+  w.i64(lastCasAt_);
+  w.i64(lastDataEndAt_);
+  w.i32(lastCasRank_);
+  w.i64(commandsChecked_);
+}
+
+void TimingChecker::load(ckpt::Reader& r) {
+  ubanks_.clear();
+  const std::uint64_t nUb = r.count(8);
+  for (std::uint64_t i = 0; i < nUb && r.ok(); ++i) {
+    const std::int64_t key = r.i64();
+    UbankHistory ub;
+    ub.lastActAt = r.i64();
+    ub.lastPreAt = r.i64();
+    ub.lastReadCasAt = r.i64();
+    ub.lastWriteDataEndAt = r.i64();
+    ub.openRow = r.i64();
+    ubanks_.emplace(key, ub);
+  }
+  ranks_.clear();
+  const std::uint64_t nRk = r.count(8);
+  for (std::uint64_t i = 0; i < nRk && r.ok(); ++i) {
+    const std::int64_t key = r.i64();
+    RankHistory rk;
+    rk.lastActAt = r.i64();
+    const std::uint64_t nAct = r.count(8);
+    for (std::uint64_t j = 0; j < nAct && r.ok(); ++j)
+      rk.actWindow.push_back(r.i64());
+    rk.lastWriteDataEndAt = r.i64();
+    ranks_.emplace(key, std::move(rk));
+  }
+  lastCmdAt_ = r.i64();
+  lastCasAt_ = r.i64();
+  lastDataEndAt_ = r.i64();
+  lastCasRank_ = r.i32();
+  commandsChecked_ = r.i64();
 }
 
 }  // namespace mb::mc

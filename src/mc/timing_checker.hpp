@@ -31,6 +31,7 @@
 #include <unordered_map>
 
 #include "analysis/diagnostic.hpp"
+#include "ckpt/serialize.hpp"
 #include "common/types.hpp"
 #include "core/address_map.hpp"
 #include "dram/timing.hpp"
@@ -74,6 +75,11 @@ class TimingChecker {
   /// Optional structured sink: violations are reported here (and onCommand
   /// returns false) instead of aborting. Not owned.
   analysis::DiagnosticEngine* diagnostics = nullptr;
+
+  /// Serializable protocol: the shadow maps are serialized sorted by key so
+  /// a snapshot is byte-stable regardless of hash-table iteration order.
+  void save(ckpt::Writer& w) const;
+  void load(ckpt::Reader& r);
 
  private:
   struct UbankHistory {

@@ -1,0 +1,606 @@
+#include "sim/journal.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "analysis/diagnostic.hpp"  // jsonEscape
+#include "ckpt/serialize.hpp"       // fnv1a64, Writer
+#include "common/version.hpp"
+
+namespace mb::sim {
+
+std::uint64_t sweepIdentityHash(const std::string& workload,
+                                const std::vector<SweepPoint>& points,
+                                bool reseed) {
+  ckpt::Writer w;
+  w.str(workload);
+  w.b(reseed);
+  w.u64(points.size());
+  for (const auto& p : points) {
+    w.str(p.label);
+    w.u64(p.cfg.seed);
+  }
+  return ckpt::fnv1a64(w.str());
+}
+
+namespace {
+
+// ---- JSON emission --------------------------------------------------------
+
+void jstr(std::string& out, const char* key, const std::string& v) {
+  out += '"';
+  out += key;
+  out += "\":\"";
+  out += analysis::jsonEscape(v);
+  out += '"';
+}
+
+void jint(std::string& out, const char* key, std::int64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "\"%s\":%" PRId64, key, v);
+  out += buf;
+}
+
+void jdbl(std::string& out, const char* key, double v) {
+  // %.17g round-trips every finite double exactly through strtod.
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "\"%s\":%.17g", key, v);
+  out += buf;
+}
+
+void jbool(std::string& out, const char* key, bool v) {
+  out += '"';
+  out += key;
+  out += v ? "\":true" : "\":false";
+}
+
+// ---- Minimal JSON parser --------------------------------------------------
+//
+// Parses the subset this module emits (objects, arrays, strings, numbers,
+// booleans, null). Tolerant of unknown keys so the format can grow fields
+// without breaking old readers.
+
+struct JVal {
+  enum class T { Null, Bool, Int, Dbl, Str, Arr, Obj };
+  T t = T::Null;
+  bool b = false;
+  std::int64_t i = 0;
+  double d = 0.0;
+  std::string s;
+  std::vector<JVal> arr;
+  std::vector<std::pair<std::string, JVal>> obj;
+
+  const JVal* get(const char* key) const {
+    for (const auto& [k, v] : obj)
+      if (k == key) return &v;
+    return nullptr;
+  }
+  // The parser fills `d` for Int tokens too (via strtod), so this is exact
+  // for every numeric token, -0 included.
+  double num() const { return d; }
+};
+
+class JParser {
+ public:
+  explicit JParser(const std::string& text)
+      : p_(text.c_str()), end_(text.c_str() + text.size()) {}
+
+  bool parse(JVal* out) {
+    skipWs();
+    if (!value(out)) return false;
+    skipWs();
+    return p_ == end_;
+  }
+
+ private:
+  void skipWs() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r'))
+      ++p_;
+  }
+  bool lit(const char* s, std::size_t n) {
+    if (static_cast<std::size_t>(end_ - p_) < n || std::memcmp(p_, s, n) != 0)
+      return false;
+    p_ += n;
+    return true;
+  }
+
+  bool value(JVal* out) {
+    if (p_ == end_) return false;
+    switch (*p_) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"': out->t = JVal::T::Str; return string(&out->s);
+      case 't': out->t = JVal::T::Bool; out->b = true; return lit("true", 4);
+      case 'f': out->t = JVal::T::Bool; out->b = false; return lit("false", 5);
+      case 'n': out->t = JVal::T::Null; return lit("null", 4);
+      default: return number(out);
+    }
+  }
+
+  bool object(JVal* out) {
+    out->t = JVal::T::Obj;
+    ++p_;  // '{'
+    skipWs();
+    if (p_ != end_ && *p_ == '}') { ++p_; return true; }
+    for (;;) {
+      skipWs();
+      std::string key;
+      if (p_ == end_ || *p_ != '"' || !string(&key)) return false;
+      skipWs();
+      if (p_ == end_ || *p_ != ':') return false;
+      ++p_;
+      skipWs();
+      JVal v;
+      if (!value(&v)) return false;
+      out->obj.emplace_back(std::move(key), std::move(v));
+      skipWs();
+      if (p_ == end_) return false;
+      if (*p_ == ',') { ++p_; continue; }
+      if (*p_ == '}') { ++p_; return true; }
+      return false;
+    }
+  }
+
+  bool array(JVal* out) {
+    out->t = JVal::T::Arr;
+    ++p_;  // '['
+    skipWs();
+    if (p_ != end_ && *p_ == ']') { ++p_; return true; }
+    for (;;) {
+      skipWs();
+      JVal v;
+      if (!value(&v)) return false;
+      out->arr.push_back(std::move(v));
+      skipWs();
+      if (p_ == end_) return false;
+      if (*p_ == ',') { ++p_; continue; }
+      if (*p_ == ']') { ++p_; return true; }
+      return false;
+    }
+  }
+
+  bool string(std::string* out) {
+    ++p_;  // opening quote
+    while (p_ != end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ == end_) return false;
+        switch (*p_) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            // jsonEscape only emits \u00XX (control bytes).
+            if (end_ - p_ < 5) return false;
+            char hex[5] = {p_[1], p_[2], p_[3], p_[4], 0};
+            char* he = nullptr;
+            const long cp = std::strtol(hex, &he, 16);
+            if (he != hex + 4 || cp > 0xFF) return false;
+            *out += static_cast<char>(cp);
+            p_ += 4;
+            break;
+          }
+          default: return false;
+        }
+        ++p_;
+      } else {
+        *out += *p_++;
+      }
+    }
+    if (p_ == end_) return false;
+    ++p_;  // closing quote
+    return true;
+  }
+
+  bool number(JVal* out) {
+    const char* start = p_;
+    bool isInt = true;
+    if (p_ != end_ && (*p_ == '-' || *p_ == '+')) ++p_;
+    while (p_ != end_ && (std::isdigit(static_cast<unsigned char>(*p_)) != 0 ||
+                          *p_ == '.' || *p_ == 'e' || *p_ == 'E' || *p_ == '-' ||
+                          *p_ == '+')) {
+      if (*p_ == '.' || *p_ == 'e' || *p_ == 'E') isInt = false;
+      ++p_;
+    }
+    if (p_ == start) return false;
+    const std::string text(start, p_);
+    char* pe = nullptr;
+    if (isInt) {
+      out->t = JVal::T::Int;
+      out->i = std::strtoll(text.c_str(), &pe, 10);
+      if (pe != text.c_str() + text.size()) return false;
+      // A double whose %.17g rendering happens to look integral ("-0",
+      // "42") also lands here; keep the strtod value so num() preserves it
+      // exactly — casting i would turn -0.0 into +0.0.
+      out->d = std::strtod(text.c_str(), &pe);
+    } else {
+      out->t = JVal::T::Dbl;
+      out->d = std::strtod(text.c_str(), &pe);
+    }
+    return pe == text.c_str() + text.size();
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+// ---- RunResult <-> JSON ---------------------------------------------------
+
+bool getInt(const JVal& o, const char* key, std::int64_t* out) {
+  const JVal* v = o.get(key);
+  if (v == nullptr || v->t != JVal::T::Int) return false;
+  *out = v->i;
+  return true;
+}
+bool getDbl(const JVal& o, const char* key, double* out) {
+  const JVal* v = o.get(key);
+  if (v == nullptr || (v->t != JVal::T::Dbl && v->t != JVal::T::Int)) return false;
+  *out = v->num();
+  return true;
+}
+bool getStr(const JVal& o, const char* key, std::string* out) {
+  const JVal* v = o.get(key);
+  if (v == nullptr || v->t != JVal::T::Str) return false;
+  *out = v->s;
+  return true;
+}
+
+bool runResultFromJson(const JVal& o, RunResult* r) {
+  bool ok = getStr(o, "workload", &r->workload);
+  ok = ok && getDbl(o, "systemIpc", &r->systemIpc);
+  std::int64_t elapsed = 0;
+  ok = ok && getInt(o, "elapsed", &elapsed);
+  r->elapsed = elapsed;
+  ok = ok && getInt(o, "instructions", &r->instructions);
+  ok = ok && getDbl(o, "invEdp", &r->invEdp);
+  ok = ok && getDbl(o, "rowHitRate", &r->rowHitRate);
+  ok = ok && getDbl(o, "predictorHitRate", &r->predictorHitRate);
+  ok = ok && getDbl(o, "avgQueueOccupancy", &r->avgQueueOccupancy);
+  ok = ok && getDbl(o, "avgReadLatencyNs", &r->avgReadLatencyNs);
+  ok = ok && getDbl(o, "dataBusUtilization", &r->dataBusUtilization);
+  ok = ok && getInt(o, "dramReads", &r->dramReads);
+  ok = ok && getInt(o, "dramWrites", &r->dramWrites);
+  ok = ok && getInt(o, "activations", &r->activations);
+  ok = ok && getDbl(o, "mapki", &r->mapki);
+  const JVal* e = o.get("energy");
+  ok = ok && e != nullptr && e->t == JVal::T::Obj;
+  if (ok) {
+    ok = ok && getDbl(*e, "processor", &r->energy.processor);
+    ok = ok && getDbl(*e, "dramActPre", &r->energy.dramActPre);
+    ok = ok && getDbl(*e, "dramStatic", &r->energy.dramStatic);
+    ok = ok && getDbl(*e, "dramRdWr", &r->energy.dramRdWr);
+    ok = ok && getDbl(*e, "io", &r->energy.io);
+  }
+  const JVal* h = o.get("hierarchy");
+  ok = ok && h != nullptr && h->t == JVal::T::Obj;
+  if (ok) {
+    ok = ok && getInt(*h, "accesses", &r->hierarchy.accesses);
+    ok = ok && getInt(*h, "l1Hits", &r->hierarchy.l1Hits);
+    ok = ok && getInt(*h, "l2Hits", &r->hierarchy.l2Hits);
+    ok = ok && getInt(*h, "dramReads", &r->hierarchy.dramReads);
+    ok = ok && getInt(*h, "dramWrites", &r->hierarchy.dramWrites);
+    ok = ok && getInt(*h, "c2cTransfers", &r->hierarchy.c2cTransfers);
+    ok = ok && getInt(*h, "invalidations", &r->hierarchy.invalidations);
+    ok = ok && getInt(*h, "upgrades", &r->hierarchy.upgrades);
+    ok = ok && getInt(*h, "prefetchIssued", &r->hierarchy.prefetchIssued);
+    ok = ok && getInt(*h, "prefetchUseful", &r->hierarchy.prefetchUseful);
+  }
+  const JVal* c = o.get("coreIpc");
+  ok = ok && c != nullptr && c->t == JVal::T::Arr;
+  if (ok) {
+    r->coreIpc.clear();
+    for (const auto& v : c->arr) {
+      if (v.t != JVal::T::Dbl && v.t != JVal::T::Int) return false;
+      r->coreIpc.push_back(v.num());
+    }
+  }
+  return ok;
+}
+
+std::string outcomeToJson(const SweepOutcome& o) {
+  std::string out = "{";
+  jint(out, "point", static_cast<std::int64_t>(o.index));
+  out += ',';
+  jstr(out, "label", o.label);
+  out += ',';
+  jbool(out, "ok", o.ok);
+  out += ',';
+  if (o.ok) {
+    out += "\"result\":";
+    out += runResultToJson(o.result);
+  } else {
+    jstr(out, "error", o.error);
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace
+
+std::string runResultToJson(const RunResult& r) {
+  std::string out = "{";
+  jstr(out, "workload", r.workload);
+  out += ',';
+  jdbl(out, "systemIpc", r.systemIpc);
+  out += ',';
+  jint(out, "elapsed", r.elapsed);
+  out += ',';
+  jint(out, "instructions", r.instructions);
+  out += ',';
+  jdbl(out, "invEdp", r.invEdp);
+  out += ',';
+  jdbl(out, "rowHitRate", r.rowHitRate);
+  out += ',';
+  jdbl(out, "predictorHitRate", r.predictorHitRate);
+  out += ',';
+  jdbl(out, "avgQueueOccupancy", r.avgQueueOccupancy);
+  out += ',';
+  jdbl(out, "avgReadLatencyNs", r.avgReadLatencyNs);
+  out += ',';
+  jdbl(out, "dataBusUtilization", r.dataBusUtilization);
+  out += ',';
+  jint(out, "dramReads", r.dramReads);
+  out += ',';
+  jint(out, "dramWrites", r.dramWrites);
+  out += ',';
+  jint(out, "activations", r.activations);
+  out += ',';
+  jdbl(out, "mapki", r.mapki);
+  out += ",\"energy\":{";
+  jdbl(out, "processor", r.energy.processor);
+  out += ',';
+  jdbl(out, "dramActPre", r.energy.dramActPre);
+  out += ',';
+  jdbl(out, "dramStatic", r.energy.dramStatic);
+  out += ',';
+  jdbl(out, "dramRdWr", r.energy.dramRdWr);
+  out += ',';
+  jdbl(out, "io", r.energy.io);
+  out += "},\"hierarchy\":{";
+  jint(out, "accesses", r.hierarchy.accesses);
+  out += ',';
+  jint(out, "l1Hits", r.hierarchy.l1Hits);
+  out += ',';
+  jint(out, "l2Hits", r.hierarchy.l2Hits);
+  out += ',';
+  jint(out, "dramReads", r.hierarchy.dramReads);
+  out += ',';
+  jint(out, "dramWrites", r.hierarchy.dramWrites);
+  out += ',';
+  jint(out, "c2cTransfers", r.hierarchy.c2cTransfers);
+  out += ',';
+  jint(out, "invalidations", r.hierarchy.invalidations);
+  out += ',';
+  jint(out, "upgrades", r.hierarchy.upgrades);
+  out += ',';
+  jint(out, "prefetchIssued", r.hierarchy.prefetchIssued);
+  out += ',';
+  jint(out, "prefetchUseful", r.hierarchy.prefetchUseful);
+  out += "},\"coreIpc\":[";
+  for (std::size_t i = 0; i < r.coreIpc.size(); ++i) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%s%.17g", i == 0 ? "" : ",", r.coreIpc[i]);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+JournalWriter::JournalWriter(const std::string& path, const JournalHeader& header) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) return;
+  std::string line = "{\"mbsweep\":1,";
+  jstr(line, "tool", header.tool);
+  line += ',';
+  jstr(line, "workload", header.workload);
+  line += ',';
+  jint(line, "points", static_cast<std::int64_t>(header.points));
+  line += ',';
+  jbool(line, "reseed", header.reseed);
+  line += ',';
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "\"sweepHash\":\"0x%016" PRIx64 "\"", header.sweepHash);
+  line += buf;
+  line += "}\n";
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);
+}
+
+JournalWriter::JournalWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "ab");
+}
+
+JournalWriter::~JournalWriter() { close(); }
+
+void JournalWriter::append(const SweepOutcome& outcome) {
+  if (file_ == nullptr) return;
+  const std::string line = outcomeToJson(outcome);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);  // crash-safe: every completed point survives
+}
+
+void JournalWriter::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+std::optional<JournalData> readJournal(const std::string& path, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open journal: " + path;
+    return std::nullopt;
+  }
+  std::string content;
+  char buf[65536];
+  for (;;) {
+    const std::size_t n = std::fread(buf, 1, sizeof buf, f);
+    content.append(buf, n);
+    if (n < sizeof buf) break;
+  }
+  std::fclose(f);
+
+  JournalData data;
+  std::size_t lineNo = 0;
+  std::size_t pos = 0;
+  while (pos < content.size()) {
+    std::size_t nl = content.find('\n', pos);
+    const bool torn = nl == std::string::npos;  // no terminating newline
+    if (torn) nl = content.size();
+    const std::string line = content.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    ++lineNo;
+
+    JVal v;
+    const bool parsed = JParser(line).parse(&v) && v.t == JVal::T::Obj;
+    if (lineNo == 1) {
+      std::int64_t fmt = 0;
+      if (!parsed || !getInt(v, "mbsweep", &fmt) || fmt != 1) {
+        if (error != nullptr)
+          *error = path + ": not a sweep journal (bad or missing header)";
+        return std::nullopt;
+      }
+      getStr(v, "tool", &data.header.tool);
+      std::int64_t pts = 0;
+      if (!getStr(v, "workload", &data.header.workload) ||
+          !getInt(v, "points", &pts) || pts < 0) {
+        if (error != nullptr) *error = path + ": malformed journal header";
+        return std::nullopt;
+      }
+      data.header.points = static_cast<std::size_t>(pts);
+      const JVal* rs = v.get("reseed");
+      data.header.reseed = rs != nullptr && rs->t == JVal::T::Bool && rs->b;
+      std::string hash;
+      if (!getStr(v, "sweepHash", &hash)) {
+        if (error != nullptr) *error = path + ": journal header lacks sweepHash";
+        return std::nullopt;
+      }
+      data.header.sweepHash = std::strtoull(hash.c_str(), nullptr, 16);
+      continue;
+    }
+
+    // A torn or unparseable final line is the expected artifact of an
+    // interrupted write: drop it and resume from the last complete point.
+    if (!parsed || torn) {
+      if (parsed && !torn && error != nullptr) {
+        *error = path + ": malformed journal line";
+        return std::nullopt;
+      }
+      continue;
+    }
+
+    SweepOutcome o;
+    std::int64_t idx = -1;
+    if (!getInt(v, "point", &idx) || idx < 0 ||
+        static_cast<std::size_t>(idx) >= data.header.points ||
+        !getStr(v, "label", &o.label)) {
+      continue;  // treat like a torn line: skip, the point just re-runs
+    }
+    o.index = static_cast<std::size_t>(idx);
+    const JVal* okv = v.get("ok");
+    o.ok = okv != nullptr && okv->t == JVal::T::Bool && okv->b;
+    if (o.ok) {
+      const JVal* res = v.get("result");
+      if (res == nullptr || res->t != JVal::T::Obj ||
+          !runResultFromJson(*res, &o.result)) {
+        continue;  // incomplete result: re-run the point
+      }
+    } else {
+      getStr(v, "error", &o.error);
+    }
+    data.outcomes.push_back(std::move(o));
+  }
+  if (lineNo == 0) {
+    if (error != nullptr) *error = path + ": empty journal";
+    return std::nullopt;
+  }
+  return data;
+}
+
+std::optional<std::vector<SweepOutcome>> runSweepJournaled(
+    const std::string& workload, const std::vector<SweepPoint>& points,
+    const SweepOptions& opts, const std::string& journalPath, bool resume,
+    std::string* error) {
+  const std::uint64_t identity = sweepIdentityHash(workload, points, opts.reseedPoints);
+
+  // Outcomes replayed from the journal, keyed by original index (the last
+  // entry wins if a journal was appended to more than once).
+  std::vector<const SweepOutcome*> replayed(points.size(), nullptr);
+  std::optional<JournalData> journal;
+  if (resume) {
+    journal = readJournal(journalPath, error);
+    if (!journal) return std::nullopt;
+    if (journal->header.sweepHash != identity ||
+        journal->header.points != points.size() ||
+        journal->header.reseed != opts.reseedPoints) {
+      if (error != nullptr)
+        *error = journalPath +
+                 ": journal belongs to a different sweep (workload, point "
+                 "list, seed or --reseed changed); refusing to mix results";
+      return std::nullopt;
+    }
+    for (const auto& o : journal->outcomes)
+      if (o.ok) replayed[o.index] = &o;  // failed entries re-run
+  }
+
+  // The still-to-run points keep their ORIGINAL index for seed folding.
+  std::vector<SweepPoint> remaining;
+  std::vector<std::size_t> originalIndex;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (replayed[i] != nullptr) continue;
+    SweepPoint p = points[i];
+    p.seedIndex = static_cast<std::int64_t>(i);
+    remaining.push_back(std::move(p));
+    originalIndex.push_back(i);
+  }
+
+  JournalHeader header;
+  header.tool = versionString();
+  header.workload = workload;
+  header.points = points.size();
+  header.reseed = opts.reseedPoints;
+  header.sweepHash = identity;
+  auto writer = resume ? std::make_unique<JournalWriter>(journalPath)
+                       : std::make_unique<JournalWriter>(journalPath, header);
+  if (!writer->ok()) {
+    if (error != nullptr) *error = "cannot write journal: " + journalPath;
+    return std::nullopt;
+  }
+
+  SweepOptions inner = opts;
+  const auto userDone = opts.onPointDone;
+  inner.onPointDone = [&](const SweepOutcome& o) {
+    // Journal lines carry the point's position in the FULL sweep, not in
+    // the filtered remainder. onPointDone is serialized by the runner.
+    SweepOutcome original = o;
+    original.index = originalIndex[o.index];
+    writer->append(original);
+    if (userDone) userDone(original);
+  };
+  const auto ran = SweepRunner(inner).run(remaining);
+  writer->close();
+
+  std::vector<SweepOutcome> merged(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (replayed[i] != nullptr) {
+      merged[i] = *replayed[i];
+    }
+  }
+  for (std::size_t j = 0; j < ran.size(); ++j) {
+    merged[originalIndex[j]] = ran[j];
+    merged[originalIndex[j]].index = originalIndex[j];
+  }
+  return merged;
+}
+
+}  // namespace mb::sim

@@ -92,13 +92,15 @@ SweepOutcome runPoint(const SweepPoint& point, std::size_t index, bool reseed) {
   out.index = index;
   out.label = point.label;
   SystemConfig cfg = point.cfg;
-  if (reseed) cfg.seed = foldPointSeed(cfg.seed, index);
+  const std::size_t seedIndex =
+      point.seedIndex >= 0 ? static_cast<std::size_t>(point.seedIndex) : index;
+  if (reseed) cfg.seed = foldPointSeed(cfg.seed, seedIndex);
   // Trap MB_CHECK failures on this thread for the duration of the run: a
   // point that trips an internal invariant becomes a recorded error, not a
   // process abort, and the other points still produce results.
   const ScopedCheckTrap trap;
   try {
-    out.result = runSimulation(cfg, point.workload);
+    out.result = runSimulation(cfg, point.workload, point.opts);
     out.ok = true;
   } catch (const CheckFailure& f) {
     out.error = f.message;
@@ -115,10 +117,19 @@ std::vector<SweepOutcome> SweepRunner::run(const std::vector<SweepPoint>& points
   std::vector<SweepOutcome> outcomes(points.size());
   ProgressReporter progress(points.size(), jobs, opts_.progress);
 
+  // Serializes SweepOptions::onPointDone (journal appends) across workers.
+  std::mutex doneMu;
+  auto notifyDone = [&](const SweepOutcome& o) {
+    if (!opts_.onPointDone) return;
+    const std::lock_guard<std::mutex> lock(doneMu);
+    opts_.onPointDone(o);
+  };
+
   if (jobs == 1 || points.size() <= 1) {
     for (std::size_t i = 0; i < points.size(); ++i) {
       outcomes[i] = runPoint(points[i], i, opts_.reseedPoints);
       progress.pointDone(outcomes[i]);
+      notifyDone(outcomes[i]);
     }
     return outcomes;
   }
@@ -133,6 +144,7 @@ std::vector<SweepOutcome> SweepRunner::run(const std::vector<SweepPoint>& points
       if (i >= points.size()) return;
       outcomes[i] = runPoint(points[i], i, opts_.reseedPoints);
       progress.pointDone(outcomes[i]);
+      notifyDone(outcomes[i]);
     }
   };
   const std::size_t numWorkers =

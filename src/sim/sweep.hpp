@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,14 @@ struct SweepPoint {
   std::string label;  // "(4,4)/429.mcf" — used in progress and error reports
   SystemConfig cfg;
   WorkloadSpec workload;
+  /// Seed-fold index when `reseedPoints` is on: -1 uses the point's position
+  /// in the submitted list (the default). A resumed sweep sets this to the
+  /// point's ORIGINAL index so filtering completed points out of the list
+  /// never changes any seed.
+  std::int64_t seedIndex = -1;
+  /// Per-point run options (warmup snapshot reuse, checkpointing). The
+  /// warmupRestoreBuf target must outlive run().
+  RunOptions opts{};
 };
 
 /// Result slot for one point, in submission order.
@@ -69,6 +78,9 @@ struct SweepOptions {
   bool reseedPoints = false;
   /// Print completed/total + ETA to stderr while running.
   bool progress = false;
+  /// Invoked once per completed point, serialized under one mutex (safe to
+  /// write a journal from). Called in completion order, not index order.
+  std::function<void(const SweepOutcome&)> onPointDone;
 };
 
 class SweepRunner {

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 
+#include "ckpt/restore.hpp"
+#include "ckpt/serialize.hpp"
 #include "common/check.hpp"
 #include "common/event_queue.hpp"
+#include "common/version.hpp"
 #include "core/address_map.hpp"
 #include "trace/trace_file.hpp"
 
@@ -72,8 +75,25 @@ struct BuiltSystem {
   std::vector<std::unique_ptr<trace::TraceSource>> traces;
   std::vector<std::unique_ptr<cpu::RobCore>> cores;
   std::unique_ptr<mc::CommandLogWriter> cmdLog;
+  cpu::HierarchyConfig hierCfg;
+  int numCores = 0;
   int coresDone = 0;
 };
+
+/// The hierarchy configuration a run of (cfg, workload) actually uses:
+/// single-threaded workloads collapse to one specCopies-core cluster, and
+/// the memory-link latency comes from the PHY.
+cpu::HierarchyConfig resolvedHierConfig(const SystemConfig& cfg,
+                                        const WorkloadSpec& workload) {
+  cpu::HierarchyConfig hierCfg = cfg.hier;
+  if (workload.kind == WorkloadSpec::Kind::SingleSpec ||
+      workload.kind == WorkloadSpec::Kind::TraceFile) {
+    hierCfg.numCores = cfg.specCopies;
+    hierCfg.coresPerCluster = cfg.specCopies;  // one cluster shares the L2
+  }
+  hierCfg.memLinkLatency = interface::PhyModel::make(cfg.phy).linkLatency;
+  return hierCfg;
+}
 
 void buildMemorySystem(const SystemConfig& cfg, int channels, BuiltSystem& sys) {
   const auto phy = interface::PhyModel::make(cfg.phy);
@@ -108,28 +128,23 @@ void buildMemorySystem(const SystemConfig& cfg, int channels, BuiltSystem& sys) 
   }
 }
 
-}  // namespace
-
-RunResult runSimulation(const SystemConfig& cfg, const WorkloadSpec& workload) {
-  const auto phy = interface::PhyModel::make(cfg.phy);
-
-  // Resolve core/channel population per workload kind.
-  cpu::HierarchyConfig hierCfg = cfg.hier;
-  if (workload.kind == WorkloadSpec::Kind::SingleSpec ||
-      workload.kind == WorkloadSpec::Kind::TraceFile) {
-    hierCfg.numCores = cfg.specCopies;
-    hierCfg.coresPerCluster = cfg.specCopies;  // one cluster shares the L2
-  }
+/// Build the full system for (cfg, workload): memory side, hierarchy, trace
+/// sources, cores with completion wiring. The cores are NOT started — the
+/// caller either starts them (fresh run) or restores a snapshot first.
+std::unique_ptr<BuiltSystem> buildSystem(const SystemConfig& cfg,
+                                         const WorkloadSpec& workload) {
+  const cpu::HierarchyConfig hierCfg = resolvedHierConfig(cfg, workload);
   const int channels = resolvedChannels(cfg, workload);
   MB_CHECK(channels >= 1);
 
   auto sys = std::make_unique<BuiltSystem>();
+  sys->hierCfg = hierCfg;
   buildMemorySystem(cfg, channels, *sys);
-  hierCfg.memLinkLatency = phy.linkLatency;
   sys->hier = std::make_unique<cpu::MemoryHierarchy>(hierCfg, sys->mcs, sys->eq);
 
   // ---- Workload placement -------------------------------------------------
   const int numCores = hierCfg.numCores;
+  sys->numCores = numCores;
   std::vector<std::string> appNames;  // for Single/Mix
   switch (workload.kind) {
     case WorkloadSpec::Kind::SingleSpec: {
@@ -169,19 +184,351 @@ RunResult runSimulation(const SystemConfig& cfg, const WorkloadSpec& workload) {
     }
   }
 
+  BuiltSystem* raw = sys.get();
   for (int c = 0; c < numCores; ++c) {
     sys->cores.push_back(std::make_unique<cpu::RobCore>(
         c, cfg.core, *sys->traces[static_cast<size_t>(c)], *sys->hier, sys->eq));
-    sys->cores.back()->setOnDone([&sys] { ++sys->coresDone; });
+    sys->cores.back()->setOnDone([raw] { ++raw->coresDone; });
   }
-  for (auto& corePtr : sys->cores) corePtr->start();
+  return sys;
+}
+
+/// Replay `records` trace records per core through the hierarchy in
+/// functional mode (zero latency, no events), then reset the access stats so
+/// the timed run measures only post-warmup behaviour. The cold path and the
+/// snapshot-capture path run this identical loop, so a restored warmup is
+/// bitwise-equivalent to a cold one by construction.
+void runFunctionalWarmup(BuiltSystem& sys, std::int64_t records) {
+  sys.hier->setFunctionalMode(true);
+  for (std::int64_t i = 0; i < records; ++i) {
+    for (int c = 0; c < sys.numCores; ++c) {
+      const trace::Record rec = sys.traces[static_cast<size_t>(c)]->next();
+      sys.hier->warmAccess(c, rec.addr, rec.write);
+    }
+  }
+  sys.hier->setFunctionalMode(false);
+  sys.hier->resetStats();
+}
+
+[[noreturn]] void rejectSnapshot(analysis::Diagnostic d) {
+  // Same disposition as a malformed trace file (trace/trace_file.cpp):
+  // abort with the rendered diagnostic by default, catchable CheckFailure
+  // under ScopedCheckTrap so tests and the sweep runner can observe it.
+  mb::detail::raiseCheckFailure(d.text());
+}
+
+/// Fetch a named section and drive `loadFn` over it; MB-CKP-010 when the
+/// section is absent, MB-CKP-012 when the payload does not parse cleanly.
+template <typename LoadFn>
+void loadSection(const ckpt::Snapshot& snap, const std::string& name,
+                 const std::string& label, LoadFn&& loadFn) {
+  const ckpt::SnapshotSection* sec = snap.section(name);
+  if (sec == nullptr) {
+    rejectSnapshot(
+        ckpt::ckptDiag("MB-CKP-010", "missing required section '" + name + "'", label));
+  }
+  ckpt::Reader r(sec->payload);
+  loadFn(r);
+  if (!r.ok() || !r.atEnd()) {
+    rejectSnapshot(
+        ckpt::ckptDiag("MB-CKP-012", "malformed section payload '" + name + "'", label));
+  }
+}
+
+ckpt::SnapshotGeometry snapshotGeometry(const dram::Geometry& g) {
+  ckpt::SnapshotGeometry sg;
+  sg.channels = g.channels;
+  sg.ranksPerChannel = g.ranksPerChannel;
+  sg.banksPerRank = g.banksPerRank;
+  sg.nW = g.ubank.nW;
+  sg.nB = g.ubank.nB;
+  return sg;
+}
+
+std::string mcSectionName(std::size_t i) { return "MC" + std::to_string(i); }
+
+/// Capture the complete state of a running system as a full-run snapshot.
+ckpt::Snapshot makeFullSnapshot(const BuiltSystem& sys, const SystemConfig& cfg,
+                                const WorkloadSpec& workload) {
+  ckpt::Snapshot snap;
+  snap.kind = ckpt::SnapshotKind::FullRun;
+  snap.configHash = systemConfigHash(cfg, workload);
+  snap.now = sys.eq.now();
+  snap.geometry = snapshotGeometry(sys.geom);
+  snap.tool = versionString();
+  snap.workload = workload.name;
+  {
+    ckpt::Writer w;
+    for (const auto& t : sys.traces) t->save(w);
+    snap.addSection("TRACE", w.take());
+  }
+  {
+    ckpt::Writer w;
+    for (const auto& c : sys.cores) c->save(w);
+    snap.addSection("CORES", w.take());
+  }
+  {
+    ckpt::Writer w;
+    sys.hier->save(w);
+    snap.addSection("HIER", w.take());
+  }
+  for (std::size_t i = 0; i < sys.mcs.size(); ++i) {
+    ckpt::Writer w;
+    sys.mcs[i]->save(w);
+    snap.addSection(mcSectionName(i), w.take());
+  }
+  return snap;
+}
+
+/// Restore a full-run snapshot into a freshly built (never started) system:
+/// semantic validation, per-component state loads, clock restore, and
+/// pending-event re-arming in original firing order.
+void restoreFullRun(BuiltSystem& sys, const SystemConfig& cfg,
+                    const WorkloadSpec& workload, const ckpt::Snapshot& snap,
+                    const std::string& label) {
+  if (snap.kind != ckpt::SnapshotKind::FullRun) {
+    rejectSnapshot(ckpt::ckptDiag("MB-CKP-005",
+                                  "snapshot kind mismatch: expected a full-run "
+                                  "checkpoint, found a warmup snapshot",
+                                  label));
+  }
+  const std::uint64_t expectHash = systemConfigHash(cfg, workload);
+  if (snap.configHash != expectHash) {
+    rejectSnapshot(ckpt::ckptDiag("MB-CKP-004",
+                                  "config hash mismatch: snapshot belongs to a "
+                                  "different configuration or workload",
+                                  label)
+                       .with("snapshot", static_cast<std::int64_t>(snap.configHash))
+                       .with("expected", static_cast<std::int64_t>(expectHash)));
+  }
+  if (snap.geometry != snapshotGeometry(sys.geom)) {
+    rejectSnapshot(ckpt::ckptDiag("MB-CKP-009",
+                                  "geometry mismatch between snapshot and the "
+                                  "configuration being restored into",
+                                  label));
+  }
+
+  // Wire the callback rebuilders before any state loads.
+  BuiltSystem* raw = &sys;
+  sys.hier->waiterResolver = [raw](CoreId core, int tag) {
+    MB_CHECK(core >= 0 && static_cast<size_t>(core) < raw->cores.size());
+    return raw->cores[static_cast<size_t>(core)]->makeMemCallback(tag);
+  };
+  for (auto& mcPtr : sys.mcs) {
+    mcPtr->completionFactory = [raw](std::uint64_t addr, CoreId core) {
+      return raw->hier->makeReadCompletion(addr, core);
+    };
+  }
+
+  loadSection(snap, "TRACE", label, [&](ckpt::Reader& r) {
+    for (auto& t : sys.traces) t->load(r);
+  });
+  loadSection(snap, "CORES", label, [&](ckpt::Reader& r) {
+    for (auto& c : sys.cores) c->load(r);
+  });
+  loadSection(snap, "HIER", label,
+              [&](ckpt::Reader& r) { sys.hier->load(r); });
+  for (std::size_t i = 0; i < sys.mcs.size(); ++i) {
+    loadSection(snap, mcSectionName(i), label,
+                [&](ckpt::Reader& r) { sys.mcs[i]->load(r); });
+  }
+
+  // Re-arm every pending event in the original same-tick firing order.
+  sys.eq.restoreClock(snap.now);
+  ckpt::EventRestorer er;
+  for (auto& c : sys.cores) c->reschedule(er);
+  sys.hier->reschedule(er);
+  for (auto& mcPtr : sys.mcs) mcPtr->reschedule(er);
+  er.replay();
+
+  sys.coresDone = 0;
+  for (const auto& c : sys.cores)
+    if (c->done()) ++sys.coresDone;
+}
+
+/// Restore a warmup snapshot (trace + hierarchy state) into a fresh system.
+void restoreWarmup(BuiltSystem& sys, std::uint64_t expectKey,
+                   const ckpt::Snapshot& snap, const std::string& label) {
+  if (snap.kind != ckpt::SnapshotKind::Warmup) {
+    rejectSnapshot(ckpt::ckptDiag("MB-CKP-005",
+                                  "snapshot kind mismatch: expected a warmup "
+                                  "snapshot, found a full-run checkpoint",
+                                  label));
+  }
+  if (snap.warmupKey != expectKey) {
+    rejectSnapshot(ckpt::ckptDiag("MB-CKP-005",
+                                  "warmup key mismatch: snapshot was captured for "
+                                  "a different workload / core / cache / warmup-"
+                                  "length combination",
+                                  label)
+                       .with("snapshot", static_cast<std::int64_t>(snap.warmupKey))
+                       .with("expected", static_cast<std::int64_t>(expectKey)));
+  }
+  loadSection(snap, "TRACE", label, [&](ckpt::Reader& r) {
+    for (auto& t : sys.traces) t->load(r);
+  });
+  loadSection(snap, "HIER", label,
+              [&](ckpt::Reader& r) { sys.hier->load(r); });
+}
+
+void encodeWorkload(ckpt::Writer& w, const WorkloadSpec& workload) {
+  w.u8(static_cast<std::uint8_t>(workload.kind));
+  w.str(workload.name);
+  w.u8(static_cast<std::uint8_t>(workload.mtKind));
+}
+
+void encodeHierConfig(ckpt::Writer& w, const cpu::HierarchyConfig& h) {
+  w.i32(h.numCores);
+  w.i32(h.coresPerCluster);
+  w.i64(h.l1Bytes);
+  w.i32(h.l1Assoc);
+  w.i64(h.l2Bytes);
+  w.i32(h.l2Assoc);
+  w.i64(h.cyclePs);
+  w.i32(h.l1LatCycles);
+  w.i32(h.l2LatCycles);
+  w.i32(h.dirLatCycles);
+  w.i32(h.nocPerHopCycles);
+  w.i32(h.fillLatCycles);
+  w.i64(h.memLinkLatency);
+  w.b(h.enablePrefetch);
+  w.i32(h.prefetchDegree);
+  w.i32(h.prefetchStreams);
+  w.i32(h.prefetchMaxStrideLines);
+}
+
+/// Build a warmup snapshot from a system that just ran the functional
+/// warmup: trace cursors + hierarchy (cache/directory/prefetcher) state.
+ckpt::Snapshot makeWarmupSnapshot(const BuiltSystem& sys, std::uint64_t key,
+                                  const WorkloadSpec& workload) {
+  ckpt::Snapshot snap;
+  snap.kind = ckpt::SnapshotKind::Warmup;
+  snap.warmupKey = key;
+  snap.tool = versionString();
+  snap.workload = workload.name;
+  {
+    ckpt::Writer w;
+    for (const auto& t : sys.traces) t->save(w);
+    snap.addSection("TRACE", w.take());
+  }
+  {
+    ckpt::Writer w;
+    sys.hier->save(w);
+    snap.addSection("HIER", w.take());
+  }
+  return snap;
+}
+
+}  // namespace
+
+std::uint64_t systemConfigHash(const SystemConfig& cfg, const WorkloadSpec& workload) {
+  ckpt::Writer w;
+  w.u8(static_cast<std::uint8_t>(cfg.phy));
+  w.i32(cfg.ubank.nW);
+  w.i32(cfg.ubank.nB);
+  w.i32(resolvedChannels(cfg, workload));
+  w.i32(cfg.specCopies);
+  w.u8(static_cast<std::uint8_t>(cfg.pagePolicy));
+  w.u8(static_cast<std::uint8_t>(cfg.scheduler));
+  w.i32(cfg.interleaveBaseBit);
+  w.b(cfg.xorBankHash);
+  w.i32(cfg.queueDepth);
+  w.b(cfg.refresh);
+  w.b(cfg.perBankRefresh);
+  w.b(cfg.scaleActWindowWithRowSize);
+  w.b(cfg.timingCheck);
+  encodeHierConfig(w, resolvedHierConfig(cfg, workload));
+  w.i32(cfg.core.issueWidth);
+  w.i32(cfg.core.robSize);
+  w.i64(cfg.core.cyclePs);
+  w.i32(cfg.core.execLatCycles);
+  w.i32(cfg.core.mshrs);
+  w.i32(cfg.core.storeBuffer);
+  w.i64(cfg.core.runAheadQuantum);
+  w.i64(cfg.core.maxInstrs);
+  w.u64(cfg.seed);
+  encodeWorkload(w, workload);
+  return ckpt::fnv1a64(w.str());
+}
+
+std::uint64_t warmupKeyHash(const SystemConfig& cfg, const WorkloadSpec& workload,
+                            std::int64_t warmupRecords) {
+  ckpt::Writer w;
+  encodeWorkload(w, workload);
+  w.u64(cfg.seed);
+  // Only the processor-side shape matters for warmup state; zero out the
+  // PHY-derived link latency so one snapshot serves every memory config.
+  cpu::HierarchyConfig h = resolvedHierConfig(cfg, workload);
+  h.memLinkLatency = 0;
+  encodeHierConfig(w, h);
+  w.i64(warmupRecords);
+  return ckpt::fnv1a64(w.str());
+}
+
+std::string captureWarmupSnapshot(const SystemConfig& cfg, const WorkloadSpec& workload,
+                                  std::int64_t warmupRecords) {
+  MB_CHECK(warmupRecords > 0);
+  auto sys = buildSystem(cfg, workload);
+  runFunctionalWarmup(*sys, warmupRecords);
+  const std::uint64_t key = warmupKeyHash(cfg, workload, warmupRecords);
+  return makeWarmupSnapshot(*sys, key, workload).encode();
+}
+
+RunResult runSimulation(const SystemConfig& cfg, const WorkloadSpec& workload) {
+  return runSimulation(cfg, workload, RunOptions{});
+}
+
+RunResult runSimulation(const SystemConfig& cfg, const WorkloadSpec& workload,
+                        const RunOptions& opts) {
+  const bool restoring = !opts.restorePath.empty();
+  const bool checkpointing = opts.checkpointAt >= 0 && !opts.checkpointPath.empty();
+  MB_CHECK_MSG(cfg.recordCmdsPath.empty() || (!restoring && !checkpointing),
+               "checkpoint/restore is incompatible with command recording "
+               "(recordCmdsPath): the MBCMDT1 stream cannot be split");
+
+  auto sys = buildSystem(cfg, workload);
+  const int numCores = sys->numCores;
+
+  if (restoring) {
+    analysis::DiagnosticEngine diags;
+    auto snap = ckpt::readSnapshotFile(opts.restorePath, diags);
+    if (!snap) rejectSnapshot(diags.diagnostics().back());
+    restoreFullRun(*sys, cfg, workload, *snap, opts.restorePath);
+  } else {
+    if (opts.warmupRestoreBuf != nullptr || !opts.warmupRestorePath.empty()) {
+      const std::uint64_t key = warmupKeyHash(cfg, workload, opts.warmupRecords);
+      if (opts.warmupRestoreBuf != nullptr) {
+        analysis::DiagnosticEngine diags;
+        auto snap = ckpt::decodeSnapshot(*opts.warmupRestoreBuf, diags);
+        if (!snap) rejectSnapshot(diags.diagnostics().back());
+        restoreWarmup(*sys, key, *snap, "<memory>");
+      } else {
+        analysis::DiagnosticEngine diags;
+        auto snap = ckpt::readSnapshotFile(opts.warmupRestorePath, diags);
+        if (!snap) rejectSnapshot(diags.diagnostics().back());
+        restoreWarmup(*sys, key, *snap, opts.warmupRestorePath);
+      }
+    } else if (opts.warmupRecords > 0) {
+      runFunctionalWarmup(*sys, opts.warmupRecords);
+    }
+    for (auto& corePtr : sys->cores) corePtr->start();
+  }
 
   // ---- Run ----------------------------------------------------------------
   // Hard event cap guards against pathological configurations in tests.
   const std::uint64_t maxEvents =
       2000000000ull;  // far above any legitimate run in this repo
   std::uint64_t events = 0;
+  bool ckptPending = checkpointing;
   while (sys->coresDone < numCores) {
+    if (ckptPending && sys->eq.nextEventTime() >= opts.checkpointAt) {
+      analysis::DiagnosticEngine diags;
+      if (!ckpt::writeSnapshotFile(makeFullSnapshot(*sys, cfg, workload),
+                                   opts.checkpointPath, diags)) {
+        rejectSnapshot(diags.diagnostics().back());
+      }
+      ckptPending = false;
+    }
     if (!sys->eq.step()) break;
     MB_CHECK_MSG(++events < maxEvents,
                  "event cap hit at t=%lldps with %d/%d cores done — runaway "
@@ -191,6 +538,15 @@ RunResult runSimulation(const SystemConfig& cfg, const WorkloadSpec& workload) {
   MB_CHECK_MSG(sys->coresDone == numCores,
                "event queue drained with only %d/%d cores finished (workload %s)",
                sys->coresDone, numCores, workload.name.c_str());
+  if (ckptPending) {
+    // The run finished before the requested tick: checkpoint the final state
+    // (a restore then resumes into immediate completion).
+    analysis::DiagnosticEngine diags;
+    if (!ckpt::writeSnapshotFile(makeFullSnapshot(*sys, cfg, workload),
+                                 opts.checkpointPath, diags)) {
+      rejectSnapshot(diags.diagnostics().back());
+    }
+  }
 
   // ---- Collect ------------------------------------------------------------
   RunResult r;
@@ -274,7 +630,7 @@ RunResult runSimulation(const SystemConfig& cfg, const WorkloadSpec& workload) {
   act.l1Accesses = r.hierarchy.accesses;
   act.l2Accesses = r.hierarchy.accesses - r.hierarchy.l1Hits;
   act.cores = numCores;
-  act.l2Slices = hierCfg.numClusters();
+  act.l2Slices = sys->hierCfg.numClusters();
   act.elapsed = r.elapsed;
   e.processor = power::processorEnergy(cfg.procEnergy, act);
 

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/snapshot.hpp"
 #include "core/page_policy.hpp"
 #include "cpu/core.hpp"
 #include "cpu/hierarchy.hpp"
@@ -134,7 +135,49 @@ int resolvedBaseBit(const SystemConfig& cfg, const dram::Geometry& geom);
 mc::CmdTraceConfig cmdTraceConfigFor(const SystemConfig& cfg,
                                      const WorkloadSpec& workload);
 
+/// Optional checkpoint / warmup behaviour for a run. Default-constructed
+/// options reproduce the plain runSimulation() exactly.
+struct RunOptions {
+  /// Functional cache warmup: before the timed run, each core consumes this
+  /// many trace records through the hierarchy with zero latency (caches,
+  /// directory and prefetcher warm; DRAM and the event queue untouched).
+  /// Statistics are reset afterwards, so measurements start warm.
+  std::int64_t warmupRecords = 0;
+  /// Restore the warmup state from an encoded MBCKPT1 warmup snapshot
+  /// (captureWarmupSnapshot) instead of replaying it. The snapshot's warmup
+  /// key must match warmupKeyHash(cfg, workload, warmupRecords). The buffer
+  /// wins when both buffer and path are set.
+  const std::string* warmupRestoreBuf = nullptr;
+  std::string warmupRestorePath;
+  /// Write a full-run MBCKPT1 checkpoint at the first event boundary at or
+  /// after this tick (ps); the run then continues to completion. -1: off.
+  Tick checkpointAt = -1;
+  std::string checkpointPath;
+  /// Resume from a full-run checkpoint file and run to completion (the
+  /// warmup options above are ignored: the snapshot carries all state).
+  std::string restorePath;
+};
+
+/// FNV-1a hash of the canonically encoded resolved configuration +
+/// workload; embedded in full-run snapshots so a restore into a different
+/// configuration is rejected (MB-CKP-004).
+std::uint64_t systemConfigHash(const SystemConfig& cfg, const WorkloadSpec& workload);
+
+/// Hash of the warmup-relevant subset only — workload identity, seed, core
+/// population, cache/prefetcher configuration, warmup length. Memory-side
+/// parameters (nW/nB, PHY, scheduler, policy, channels...) are deliberately
+/// excluded: one warmup snapshot serves every memory config in a sweep.
+std::uint64_t warmupKeyHash(const SystemConfig& cfg, const WorkloadSpec& workload,
+                            std::int64_t warmupRecords);
+
+/// Build the system, run the functional warmup, and return the encoded
+/// MBCKPT1 warmup snapshot (trace-source + hierarchy state).
+std::string captureWarmupSnapshot(const SystemConfig& cfg, const WorkloadSpec& workload,
+                                  std::int64_t warmupRecords);
+
 /// Build and run one simulation to completion.
 RunResult runSimulation(const SystemConfig& cfg, const WorkloadSpec& workload);
+RunResult runSimulation(const SystemConfig& cfg, const WorkloadSpec& workload,
+                        const RunOptions& opts);
 
 }  // namespace mb::sim

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/serialize.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "trace/record.hpp"
@@ -33,7 +34,35 @@ class TraceSource {
  public:
   virtual ~TraceSource() = default;
   virtual Record next() = 0;
+
+  /// Serializable protocol: cursor / RNG state, so a restored run resumes
+  /// the stream exactly where the checkpoint left it.
+  virtual void save(ckpt::Writer& w) const = 0;
+  virtual void load(ckpt::Reader& r) = 0;
 };
+
+/// Shared helpers for sources whose mutable state includes an Rng.
+inline void saveRng(ckpt::Writer& w, const Rng& rng) {
+  std::uint64_t s[4];
+  rng.getState(s);
+  for (std::uint64_t v : s) w.u64(v);
+}
+inline void loadRng(ckpt::Reader& r, Rng& rng) {
+  std::uint64_t s[4];
+  for (auto& v : s) v = r.u64();
+  if (r.ok()) rng.setState(s);
+}
+inline void saveCursorVec(ckpt::Writer& w, const std::vector<std::uint64_t>& v) {
+  w.u64(v.size());
+  for (std::uint64_t x : v) w.u64(x);
+}
+inline void loadCursorVec(ckpt::Reader& r, std::vector<std::uint64_t>& v) {
+  if (r.u64() != v.size()) {  // sized at construction from the same params
+    r.fail();
+    return;
+  }
+  for (auto& x : v) x = r.u64();
+}
 
 /// Knobs for the single-threaded synthetic engine.
 struct SyntheticParams {
@@ -59,6 +88,17 @@ class SyntheticSource final : public TraceSource {
   Record next() override;
 
   const SyntheticParams& params() const { return p_; }
+
+  void save(ckpt::Writer& w) const override {
+    saveRng(w, rng_);
+    saveCursorVec(w, streamCursors_);
+    w.i32(nextStream_);
+  }
+  void load(ckpt::Reader& r) override {
+    loadRng(r, rng_);
+    loadCursorVec(r, streamCursors_);
+    nextStream_ = r.i32();
+  }
 
  private:
   std::uint64_t randomColdLine();
@@ -96,6 +136,17 @@ class RadixSource final : public TraceSource {
   RadixSource(const MtParams& params, ThreadId thread);
   Record next() override;
 
+  void save(ckpt::Writer& w) const override {
+    saveRng(w, rng_);
+    w.u64(readCursor_);
+    saveCursorVec(w, bucketCursors_);
+  }
+  void load(ckpt::Reader& r) override {
+    loadRng(r, rng_);
+    readCursor_ = r.u64();
+    loadCursorVec(r, bucketCursors_);
+  }
+
  private:
   Rng rng_;
   std::uint64_t readCursor_;
@@ -112,6 +163,19 @@ class FftSource final : public TraceSource {
  public:
   FftSource(const MtParams& params, ThreadId thread);
   Record next() override;
+
+  void save(ckpt::Writer& w) const override {
+    saveRng(w, rng_);
+    w.u64(cursor_);
+    w.i32(phaseLeft_);
+    w.b(transposePhase_);
+  }
+  void load(ckpt::Reader& r) override {
+    loadRng(r, rng_);
+    cursor_ = r.u64();
+    phaseLeft_ = r.i32();
+    transposePhase_ = r.b();
+  }
 
  private:
   Rng rng_;
@@ -133,6 +197,19 @@ class CannealSource final : public TraceSource {
   CannealSource(const MtParams& params, ThreadId thread);
   Record next() override;
 
+  void save(ckpt::Writer& w) const override {
+    saveRng(w, rng_);
+    w.u64(burstBase_);
+    w.i32(burstLeft_);
+    w.b(burstWrite_);
+  }
+  void load(ckpt::Reader& r) override {
+    loadRng(r, rng_);
+    burstBase_ = r.u64();
+    burstLeft_ = r.i32();
+    burstWrite_ = r.b();
+  }
+
  private:
   Rng rng_;
   std::uint64_t spanLines_;
@@ -149,6 +226,17 @@ class TpcSource final : public TraceSource {
  public:
   TpcSource(const MtParams& params, ThreadId thread);
   Record next() override;
+
+  void save(ckpt::Writer& w) const override {
+    saveRng(w, rng_);
+    saveCursorVec(w, scanCursors_);
+    w.i32(nextScan_);
+  }
+  void load(ckpt::Reader& r) override {
+    loadRng(r, rng_);
+    loadCursorVec(r, scanCursors_);
+    nextScan_ = r.i32();
+  }
 
  private:
   Rng rng_;

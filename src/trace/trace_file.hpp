@@ -60,6 +60,25 @@ class TraceFileSource final : public TraceSource {
   }
   std::int64_t wraps() const { return wraps_; }
 
+  void save(ckpt::Writer& w) const override {
+    w.u64(records_.size());  // cross-checked: same file must back the restore
+    w.u64(cursor_);
+    w.i64(wraps_);
+  }
+  void load(ckpt::Reader& r) override {
+    if (r.u64() != records_.size()) {
+      r.fail();
+      return;
+    }
+    const std::uint64_t cursor = r.u64();
+    if (cursor >= records_.size() && !records_.empty()) {
+      r.fail();
+      return;
+    }
+    cursor_ = static_cast<size_t>(cursor);
+    wraps_ = r.i64();
+  }
+
  private:
   std::vector<Record> records_;  // traces of interest fit in memory
   size_t cursor_ = 0;

@@ -1,0 +1,271 @@
+// MBCKPT1 container tests: serialization primitives, the snapshot frame,
+// and the malformed-input matrix — every corruption mode must be rejected
+// with its registered MB-CKP code (DESIGN.md §"Checkpoint & snapshot
+// reuse"), and no byte flip anywhere in a valid snapshot may slip through.
+#include "ckpt/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <unordered_map>
+
+#include "ckpt/serialize.hpp"
+
+namespace mb::ckpt {
+namespace {
+
+TEST(Serialize, WriterReaderRoundTrip) {
+  Writer w;
+  w.u8(0xAB);
+  w.b(true);
+  w.b(false);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.i32(-12345);
+  w.i64(std::numeric_limits<std::int64_t>::min());
+  w.f64(1.0 / 3.0);
+  w.f64(-0.0);
+  w.f64(std::numeric_limits<double>::denorm_min());
+  w.str("hello");
+  w.str("");
+
+  Reader r(w.str());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_TRUE(r.b());
+  EXPECT_FALSE(r.b());
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i32(), -12345);
+  EXPECT_EQ(r.i64(), std::numeric_limits<std::int64_t>::min());
+  // Doubles must round-trip bitwise, not just approximately.
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(r.f64()),
+            std::bit_cast<std::uint64_t>(1.0 / 3.0));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(r.f64()),
+            std::bit_cast<std::uint64_t>(-0.0));
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::denorm_min());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Serialize, ReaderUnderflowIsSticky) {
+  Writer w;
+  w.u32(7);
+  Reader r(w.str());
+  EXPECT_EQ(r.u32(), 7u);
+  EXPECT_EQ(r.u64(), 0u);  // past the end: zero, not UB
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.atEnd());
+  EXPECT_EQ(r.u8(), 0u);  // every further read keeps returning zero
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serialize, ReaderStringUnderflow) {
+  Writer w;
+  w.u32(100);  // claims a 100-byte string with no payload behind it
+  Reader r(w.str());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serialize, CountGuardRejectsHostileLength) {
+  Writer w;
+  w.u64(std::numeric_limits<std::uint64_t>::max());
+  Reader r(w.str());
+  EXPECT_EQ(r.count(8), 0u);  // cannot possibly fit: fail, no allocation
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serialize, Crc32KnownVector) {
+  // The canonical IEEE 802.3 check value.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0x00000000u);
+}
+
+TEST(Serialize, Fnv1a64IsStable) {
+  // Pin the hash of the empty string: config/warmup hashes are persisted in
+  // snapshot headers, so the function must never change across releases.
+  EXPECT_EQ(fnv1a64(""), 1469598103934665603ull);
+  EXPECT_NE(fnv1a64("a"), fnv1a64("b"));
+  EXPECT_NE(fnv1a64("ab"), fnv1a64("ba"));
+}
+
+TEST(Serialize, SaveMapSortedIsOrderIndependent) {
+  std::map<std::int64_t, int> ordered{{3, 30}, {1, 10}, {2, 20}};
+  std::unordered_map<std::int64_t, int> hashed(ordered.begin(), ordered.end());
+  Writer a;
+  saveMapSorted(a, ordered, [&](int v) { a.i32(v); });
+  Writer b;
+  saveMapSorted(b, hashed, [&](int v) { b.i32(v); });
+  EXPECT_EQ(a.str(), b.str());
+
+  Reader r(a.str());
+  EXPECT_EQ(r.u64(), 3u);
+  EXPECT_EQ(r.i64(), 1);
+  EXPECT_EQ(r.i32(), 10);
+  EXPECT_EQ(r.i64(), 2);
+  EXPECT_EQ(r.i32(), 20);
+  EXPECT_EQ(r.i64(), 3);
+  EXPECT_EQ(r.i32(), 30);
+  EXPECT_TRUE(r.atEnd());
+}
+
+Snapshot sampleSnapshot() {
+  Snapshot snap;
+  snap.kind = SnapshotKind::FullRun;
+  snap.configHash = 0x1122334455667788ull;
+  snap.warmupKey = 0;
+  snap.now = 123456789;
+  snap.geometry = {1, 1, 8, 4, 4};
+  snap.tool = "microbank test";
+  snap.workload = "429.mcf";
+  snap.addSection("TRACE", "trace-bytes");
+  snap.addSection("HIER", std::string(1000, '\x5A'));
+  snap.addSection("MC0", "");
+  return snap;
+}
+
+/// Decode and return the sole diagnostic code (or "" when decode succeeds).
+std::string decodeCode(const std::string& data) {
+  analysis::DiagnosticEngine diags;
+  const auto snap = decodeSnapshot(data, diags, "test");
+  if (snap.has_value()) return "";
+  EXPECT_FALSE(diags.diagnostics().empty());
+  return diags.diagnostics().back().code;
+}
+
+TEST(Snapshot, EncodeDecodeRoundTrip) {
+  const Snapshot snap = sampleSnapshot();
+  const std::string data = snap.encode();
+
+  analysis::DiagnosticEngine diags;
+  const auto back = decodeSnapshot(data, diags);
+  ASSERT_TRUE(back.has_value()) << diags.renderText();
+  EXPECT_EQ(back->kind, snap.kind);
+  EXPECT_EQ(back->configHash, snap.configHash);
+  EXPECT_EQ(back->warmupKey, snap.warmupKey);
+  EXPECT_EQ(back->now, snap.now);
+  EXPECT_EQ(back->geometry, snap.geometry);
+  EXPECT_EQ(back->tool, snap.tool);
+  EXPECT_EQ(back->workload, snap.workload);
+  ASSERT_EQ(back->sections.size(), 3u);
+  ASSERT_NE(back->section("HIER"), nullptr);
+  EXPECT_EQ(back->section("HIER")->payload, std::string(1000, '\x5A'));
+  EXPECT_EQ(back->section("MISSING"), nullptr);
+  // And the re-encode is byte-identical (canonical form).
+  EXPECT_EQ(back->encode(), data);
+}
+
+TEST(Snapshot, EmptySnapshotRoundTrips) {
+  Snapshot snap;
+  snap.kind = SnapshotKind::Warmup;
+  snap.warmupKey = 42;
+  analysis::DiagnosticEngine diags;
+  const auto back = decodeSnapshot(snap.encode(), diags);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->kind, SnapshotKind::Warmup);
+  EXPECT_EQ(back->warmupKey, 42u);
+  EXPECT_TRUE(back->sections.empty());
+}
+
+TEST(Snapshot, RejectsShortFrame) {
+  EXPECT_EQ(decodeCode(""), "MB-CKP-006");
+  EXPECT_EQ(decodeCode("MBCKPT1"), "MB-CKP-006");  // below magic + trailer
+}
+
+TEST(Snapshot, RejectsBadMagic) {
+  std::string data = sampleSnapshot().encode();
+  data[0] = 'X';
+  EXPECT_EQ(decodeCode(data), "MB-CKP-002");
+}
+
+TEST(Snapshot, RejectsUnsupportedVersion) {
+  std::string data = sampleSnapshot().encode();
+  data[8] = static_cast<char>(kSnapshotVersion + 1);  // version u32 LSB
+  EXPECT_EQ(decodeCode(data), "MB-CKP-003");
+}
+
+TEST(Snapshot, RejectsUnknownKind) {
+  std::string data = sampleSnapshot().encode();
+  data[12] = 7;  // kind u32 LSB: neither Warmup nor FullRun
+  EXPECT_EQ(decodeCode(data), "MB-CKP-005");
+}
+
+TEST(Snapshot, RejectsFlippedSectionPayloadByte) {
+  const Snapshot snap = sampleSnapshot();
+  std::string data = snap.encode();
+  // Flip a byte well inside the 1000-byte HIER payload; the per-section
+  // CRC fires before the file trailer is consulted.
+  const auto pos = data.find(std::string(100, '\x5A'));
+  ASSERT_NE(pos, std::string::npos);
+  data[pos + 50] ^= 0x01;
+  EXPECT_EQ(decodeCode(data), "MB-CKP-007");
+}
+
+TEST(Snapshot, RejectsFlippedHeaderByte) {
+  std::string data = sampleSnapshot().encode();
+  // Corrupt the tool string: sections still parse, so the file trailer is
+  // the check that catches it.
+  const auto pos = data.find("microbank test");
+  ASSERT_NE(pos, std::string::npos);
+  data[pos] ^= 0x01;
+  EXPECT_EQ(decodeCode(data), "MB-CKP-008");
+}
+
+TEST(Snapshot, RejectsTruncation) {
+  const std::string data = sampleSnapshot().encode();
+  for (const std::size_t keep : {data.size() - 1, data.size() - 5,
+                                 data.size() / 2, std::size_t{20}}) {
+    const std::string code = decodeCode(data.substr(0, keep));
+    EXPECT_FALSE(code.empty()) << "truncation to " << keep << " accepted";
+  }
+}
+
+TEST(Snapshot, RejectsTrailingBytes) {
+  // Inject bytes between the last section and the trailer, with the file
+  // CRC recomputed so only the framing check can object.
+  std::string body = sampleSnapshot().encode();
+  body.resize(body.size() - 4);  // drop the old trailer
+  body += "extra";
+  Writer w;
+  w.u32(crc32(body));
+  EXPECT_EQ(decodeCode(body + w.str()), "MB-CKP-011");
+}
+
+TEST(Snapshot, EveryByteFlipIsRejected) {
+  // Property: no single-byte corruption anywhere in the frame may decode.
+  const std::string data = sampleSnapshot().encode();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    std::string mutated = data;
+    mutated[i] ^= 0x01;
+    analysis::DiagnosticEngine diags;
+    EXPECT_FALSE(decodeSnapshot(mutated, diags, "flip").has_value())
+        << "flip at byte " << i << " accepted";
+  }
+}
+
+TEST(Snapshot, ReadFileReportsMissing) {
+  analysis::DiagnosticEngine diags;
+  EXPECT_FALSE(readSnapshotFile("/nonexistent/ckpt.mbk", diags).has_value());
+  ASSERT_FALSE(diags.diagnostics().empty());
+  EXPECT_EQ(diags.diagnostics().back().code, "MB-CKP-001");
+}
+
+TEST(Snapshot, WriteReadFileRoundTrip) {
+  const Snapshot snap = sampleSnapshot();
+  const std::string path = ::testing::TempDir() + "mb_snapshot_rt.mbk";
+  analysis::DiagnosticEngine diags;
+  ASSERT_TRUE(writeSnapshotFile(snap, path, diags)) << diags.renderText();
+  const auto back = readSnapshotFile(path, diags);
+  ASSERT_TRUE(back.has_value()) << diags.renderText();
+  EXPECT_EQ(back->encode(), snap.encode());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mb::ckpt

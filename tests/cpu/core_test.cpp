@@ -23,6 +23,8 @@ class ScriptedTrace final : public trace::TraceSource {
     r.addr = 0;
     return r;
   }
+  void save(ckpt::Writer& w) const override { w.u64(idx_); }
+  void load(ckpt::Reader& r) override { idx_ = static_cast<size_t>(r.u64()); }
 
  private:
   std::vector<trace::Record> records_;

@@ -1,0 +1,315 @@
+// Checkpoint/restore correctness: a restored run must be BIT-identical to
+// the cold run that produced the snapshot — same instruction counts, same
+// tick-resolution elapsed time, same energy down to the last double bit —
+// for every shipped preset. Also covers the semantic rejection codes the
+// restore orchestrator owns (MB-CKP-004/005/009/010/012) and the
+// warmup-snapshot reuse path the sweep engine builds on.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "ckpt/snapshot.hpp"
+#include "common/check.hpp"
+#include "sim/experiment.hpp"
+#include "sim/system.hpp"
+
+namespace mb::sim {
+namespace {
+
+/// Bitwise double equality: NaN-safe, distinguishes -0.0 from +0.0. Restore
+/// equivalence is exact replay, so approximate comparison would hide bugs.
+::testing::AssertionResult bitEq(const char* aExpr, const char* bExpr, double a,
+                                 double b) {
+  if (std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b))
+    return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << aExpr << " and " << bExpr << " differ bitwise: " << a << " vs " << b;
+}
+#define EXPECT_BITEQ(a, b) EXPECT_PRED_FORMAT2(bitEq, a, b)
+
+void expectBitIdentical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.workload, b.workload);
+  EXPECT_BITEQ(a.systemIpc, b.systemIpc);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_BITEQ(a.energy.processor, b.energy.processor);
+  EXPECT_BITEQ(a.energy.dramActPre, b.energy.dramActPre);
+  EXPECT_BITEQ(a.energy.dramStatic, b.energy.dramStatic);
+  EXPECT_BITEQ(a.energy.dramRdWr, b.energy.dramRdWr);
+  EXPECT_BITEQ(a.energy.io, b.energy.io);
+  EXPECT_BITEQ(a.invEdp, b.invEdp);
+  EXPECT_BITEQ(a.rowHitRate, b.rowHitRate);
+  EXPECT_BITEQ(a.predictorHitRate, b.predictorHitRate);
+  EXPECT_BITEQ(a.avgQueueOccupancy, b.avgQueueOccupancy);
+  EXPECT_BITEQ(a.avgReadLatencyNs, b.avgReadLatencyNs);
+  EXPECT_BITEQ(a.dataBusUtilization, b.dataBusUtilization);
+  EXPECT_EQ(a.dramReads, b.dramReads);
+  EXPECT_EQ(a.dramWrites, b.dramWrites);
+  EXPECT_EQ(a.activations, b.activations);
+  EXPECT_BITEQ(a.mapki, b.mapki);
+  EXPECT_EQ(a.hierarchy.accesses, b.hierarchy.accesses);
+  EXPECT_EQ(a.hierarchy.l1Hits, b.hierarchy.l1Hits);
+  EXPECT_EQ(a.hierarchy.l2Hits, b.hierarchy.l2Hits);
+  EXPECT_EQ(a.hierarchy.dramReads, b.hierarchy.dramReads);
+  EXPECT_EQ(a.hierarchy.dramWrites, b.hierarchy.dramWrites);
+  EXPECT_EQ(a.hierarchy.c2cTransfers, b.hierarchy.c2cTransfers);
+  EXPECT_EQ(a.hierarchy.invalidations, b.hierarchy.invalidations);
+  EXPECT_EQ(a.hierarchy.upgrades, b.hierarchy.upgrades);
+  EXPECT_EQ(a.hierarchy.prefetchIssued, b.hierarchy.prefetchIssued);
+  EXPECT_EQ(a.hierarchy.prefetchUseful, b.hierarchy.prefetchUseful);
+  ASSERT_EQ(a.coreIpc.size(), b.coreIpc.size());
+  for (std::size_t i = 0; i < a.coreIpc.size(); ++i)
+    EXPECT_BITEQ(a.coreIpc[i], b.coreIpc[i]);
+}
+
+SystemConfig presetFast(const NamedConfig& preset) {
+  SystemConfig cfg = preset.cfg;
+  cfg.core.maxInstrs = 15000;
+  return cfg;
+}
+
+// Satellite: two back-to-back runs of the same configuration must agree
+// bitwise — the simulator is deterministic for every shipped preset, which
+// is the property checkpoint/restore and sweep resume both stand on.
+TEST(Determinism, BackToBackRunsBitIdentical) {
+  const auto workload = WorkloadSpec::spec("429.mcf");
+  for (const auto& preset : shippedPresets()) {
+    SCOPED_TRACE(preset.name);
+    const SystemConfig cfg = presetFast(preset);
+    const RunResult a = runSimulation(cfg, workload);
+    const RunResult b = runSimulation(cfg, workload);
+    expectBitIdentical(a, b);
+  }
+}
+
+// Tentpole acceptance: for every shipped preset, (1) a run that writes a
+// mid-flight checkpoint is unperturbed by doing so, and (2) a run restored
+// from that checkpoint finishes bit-identical to the cold run.
+TEST(Checkpoint, RestoreEquivalentForEveryPreset) {
+  const auto workload = WorkloadSpec::spec("429.mcf");
+  for (const auto& preset : shippedPresets()) {
+    SCOPED_TRACE(preset.name);
+    const SystemConfig cfg = presetFast(preset);
+    const RunResult cold = runSimulation(cfg, workload);
+    ASSERT_GT(cold.elapsed, 0);
+
+    const std::string path = ::testing::TempDir() + "mb_ckpt_" + preset.name + ".mbk";
+    RunOptions save;
+    save.checkpointAt = cold.elapsed / 2;
+    save.checkpointPath = path;
+    const RunResult saver = runSimulation(cfg, workload, save);
+    expectBitIdentical(cold, saver);  // checkpointing must not perturb the run
+
+    RunOptions load;
+    load.restorePath = path;
+    const RunResult restored = runSimulation(cfg, workload, load);
+    expectBitIdentical(cold, restored);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(Checkpoint, PastEndCheckpointRestoresFinalState) {
+  const auto workload = WorkloadSpec::spec("429.mcf");
+  const SystemConfig cfg = presetFast(shippedPresets().front());
+  const RunResult cold = runSimulation(cfg, workload);
+
+  const std::string path = ::testing::TempDir() + "mb_ckpt_final.mbk";
+  RunOptions save;
+  save.checkpointAt = cold.elapsed * 10;  // never reached mid-run
+  save.checkpointPath = path;
+  const RunResult saver = runSimulation(cfg, workload, save);
+  expectBitIdentical(cold, saver);
+
+  // The post-loop flush captured the final state; restoring it resumes into
+  // immediate completion with the same report.
+  RunOptions load;
+  load.restorePath = path;
+  const RunResult restored = runSimulation(cfg, workload, load);
+  expectBitIdentical(cold, restored);
+  std::remove(path.c_str());
+}
+
+/// Run a restore under a check trap and return the failure text.
+std::string restoreFailure(const SystemConfig& cfg, const WorkloadSpec& workload,
+                           const std::string& path) {
+  ScopedCheckTrap trap;
+  try {
+    RunOptions load;
+    load.restorePath = path;
+    (void)runSimulation(cfg, workload, load);
+  } catch (const CheckFailure& f) {
+    return f.message;
+  }
+  return "";
+}
+
+/// Write a full-run checkpoint of (cfg, workload) at half distance.
+std::string writeCheckpoint(const SystemConfig& cfg, const WorkloadSpec& workload,
+                            const std::string& path) {
+  const RunResult cold = runSimulation(cfg, workload);
+  RunOptions save;
+  save.checkpointAt = cold.elapsed / 2;
+  save.checkpointPath = path;
+  (void)runSimulation(cfg, workload, save);
+  return path;
+}
+
+TEST(Checkpoint, RejectsConfigMismatch) {
+  const auto workload = WorkloadSpec::spec("429.mcf");
+  const SystemConfig cfg = presetFast(shippedPresets().front());
+  const std::string path = ::testing::TempDir() + "mb_ckpt_cfgmis.mbk";
+  writeCheckpoint(cfg, workload, path);
+
+  SystemConfig other = cfg;
+  other.seed += 1;  // any config delta changes the hash
+  const std::string msg = restoreFailure(other, workload, path);
+  EXPECT_NE(msg.find("MB-CKP-004"), std::string::npos) << msg;
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsWarmupSnapshotAsFullRun) {
+  const auto workload = WorkloadSpec::spec("429.mcf");
+  const SystemConfig cfg = presetFast(shippedPresets().front());
+  const std::string path = ::testing::TempDir() + "mb_ckpt_kind.mbk";
+  const std::string buf = captureWarmupSnapshot(cfg, workload, 500);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(buf.data(), 1, buf.size(), f), buf.size());
+  std::fclose(f);
+
+  const std::string msg = restoreFailure(cfg, workload, path);
+  EXPECT_NE(msg.find("MB-CKP-005"), std::string::npos) << msg;
+  std::remove(path.c_str());
+}
+
+/// Decode `path`, let `mutate` edit the snapshot, re-encode in place. The
+/// container CRCs are recomputed by encode(), so only the SEMANTIC checks
+/// can reject the result — exactly the codes under test here.
+void tamperSnapshot(const std::string& path,
+                    void (*mutate)(ckpt::Snapshot&)) {
+  analysis::DiagnosticEngine diags;
+  auto snap = ckpt::readSnapshotFile(path, diags);
+  ASSERT_TRUE(snap.has_value()) << diags.renderText();
+  mutate(*snap);
+  ASSERT_TRUE(ckpt::writeSnapshotFile(*snap, path, diags)) << diags.renderText();
+}
+
+TEST(Checkpoint, RejectsGeometryMismatch) {
+  const auto workload = WorkloadSpec::spec("429.mcf");
+  const SystemConfig cfg = presetFast(shippedPresets().front());
+  const std::string path = ::testing::TempDir() + "mb_ckpt_geom.mbk";
+  writeCheckpoint(cfg, workload, path);
+  tamperSnapshot(path, [](ckpt::Snapshot& s) { s.geometry.nW += 1; });
+
+  const std::string msg = restoreFailure(cfg, workload, path);
+  EXPECT_NE(msg.find("MB-CKP-009"), std::string::npos) << msg;
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsMissingSection) {
+  const auto workload = WorkloadSpec::spec("429.mcf");
+  const SystemConfig cfg = presetFast(shippedPresets().front());
+  const std::string path = ::testing::TempDir() + "mb_ckpt_missing.mbk";
+  writeCheckpoint(cfg, workload, path);
+  tamperSnapshot(path, [](ckpt::Snapshot& s) {
+    for (std::size_t i = 0; i < s.sections.size(); ++i) {
+      if (s.sections[i].name == "HIER") {
+        s.sections.erase(s.sections.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+    FAIL() << "checkpoint had no HIER section";
+  });
+
+  const std::string msg = restoreFailure(cfg, workload, path);
+  EXPECT_NE(msg.find("MB-CKP-010"), std::string::npos) << msg;
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsMalformedSectionPayload) {
+  const auto workload = WorkloadSpec::spec("429.mcf");
+  const SystemConfig cfg = presetFast(shippedPresets().front());
+  const std::string path = ::testing::TempDir() + "mb_ckpt_payload.mbk";
+  writeCheckpoint(cfg, workload, path);
+  tamperSnapshot(path, [](ckpt::Snapshot& s) {
+    for (auto& sec : s.sections) {
+      if (sec.name == "HIER") {
+        sec.payload = "not a hierarchy payload";  // container CRCs recomputed
+        return;
+      }
+    }
+    FAIL() << "checkpoint had no HIER section";
+  });
+
+  const std::string msg = restoreFailure(cfg, workload, path);
+  EXPECT_NE(msg.find("MB-CKP-012"), std::string::npos) << msg;
+  std::remove(path.c_str());
+}
+
+// Warmup snapshot reuse: restoring a captured warmup must be bit-identical
+// to replaying the warmup cold — including when the snapshot was captured
+// under a DIFFERENT memory-side configuration (that is the whole point:
+// one warmup serves every grid cell of a sweep).
+TEST(Warmup, SnapshotRestoreMatchesColdWarmup) {
+  const auto workload = WorkloadSpec::spec("429.mcf");
+  const SystemConfig cfg = presetFast(shippedPresets().front());
+
+  RunOptions cold;
+  cold.warmupRecords = 2000;
+  const RunResult coldRun = runSimulation(cfg, workload, cold);
+
+  const std::string snap = captureWarmupSnapshot(cfg, workload, 2000);
+  RunOptions restored;
+  restored.warmupRecords = 2000;
+  restored.warmupRestoreBuf = &snap;
+  const RunResult restoredRun = runSimulation(cfg, workload, restored);
+  expectBitIdentical(coldRun, restoredRun);
+}
+
+TEST(Warmup, SnapshotIsReusableAcrossMemoryConfigs) {
+  const auto workload = WorkloadSpec::spec("429.mcf");
+  const SystemConfig capture = presetFast(shippedPresets().front());
+
+  // A different PHY, partitioning and policy — but the same workload, seed
+  // and processor shape, so the warmup key matches.
+  SystemConfig other = capture;
+  other.phy = interface::PhyKind::Hmc;
+  other.ubank = dram::UbankConfig{4, 4};
+  other.pagePolicy = core::PolicyKind::Close;
+  ASSERT_EQ(warmupKeyHash(capture, workload, 2000),
+            warmupKeyHash(other, workload, 2000));
+
+  RunOptions cold;
+  cold.warmupRecords = 2000;
+  const RunResult coldRun = runSimulation(other, workload, cold);
+
+  const std::string snap = captureWarmupSnapshot(capture, workload, 2000);
+  RunOptions restored;
+  restored.warmupRecords = 2000;
+  restored.warmupRestoreBuf = &snap;
+  const RunResult restoredRun = runSimulation(other, workload, restored);
+  expectBitIdentical(coldRun, restoredRun);
+}
+
+TEST(Warmup, RejectsKeyMismatch) {
+  const auto workload = WorkloadSpec::spec("429.mcf");
+  const SystemConfig cfg = presetFast(shippedPresets().front());
+  const std::string snap = captureWarmupSnapshot(cfg, workload, 1000);
+
+  ScopedCheckTrap trap;
+  try {
+    RunOptions opts;
+    opts.warmupRecords = 2000;  // captured length was 1000: key differs
+    opts.warmupRestoreBuf = &snap;
+    (void)runSimulation(cfg, workload, opts);
+    FAIL() << "mismatched warmup key accepted";
+  } catch (const CheckFailure& f) {
+    EXPECT_NE(f.message.find("MB-CKP-005"), std::string::npos) << f.message;
+  }
+}
+
+}  // namespace
+}  // namespace mb::sim

@@ -69,6 +69,47 @@ if "$build/tools/mbaudit" "$audit_dir/cmds.tsi-baseline.mbc" \
 fi
 rm -rf "$audit_dir"
 
+echo "== checkpoint/restore equivalence per preset =="
+# For every shipped preset: run cold, run again writing a mid-flight MBCKPT1
+# checkpoint, then restore from it — all three reports must be byte-identical
+# (the ASan build also shakes memory bugs out of the save/load paths). The
+# checkpoint tick is chosen inside the fast slice's runtime for every preset.
+ckpt_dir="$build/ci-ckpt"
+mkdir -p "$ckpt_dir"
+while read -r preset; do
+  "$build/tools/mbsim" --preset="$preset" --workload=429.mcf --instrs=10000 \
+    > "$ckpt_dir/cold.txt"
+  "$build/tools/mbsim" --preset="$preset" --workload=429.mcf --instrs=10000 \
+    --checkpoint-at=15000000 --checkpoint="$ckpt_dir/ck.mbk" \
+    > "$ckpt_dir/save.txt"
+  "$build/tools/mbsim" --preset="$preset" --workload=429.mcf --instrs=10000 \
+    --restore-from="$ckpt_dir/ck.mbk" > "$ckpt_dir/restore.txt"
+  cmp "$ckpt_dir/cold.txt" "$ckpt_dir/save.txt" || {
+    echo "FAIL: checkpointing perturbed the run for preset $preset" >&2; exit 1; }
+  cmp "$ckpt_dir/cold.txt" "$ckpt_dir/restore.txt" || {
+    echo "FAIL: restore diverged from cold run for preset $preset" >&2; exit 1; }
+  echo "checkpoint/restore ok: $preset"
+done < <("$build/tools/mblint" --list-presets)
+
+echo "== resumable sweep journal =="
+# A sweep interrupted after its first completed point and resumed must print
+# the same table as an uninterrupted one (seed folding keyed to original
+# point indices), and a journal from a different sweep must be refused.
+"$build/tools/mbsim" --sweep --workload=429.mcf --instrs=10000 --jobs=1 \
+  --journal="$ckpt_dir/full.jsonl" > "$ckpt_dir/sweep-full.txt"
+head -n 2 "$ckpt_dir/full.jsonl" > "$ckpt_dir/partial.jsonl"
+"$build/tools/mbsim" --sweep --workload=429.mcf --instrs=10000 --jobs=1 \
+  --resume="$ckpt_dir/partial.jsonl" > "$ckpt_dir/sweep-resumed.txt"
+cmp "$ckpt_dir/sweep-full.txt" "$ckpt_dir/sweep-resumed.txt" || {
+  echo "FAIL: resumed sweep diverged from the uninterrupted run" >&2; exit 1; }
+if "$build/tools/mbsim" --sweep --workload=429.mcf --instrs=10000 --seed=999 \
+     --resume="$ckpt_dir/partial.jsonl" >/dev/null 2>&1; then
+  echo "FAIL: --resume accepted a journal from a different sweep" >&2
+  exit 1
+fi
+echo "sweep journal resume ok"
+rm -rf "$ckpt_dir"
+
 echo "== clang-tidy over src/ =="
 if command -v clang-tidy >/dev/null 2>&1; then
   # run-clang-tidy parallelises when present; fall back to a plain loop.

@@ -28,6 +28,7 @@
 
 #include "analysis/trace_audit.hpp"
 #include "common/string_util.hpp"
+#include "common/version.hpp"
 #include "sim/experiment.hpp"
 
 namespace {
@@ -51,7 +52,8 @@ bool matchFlag(const std::string& arg, const std::string& name, std::string* val
 
 void printJson(const std::string& path, const analysis::TraceAuditResult& res,
                const analysis::DiagnosticEngine& diags) {
-  std::printf("{\"file\":\"%s\",", analysis::jsonEscape(path).c_str());
+  std::printf("{\"tool\":\"%s\",", analysis::jsonEscape(versionString()).c_str());
+  std::printf("\"file\":\"%s\",", analysis::jsonEscape(path).c_str());
   std::printf("\"events\":%lld,\"rejected\":%lld,",
               static_cast<long long>(res.eventsAudited),
               static_cast<long long>(res.commandsRejected));
@@ -103,7 +105,10 @@ int main(int argc, char** argv) {
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--json") {
+    if (arg == "--version") {
+      std::printf("%s", versionBanner("mbaudit").c_str());
+      return 0;
+    } else if (arg == "--json") {
       json = true;
     } else if (matchFlag(arg, "geometry", &value)) {
       preset = value;

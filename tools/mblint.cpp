@@ -17,6 +17,9 @@
 //   --nw=N --nb=N --phy=KIND --policy=KIND --scheduler=KIND --ib=N
 //   --queue=N --channels=N --xor-bank-hash --per-bank-refresh
 //   --scale-act-window
+//
+// `--version` prints the tool + format versions; JSON output embeds the
+// same string in a top-level "tool" field.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -24,6 +27,7 @@
 
 #include "analysis/config_lint.hpp"
 #include "common/string_util.hpp"
+#include "common/version.hpp"
 #include "sim/experiment.hpp"
 
 namespace {
@@ -76,7 +80,10 @@ int main(int argc, char** argv) {
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--json") {
+    if (arg == "--version") {
+      std::printf("%s", versionBanner("mblint").c_str());
+      return 0;
+    } else if (arg == "--json") {
       json = true;
     } else if (arg == "--all-presets") {
       allPresets = true;
@@ -153,12 +160,13 @@ int main(int argc, char** argv) {
   }
 
   bool clean = true;
-  std::string jsonOut = "[";
+  std::string jsonOut =
+      "{\"tool\":\"" + analysis::jsonEscape(versionString()) + "\",\"results\":[";
   for (std::size_t i = 0; i < toLint.size(); ++i) {
     if (i) jsonOut += ',';
     clean = lintOne(toLint[i].name, toLint[i].cfg, json, &jsonOut) && clean;
   }
-  jsonOut += "]";
+  jsonOut += "]}";
   if (json) std::printf("%s\n", jsonOut.c_str());
   if (!json)
     std::printf("%s\n", clean ? "mblint: all configurations clean"

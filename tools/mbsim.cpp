@@ -12,6 +12,9 @@
 //                     a kernel ("RADIX"/"FFT"/"canneal"/"TPC-C"/"TPC-H"),
 //                     or recorded traces ("trace:PREFIX" -> PREFIX.<core>.mbt,
 //                     written by tools/mbtrace)
+//   --preset=NAME     start from a shipped preset configuration instead of
+//                     the TSI baseline (mblint --list-presets names them);
+//                     later flags still override individual knobs
 //   --nw=N --nb=N     μbank partitioning (powers of two, 1..16)
 //   --phy=KIND        ddr3-pcb | ddr3-tsi | lpddr-tsi | hmc
 //   --policy=KIND     open|close|minimalist|local|global|tournament|perfect
@@ -30,6 +33,25 @@
 //                     through the offline auditor and fail (exit 1) on any
 //                     MB-AUD violation; implies --record-cmds (default
 //                     "mbsim-cmds.mbc" when not given)
+//   --version         print tool + MBTRACE1/MBCMDT1/MBCKPT1 format versions
+//
+// Checkpoint / restore (MBCKPT1 snapshots, see src/ckpt/snapshot.hpp):
+//   --checkpoint-at=PS  capture a full-run snapshot at the first event
+//                     boundary at or after PS picoseconds of sim time
+//                     (a PS past the end snapshots the final state)
+//   --checkpoint=PATH where to write the snapshot (required with
+//                     --checkpoint-at); the run continues to completion
+//   --restore-from=PATH  skip the cold start: restore the snapshot and
+//                     resume — the final report is bit-identical to the
+//                     run that produced the snapshot
+//   --warmup=N        functional cache warmup: N trace records per core
+//                     replayed through the hierarchy before the timed run
+//   --warmup-save=PATH  run ONLY the functional warmup and save it as a
+//                     reusable warmup snapshot (no timed simulation)
+//   --warmup-load=PATH  restore a warmup snapshot (with --warmup=N, which
+//                     must match the captured length) instead of replaying
+// A mismatched or corrupted snapshot is rejected with a stable MB-CKP-NNN
+// diagnostic (registry: DESIGN.md §"Checkpoint & snapshot reuse").
 //
 // Sweep mode — run the workload over EVERY shipped preset in parallel and
 // print one summary row per preset:
@@ -44,6 +66,13 @@
 //                     instead of running every preset with the same seed
 //                     (same-seed runs are paired and directly comparable;
 //                     reseeded runs are statistically independent)
+//   --journal=PATH    stream each completed point to a JSONL journal as it
+//                     finishes (crash-safe: every line is flushed)
+//   --resume=PATH     re-run an interrupted journaled sweep: completed
+//                     points are replayed from the journal, only the rest
+//                     run (bit-identical to an uninterrupted sweep); the
+//                     journal must match this sweep's preset list, seed
+//                     and flags (exit 2 otherwise)
 //
 // A preset that fails mid-simulation is reported as an ERROR row (exit 1)
 // after the rest of the sweep completes — not a process abort.
@@ -55,8 +84,11 @@
 
 #include "analysis/config_lint.hpp"
 #include "analysis/trace_audit.hpp"
+#include "common/check.hpp"
 #include "common/string_util.hpp"
+#include "common/version.hpp"
 #include "sim/experiment.hpp"
+#include "sim/journal.hpp"
 #include "sim/sweep.hpp"
 
 namespace {
@@ -146,7 +178,7 @@ bool auditRecordedTrace(const std::string& path) {
 
 int runPresetSweep(const sim::SystemConfig& userCfg, const std::string& workload,
                    int jobs, bool reseed, const std::string& recordCmds,
-                   bool audit) {
+                   bool audit, const std::string& journalPath, bool resume) {
   const auto spec = workloadByName(workload);
   std::vector<sim::SweepPoint> points;
   for (const auto& preset : sim::shippedPresets()) {
@@ -165,7 +197,19 @@ int runPresetSweep(const sim::SystemConfig& userCfg, const std::string& workload
   opts.jobs = jobs;
   opts.reseedPoints = reseed;
   opts.progress = true;
-  const auto outcomes = sim::SweepRunner(opts).run(points);
+  std::vector<sim::SweepOutcome> outcomes;
+  if (!journalPath.empty()) {
+    std::string err;
+    auto merged = sim::runSweepJournaled(workload, points, opts, journalPath,
+                                         resume, &err);
+    if (!merged.has_value()) {
+      std::fprintf(stderr, "mbsim: %s\n", err.c_str());
+      return 2;
+    }
+    outcomes = std::move(*merged);
+  } else {
+    outcomes = sim::SweepRunner(opts).run(points);
+  }
 
   std::printf("preset sweep: workload=%s jobs=%d%s\n\n", workload.c_str(),
               sim::resolveJobs(jobs), reseed ? " (reseeded per point)" : "");
@@ -206,10 +250,17 @@ int main(int argc, char** argv) {
   bool audit = false;
   std::string recordCmds;
   int jobs = 0;
+  sim::RunOptions runOpts;
+  std::string warmupSave;
+  std::string journalPath;
+  bool resume = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--sweep") {
+    if (arg == "--version") {
+      std::printf("%s", versionBanner("mbsim").c_str());
+      return 0;
+    } else if (arg == "--sweep") {
       sweep = true;
     } else if (arg == "--reseed") {
       reseed = true;
@@ -218,6 +269,19 @@ int main(int argc, char** argv) {
       if (jobs < 1) usage("--jobs expects a positive integer");
     } else if (matchFlag(arg, "workload", &value)) {
       workload = value;
+    } else if (matchFlag(arg, "preset", &value)) {
+      bool found = false;
+      for (const auto& p : sim::shippedPresets()) {
+        if (p.name != value) continue;
+        const auto keepInstrs = cfg.core.maxInstrs;
+        const auto keepSeed = cfg.seed;
+        cfg = p.cfg;
+        cfg.core.maxInstrs = keepInstrs;
+        cfg.seed = keepSeed;
+        found = true;
+        break;
+      }
+      if (!found) usage(("unknown preset: " + value).c_str());
     } else if (matchFlag(arg, "nw", &value)) {
       cfg.ubank.nW = std::atoi(value.c_str());
     } else if (matchFlag(arg, "nb", &value)) {
@@ -265,6 +329,31 @@ int main(int argc, char** argv) {
       recordCmds = value;
     } else if (arg == "--audit") {
       audit = true;
+    } else if (matchFlag(arg, "checkpoint-at", &value)) {
+      runOpts.checkpointAt = std::atoll(value.c_str());
+      if (runOpts.checkpointAt < 0) usage("--checkpoint-at expects picoseconds >= 0");
+    } else if (matchFlag(arg, "checkpoint", &value)) {
+      if (value.empty()) usage("--checkpoint expects a file path");
+      runOpts.checkpointPath = value;
+    } else if (matchFlag(arg, "restore-from", &value)) {
+      if (value.empty()) usage("--restore-from expects a file path");
+      runOpts.restorePath = value;
+    } else if (matchFlag(arg, "warmup", &value)) {
+      runOpts.warmupRecords = std::atoll(value.c_str());
+      if (runOpts.warmupRecords < 1) usage("--warmup expects a positive record count");
+    } else if (matchFlag(arg, "warmup-save", &value)) {
+      if (value.empty()) usage("--warmup-save expects a file path");
+      warmupSave = value;
+    } else if (matchFlag(arg, "warmup-load", &value)) {
+      if (value.empty()) usage("--warmup-load expects a file path");
+      runOpts.warmupRestorePath = value;
+    } else if (matchFlag(arg, "journal", &value)) {
+      if (value.empty()) usage("--journal expects a file path");
+      journalPath = value;
+    } else if (matchFlag(arg, "resume", &value)) {
+      if (value.empty()) usage("--resume expects a journal path");
+      journalPath = value;
+      resume = true;
     } else {
       usage(("unrecognized argument: " + arg).c_str());
     }
@@ -284,14 +373,55 @@ int main(int argc, char** argv) {
   }
 
   if (audit && recordCmds.empty()) recordCmds = "mbsim-cmds.mbc";
+  if ((runOpts.checkpointAt >= 0) != !runOpts.checkpointPath.empty())
+    usage("--checkpoint-at and --checkpoint must be given together");
+  if (!journalPath.empty() && !sweep)
+    usage("--journal/--resume only apply to --sweep mode");
 
-  if (sweep) return runPresetSweep(cfg, workload, jobs, reseed, recordCmds, audit);
+  if (sweep)
+    return runPresetSweep(cfg, workload, jobs, reseed, recordCmds, audit,
+                          journalPath, resume);
 
   cfg.recordCmdsPath = recordCmds;
   auto spec = workloadByName(workload);
   applyWorkloadShape(cfg, spec);
 
-  const auto r = sim::runSimulation(cfg, spec);
+  // A rejected snapshot (or any other MB_CHECK failure) becomes a printed
+  // diagnostic and exit 2 — same contract as mblint/mbaudit, no SIGABRT.
+  ScopedCheckTrap trap;
+
+  if (!warmupSave.empty()) {
+    // Capture-only mode: run the functional warmup and persist it as a
+    // reusable MBCKPT1 warmup snapshot; no timed simulation.
+    if (runOpts.warmupRecords < 1)
+      usage("--warmup-save requires --warmup=N (the warmup length)");
+    std::string buf;
+    try {
+      buf = sim::captureWarmupSnapshot(cfg, spec, runOpts.warmupRecords);
+    } catch (const CheckFailure& f) {
+      std::fprintf(stderr, "mbsim: %s\n", f.message.c_str());
+      return 2;
+    }
+    std::FILE* f = std::fopen(warmupSave.c_str(), "wb");
+    if (f == nullptr || std::fwrite(buf.data(), 1, buf.size(), f) != buf.size()) {
+      if (f != nullptr) std::fclose(f);
+      std::fprintf(stderr, "mbsim: cannot write %s\n", warmupSave.c_str());
+      return 2;
+    }
+    std::fclose(f);
+    std::printf("wrote warmup snapshot (%zu bytes, %lld records/core) to %s\n",
+                buf.size(), static_cast<long long>(runOpts.warmupRecords),
+                warmupSave.c_str());
+    return 0;
+  }
+
+  sim::RunResult r;
+  try {
+    r = sim::runSimulation(cfg, spec, runOpts);
+  } catch (const CheckFailure& f) {
+    std::fprintf(stderr, "mbsim: %s\n", f.message.c_str());
+    return 2;
+  }
 
   std::printf("workload            %s\n", r.workload.c_str());
   std::printf("phy                 %s\n", interface::phyKindName(cfg.phy).c_str());

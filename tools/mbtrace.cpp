@@ -13,6 +13,7 @@
 #include <string>
 
 #include "common/string_util.hpp"
+#include "common/version.hpp"
 #include "trace/profiles.hpp"
 #include "trace/trace_file.hpp"
 
@@ -47,7 +48,10 @@ int main(int argc, char** argv) {
   std::string value;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (matchFlag(arg, "app", &value)) {
+    if (arg == "--version") {
+      std::printf("%s", versionBanner("mbtrace").c_str());
+      return 0;
+    } else if (matchFlag(arg, "app", &value)) {
       app = value;
     } else if (matchFlag(arg, "out", &value)) {
       out = value;
