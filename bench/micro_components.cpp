@@ -76,11 +76,9 @@ void BM_CacheInsertEvict(benchmark::State& state) {
 }
 BENCHMARK(BM_CacheInsertEvict);
 
-void BM_SchedulerPick(benchmark::State& state) {
-  auto sched = mc::makeScheduler(
-      static_cast<mc::SchedulerKind>(state.range(0)));
+std::vector<mc::Candidate> makeCandidates(mc::Scheduler& sched, std::size_t n) {
   Rng rng(3);
-  std::vector<mc::Candidate> cands(32);
+  std::vector<mc::Candidate> cands(n);
   for (size_t i = 0; i < cands.size(); ++i) {
     auto& c = cands[i];
     c.queueIndex = static_cast<int>(i);
@@ -93,13 +91,44 @@ void BM_SchedulerPick(benchmark::State& state) {
     req.id = c.id;
     req.thread = c.thread;
     req.arrival = c.arrival;
-    sched->onEnqueue(req);
+    sched.onEnqueue(req);
   }
+  return cands;
+}
+
+void BM_SchedulerPick(benchmark::State& state) {
+  auto sched = mc::makeScheduler(
+      static_cast<mc::SchedulerKind>(state.range(0)));
+  auto cands = makeCandidates(*sched, static_cast<std::size_t>(state.range(1)));
   for (auto _ : state) {
     benchmark::DoNotOptimize(sched->pick(cands, 500000));
   }
 }
-BENCHMARK(BM_SchedulerPick)->Arg(0)->Arg(1)->Arg(2);  // FCFS, FR-FCFS, PAR-BS
+// Args: {scheduler kind (FCFS, FR-FCFS, PAR-BS), candidate count}. The large
+// counts model deep per-channel queues where the scan dominates kick().
+BENCHMARK(BM_SchedulerPick)
+    ->Args({0, 32})->Args({1, 32})->Args({2, 32})
+    ->Args({0, 64})->Args({1, 64})->Args({2, 64})
+    ->Args({0, 256})->Args({1, 256})->Args({2, 256});
+
+void BM_SchedulerPickPair(benchmark::State& state) {
+  // The fused single-scan used by MemoryController::kick(): one pass yields
+  // both the issuable-now best and the overall best for the priority gate.
+  // Compare against 2x BM_SchedulerPick at the same count; the win grows
+  // with comparator cost, so PAR-BS (the shipped default) benefits most.
+  auto sched = mc::makeScheduler(
+      static_cast<mc::SchedulerKind>(state.range(0)));
+  auto cands = makeCandidates(*sched, static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    const auto pp = sched->pickPair(cands, 500000);
+    benchmark::DoNotOptimize(pp.issuable);
+    benchmark::DoNotOptimize(pp.overall);
+  }
+}
+BENCHMARK(BM_SchedulerPickPair)
+    ->Args({0, 32})->Args({1, 32})->Args({2, 32})
+    ->Args({0, 64})->Args({1, 64})->Args({2, 64})
+    ->Args({0, 256})->Args({1, 256})->Args({2, 256});
 
 void BM_DramCommandCycle(benchmark::State& state) {
   const auto g = benchGeometry();

@@ -1,0 +1,281 @@
+// mbperf — host-performance harness for the simulator itself.
+//
+// Runs every shipped preset for a fixed instruction slice and reports how
+// fast the ENGINE executes: wall seconds, dispatched events/sec, simulated
+// core-cycles/sec, and peak RSS, per preset and in aggregate, as both a
+// stdout table and a machine-readable BENCH_PERF.json (format MBPERF1).
+// tools/ci.sh records it on every gate run (non-gating) so the throughput
+// trajectory of the event engine and MC arbitration loop is visible PR over
+// PR; bench/perf_baseline.txt pins the last accepted events/sec per preset
+// and --baseline diffs against it with a generous machine-noise tolerance.
+//
+//   mbperf [--out=BENCH_PERF.json] [--workload=429.mcf] [--instrs=N]
+//          [--repeat=N] [--preset=NAME] [--baseline=FILE] [--tolerance=0.25]
+//          [--update-baseline=FILE]
+//
+// Timing methodology: each preset runs `repeat` times and the FASTEST run is
+// reported (minimum wall time estimates the cost floor; means absorb
+// scheduler noise from the host). Simulation output is deterministic, so
+// repeats are free of variance in work done. Baseline diffs are warn-only:
+// perf regressions should be loud in CI logs but a shared, throttled, or
+// slow host must not fail the gate.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace {
+
+using namespace mb;
+
+struct Options {
+  std::string out = "BENCH_PERF.json";
+  std::string workload = "429.mcf";
+  std::int64_t instrs = 10000;
+  int repeat = 3;
+  std::string presetFilter;     // empty = all
+  std::string baselinePath;     // diff against this (warn-only)
+  std::string updateBaseline;   // write events/sec table here
+  double tolerance = 0.25;
+};
+
+struct PresetPerf {
+  std::string preset;
+  double wallSeconds = 0.0;
+  std::uint64_t events = 0;
+  double eventsPerSec = 0.0;
+  double simulatedCyclesPerSec = 0.0;
+  long peakRssKiB = 0;
+};
+
+[[noreturn]] void usageError(const std::string& msg) {
+  std::fprintf(stderr, "mbperf: %s\n", msg.c_str());
+  std::fprintf(stderr,
+               "usage: mbperf [--out=FILE] [--workload=NAME] [--instrs=N] "
+               "[--repeat=N]\n              [--preset=NAME] [--baseline=FILE] "
+               "[--tolerance=FRAC] [--update-baseline=FILE]\n");
+  std::exit(2);
+}
+
+Options parseArgs(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto val = [&](const char* flag) -> std::string {
+      return a.substr(std::strlen(flag));
+    };
+    if (a.rfind("--out=", 0) == 0) {
+      o.out = val("--out=");
+    } else if (a.rfind("--workload=", 0) == 0) {
+      o.workload = val("--workload=");
+    } else if (a.rfind("--instrs=", 0) == 0) {
+      o.instrs = std::atoll(val("--instrs=").c_str());
+      if (o.instrs <= 0) usageError("--instrs must be positive");
+    } else if (a.rfind("--repeat=", 0) == 0) {
+      o.repeat = std::atoi(val("--repeat=").c_str());
+      if (o.repeat <= 0) usageError("--repeat must be positive");
+    } else if (a.rfind("--preset=", 0) == 0) {
+      o.presetFilter = val("--preset=");
+    } else if (a.rfind("--baseline=", 0) == 0) {
+      o.baselinePath = val("--baseline=");
+    } else if (a.rfind("--update-baseline=", 0) == 0) {
+      o.updateBaseline = val("--update-baseline=");
+    } else if (a.rfind("--tolerance=", 0) == 0) {
+      o.tolerance = std::atof(val("--tolerance=").c_str());
+      if (o.tolerance <= 0.0) usageError("--tolerance must be positive");
+    } else {
+      usageError("unknown argument: " + a);
+    }
+  }
+  return o;
+}
+
+long peakRssKiB() {
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return ru.ru_maxrss;  // Linux: KiB
+}
+
+PresetPerf measure(const sim::NamedConfig& preset, const Options& o) {
+  sim::SystemConfig cfg = preset.cfg;
+  cfg.core.maxInstrs = o.instrs;
+
+  PresetPerf p;
+  p.preset = preset.name;
+  double bestWall = 0.0;
+  for (int rep = 0; rep < o.repeat; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const sim::RunResult r = sim::runSpecApp(o.workload, cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall = std::chrono::duration<double>(t1 - t0).count();
+    if (rep == 0 || wall < bestWall) {
+      bestWall = wall;
+      p.events = r.eventsProcessed;
+      const double simCycles =
+          static_cast<double>(r.elapsed) / static_cast<double>(cfg.core.cyclePs);
+      p.simulatedCyclesPerSec = wall > 0.0 ? simCycles / wall : 0.0;
+    }
+  }
+  p.wallSeconds = bestWall;
+  p.eventsPerSec =
+      bestWall > 0.0 ? static_cast<double>(p.events) / bestWall : 0.0;
+  p.peakRssKiB = peakRssKiB();
+  return p;
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void writeJson(const std::vector<PresetPerf>& perfs, const Options& o) {
+  std::ofstream out(o.out, std::ios::trunc);
+  if (!out.good()) {
+    std::fprintf(stderr, "mbperf: cannot write %s\n", o.out.c_str());
+    std::exit(1);
+  }
+  double totalWall = 0.0;
+  std::uint64_t totalEvents = 0;
+  for (const auto& p : perfs) {
+    totalWall += p.wallSeconds;
+    totalEvents += p.events;
+  }
+  char buf[256];
+  out << "{\"format\":\"MBPERF1\",\"workload\":\"" << jsonEscape(o.workload)
+      << "\",\"instrs\":" << o.instrs << ",\"repeat\":" << o.repeat
+      << ",\"presets\":[";
+  for (std::size_t i = 0; i < perfs.size(); ++i) {
+    const auto& p = perfs[i];
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"preset\":\"%s\",\"wallSeconds\":%.6g,\"events\":%llu,"
+                  "\"eventsPerSec\":%.6g,\"simulatedCyclesPerSec\":%.6g,"
+                  "\"peakRssKiB\":%ld}",
+                  i == 0 ? "" : ",", jsonEscape(p.preset).c_str(), p.wallSeconds,
+                  static_cast<unsigned long long>(p.events), p.eventsPerSec,
+                  p.simulatedCyclesPerSec, p.peakRssKiB);
+    out << buf;
+  }
+  std::snprintf(buf, sizeof buf,
+                "],\"totals\":{\"wallSeconds\":%.6g,\"events\":%llu,"
+                "\"eventsPerSec\":%.6g,\"peakRssKiB\":%ld}}\n",
+                totalWall, static_cast<unsigned long long>(totalEvents),
+                totalWall > 0.0 ? static_cast<double>(totalEvents) / totalWall
+                                : 0.0,
+                peakRssKiB());
+  out << buf;
+}
+
+std::map<std::string, double> readBaseline(const std::string& path) {
+  std::map<std::string, double> out;
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "mbperf: WARN cannot read baseline %s\n", path.c_str());
+    return out;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string name;
+    double eps = 0.0;
+    if (ls >> name >> eps) out[name] = eps;
+  }
+  return out;
+}
+
+// Warn-only comparison: a slower-than-tolerance preset is flagged loudly but
+// never fails the run — CI hosts are shared and noisy. Returns the number of
+// flagged presets so callers that WANT to gate can.
+int diffBaseline(const std::vector<PresetPerf>& perfs, const Options& o) {
+  const auto base = readBaseline(o.baselinePath);
+  if (base.empty()) return 0;
+  int flagged = 0;
+  for (const auto& p : perfs) {
+    const auto it = base.find(p.preset);
+    if (it == base.end()) {
+      std::printf("perf-diff %-34s NEW (no baseline entry)\n", p.preset.c_str());
+      continue;
+    }
+    const double ratio = it->second > 0.0 ? p.eventsPerSec / it->second : 0.0;
+    if (ratio < 1.0 - o.tolerance) {
+      ++flagged;
+      std::printf(
+          "perf-diff %-34s WARN %.2fx baseline (%.3g vs %.3g events/s, "
+          "tolerance %.0f%%)\n",
+          p.preset.c_str(), ratio, p.eventsPerSec, it->second,
+          o.tolerance * 100.0);
+    } else if (ratio > 1.0 + o.tolerance) {
+      std::printf(
+          "perf-diff %-34s NOTE %.2fx baseline — consider refreshing "
+          "bench/perf_baseline.txt\n",
+          p.preset.c_str(), ratio);
+    } else {
+      std::printf("perf-diff %-34s ok %.2fx baseline\n", p.preset.c_str(), ratio);
+    }
+  }
+  return flagged;
+}
+
+void writeBaseline(const std::vector<PresetPerf>& perfs, const Options& o) {
+  std::ofstream out(o.updateBaseline, std::ios::trunc);
+  if (!out.good()) {
+    std::fprintf(stderr, "mbperf: cannot write %s\n", o.updateBaseline.c_str());
+    std::exit(1);
+  }
+  out << "# mbperf events/sec baseline (workload=" << o.workload
+      << " instrs=" << o.instrs << ").\n"
+      << "# Regenerate on a quiet host: mbperf --update-baseline=bench/"
+         "perf_baseline.txt\n";
+  char buf[128];
+  for (const auto& p : perfs) {
+    std::snprintf(buf, sizeof buf, "%s %.6g\n", p.preset.c_str(),
+                  p.eventsPerSec);
+    out << buf;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parseArgs(argc, argv);
+
+  std::vector<PresetPerf> perfs;
+  std::printf("mbperf: workload=%s instrs=%lld repeat=%d (best-of)\n",
+              o.workload.c_str(), static_cast<long long>(o.instrs), o.repeat);
+  std::printf("%-34s %10s %12s %14s %16s %10s\n", "preset", "wall-s", "events",
+              "events/s", "sim-cycles/s", "rss-KiB");
+  bool matched = false;
+  for (const auto& preset : sim::shippedPresets()) {
+    if (!o.presetFilter.empty() && preset.name != o.presetFilter) continue;
+    matched = true;
+    const PresetPerf p = measure(preset, o);
+    std::printf("%-34s %10.4f %12llu %14.4g %16.4g %10ld\n", p.preset.c_str(),
+                p.wallSeconds, static_cast<unsigned long long>(p.events),
+                p.eventsPerSec, p.simulatedCyclesPerSec, p.peakRssKiB);
+    perfs.push_back(p);
+  }
+  if (!matched) usageError("--preset matched no shipped preset");
+
+  writeJson(perfs, o);
+  std::printf("wrote %s\n", o.out.c_str());
+  if (!o.updateBaseline.empty()) {
+    writeBaseline(perfs, o);
+    std::printf("wrote baseline %s\n", o.updateBaseline.c_str());
+  }
+  if (!o.baselinePath.empty()) diffBaseline(perfs, o);
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Small-buffer move-only callable for the event engine.
+//
+// Every simulated event used to carry a std::function<void()>, whose type
+// erasure heap-allocates for captures beyond the (tiny) libstdc++ SBO and
+// drags in copy machinery the queue never uses. All event callbacks in this
+// codebase are `[this, token]`-shaped lambdas of at most a few words, so an
+// InlineCallback stores the callable in a 48-byte in-place buffer with a
+// per-type static ops table (invoke / relocate / destroy); only callables
+// larger than the buffer (none today) fall back to a single heap node.
+//
+// Semantics: move-only, not copyable (events fire exactly once; the queue
+// never duplicates them). Moved-from is empty. Invoking an empty callback is
+// an MB_DCHECK-able bug; operator() assumes non-empty on the hot path.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace mb {
+
+class InlineCallback {
+ public:
+  // Large enough for every event lambda in the simulator (this + a token or
+  // tick, with slack for a std::function wrapper during checkpoint replay).
+  static constexpr std::size_t kInlineSize = 48;
+
+  InlineCallback() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &inlineOps<Fn>;
+    } else {
+      *reinterpret_cast<Fn**>(buf_) = new Fn(std::forward<F>(f));
+      ops_ = &heapOps<Fn>;
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(buf_, other.buf_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() {
+    MB_DCHECK(ops_ != nullptr);
+    ops_->invoke(buf_);
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-construct *src into dst storage and destroy *src (relocation).
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr Ops inlineOps = {
+      [](void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); },
+      [](void* dst, void* src) {
+        Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](void* p) { std::launder(reinterpret_cast<Fn*>(p))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops heapOps = {
+      [](void* p) { (**reinterpret_cast<Fn**>(p))(); },
+      [](void* dst, void* src) {
+        *reinterpret_cast<Fn**>(dst) = *reinterpret_cast<Fn**>(src);
+      },
+      [](void* p) { delete *reinterpret_cast<Fn**>(p); },
+  };
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace mb

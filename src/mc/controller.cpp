@@ -168,6 +168,8 @@ Tick MemoryController::earliestFor(const Pending& p, Tick now, DramCommand& cmdO
 void MemoryController::buildCandidates(Tick now, std::vector<Candidate>& cands,
                                        std::vector<Pending*>& byCandidate,
                                        Tick& minFuture) {
+  cands.clear();
+  byCandidate.clear();
   auto add = [&](Pending& p) {
     DramCommand cmd{};
     const Tick earliest = earliestFor(p, now, cmd);
@@ -333,33 +335,71 @@ void MemoryController::armKick(Tick at) {
   // will fire first among this tick's kick events anyway (earlier sequence)
   // and perform the work; a duplicate would be a guaranteed no-op. Keeping
   // the set deduplicated lets a checkpoint reify it exactly.
-  if (kickEvents_.count(at) != 0) return;
-  kickEvents_[at] = eq_.scheduleAt(at, [this, at] {
-    kickEvents_.erase(at);
-    if (nextKickAt_ == at) {
-      nextKickAt_ = kTickNever;
-      kick();
-    }
-  });
+  const auto it = std::lower_bound(
+      kickEvents_.begin(), kickEvents_.end(), at,
+      [](const KickEvent& e, Tick t) { return e.at < t; });
+  if (it != kickEvents_.end() && it->at == at) return;
+  const std::uint64_t seq = eq_.scheduleAt(at, [this, at] { onKickEventFired(at); });
+  kickEvents_.insert(it, KickEvent{at, seq});
+}
+
+void MemoryController::onKickEventFired(Tick at) {
+  eraseKickEvent(at);
+  if (nextKickAt_ == at) {
+    nextKickAt_ = kTickNever;
+    kick();
+  }
+}
+
+void MemoryController::eraseKickEvent(Tick at) {
+  const auto it = std::lower_bound(
+      kickEvents_.begin(), kickEvents_.end(), at,
+      [](const KickEvent& e, Tick t) { return e.at < t; });
+  MB_DCHECK(it != kickEvents_.end() && it->at == at);
+  if (it != kickEvents_.end() && it->at == at) kickEvents_.erase(it);
+}
+
+int MemoryController::allocCompletionSlot() {
+  if (freeCompletionSlot_ >= 0) {
+    const int slot = freeCompletionSlot_;
+    freeCompletionSlot_ = completionSlots_[static_cast<size_t>(slot)].nextFree;
+    return slot;
+  }
+  completionSlots_.emplace_back();
+  return static_cast<int>(completionSlots_.size() - 1);
 }
 
 void MemoryController::scheduleCompletion(std::function<void(Tick)> cb, Tick due,
                                           std::uint64_t addr, CoreId core) {
   const std::uint64_t token = nextCompletionToken_++;
-  auto& c = completions_[token];
-  c.due = due;
-  c.addr = addr;
-  c.core = core;
-  c.cb = std::move(cb);
-  c.seq = eq_.scheduleAt(due, [this, token] { fireCompletion(token); });
+  const int slot = allocCompletionSlot();
+  auto& s = completionSlots_[static_cast<size_t>(slot)];
+  s.live = true;
+  s.token = token;
+  s.c.due = due;
+  s.c.addr = addr;
+  s.c.core = core;
+  s.c.cb = std::move(cb);
+  ++liveCompletions_;
+  s.c.seq = eq_.scheduleAt(due, [this, slot, token] { fireCompletion(slot, token); });
 }
 
-void MemoryController::fireCompletion(std::uint64_t token) {
-  auto it = completions_.find(token);
-  MB_CHECK(it != completions_.end());
-  auto cb = std::move(it->second.cb);
-  const Tick due = it->second.due;
-  completions_.erase(it);
+void MemoryController::fireCompletion(int slot, std::uint64_t token) {
+  auto& s = completionSlots_[static_cast<size_t>(slot)];
+  // The token pins the event to the slot's occupant at scheduling time: a
+  // recycled slot with a different token would mean an event outlived its
+  // completion, which the free-list discipline forbids.
+  MB_CHECK(s.live && s.token == token);
+  auto cb = std::move(s.c.cb);
+  const Tick due = s.c.due;
+  // Free the slot before running the callback: it may re-enter
+  // scheduleCompletion (forwarded read) and legitimately reuse this slot
+  // under a fresh token.
+  s.live = false;
+  s.c.cb = nullptr;
+  s.nextFree = freeCompletionSlot_;
+  freeCompletionSlot_ = slot;
+  --liveCompletions_;
   cb(due);
 }
 
@@ -372,28 +412,30 @@ void MemoryController::kick() {
   });
 
   for (;;) {
-    std::vector<Candidate> cands;
-    std::vector<Pending*> byCandidate;
     Tick minFuture = kTickNever;
-    buildCandidates(eq_.now(), cands, byCandidate, minFuture);
+    buildCandidates(eq_.now(), candBuf_, byCandidateBuf_, minFuture);
 
-    const int pickIdx = scheduler_->pick(cands, eq_.now());
+    // One fused scan yields both the issuable winner and the scheduler's
+    // overall favourite (the priority-gate probe that used to cost a second
+    // full pick() pass).
+    const Scheduler::PickPair pp = scheduler_->pickPair(candBuf_, eq_.now());
+    const int pickIdx = pp.issuable;
     if (pickIdx >= 0) {
       // Priority gate: if the scheduler's overall favourite (ignoring issue
       // readiness) is a different, imminently-ready command, hold the bus
       // for it. Without this, a stream of back-to-back row hits can starve
       // a higher-priority precharge forever: every hit CAS pushes the
       // victim's tRTP window just past "now" again (priority inversion).
-      const int bestIdx = scheduler_->pick(cands, kTickNever / 2);
+      const int bestIdx = pp.overall;
       if (bestIdx >= 0 && bestIdx != pickIdx) {
-        const Tick bestAt = cands[static_cast<size_t>(bestIdx)].earliestIssue;
+        const Tick bestAt = candBuf_[static_cast<size_t>(bestIdx)].earliestIssue;
         if (bestAt > eq_.now() &&
             bestAt - eq_.now() <= 2 * channel_.timing().tCCD) {
           scheduleKick(bestAt);
           break;
         }
       }
-      issueFor(*byCandidate[static_cast<size_t>(pickIdx)], eq_.now());
+      issueFor(*byCandidateBuf_[static_cast<size_t>(pickIdx)], eq_.now());
       // The command bus is now busy for tCMD; re-evaluating immediately
       // would find nothing issuable, so fall through to the scheduling path
       // on the next loop iteration.
@@ -533,19 +575,29 @@ void MemoryController::save(ckpt::Writer& w) const {
 
   w.i64(nextKickAt_);
   w.u64(kickEvents_.size());
-  for (const auto& [at, seq] : kickEvents_) {
-    w.i64(at);
-    w.u64(seq);
+  for (const auto& e : kickEvents_) {  // vector is sorted ascending by tick
+    w.i64(e.at);
+    w.u64(e.seq);
   }
   w.u64(nextRequestId_);
   w.u64(nextCompletionToken_);
-  w.u64(completions_.size());
-  for (const auto& [token, c] : completions_) {
-    w.u64(token);
-    w.u64(c.seq);
-    w.i64(c.due);
-    w.u64(c.addr);
-    w.i32(c.core);
+  // Live pool slots, written in ascending-token order — byte-identical to
+  // the std::map<token, ...> layout this pool replaced.
+  std::vector<const CompletionSlot*> liveSlots;
+  liveSlots.reserve(liveCompletions_);
+  for (const auto& s : completionSlots_)
+    if (s.live) liveSlots.push_back(&s);
+  std::sort(liveSlots.begin(), liveSlots.end(),
+            [](const CompletionSlot* a, const CompletionSlot* b) {
+              return a->token < b->token;
+            });
+  w.u64(liveSlots.size());
+  for (const CompletionSlot* s : liveSlots) {
+    w.u64(s->token);
+    w.u64(s->c.seq);
+    w.i64(s->c.due);
+    w.u64(s->c.addr);
+    w.i32(s->c.core);
   }
 
   reads_.save(w);
@@ -618,26 +670,45 @@ void MemoryController::load(ckpt::Reader& r) {
   const std::uint64_t nKicks = r.count(16);
   for (std::uint64_t i = 0; i < nKicks && r.ok(); ++i) {
     const Tick at = r.i64();
-    kickEvents_.emplace(at, r.u64());
+    const std::uint64_t seq = r.u64();
+    // The on-disk set is written sorted and deduplicated; anything else is
+    // a corrupt or hand-edited snapshot, and accepting it would break the
+    // sorted-vector invariant armKick/eraseKickEvent rely on.
+    if (!kickEvents_.empty() && at <= kickEvents_.back().at) {
+      r.fail();
+      return;
+    }
+    kickEvents_.push_back(KickEvent{at, seq});
   }
   nextRequestId_ = r.u64();
   nextCompletionToken_ = r.u64();
-  completions_.clear();
+  completionSlots_.clear();
+  freeCompletionSlot_ = -1;
+  liveCompletions_ = 0;
   const std::uint64_t nCompl = r.count(36);
+  std::uint64_t prevToken = 0;
   for (std::uint64_t i = 0; i < nCompl && r.ok(); ++i) {
     const std::uint64_t token = r.u64();
-    InflightCompletion c;
-    c.seq = r.u64();
-    c.due = r.i64();
-    c.addr = r.u64();
-    c.core = r.i32();
+    if (i > 0 && token <= prevToken) {  // written ascending; reject otherwise
+      r.fail();
+      return;
+    }
+    prevToken = token;
+    CompletionSlot s;
+    s.live = true;
+    s.token = token;
+    s.c.seq = r.u64();
+    s.c.due = r.i64();
+    s.c.addr = r.u64();
+    s.c.core = r.i32();
     if (!r.ok()) break;
     if (!completionFactory) {
       r.fail();
       return;
     }
-    c.cb = completionFactory(c.addr, c.core);
-    completions_.emplace(token, std::move(c));
+    s.c.cb = completionFactory(s.c.addr, s.c.core);
+    completionSlots_.push_back(std::move(s));
+    ++liveCompletions_;
   }
 
   reads_.load(r);
@@ -654,23 +725,21 @@ void MemoryController::load(ckpt::Reader& r) {
 }
 
 void MemoryController::reschedule(ckpt::EventRestorer& er) {
-  for (const auto& [at, seq] : kickEvents_) {
-    const Tick t = at;
-    er.add(seq, [this, t] {
-      kickEvents_[t] = eq_.scheduleAt(t, [this, t] {
-        kickEvents_.erase(t);
-        if (nextKickAt_ == t) {
-          nextKickAt_ = kTickNever;
-          kick();
-        }
-      });
+  for (std::size_t i = 0; i < kickEvents_.size(); ++i) {
+    const Tick t = kickEvents_[i].at;
+    er.add(kickEvents_[i].seq, [this, i, t] {
+      kickEvents_[i].seq = eq_.scheduleAt(t, [this, t] { onKickEventFired(t); });
     });
   }
-  for (const auto& [token, c] : completions_) {
-    const std::uint64_t tok = token;
-    er.add(c.seq, [this, tok] {
-      auto& ic = completions_[tok];
-      ic.seq = eq_.scheduleAt(ic.due, [this, tok] { fireCompletion(tok); });
+  for (std::size_t i = 0; i < completionSlots_.size(); ++i) {
+    auto& s = completionSlots_[i];
+    if (!s.live) continue;
+    const int slot = static_cast<int>(i);
+    const std::uint64_t tok = s.token;
+    er.add(s.c.seq, [this, slot, tok] {
+      auto& sl = completionSlots_[static_cast<size_t>(slot)];
+      sl.c.seq =
+          eq_.scheduleAt(sl.c.due, [this, slot, tok] { fireCompletion(slot, tok); });
     });
   }
 }

@@ -139,6 +139,17 @@ class MemoryController {
   /// saved sequence numbers.
   void reschedule(ckpt::EventRestorer& er);
 
+  /// Outstanding wake-up events, sorted ascending by tick (tests /
+  /// invariants: steady-state idle leaves this empty, a quiescent busy
+  /// controller holds at most a handful of transient entries).
+  struct KickEvent {
+    Tick at = 0;
+    std::uint64_t seq = 0;
+  };
+  const std::vector<KickEvent>& pendingKickEvents() const { return kickEvents_; }
+  /// In-flight read completions currently occupying pool slots.
+  std::size_t liveCompletionCount() const { return liveCompletions_; }
+
  private:
   struct Pending {
     MemRequest req;
@@ -165,9 +176,12 @@ class MemoryController {
   void kick();
   void scheduleKick(Tick at);
   void armKick(Tick at);
+  void onKickEventFired(Tick at);
+  void eraseKickEvent(Tick at);
   void scheduleCompletion(std::function<void(Tick)> cb, Tick due,
                           std::uint64_t addr, CoreId core);
-  void fireCompletion(std::uint64_t token);
+  int allocCompletionSlot();
+  void fireCompletion(int slot, std::uint64_t token);
   void savePending(ckpt::Writer& w, const Pending& p) const;
   std::unique_ptr<Pending> loadPending(ckpt::Reader& r);
   void resolveSpeculation(const core::DramAddress& da, std::int64_t incomingRow);
@@ -210,12 +224,31 @@ class MemoryController {
 
   Tick nextKickAt_ = kTickNever;
   // Outstanding wake-up events, one per distinct tick (armKick dedupes), so
-  // a checkpoint can reify them. Value is the event-queue sequence.
-  std::map<Tick, std::uint64_t> kickEvents_;
+  // a checkpoint can reify them. Kept as a flat vector sorted ascending by
+  // tick: the live set is 0–2 entries in steady state, so insert/erase are
+  // effectively O(1) and — unlike the std::map it replaces — arming a kick
+  // allocates nothing.
+  std::vector<KickEvent> kickEvents_;
   std::uint64_t nextRequestId_ = 1;
-  // In-flight read completions keyed by a monotonically increasing token.
-  std::map<std::uint64_t, InflightCompletion> completions_;
+  // In-flight read completions in a slot pool with an intrusive free list:
+  // tokens stay monotonically increasing (they define checkpoint order and
+  // validate that a fired event matches the slot's current occupant), but
+  // slots are recycled so steady-state completion traffic stops allocating
+  // map nodes.
+  struct CompletionSlot {
+    bool live = false;
+    std::uint64_t token = 0;
+    std::int32_t nextFree = -1;
+    InflightCompletion c;
+  };
+  std::vector<CompletionSlot> completionSlots_;
+  std::int32_t freeCompletionSlot_ = -1;
+  std::size_t liveCompletions_ = 0;
   std::uint64_t nextCompletionToken_ = 0;
+  // Arbitration scratch, reused across kick() iterations so the hot loop
+  // performs no per-iteration vector allocations.
+  std::vector<Candidate> candBuf_;
+  std::vector<Pending*> byCandidateBuf_;
 
   // Statistics.
   Counter reads_, writes_, rowHits_, rowMisses_, rowConflicts_, forwarded_;

@@ -25,30 +25,76 @@ std::unique_ptr<Scheduler> makeScheduler(SchedulerKind kind) {
   return nullptr;
 }
 
-int FcfsScheduler::pick(std::vector<Candidate>& cands, Tick now) {
+namespace {
+
+// One forward scan computing the best candidate under `better` for a single
+// earliestIssue filter. `better(c, b)` must be a strict "c beats the current
+// best b" predicate; ties keep the earlier index, exactly as the historical
+// per-scheduler loops did.
+template <typename Better>
+int scanBest(const std::vector<Candidate>& cands, Tick now, Better better) {
   int best = -1;
   for (size_t i = 0; i < cands.size(); ++i) {
-    if (cands[i].earliestIssue > now) continue;
-    if (best < 0 || cands[i].arrival < cands[static_cast<size_t>(best)].arrival)
+    const auto& c = cands[i];
+    if (c.earliestIssue > now) continue;
+    if (best < 0 || better(c, cands[static_cast<size_t>(best)]))
       best = static_cast<int>(i);
   }
   return best;
 }
 
-int FrFcfsScheduler::pick(std::vector<Candidate>& cands, Tick now) {
-  int best = -1;
+// Fused variant of the controller's double pick: one scan maintaining both
+// the issuable best (earliestIssue <= now) and the overall best under the
+// gate horizon. Since both running bests use the same predicate and see the
+// candidates in the same order, the result is index-identical to two
+// independent scanBest calls.
+template <typename Better>
+Scheduler::PickPair scanPair(const std::vector<Candidate>& cands, Tick now,
+                             Better better) {
+  Scheduler::PickPair p;
+  constexpr Tick kHorizon = kTickNever / 2;
+  const Candidate* bestOverall = nullptr;
+  const Candidate* bestIssuable = nullptr;
   for (size_t i = 0; i < cands.size(); ++i) {
     const auto& c = cands[i];
-    if (c.earliestIssue > now) continue;
-    if (best < 0) {
-      best = static_cast<int>(i);
-      continue;
+    if (c.earliestIssue > kHorizon) continue;
+    if (bestOverall == nullptr || better(c, *bestOverall)) {
+      bestOverall = &c;
+      p.overall = static_cast<int>(i);
     }
-    const auto& b = cands[static_cast<size_t>(best)];
-    if (c.rowHit != b.rowHit ? c.rowHit : c.arrival < b.arrival)
-      best = static_cast<int>(i);
+    if (c.earliestIssue > now) continue;
+    if (bestIssuable == nullptr || better(c, *bestIssuable)) {
+      bestIssuable = &c;
+      p.issuable = static_cast<int>(i);
+    }
   }
-  return best;
+  return p;
+}
+
+bool fcfsBetter(const Candidate& c, const Candidate& b) {
+  return c.arrival < b.arrival;
+}
+
+bool frFcfsBetter(const Candidate& c, const Candidate& b) {
+  return c.rowHit != b.rowHit ? c.rowHit : c.arrival < b.arrival;
+}
+
+}  // namespace
+
+int FcfsScheduler::pick(std::vector<Candidate>& cands, Tick now) {
+  return scanBest(cands, now, fcfsBetter);
+}
+
+Scheduler::PickPair FcfsScheduler::pickPair(std::vector<Candidate>& cands, Tick now) {
+  return scanPair(cands, now, fcfsBetter);
+}
+
+int FrFcfsScheduler::pick(std::vector<Candidate>& cands, Tick now) {
+  return scanBest(cands, now, frFcfsBetter);
+}
+
+Scheduler::PickPair FrFcfsScheduler::pickPair(std::vector<Candidate>& cands, Tick now) {
+  return scanPair(cands, now, frFcfsBetter);
 }
 
 void ParBsScheduler::onEnqueue(const MemRequest& req) {
@@ -89,38 +135,42 @@ void ParBsScheduler::formBatch(const std::vector<Candidate>&) {
   }
 }
 
-int ParBsScheduler::pick(std::vector<Candidate>& cands, Tick now) {
+void ParBsScheduler::prepareBatch(std::vector<Candidate>& cands) {
   if (marked_.empty() && !queueView_.empty()) formBatch(cands);
   for (auto& c : cands) c.marked = marked_.count(c.id) != 0;
+}
 
+int ParBsScheduler::pick(std::vector<Candidate>& cands, Tick now) {
+  prepareBatch(cands);
   // Thread rank: shortest job (fewest marked requests) first. Lower is better.
   auto threadRank = [&](ThreadId t) {
     auto it = markedPerThread_.find(t);
     return it == markedPerThread_.end() ? 0 : it->second;
   };
+  auto better = [&](const Candidate& c, const Candidate& b) {
+    if (c.marked != b.marked) return c.marked;
+    if (c.rowHit != b.rowHit) return c.rowHit;
+    if (c.marked && threadRank(c.thread) != threadRank(b.thread))
+      return threadRank(c.thread) < threadRank(b.thread);
+    return c.arrival < b.arrival;
+  };
+  return scanBest(cands, now, better);
+}
 
-  int best = -1;
-  for (size_t i = 0; i < cands.size(); ++i) {
-    const auto& c = cands[i];
-    if (c.earliestIssue > now) continue;
-    if (best < 0) {
-      best = static_cast<int>(i);
-      continue;
-    }
-    const auto& b = cands[static_cast<size_t>(best)];
-    bool better;
-    if (c.marked != b.marked) {
-      better = c.marked;
-    } else if (c.rowHit != b.rowHit) {
-      better = c.rowHit;
-    } else if (c.marked && threadRank(c.thread) != threadRank(b.thread)) {
-      better = threadRank(c.thread) < threadRank(b.thread);
-    } else {
-      better = c.arrival < b.arrival;
-    }
-    if (better) best = static_cast<int>(i);
-  }
-  return best;
+Scheduler::PickPair ParBsScheduler::pickPair(std::vector<Candidate>& cands, Tick now) {
+  prepareBatch(cands);
+  auto threadRank = [&](ThreadId t) {
+    auto it = markedPerThread_.find(t);
+    return it == markedPerThread_.end() ? 0 : it->second;
+  };
+  auto better = [&](const Candidate& c, const Candidate& b) {
+    if (c.marked != b.marked) return c.marked;
+    if (c.rowHit != b.rowHit) return c.rowHit;
+    if (c.marked && threadRank(c.thread) != threadRank(b.thread))
+      return threadRank(c.thread) < threadRank(b.thread);
+    return c.arrival < b.arrival;
+  };
+  return scanPair(cands, now, better);
 }
 
 

@@ -47,6 +47,26 @@ class Scheduler {
   /// into `cands` of the winner, or -1 if no candidate is issuable at `now`.
   virtual int pick(std::vector<Candidate>& cands, Tick now) = 0;
 
+  /// Both halves of the controller's priority gate from one scan:
+  /// `issuable` is pick(cands, now); `overall` is the favourite ignoring
+  /// issue readiness, i.e. pick(cands, kTickNever / 2) — the horizon the
+  /// gate has always used as "infinitely far in the future". The base
+  /// implementation literally makes those two calls (it doubles as the
+  /// reference for the fused overrides in scheduler_test.cpp); concrete
+  /// schedulers override with a single fused scan that is guaranteed to
+  /// return identical indices, because both scans walk the candidates in
+  /// the same order with the same strict-preference predicate.
+  struct PickPair {
+    int issuable = -1;
+    int overall = -1;
+  };
+  virtual PickPair pickPair(std::vector<Candidate>& cands, Tick now) {
+    PickPair p;
+    p.issuable = pick(cands, now);
+    p.overall = pick(cands, kTickNever / 2);
+    return p;
+  }
+
   /// Notify batching state: request entered / left the queue.
   virtual void onEnqueue(const MemRequest&) {}
   virtual void onDequeue(const MemRequest&) {}
@@ -70,12 +90,14 @@ std::unique_ptr<Scheduler> makeScheduler(SchedulerKind kind);
 class FcfsScheduler final : public Scheduler {
  public:
   int pick(std::vector<Candidate>& cands, Tick now) override;
+  PickPair pickPair(std::vector<Candidate>& cands, Tick now) override;
   SchedulerKind kind() const override { return SchedulerKind::Fcfs; }
 };
 
 class FrFcfsScheduler final : public Scheduler {
  public:
   int pick(std::vector<Candidate>& cands, Tick now) override;
+  PickPair pickPair(std::vector<Candidate>& cands, Tick now) override;
   SchedulerKind kind() const override { return SchedulerKind::FrFcfs; }
 };
 
@@ -84,6 +106,7 @@ class ParBsScheduler final : public Scheduler {
   explicit ParBsScheduler(int markingCap = 5) : markingCap_(markingCap) {}
 
   int pick(std::vector<Candidate>& cands, Tick now) override;
+  PickPair pickPair(std::vector<Candidate>& cands, Tick now) override;
   void onEnqueue(const MemRequest& req) override;
   void onDequeue(const MemRequest& req) override;
   SchedulerKind kind() const override { return SchedulerKind::ParBs; }
@@ -101,6 +124,9 @@ class ParBsScheduler final : public Scheduler {
 
  private:
   void formBatch(const std::vector<Candidate>& cands);
+  /// Batch upkeep shared by pick()/pickPair(): (re)form the batch when the
+  /// previous one drained and stamp each candidate's `marked` flag.
+  void prepareBatch(std::vector<Candidate>& cands);
 
   int markingCap_;
   std::unordered_map<std::uint64_t, ThreadId> marked_;

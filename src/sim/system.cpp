@@ -551,6 +551,7 @@ RunResult runSimulation(const SystemConfig& cfg, const WorkloadSpec& workload,
   // ---- Collect ------------------------------------------------------------
   RunResult r;
   r.workload = workload.name;
+  r.eventsProcessed = sys->eq.processedCount();
   Tick elapsed = 0;
   for (const auto& corePtr : sys->cores) {
     elapsed = std::max(elapsed, corePtr->finishTick());

@@ -109,6 +109,12 @@ struct RunResult {
   double mapki = 0.0;  // measured main-memory accesses per kilo-instruction
   cpu::HierarchyStats hierarchy;
   std::vector<double> coreIpc;
+
+  // Host-side observability (mbperf): events the queue dispatched during
+  // this run. Deliberately NOT part of the canonical JSON report — it
+  // measures the engine, not the simulated machine, and the golden-identity
+  // corpus hashes the report.
+  std::uint64_t eventsProcessed = 0;
 };
 
 /// Derive the DRAM geometry a SystemConfig implies.

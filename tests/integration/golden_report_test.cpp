@@ -1,0 +1,142 @@
+// Golden-identity corpus: the canonical JSON report of every shipped preset,
+// pinned as an FNV-1a64 hash.
+//
+// This is the bitwise guard for hot-path refactors: any change to the event
+// engine, arbitration loop, schedulers, or statistics pipeline that alters a
+// single bit of any preset's final report — one event fired in a different
+// same-tick order, one double rounded differently — flips the hash and fails
+// here. Conversely, a green run proves the optimized simulator is
+// behavior-identical to the one that generated the corpus.
+//
+// Regeneration (after an INTENTIONAL behavior change only):
+//   MB_UPDATE_GOLDEN=1 ./build/tests/integration_tests
+//       --gtest_filter='GoldenReport.*'
+// rewrites tests/golden/presets.txt in the source tree; commit the diff
+// together with the change that motivated it and say why in the PR.
+//
+// The hashes cover runResultToJson(), which renders every double with %.17g
+// (exact round-trip), so they pin the full bit pattern of every metric, not
+// a rounded rendering. They are toolchain-sensitive by design — a different
+// libm / compiler may legitimately produce different low bits; regenerate
+// once per toolchain, then the corpus must stay stable.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ckpt/serialize.hpp"
+#include "sim/experiment.hpp"
+#include "sim/journal.hpp"
+
+#ifndef MB_GOLDEN_FILE
+#error "MB_GOLDEN_FILE must point at tests/golden/presets.txt"
+#endif
+
+namespace mb::sim {
+namespace {
+
+// One deterministic, fast configuration: the workload/slice every other
+// bitwise gate in the repo uses (ci.sh checkpoint stage, audit fixtures).
+constexpr const char* kWorkload = "429.mcf";
+constexpr std::int64_t kInstrs = 10000;
+
+std::string hashLine(const std::string& preset, std::uint64_t hash) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%s 0x%016llx", preset.c_str(),
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+std::uint64_t reportHashFor(const NamedConfig& preset) {
+  SystemConfig cfg = preset.cfg;
+  cfg.core.maxInstrs = kInstrs;
+  const RunResult r = runSpecApp(kWorkload, cfg);
+  return ckpt::fnv1a64(runResultToJson(r));
+}
+
+std::map<std::string, std::uint64_t> readGoldenFile(const std::string& path) {
+  std::map<std::string, std::uint64_t> out;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string name, hex;
+    if (!(ls >> name >> hex)) continue;
+    out[name] = std::strtoull(hex.c_str(), nullptr, 16);
+  }
+  return out;
+}
+
+TEST(GoldenReport, AllPresetsMatchCommittedHashes) {
+  const auto presets = shippedPresets();
+  ASSERT_EQ(presets.size(), 13u) << "preset list changed; update this corpus "
+                                    "and the golden file together";
+
+  const bool update = std::getenv("MB_UPDATE_GOLDEN") != nullptr &&
+                      std::string(std::getenv("MB_UPDATE_GOLDEN")) == "1";
+  const auto golden = readGoldenFile(MB_GOLDEN_FILE);
+  if (!update) {
+    ASSERT_EQ(golden.size(), presets.size())
+        << "golden file " << MB_GOLDEN_FILE
+        << " is missing entries; regenerate with MB_UPDATE_GOLDEN=1";
+  }
+
+  std::vector<std::string> lines;
+  std::vector<std::string> mismatches;
+  for (const auto& preset : presets) {
+    const std::uint64_t h = reportHashFor(preset);
+    lines.push_back(hashLine(preset.name, h));
+    const auto it = golden.find(preset.name);
+    if (it == golden.end() || it->second != h) {
+      mismatches.push_back(
+          hashLine(preset.name, h) +
+          (it == golden.end()
+               ? "  (no committed hash)"
+               : "  (committed " + hashLine("", it->second).substr(1) + ")"));
+    }
+  }
+
+  if (update) {
+    std::ofstream out(MB_GOLDEN_FILE, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot rewrite " << MB_GOLDEN_FILE;
+    out << "# FNV-1a64 of runResultToJson() per shipped preset.\n"
+        << "# workload=" << kWorkload << " instrs=" << kInstrs
+        << " seed=12345 (defaults; see golden_report_test.cpp)\n"
+        << "# Regenerate: MB_UPDATE_GOLDEN=1 "
+           "./build/tests/integration_tests --gtest_filter='GoldenReport.*'\n";
+    for (const auto& l : lines) out << l << '\n';
+    std::printf("rewrote %s with %zu hashes\n", MB_GOLDEN_FILE, lines.size());
+    return;
+  }
+
+  std::string detail;
+  for (const auto& m : mismatches) detail += "  " + m + "\n";
+  EXPECT_TRUE(mismatches.empty())
+      << mismatches.size() << " preset report(s) diverged from the golden "
+      << "corpus:\n"
+      << detail
+      << "If this change was intended, regenerate with MB_UPDATE_GOLDEN=1 and "
+         "justify the new hashes in the PR.";
+}
+
+// The hash input is the journal-exact JSON rendering, so two runs of the
+// same binary must agree bit-for-bit — a cheap in-process determinism check
+// that fails loudly if anything nondeterministic (iteration order,
+// uninitialized reads) leaks into the report path.
+TEST(GoldenReport, ReportIsDeterministicWithinProcess) {
+  SystemConfig cfg = tsiBaselineConfig();
+  cfg.core.maxInstrs = kInstrs;
+  const RunResult a = runSpecApp(kWorkload, cfg);
+  const RunResult b = runSpecApp(kWorkload, cfg);
+  EXPECT_EQ(runResultToJson(a), runResultToJson(b));
+}
+
+}  // namespace
+}  // namespace mb::sim

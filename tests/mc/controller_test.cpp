@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "ckpt/restore.hpp"
+#include "ckpt/serialize.hpp"
 #include "common/event_queue.hpp"
 #include "common/rng.hpp"
 
@@ -325,6 +329,123 @@ TEST_F(ControllerTest, LatencyStatsPopulated) {
   const auto s = mc_->stats();
   const auto t = dram::TimingParams::tsi();
   EXPECT_NEAR(s.avgReadLatencyNs, toNs(t.tRCD + t.tAA + t.tBURST), 0.01);
+}
+
+// ---- Kick-event bookkeeping ----------------------------------------------
+
+TEST_F(ControllerTest, KickBookkeepingStaysBoundedUnderIdleThenBurst) {
+  build();
+  std::size_t maxLive = 0;
+  for (int cycle = 0; cycle < 16; ++cycle) {
+    // Burst across conflicting rows of one bank, then go fully idle. Every
+    // conflict arms a future wake-up; the bookkeeping must not accumulate
+    // entries across cycles.
+    for (int i = 0; i < 6; ++i) read(rowAddr(cycle * 8 + i));
+    while (eq_.step()) {
+      const auto& ks = mc_->pendingKickEvents();
+      maxLive = std::max(maxLive, ks.size());
+      // Sorted ascending with no duplicate ticks: armKick dedupes per tick.
+      for (std::size_t k = 1; k < ks.size(); ++k)
+        ASSERT_LT(ks[k - 1].at, ks[k].at);
+    }
+    // Fully drained: every armed wake-up fired and erased itself.
+    ASSERT_LE(mc_->pendingKickEvents().size(), 1u) << "cycle " << cycle;
+  }
+  EXPECT_TRUE(mc_->pendingKickEvents().empty());
+  EXPECT_EQ(mc_->liveCompletionCount(), 0u);
+  // Transient entries are bounded by the burst depth, not by run history.
+  EXPECT_LE(maxLive, 6u);
+}
+
+TEST_F(ControllerTest, KickAndCompletionStateSurviveCheckpointRoundTrip) {
+  build();
+  for (int i = 0; i < 6; ++i) read(rowAddr(i));  // conflicting rows → wake-ups
+  // Step to a mid-flight point where at least one wake-up is armed.
+  while (mc_->pendingKickEvents().empty() && eq_.step()) {
+  }
+  ASSERT_FALSE(mc_->pendingKickEvents().empty());
+  const Tick snapTick = eq_.now();
+  std::vector<Tick> snapKicks;
+  for (const auto& e : mc_->pendingKickEvents()) snapKicks.push_back(e.at);
+  const std::size_t snapCompl = mc_->liveCompletionCount();
+  std::vector<std::size_t> pendingIdx;
+  for (std::size_t i = 0; i < done_.size(); ++i)
+    if (done_[i] < 0) pendingIdx.push_back(i);
+
+  ckpt::Writer w;
+  mc_->save(w);
+
+  // Finish the original run; the requests still in flight at the snapshot
+  // are the reference the restored controller must reproduce.
+  eq_.run();
+  std::vector<Tick> refDone;
+  for (const std::size_t i : pendingIdx) refDone.push_back(done_[i]);
+  std::sort(refDone.begin(), refDone.end());
+
+  // Fresh controller restored from the snapshot at the capture tick.
+  EventQueue eq2;
+  eq2.restoreClock(snapTick);
+  ControllerConfig cfg;
+  cfg.pagePolicy = core::PolicyKind::Open;
+  cfg.scheduler = SchedulerKind::ParBs;
+  cfg.enableTimingCheck = true;
+  cfg.refreshEnabled = false;
+  MemoryController mc2(0, geom_, dram::TimingParams::tsi(),
+                       dram::EnergyParams::lpddrTsi(), *map_, cfg, eq2);
+  std::vector<Tick> gotDone;
+  mc2.completionFactory = [&gotDone](std::uint64_t, CoreId) {
+    return [&gotDone](Tick when) { gotDone.push_back(when); };
+  };
+  ckpt::Reader r(w.str());
+  mc2.load(r);
+  ASSERT_TRUE(r.ok());
+  ckpt::EventRestorer er;
+  mc2.reschedule(er);
+  er.replay();
+
+  // Exactly the saved wake-ups came back — no stale or duplicate entries.
+  ASSERT_EQ(mc2.pendingKickEvents().size(), snapKicks.size());
+  for (std::size_t i = 0; i < snapKicks.size(); ++i)
+    EXPECT_EQ(mc2.pendingKickEvents()[i].at, snapKicks[i]);
+  EXPECT_EQ(mc2.liveCompletionCount(), snapCompl);
+
+  eq2.run();
+  std::sort(gotDone.begin(), gotDone.end());
+  EXPECT_EQ(gotDone, refDone);
+  EXPECT_TRUE(mc2.pendingKickEvents().empty());
+  EXPECT_EQ(mc2.liveCompletionCount(), 0u);
+  EXPECT_EQ(mc2.outstanding(), 0);
+}
+
+TEST_F(ControllerTest, StaleKickEntryDiesOnRestoreIntoItsPast) {
+  build();
+  for (int i = 0; i < 6; ++i) read(rowAddr(i));
+  while (mc_->pendingKickEvents().empty() && eq_.step()) {
+  }
+  ASSERT_FALSE(mc_->pendingKickEvents().empty());
+  ckpt::Writer w;
+  mc_->save(w);
+  const Tick lastKick = mc_->pendingKickEvents().back().at;
+
+  // Restoring into a clock beyond the saved wake-ups makes them stale; the
+  // re-arm must trip the event queue's past-check rather than silently
+  // resurrect them at a tick that already elapsed.
+  EventQueue eq2;
+  eq2.restoreClock(lastKick + 1);
+  ControllerConfig cfg;
+  cfg.pagePolicy = core::PolicyKind::Open;
+  cfg.scheduler = SchedulerKind::ParBs;
+  cfg.enableTimingCheck = true;
+  cfg.refreshEnabled = false;
+  MemoryController mc2(0, geom_, dram::TimingParams::tsi(),
+                       dram::EnergyParams::lpddrTsi(), *map_, cfg, eq2);
+  mc2.completionFactory = [](std::uint64_t, CoreId) { return [](Tick) {}; };
+  ckpt::Reader r(w.str());
+  mc2.load(r);
+  ASSERT_TRUE(r.ok());
+  ckpt::EventRestorer er;
+  mc2.reschedule(er);
+  EXPECT_DEATH(er.replay(), "check failed");
 }
 
 }  // namespace

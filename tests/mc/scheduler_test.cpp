@@ -167,5 +167,133 @@ TEST(SchedulerKindName, AllNamed) {
   EXPECT_EQ(schedulerKindName(SchedulerKind::ParBs), "PAR-BS");
 }
 
+// ---- Tie-break determinism -----------------------------------------------
+//
+// When candidates are indistinguishable under a policy's whole preference
+// chain, the FIRST candidate in scan order must win — a strict `better`
+// predicate never replaces the running best on a tie. This anchors bitwise
+// reproducibility: the controller builds candidates in queue order, so the
+// tie-break is "oldest queue position", independent of container or
+// optimization-level accidents.
+
+TEST(TieBreaks, FcfsEqualArrivalKeepsFirstScanned) {
+  FcfsScheduler s;
+  std::vector<Candidate> cands{
+      cand(0, 7, 0, 50, 0, false),
+      cand(1, 3, 1, 50, 0, true),   // same arrival, different everything else
+      cand(2, 9, 2, 50, 0, false),
+  };
+  EXPECT_EQ(s.pick(cands, 100), 0);
+}
+
+TEST(TieBreaks, FrFcfsEqualRowHitEqualArrivalKeepsFirstScanned) {
+  FrFcfsScheduler s;
+  std::vector<Candidate> allHits{
+      cand(0, 1, 0, 50, 0, true),
+      cand(1, 2, 1, 50, 0, true),
+  };
+  EXPECT_EQ(s.pick(allHits, 100), 0);
+  std::vector<Candidate> allMisses{
+      cand(0, 1, 0, 50, 0, false),
+      cand(1, 2, 1, 50, 0, false),
+  };
+  EXPECT_EQ(s.pick(allMisses, 100), 0);
+}
+
+TEST(TieBreaks, ParBsFullyTiedKeepsFirstScanned) {
+  ParBsScheduler s(5);
+  // Same thread, same arrival, same row state: marked flags and thread rank
+  // are identical, so the full chain ties and index 0 must win.
+  s.onEnqueue(req(1, 0, 50));
+  s.onEnqueue(req(2, 0, 50));
+  std::vector<Candidate> cands{
+      cand(0, 1, 0, 50, 0, true),
+      cand(1, 2, 0, 50, 0, true),
+  };
+  EXPECT_EQ(s.pick(cands, 100), 0);
+}
+
+// ---- pickPair consistency -------------------------------------------------
+//
+// The fused single-scan pickPair() must return exactly what the base-class
+// reference (two independent pick() calls) returns, on every scheduler and
+// on randomized candidate sets that mix ready, near-future, and far-future
+// earliestIssue values. A qualified Scheduler::pickPair call bypasses the
+// virtual dispatch and runs the reference implementation.
+
+std::vector<Candidate> randomCands(std::uint64_t seed, int n, Tick now) {
+  std::vector<Candidate> cands;
+  // Tiny xorshift so the test controls its own reproducibility.
+  std::uint64_t x = seed * 2654435761u + 1;
+  auto next = [&x](std::uint64_t bound) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x % bound;
+  };
+  for (int i = 0; i < n; ++i) {
+    Tick earliest;
+    switch (next(4)) {
+      case 0: earliest = now - static_cast<Tick>(next(1000)); break;  // ready
+      case 1: earliest = now + 1 + static_cast<Tick>(next(500)); break;
+      case 2: earliest = now + 100000 + static_cast<Tick>(next(100000)); break;
+      default: earliest = kTickNever / 2 + 1; break;  // beyond gate horizon
+    }
+    cands.push_back(cand(i, static_cast<std::uint64_t>(i) + 1,
+                         static_cast<ThreadId>(next(8)),
+                         static_cast<Tick>(next(5000)), earliest,
+                         next(2) == 0));
+  }
+  return cands;
+}
+
+TEST(PickPair, MatchesTwoPickReferenceOnAllSchedulers) {
+  for (auto kind :
+       {SchedulerKind::Fcfs, SchedulerKind::FrFcfs, SchedulerKind::ParBs}) {
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+      auto fused = makeScheduler(kind);
+      auto reference = makeScheduler(kind);
+      const Tick now = 10000;
+      auto candsA = randomCands(seed, static_cast<int>(seed % 60) + 1, now);
+      auto candsB = candsA;
+      // Feed both schedulers the same queue view (ParBs batch state).
+      for (const auto& c : candsA) {
+        fused->onEnqueue(req(c.id, c.thread, c.arrival));
+        reference->onEnqueue(req(c.id, c.thread, c.arrival));
+      }
+      const auto got = fused->pickPair(candsA, now);
+      const auto want = reference->Scheduler::pickPair(candsB, now);
+      EXPECT_EQ(got.issuable, want.issuable)
+          << schedulerKindName(kind) << " seed " << seed;
+      EXPECT_EQ(got.overall, want.overall)
+          << schedulerKindName(kind) << " seed " << seed;
+      // pickPair must also stamp ParBs marked flags identically to pick().
+      for (std::size_t i = 0; i < candsA.size(); ++i)
+        EXPECT_EQ(candsA[i].marked, candsB[i].marked)
+            << schedulerKindName(kind) << " seed " << seed << " cand " << i;
+    }
+  }
+}
+
+TEST(PickPair, IssuableMatchesPickAndOverallIgnoresReadiness) {
+  FrFcfsScheduler s;
+  // Row-hit stream is ready now; a conflicting older request is ready just
+  // after `now` — the gate scenario: issuable = the hit, overall = the hit
+  // too (row hits outrank age in FR-FCFS), so overall==issuable here...
+  std::vector<Candidate> cands{
+      cand(0, 1, 0, 10, 150, false),  // older, not ready
+      cand(1, 2, 0, 90, 0, true),     // younger hit, ready
+  };
+  auto p = s.pickPair(cands, 100);
+  EXPECT_EQ(p.issuable, 1);
+  EXPECT_EQ(p.overall, 1);
+  // ...whereas under FCFS (age only) the overall favourite is the older,
+  // not-yet-ready request: exactly the pair the priority gate inspects.
+  FcfsScheduler fcfs;
+  auto p2 = fcfs.pickPair(cands, 100);
+  EXPECT_EQ(p2.issuable, 1);
+  EXPECT_EQ(p2.overall, 0);
+}
+
 }  // namespace
 }  // namespace mb::mc

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # CI gate: build + full ctest under ASan+UBSan, a TSan pass over the parallel
-# sweep tests, then clang-tidy over src/.
+# sweep tests, a recorded (non-gating) perf-harness run in an unsanitized
+# build tree, then clang-tidy over src/.
 #
 # Usage:  tools/ci.sh [build-dir]        (default: build-ci)
 #
@@ -109,6 +110,20 @@ if "$build/tools/mbsim" --sweep --workload=429.mcf --instrs=10000 --seed=999 \
 fi
 echo "sweep journal resume ok"
 rm -rf "$ckpt_dir"
+
+echo "== perf harness (recorded, non-gating) =="
+# Host-throughput trajectory: build mbperf WITHOUT sanitizers (ASan skews
+# throughput ~5-10x, which would drown any real regression in the diff
+# against the committed baseline) in its own build tree, emit
+# BENCH_PERF.json next to it, and diff events/sec against
+# bench/perf_baseline.txt. Warn-only by design: shared CI hosts are noisy;
+# a WARN line in the log is the signal to investigate, not a gate failure.
+build_perf="${build}-perf"
+cmake -B "$build_perf" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build_perf" -j"$(nproc)" --target mbperf
+"$build_perf/bench/mbperf" --out="$build_perf/BENCH_PERF.json" \
+  --baseline="$repo/bench/perf_baseline.txt"
+echo "perf record: $build_perf/BENCH_PERF.json"
 
 echo "== clang-tidy over src/ =="
 if command -v clang-tidy >/dev/null 2>&1; then
