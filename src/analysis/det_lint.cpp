@@ -1,0 +1,915 @@
+#include "analysis/det_lint.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace mb::analysis {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer. Comments, string/char literals and preprocessor lines are
+// stripped from the token stream; comment text is kept (with its start line)
+// because suppression markers are legal inside comments.
+
+struct Tok {
+  enum class Kind { Ident, Num, Punct, Str };
+  Kind kind = Kind::Punct;
+  std::string text;
+  int line = 1;
+};
+
+struct Comment {
+  std::string text;
+  int line = 1;  // line the comment starts on
+};
+
+struct Lexed {
+  std::vector<Tok> toks;
+  std::vector<Comment> comments;
+};
+
+bool identStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool identChar(char c) { return identStart(c) || (c >= '0' && c <= '9'); }
+bool digit(char c) { return c >= '0' && c <= '9'; }
+
+/// Two-character punctuators kept as one token. '<''<' and '>''>' are
+/// deliberately NOT combined so template-argument depth counting sees every
+/// angle bracket.
+bool twoCharPunct(char a, char b) {
+  switch (a) {
+    case ':': return b == ':';
+    case '-': return b == '>' || b == '=' || b == '-';
+    case '+': return b == '=' || b == '+';
+    case '*': case '/': case '=': case '!': case '<': case '>':
+      return b == '=';
+    case '&': return b == '&';
+    case '|': return b == '|';
+    default: return false;
+  }
+}
+
+Lexed lex(const std::string& src) {
+  Lexed out;
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool atLineStart = true;
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') { ++line; ++i; atLineStart = true; continue; }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') { ++i; continue; }
+    // Preprocessor directive: skip the whole logical line (honouring
+    // backslash continuations). Directives never carry findings.
+    if (atLineStart && c == '#') {
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') { ++line; i += 2; continue; }
+        if (src[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    atLineStart = false;
+    // Comments (text retained for marker scanning).
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const std::size_t start = i + 2;
+      while (i < n && src[i] != '\n') ++i;
+      out.comments.push_back({src.substr(start, i - start), line});
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int startLine = line;
+      const std::size_t start = i + 2;
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      out.comments.push_back({src.substr(start, (i < n ? i : n) - start), startLine});
+      i = (i + 1 < n) ? i + 2 : n;
+      continue;
+    }
+    // String literal (with a basic raw-string path).
+    if (c == '"') {
+      std::string text;
+      ++i;
+      while (i < n && src[i] != '"') {
+        if (src[i] == '\\' && i + 1 < n) { text += src[i]; text += src[i + 1]; i += 2; continue; }
+        if (src[i] == '\n') ++line;
+        text += src[i++];
+      }
+      ++i;
+      out.toks.push_back({Tok::Kind::Str, text, line});
+      continue;
+    }
+    if (c == '\'') {
+      std::string text;
+      ++i;
+      while (i < n && src[i] != '\'') {
+        if (src[i] == '\\' && i + 1 < n) { i += 2; continue; }
+        if (src[i] == '\n') ++line;
+        text += src[i++];
+      }
+      ++i;
+      out.toks.push_back({Tok::Kind::Str, text, line});
+      continue;
+    }
+    if (identStart(c)) {
+      const std::size_t start = i;
+      while (i < n && identChar(src[i])) ++i;
+      std::string word = src.substr(start, i - start);
+      // Raw string literal: an encoding prefix ending in R glued to '"'.
+      if (i < n && src[i] == '"' && word.size() <= 3 && word.back() == 'R') {
+        std::string delim;
+        ++i;
+        while (i < n && src[i] != '(') delim += src[i++];
+        const std::string close = ")" + delim + "\"";
+        const std::size_t end = src.find(close, i);
+        std::string text = src.substr(i + 1, (end == std::string::npos ? n : end) - i - 1);
+        for (const char tc : text)
+          if (tc == '\n') ++line;
+        i = (end == std::string::npos) ? n : end + close.size();
+        out.toks.push_back({Tok::Kind::Str, text, line});
+        continue;
+      }
+      out.toks.push_back({Tok::Kind::Ident, std::move(word), line});
+      continue;
+    }
+    if (digit(c)) {
+      const std::size_t start = i;
+      while (i < n) {
+        const char d = src[i];
+        if (identChar(d) || d == '.' || d == '\'') { ++i; continue; }
+        if ((d == '+' || d == '-') && i > start) {
+          const char p = src[i - 1];
+          if (p == 'e' || p == 'E' || p == 'p' || p == 'P') { ++i; continue; }
+        }
+        break;
+      }
+      out.toks.push_back({Tok::Kind::Num, src.substr(start, i - start), line});
+      continue;
+    }
+    if (i + 1 < n && twoCharPunct(c, src[i + 1])) {
+      out.toks.push_back({Tok::Kind::Punct, src.substr(i, 2), line});
+      i += 2;
+      continue;
+    }
+    out.toks.push_back({Tok::Kind::Punct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream helpers.
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+bool isP(const Tok& t, const char* text) {
+  return t.kind == Tok::Kind::Punct && t.text == text;
+}
+bool isI(const Tok& t, const char* text) {
+  return t.kind == Tok::Kind::Ident && t.text == text;
+}
+
+/// Index of the matching close for the open bracket at `i`, or kNpos.
+std::size_t matchForward(const std::vector<Tok>& t, std::size_t i,
+                         const char* open, const char* close) {
+  int depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    if (isP(t[j], open)) ++depth;
+    else if (isP(t[j], close) && --depth == 0) return j;
+  }
+  return kNpos;
+}
+
+/// Matching '>' for the '<' at `i`; bails (kNpos) at ';' '{' '}' so a stray
+/// less-than comparison cannot swallow the rest of the file.
+std::size_t matchAngles(const std::vector<Tok>& t, std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    if (isP(t[j], "<")) ++depth;
+    else if (isP(t[j], ">") && --depth == 0) return j;
+    else if (isP(t[j], ";") || isP(t[j], "{") || isP(t[j], "}")) return kNpos;
+  }
+  return kNpos;
+}
+
+// ---------------------------------------------------------------------------
+// Annotation markers.
+
+struct RawMarker {
+  bool fileScope = false;
+  bool malformed = false;  // opened a parenthesis but did not parse
+  std::string code;
+  std::string reason;
+  bool hasReason = false;
+  int line = 1;
+};
+
+bool validDetCode(const std::string& code) {
+  if (code.size() != 10 || code.compare(0, 7, "MB-DET-") != 0) return false;
+  return digit(code[7]) && digit(code[8]) && digit(code[9]);
+}
+
+/// Scan free text (comment contents) for suppression markers. A marker name
+/// not followed by an opening parenthesis is prose and ignored.
+void scanTextForMarkers(const std::string& text, int baseLine,
+                        std::vector<RawMarker>& out) {
+  const std::string name = "MB_DET_ALLOW";
+  std::size_t pos = 0;
+  while ((pos = text.find(name, pos)) != std::string::npos) {
+    if (pos > 0 && identChar(text[pos - 1])) { pos += name.size(); continue; }
+    RawMarker m;
+    m.line = baseLine + static_cast<int>(std::count(text.begin(),
+                                                   text.begin() + static_cast<std::ptrdiff_t>(pos), '\n'));
+    std::size_t j = pos + name.size();
+    if (text.compare(j, 5, "_FILE") == 0) { m.fileScope = true; j += 5; }
+    while (j < text.size() && (text[j] == ' ' || text[j] == '\t')) ++j;
+    if (j >= text.size() || text[j] != '(') { pos = j; continue; }  // prose
+    ++j;
+    while (j < text.size() && text[j] != ',' && text[j] != ')' && text[j] != '\n')
+      m.code += text[j++];
+    while (!m.code.empty() && (m.code.back() == ' ' || m.code.back() == '\t'))
+      m.code.pop_back();
+    while (!m.code.empty() && (m.code.front() == ' ' || m.code.front() == '\t'))
+      m.code.erase(m.code.begin());
+    if (j >= text.size() || text[j] == '\n') {
+      m.malformed = true;
+    } else if (text[j] == ',') {
+      ++j;
+      while (j < text.size() && (text[j] == ' ' || text[j] == '\t')) ++j;
+      if (j < text.size() && text[j] == '"') {
+        ++j;
+        while (j < text.size() && text[j] != '"' && text[j] != '\n')
+          m.reason += text[j++];
+        if (j < text.size() && text[j] == '"') m.hasReason = !m.reason.empty();
+        else m.malformed = true;
+      } else {
+        m.malformed = true;
+      }
+    }
+    out.push_back(std::move(m));
+    pos = j;
+  }
+}
+
+/// Scan the token stream for suppression markers written as code — the
+/// no-op macros from common/ownership.hpp.
+void scanToksForMarkers(const std::vector<Tok>& toks, std::vector<RawMarker>& out) {
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    const bool plain = isI(toks[i], "MB_DET_ALLOW");
+    const bool file = isI(toks[i], "MB_DET_ALLOW_FILE");
+    if ((!plain && !file) || !isP(toks[i + 1], "(")) continue;
+    RawMarker m;
+    m.fileScope = file;
+    m.line = toks[i].line;
+    std::size_t j = i + 2;
+    int depth = 1;
+    bool sawComma = false;
+    for (; j < toks.size(); ++j) {
+      if (isP(toks[j], "(")) ++depth;
+      else if (isP(toks[j], ")")) {
+        if (--depth == 0) break;
+      } else if (depth == 1 && isP(toks[j], ",")) { sawComma = true; ++j; break; }
+      m.code += toks[j].text;
+    }
+    if (sawComma) {
+      if (j < toks.size() && toks[j].kind == Tok::Kind::Str) {
+        m.reason = toks[j].text;
+        m.hasReason = !m.reason.empty();
+      } else {
+        m.malformed = true;
+      }
+    }
+    out.push_back(std::move(m));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Findings (pre-suppression).
+
+struct Finding {
+  std::string code;
+  Severity severity = Severity::Error;
+  std::string message;
+  std::string file;
+  int line = 1;
+  std::vector<std::pair<std::string, std::string>> ctx;
+  std::size_t refIndex = kNpos;  // into OwnershipMap::refs for MB-DET-006
+};
+
+void add(std::vector<Finding>& out, const char* code, std::string message,
+         const std::string& file, int line,
+         std::vector<std::pair<std::string, std::string>> ctx = {}) {
+  Finding f;
+  f.code = code;
+  f.message = std::move(message);
+  f.file = file;
+  f.line = line;
+  f.ctx = std::move(ctx);
+  out.push_back(std::move(f));
+}
+
+// ---------------------------------------------------------------------------
+// Per-file determinism checks (MB-DET-001..005).
+
+constexpr const char* kUnordered[] = {"unordered_map", "unordered_set",
+                                      "unordered_multimap", "unordered_multiset"};
+constexpr const char* kKeyedContainers[] = {
+    "map", "multimap", "set", "multiset", "unordered_map", "unordered_set",
+    "unordered_multimap", "unordered_multiset", "FlatMap"};
+/// These need a preceding :: to count (bare `map`/`set` are common words).
+constexpr const char* kNeedsScope[] = {"map", "multimap", "set", "multiset"};
+constexpr const char* kClockFuncs[] = {"rand", "srand", "drand48", "lrand48",
+                                       "time", "clock", "gettimeofday",
+                                       "clock_gettime"};
+constexpr const char* kClockTypes[] = {
+    "random_device", "mt19937", "mt19937_64", "default_random_engine",
+    "minstd_rand", "minstd_rand0", "ranlux24", "ranlux48", "knuth_b",
+    "steady_clock", "system_clock", "high_resolution_clock"};
+constexpr const char* kBeginNames[] = {"begin", "cbegin", "rbegin", "crbegin"};
+
+template <typename Arr>
+bool inList(const Arr& arr, const std::string& s) {
+  for (const char* e : arr)
+    if (s == e) return true;
+  return false;
+}
+
+struct DeclState {
+  std::set<std::string> unorderedAliases;  // using X = std::unordered_map<...>
+  std::set<std::string> unorderedVars;
+  std::set<std::string> fpVars;
+};
+
+bool isUnorderedName(const DeclState& st, const Tok& t) {
+  return t.kind == Tok::Kind::Ident &&
+         (inList(kUnordered, t.text) || st.unorderedAliases.count(t.text) > 0);
+}
+
+/// One sweep recording unordered-container variables/aliases and
+/// floating-point variables. Run twice so aliases declared after first use
+/// (class members below the methods that use them) still resolve.
+void collectDecls(const std::vector<Tok>& t, DeclState& st) {
+  const std::size_t n = t.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (isI(t[i], "using") && i + 2 < n && t[i + 1].kind == Tok::Kind::Ident &&
+        isP(t[i + 2], "=")) {
+      bool unordered = false;
+      std::size_t j = i + 3;
+      for (; j < n && !isP(t[j], ";"); ++j)
+        if (isUnorderedName(st, t[j])) unordered = true;
+      if (unordered) st.unorderedAliases.insert(t[i + 1].text);
+      i = j;
+      continue;
+    }
+    if (isUnorderedName(st, t[i])) {
+      std::size_t j = i + 1;
+      if (j < n && isP(t[j], "<")) {
+        const std::size_t e = matchAngles(t, j);
+        if (e == kNpos) continue;
+        j = e + 1;
+      }
+      while (j < n && (isP(t[j], "&") || isP(t[j], "*") || isI(t[j], "const")))
+        ++j;
+      if (j < n && t[j].kind == Tok::Kind::Ident)
+        st.unorderedVars.insert(t[j].text);
+      continue;
+    }
+    if ((isI(t[i], "double") || isI(t[i], "float")) && i + 1 < n) {
+      std::size_t j = i + 1;
+      while (j < n && (isP(t[j], "&") || isP(t[j], "*"))) ++j;
+      if (j < n && t[j].kind == Tok::Kind::Ident) st.fpVars.insert(t[j].text);
+    }
+  }
+}
+
+void checkFile(const std::string& path, const std::vector<Tok>& t,
+               bool clockAllowed, std::vector<Finding>& out) {
+  DeclState st;
+  collectDecls(t, st);
+  collectDecls(t, st);
+  const std::size_t n = t.size();
+
+  struct LoopSpan { std::size_t begin, end; std::string var; };
+  std::vector<LoopSpan> unorderedLoops;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Tok& tok = t[i];
+    if (tok.kind == Tok::Kind::Ident) {
+      // MB-DET-001: range-for over an unordered container.
+      if (tok.text == "for" && i + 1 < n && isP(t[i + 1], "(")) {
+        const std::size_t cp = matchForward(t, i + 1, "(", ")");
+        if (cp == kNpos) continue;
+        std::size_t colon = kNpos;
+        int depth = 0;
+        for (std::size_t j = i + 1; j < cp; ++j) {
+          if (isP(t[j], "(")) ++depth;
+          else if (isP(t[j], ")")) --depth;
+          else if (depth == 1 && isP(t[j], ":")) { colon = j; break; }
+        }
+        if (colon == kNpos) continue;  // classic for
+        std::size_t lastIdent = kNpos;
+        for (std::size_t j = colon + 1; j < cp; ++j)
+          if (t[j].kind == Tok::Kind::Ident) lastIdent = j;
+        if (lastIdent == kNpos || st.unorderedVars.count(t[lastIdent].text) == 0)
+          continue;
+        add(out, "MB-DET-001",
+            "range-for over unordered container '" + t[lastIdent].text +
+                "' — iteration order depends on the hash table, not the data",
+            path, tok.line, {{"container", t[lastIdent].text}});
+        std::size_t b = cp + 1, e = b;
+        if (b < n && isP(t[b], "{")) {
+          const std::size_t close = matchForward(t, b, "{", "}");
+          e = (close == kNpos) ? n - 1 : close;
+        } else {
+          while (e < n && !isP(t[e], ";")) ++e;
+        }
+        unorderedLoops.push_back({b, e, t[lastIdent].text});
+        continue;
+      }
+      // MB-DET-001: explicit iterator walk on an unordered container.
+      if (st.unorderedVars.count(tok.text) > 0 && i + 3 < n &&
+          isP(t[i + 1], ".") && t[i + 2].kind == Tok::Kind::Ident &&
+          inList(kBeginNames, t[i + 2].text) && isP(t[i + 3], "(")) {
+        add(out, "MB-DET-001",
+            "iterator walk over unordered container '" + tok.text +
+                "' — iteration order depends on the hash table, not the data",
+            path, tok.line, {{"container", tok.text}});
+        continue;
+      }
+      // MB-DET-002: pointer-typed container key / pointer laundering.
+      if (inList(kKeyedContainers, tok.text) && i + 1 < n && isP(t[i + 1], "<") &&
+          (!inList(kNeedsScope, tok.text) || (i > 0 && isP(t[i - 1], "::")))) {
+        const std::size_t e = matchAngles(t, i + 1);
+        if (e != kNpos) {
+          std::size_t lastOfKey = kNpos;
+          int depth = 1;
+          for (std::size_t j = i + 2; j < e; ++j) {
+            if (isP(t[j], "<")) ++depth;
+            else if (isP(t[j], ">")) --depth;
+            else if (depth == 1 && isP(t[j], ",")) break;
+            lastOfKey = j;
+          }
+          if (lastOfKey != kNpos && isP(t[lastOfKey], "*")) {
+            add(out, "MB-DET-002",
+                "pointer-typed key in '" + tok.text +
+                    "' — key order and value depend on allocation addresses (ASLR)",
+                path, tok.line, {{"container", tok.text}});
+          }
+        }
+      }
+      if (tok.text == "uintptr_t" || tok.text == "intptr_t") {
+        add(out, "MB-DET-002",
+            "pointer laundered through '" + tok.text +
+                "' — the integer value depends on allocation addresses (ASLR)",
+            path, tok.line);
+        continue;
+      }
+      // MB-DET-003: randomness / wall-clock sources.
+      if (!clockAllowed) {
+        const bool memberCall = i > 0 && (isP(t[i - 1], ".") || isP(t[i - 1], "->"));
+        if (!memberCall && inList(kClockFuncs, tok.text) && i + 1 < n &&
+            isP(t[i + 1], "(")) {
+          add(out, "MB-DET-003",
+              "call to '" + tok.text +
+                  "' — wall-clock/libc randomness; use common/rng.hpp streams",
+              path, tok.line, {{"callee", tok.text}});
+          continue;
+        }
+        if (inList(kClockTypes, tok.text)) {
+          add(out, "MB-DET-003",
+              "use of '" + tok.text +
+                  "' — nondeterministic source; use common/rng.hpp streams "
+                  "(wall timing belongs in the perf harness)",
+              path, tok.line, {{"source", tok.text}});
+          continue;
+        }
+      }
+      // MB-DET-004: mutable static-duration / thread-local state.
+      if ((tok.text == "static" || tok.text == "thread_local") &&
+          !(i > 0 && (isI(t[i - 1], "static") || isI(t[i - 1], "thread_local")))) {
+        std::string name;
+        for (std::size_t j = i + 1; j < n; ++j) {
+          if (isI(t[j], "const") || isI(t[j], "constexpr") || isI(t[j], "constinit"))
+            break;  // immutable: fine
+          if (isP(t[j], "(")) break;  // function declaration / definition
+          if (isP(t[j], ";") || isP(t[j], "=") || isP(t[j], "{")) {
+            add(out, "MB-DET-004",
+                "mutable static-duration state '" + name +
+                    "' — hidden cross-run/cross-shard coupling",
+                path, tok.line, {{"variable", name}});
+            break;
+          }
+          if (t[j].kind == Tok::Kind::Ident) name = t[j].text;
+        }
+        continue;
+      }
+    }
+  }
+  // MB-DET-005: floating-point accumulation inside unordered iteration.
+  for (const LoopSpan& loop : unorderedLoops) {
+    for (std::size_t j = loop.begin; j < loop.end && j + 1 < n; ++j) {
+      if (t[j].kind == Tok::Kind::Ident && st.fpVars.count(t[j].text) > 0 &&
+          (isP(t[j + 1], "+=") || isP(t[j + 1], "-="))) {
+        add(out, "MB-DET-005",
+            "floating-point accumulation into '" + t[j].text +
+                "' inside a loop over unordered container '" + loop.var +
+                "' — the sum depends on hash order",
+            path, t[j].line,
+            {{"accumulator", t[j].text}, {"container", loop.var}});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ownership pass.
+
+struct Span {
+  std::size_t file = 0;  // index into the input list
+  std::size_t begin = 0, end = 0;  // token range, inclusive
+};
+
+struct TypeInfo {
+  bool cross = false;
+  std::string file;
+  int line = 1;
+  std::set<std::string> interfaces;
+  std::vector<Span> spans;
+};
+
+struct IfaceDecl {
+  std::string target;
+  std::size_t file = 0;
+  std::size_t tok = 0;
+  int line = 1;
+};
+
+/// After a member definition's parameter list: skip qualifiers and the
+/// constructor-initializer list, returning the index of the body's '{' (or
+/// of the terminating ';' for a pure declaration), kNpos on parse failure.
+std::size_t skipToBody(const std::vector<Tok>& t, std::size_t afterParams) {
+  std::size_t j = afterParams;
+  const std::size_t n = t.size();
+  while (j < n && !isP(t[j], "{") && !isP(t[j], ";") && !isP(t[j], ":")) ++j;
+  if (j >= n) return kNpos;
+  if (!isP(t[j], ":")) return j;
+  // Constructor-initializer list: items are name(...) or name{...},
+  // comma-separated; the body's '{' follows the last item.
+  ++j;
+  while (j < n) {
+    while (j < n && !isP(t[j], "(") && !isP(t[j], "{") && !isP(t[j], ";")) ++j;
+    if (j >= n || isP(t[j], ";")) return kNpos;
+    const bool paren = isP(t[j], "(");
+    const std::size_t close = paren ? matchForward(t, j, "(", ")")
+                                    : matchForward(t, j, "{", "}");
+    if (close == kNpos) return kNpos;
+    j = close + 1;
+    if (j < n && isP(t[j], ",")) { ++j; continue; }
+    return (j < n && isP(t[j], "{")) ? j : kNpos;
+  }
+  return kNpos;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// OwnershipMap rendering.
+
+int OwnershipMap::undeclared() const {
+  int c = 0;
+  for (const Ref& r : refs)
+    if (!r.declared) ++c;
+  return c;
+}
+
+std::string OwnershipMap::json() const {
+  std::ostringstream os;
+  os << "{\"types\":[";
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    const Type& t = types[i];
+    if (i) os << ',';
+    os << "{\"name\":\"" << jsonEscape(t.name) << "\",\"ownership\":\""
+       << (t.crossChannel ? "cross-channel" : "channel-local")
+       << "\",\"file\":\"" << jsonEscape(t.file) << "\",\"line\":" << t.line
+       << ",\"interfaces\":[";
+    for (std::size_t k = 0; k < t.interfaces.size(); ++k) {
+      if (k) os << ',';
+      os << '"' << jsonEscape(t.interfaces[k]) << '"';
+    }
+    os << "]}";
+  }
+  os << "],\"references\":[";
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    const Ref& r = refs[i];
+    if (i) os << ',';
+    os << "{\"from\":\"" << jsonEscape(r.fromType) << "\",\"to\":\""
+       << jsonEscape(r.toType) << "\",\"file\":\"" << jsonEscape(r.file)
+       << "\",\"line\":" << r.line << ",\"declared\":"
+       << (r.declared ? "true" : "false") << '}';
+  }
+  os << "],\"undeclared\":" << undeclared() << '}';
+  return os.str();
+}
+
+std::string OwnershipMap::text() const {
+  std::ostringstream os;
+  os << "ownership map: " << types.size() << " annotated type(s), "
+     << refs.size() << " cross-ownership reference(s)\n";
+  for (const Type& t : types) {
+    os << "  " << (t.crossChannel ? "cross-channel" : "channel-local") << "  "
+       << t.name << "  (" << t.file << ':' << t.line << ')';
+    if (!t.interfaces.empty()) {
+      os << "  interfaces:";
+      for (const std::string& i : t.interfaces) os << ' ' << i;
+    }
+    os << '\n';
+  }
+  for (const Ref& r : refs)
+    os << "  ref " << r.fromType << " -> " << r.toType << "  (" << r.file
+       << ':' << r.line << ")  "
+       << (r.declared ? "declared" : "UNDECLARED") << '\n';
+  os << "undeclared references: " << undeclared() << '\n';
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// DetLinter.
+
+DetLinter::DetLinter(DiagnosticEngine& engine, DetLintOptions opts)
+    : engine_(engine), opts_(std::move(opts)) {}
+
+void DetLinter::run(const std::vector<DetFileInput>& files) {
+  ownership_ = OwnershipMap{};
+  suppressions_.clear();
+
+  std::vector<Lexed> lexed;
+  lexed.reserve(files.size());
+  for (const DetFileInput& f : files) lexed.push_back(lex(f.contents));
+
+  std::vector<Finding> findings;
+
+  // Markers: suppressions (valid ones) and MB-DET-007 (malformed ones).
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    std::vector<RawMarker> markers;
+    for (const Comment& c : lexed[fi].comments)
+      scanTextForMarkers(c.text, c.line, markers);
+    scanToksForMarkers(lexed[fi].toks, markers);
+    for (RawMarker& m : markers) {
+      if (m.malformed || !validDetCode(m.code) || !m.hasReason) {
+        std::string why = m.malformed ? "unparseable marker"
+                          : !validDetCode(m.code)
+                              ? "code '" + m.code + "' is not a valid MB-DET code"
+                              : "missing or empty reason string";
+        add(findings, "MB-DET-007",
+            "malformed suppression marker: " + why, files[fi].path, m.line,
+            {{"code", m.code}});
+        continue;
+      }
+      DetSuppression s;
+      s.code = m.code;
+      s.reason = m.reason;
+      s.file = files[fi].path;
+      s.line = m.line;
+      s.fileScope = m.fileScope;
+      suppressions_.push_back(std::move(s));
+    }
+  }
+
+  // Determinism checks per file.
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    bool clockAllowed = false;
+    for (const std::string& suffix : opts_.clockAllowlist) {
+      const std::string& p = files[fi].path;
+      if (p.size() >= suffix.size() &&
+          p.compare(p.size() - suffix.size(), suffix.size(), suffix) == 0)
+        clockAllowed = true;
+    }
+    checkFile(files[fi].path, lexed[fi].toks, clockAllowed, findings);
+  }
+
+  // Ownership: registry of annotated types...
+  std::map<std::string, TypeInfo> types;
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    const std::vector<Tok>& t = lexed[fi].toks;
+    for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+      if (!isI(t[i], "class") && !isI(t[i], "struct")) continue;
+      const bool local = isI(t[i + 1], "MB_CHANNEL_LOCAL");
+      const bool cross = isI(t[i + 1], "MB_CROSS_CHANNEL");
+      if ((!local && !cross) || t[i + 2].kind != Tok::Kind::Ident) continue;
+      TypeInfo& info = types[t[i + 2].text];
+      if (info.file.empty()) {
+        info.file = files[fi].path;
+        info.line = t[i + 2].line;
+      }
+      info.cross = cross;
+      std::size_t j = i + 3;
+      while (j < t.size() && !isP(t[j], "{") && !isP(t[j], ";")) ++j;
+      if (j < t.size() && isP(t[j], "{")) {
+        const std::size_t close = matchForward(t, j, "{", "}");
+        if (close != kNpos) info.spans.push_back({fi, i, close});
+      }
+    }
+  }
+  // ...out-of-class member definitions (Type::member(...))...
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    const std::vector<Tok>& t = lexed[fi].toks;
+    for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+      if (t[i].kind != Tok::Kind::Ident || !isP(t[i + 1], "::")) continue;
+      const auto it = types.find(t[i].text);
+      if (it == types.end()) continue;
+      std::size_t k = i + 2;
+      if (k < t.size() && isP(t[k], "~")) ++k;
+      if (k + 1 >= t.size() || t[k].kind != Tok::Kind::Ident || !isP(t[k + 1], "("))
+        continue;
+      const std::size_t closeParams = matchForward(t, k + 1, "(", ")");
+      if (closeParams == kNpos) continue;
+      const std::size_t body = skipToBody(t, closeParams + 1);
+      if (body == kNpos) continue;
+      std::size_t end = body;
+      if (isP(t[body], "{")) {
+        const std::size_t close = matchForward(t, body, "{", "}");
+        if (close == kNpos) continue;
+        end = close;
+      }
+      it->second.spans.push_back({fi, i, end});
+      i = end;
+    }
+  }
+  // ...MB_CHANNEL_IFACE declarations, attributed to the innermost span.
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    const std::vector<Tok>& t = lexed[fi].toks;
+    for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+      if (!isI(t[i], "MB_CHANNEL_IFACE") || !isP(t[i + 1], "(")) continue;
+      if (t[i + 2].kind != Tok::Kind::Ident || !isP(t[i + 3], ")")) {
+        add(findings, "MB-DET-007",
+            "malformed MB_CHANNEL_IFACE: expected a single type name",
+            files[fi].path, t[i].line);
+        continue;
+      }
+      TypeInfo* owner = nullptr;
+      std::size_t bestBegin = 0;
+      for (auto& [name, info] : types) {
+        for (const Span& s : info.spans) {
+          if (s.file == fi && s.begin <= i && i <= s.end &&
+              (owner == nullptr || s.begin >= bestBegin)) {
+            owner = &info;
+            bestBegin = s.begin;
+          }
+        }
+      }
+      if (owner == nullptr) {
+        add(findings, "MB-DET-007",
+            "MB_CHANNEL_IFACE outside any annotated type's scope — cannot "
+            "attribute interface '" + t[i + 2].text + "'",
+            files[fi].path, t[i].line, {{"interface", t[i + 2].text}});
+        continue;
+      }
+      owner->interfaces.insert(t[i + 2].text);
+    }
+  }
+  // ...and channel-local -> cross-channel references.
+  if (opts_.ownership) {
+    std::set<std::tuple<std::string, std::string, std::string, int>> seen;
+    for (const auto& [name, info] : types) {
+      if (info.cross) continue;
+      for (const Span& s : info.spans) {
+        const std::vector<Tok>& t = lexed[s.file].toks;
+        for (std::size_t i = s.begin; i <= s.end && i < t.size(); ++i) {
+          if (t[i].kind != Tok::Kind::Ident) continue;
+          const auto target = types.find(t[i].text);
+          if (target == types.end() || !target->second.cross) continue;
+          if (i > s.begin && (isI(t[i - 1], "class") || isI(t[i - 1], "struct")))
+            continue;  // forward declaration, not a use
+          if (!seen.emplace(name, t[i].text, files[s.file].path, t[i].line).second)
+            continue;
+          OwnershipMap::Ref ref;
+          ref.fromType = name;
+          ref.toType = t[i].text;
+          ref.file = files[s.file].path;
+          ref.line = t[i].line;
+          ref.declared = info.interfaces.count(t[i].text) > 0;
+          ownership_.refs.push_back(ref);
+          if (!ref.declared) {
+            Finding f;
+            f.code = "MB-DET-006";
+            f.message = "channel-local '" + name + "' references cross-channel '" +
+                        t[i].text + "' without a declared MB_CHANNEL_IFACE";
+            f.file = ref.file;
+            f.line = ref.line;
+            f.ctx = {{"from", name}, {"to", t[i].text}};
+            f.refIndex = ownership_.refs.size() - 1;
+            findings.push_back(std::move(f));
+          }
+        }
+      }
+    }
+    std::sort(ownership_.refs.begin(), ownership_.refs.end(),
+              [](const OwnershipMap::Ref& a, const OwnershipMap::Ref& b) {
+                return std::tie(a.fromType, a.toType, a.file, a.line) <
+                       std::tie(b.fromType, b.toType, b.file, b.line);
+              });
+  }
+  for (const auto& [name, info] : types) {
+    OwnershipMap::Type t;
+    t.name = name;
+    t.crossChannel = info.cross;
+    t.file = info.file;
+    t.line = info.line;
+    t.interfaces.assign(info.interfaces.begin(), info.interfaces.end());
+    ownership_.types.push_back(std::move(t));
+  }
+
+  // Apply suppressions; a suppressed MB-DET-006 marks its reference as
+  // sanctioned in the ownership map (the audit trail carries the reason).
+  for (Finding& f : findings) {
+    bool suppressed = false;
+    for (DetSuppression& s : suppressions_) {
+      if (s.code != f.code || s.file != f.file) continue;
+      if (!s.fileScope && s.line != f.line && s.line + 1 != f.line) continue;
+      ++s.uses;
+      suppressed = true;
+      break;
+    }
+    if (suppressed) {
+      if (f.refIndex != kNpos) {
+        for (OwnershipMap::Ref& r : ownership_.refs) {
+          if (r.fromType == f.ctx[0].second && r.toType == f.ctx[1].second &&
+              r.file == f.file && r.line == f.line)
+            r.declared = true;
+        }
+      }
+      continue;
+    }
+    Diagnostic d(f.code, f.severity, f.message);
+    d.where = SourceLocation{f.file, f.line};
+    for (auto& [k, v] : f.ctx) d.with(k, v);
+    engine_.report(std::move(d));
+  }
+
+  // MB-DET-008: suppressions that matched nothing.
+  for (const DetSuppression& s : suppressions_) {
+    if (s.uses > 0) continue;
+    Diagnostic d("MB-DET-008", Severity::Warning,
+                 "suppression for " + s.code + " matched no finding — stale?");
+    d.where = SourceLocation{s.file, s.line};
+    d.with("reason", s.reason);
+    engine_.report(std::move(d));
+  }
+
+  engine_.sortByLocation();
+}
+
+// ---------------------------------------------------------------------------
+// File discovery.
+
+std::vector<std::string> collectDetSourceFiles(
+    const std::string& root, const std::vector<std::string>& subdirs) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> out;
+  for (const std::string& sub : subdirs) {
+    const fs::path dir = fs::path(root) / sub;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) continue;
+    for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (!it->is_regular_file(ec)) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext != ".hpp" && ext != ".cpp") continue;
+      std::string rel = fs::relative(it->path(), root, ec).generic_string();
+      // The annotation vocabulary itself documents the markers it defines;
+      // scanning it would only report its own documentation.
+      const std::string skip = "common/ownership.hpp";
+      if (rel.size() >= skip.size() &&
+          rel.compare(rel.size() - skip.size(), skip.size(), skip) == 0)
+        continue;
+      out.push_back(std::move(rel));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool readFileToString(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    out->clear();
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace mb::analysis

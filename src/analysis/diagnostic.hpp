@@ -23,6 +23,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/ownership.hpp"
+
 namespace mb::analysis {
 
 enum class Severity {
@@ -34,12 +36,18 @@ enum class Severity {
 
 const char* severityName(Severity s);
 
-/// Optional C++ source location of the check that fired.
+/// Optional source location of the finding: the C++ check that fired, or —
+/// for source analyses like mbdetcheck — the analyzed file itself. Owned
+/// string so dynamically discovered paths outlive their producer.
 struct SourceLocation {
-  const char* file = nullptr;
+  std::string file;
   int line = 0;
 
-  bool known() const { return file != nullptr; }
+  SourceLocation() = default;
+  SourceLocation(std::string file_, int line_)
+      : file(std::move(file_)), line(line_) {}
+
+  bool known() const { return !file.empty(); }
 };
 
 /// One structured finding. Context entries are ordered (insertion order is
@@ -68,12 +76,16 @@ struct Diagnostic {
 };
 
 /// Escape a string for embedding inside a JSON string literal (quotes are
-/// added by the caller). Handles quotes, backslashes and control bytes.
+/// added by the caller). Handles quotes, backslashes and control bytes, and
+/// renders all non-ASCII input as \uXXXX escapes: well-formed UTF-8
+/// sequences become their code points (surrogate pairs beyond the BMP),
+/// malformed bytes become U+FFFD. The output is therefore pure printable
+/// ASCII — byte-stable across locales and safe to diff in CI.
 std::string jsonEscape(const std::string& s);
 
 /// Collector shared by all analysis producers. Cheap to construct; not
 /// thread-safe (one engine per simulation / lint invocation).
-class DiagnosticEngine {
+class MB_CROSS_CHANNEL DiagnosticEngine {
  public:
   /// Record one diagnostic. The stored list is capped at `maxStored` (the
   /// per-severity counters keep exact totals beyond the cap, so a runaway
@@ -93,6 +105,12 @@ class DiagnosticEngine {
   std::string renderText() const;
   /// All stored diagnostics as one JSON array.
   std::string renderJson() const;
+
+  /// Stable-sort the stored diagnostics by (location file, line, code):
+  /// producers that scan files in discovery order (mbdetcheck) call this
+  /// before rendering so text and JSON output diff cleanly run-to-run.
+  /// Report order within one (file, line, code) is preserved.
+  void sortByLocation();
 
   /// Optional immediate sink, invoked on every report() before storage —
   /// lets a CLI stream diagnostics as they are found.

@@ -21,11 +21,12 @@
 
 #include "common/check.hpp"
 #include "common/inline_function.hpp"
+#include "common/ownership.hpp"
 #include "common/types.hpp"
 
 namespace mb {
 
-class EventQueue {
+class MB_CROSS_CHANNEL EventQueue {
  public:
   using Callback = InlineCallback;
 

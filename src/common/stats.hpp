@@ -10,6 +10,7 @@
 
 #include "ckpt/serialize.hpp"
 #include "common/check.hpp"
+#include "common/ownership.hpp"
 #include "common/types.hpp"
 
 namespace mb {
@@ -165,7 +166,7 @@ class TimeWeightedLevel {
 /// Named stat registry. Components register counters/accumulators under
 /// hierarchical dotted names ("mc0.rowHits"). Values are snapshotted as
 /// doubles for reporting.
-class StatRegistry {
+class MB_CROSS_CHANNEL StatRegistry {
  public:
   Counter& counter(const std::string& name) { return counters_[name]; }
   Accumulator& accumulator(const std::string& name) { return accumulators_[name]; }

@@ -20,9 +20,10 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 
 #include "ckpt/serialize.hpp"
+#include "common/flat_map.hpp"
+#include "common/ownership.hpp"
 #include "common/types.hpp"
 
 namespace mb::core {
@@ -67,7 +68,7 @@ class TwoBitCounter {
 };
 
 /// Interface consulted by the memory controller.
-class PagePolicy {
+class MB_CHANNEL_LOCAL PagePolicy {
  public:
   virtual ~PagePolicy() = default;
 
@@ -92,7 +93,9 @@ class PagePolicy {
   std::string name() const { return policyKindName(kind()); }
 
   /// Serializable protocol. Open/Close/Perfect are stateless; the
-  /// predictive policies serialize their counter maps sorted by key.
+  /// predictive policies keep their counters in key-sorted FlatMaps, so the
+  /// serialized bytes are key-ordered by construction (MB-DET-001: no
+  /// hash-order walk can reach a snapshot or report).
   virtual void save(ckpt::Writer&) const {}
   virtual void load(ckpt::Reader&) {}
 };
@@ -101,14 +104,14 @@ class PagePolicy {
 std::unique_ptr<PagePolicy> makePagePolicy(PolicyKind kind);
 
 /// Static open-page: always bet on a future row hit.
-class OpenPagePolicy final : public PagePolicy {
+class MB_CHANNEL_LOCAL OpenPagePolicy final : public PagePolicy {
  public:
   PageDecision decide(std::int64_t, ThreadId) override { return PageDecision::KeepOpen; }
   PolicyKind kind() const override { return PolicyKind::Open; }
 };
 
 /// Static close-page: always precharge when idle.
-class ClosePagePolicy final : public PagePolicy {
+class MB_CHANNEL_LOCAL ClosePagePolicy final : public PagePolicy {
  public:
   PageDecision decide(std::int64_t, ThreadId) override { return PageDecision::Close; }
   PolicyKind kind() const override { return PolicyKind::Close; }
@@ -116,7 +119,7 @@ class ClosePagePolicy final : public PagePolicy {
 
 /// Minimalist-open (Kaseridis et al.): allow a small budget of row hits per
 /// activation, then close.
-class MinimalistOpenPolicy final : public PagePolicy {
+class MB_CHANNEL_LOCAL MinimalistOpenPolicy final : public PagePolicy {
  public:
   explicit MinimalistOpenPolicy(int hitBudget = 4) : hitBudget_(hitBudget) {}
 
@@ -147,11 +150,11 @@ class MinimalistOpenPolicy final : public PagePolicy {
 
  private:
   int hitBudget_;
-  std::unordered_map<std::int64_t, int> hitsSinceAct_;
+  FlatMap<std::int64_t, int> hitsSinceAct_;
 };
 
 /// Local prediction: one bimodal counter per μbank (§V: "per bank history").
-class LocalBimodalPolicy final : public PagePolicy {
+class MB_CHANNEL_LOCAL LocalBimodalPolicy final : public PagePolicy {
  public:
   PageDecision decide(std::int64_t flatUbank, ThreadId) override {
     return counters_[flatUbank].predictsOpen() ? PageDecision::KeepOpen
@@ -176,11 +179,11 @@ class LocalBimodalPolicy final : public PagePolicy {
   }
 
  private:
-  std::unordered_map<std::int64_t, TwoBitCounter> counters_;
+  FlatMap<std::int64_t, TwoBitCounter> counters_;
 };
 
 /// Global prediction: one bimodal counter per requesting thread.
-class GlobalBimodalPolicy final : public PagePolicy {
+class MB_CHANNEL_LOCAL GlobalBimodalPolicy final : public PagePolicy {
  public:
   PageDecision decide(std::int64_t, ThreadId thread) override {
     return counters_[thread].predictsOpen() ? PageDecision::KeepOpen
@@ -205,14 +208,14 @@ class GlobalBimodalPolicy final : public PagePolicy {
   }
 
  private:
-  std::unordered_map<ThreadId, TwoBitCounter> counters_;
+  FlatMap<ThreadId, TwoBitCounter> counters_;
 };
 
 /// Tournament: per-μbank chooser over {open, close, local, global}
 /// candidates (§V treats the static policies as static predictors). Each
 /// candidate keeps a small saturating accuracy score; the current best
 /// candidate's prediction wins.
-class TournamentPolicy final : public PagePolicy {
+class MB_CHANNEL_LOCAL TournamentPolicy final : public PagePolicy {
  public:
   PageDecision decide(std::int64_t flatUbank, ThreadId thread) override;
   void observeOutcome(std::int64_t flatUbank, ThreadId thread, bool sameRow) override;
@@ -234,13 +237,13 @@ class TournamentPolicy final : public PagePolicy {
 
   bool candidatePredictsOpen(int candidate, std::int64_t flatUbank, ThreadId thread);
 
-  std::unordered_map<std::int64_t, Scores> scores_;
+  FlatMap<std::int64_t, Scores> scores_;
   LocalBimodalPolicy local_;
   GlobalBimodalPolicy global_;
 };
 
 /// Perfect (oracle) management: the controller resolves it lazily.
-class PerfectPolicy final : public PagePolicy {
+class MB_CHANNEL_LOCAL PerfectPolicy final : public PagePolicy {
  public:
   PageDecision decide(std::int64_t, ThreadId) override { return PageDecision::Lazy; }
   PolicyKind kind() const override { return PolicyKind::Perfect; }

@@ -18,12 +18,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "ckpt/restore.hpp"
 #include "ckpt/serialize.hpp"
 #include "common/event_queue.hpp"
+#include "common/flat_map.hpp"
+#include "common/ownership.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "cpu/cache.hpp"
@@ -82,7 +83,7 @@ struct HierarchyStats {
   }
 };
 
-class MemoryHierarchy {
+class MB_CROSS_CHANNEL MemoryHierarchy {
  public:
   /// `controllers` must outlive the hierarchy; indexed by channel id.
   MemoryHierarchy(const HierarchyConfig& config,
@@ -195,9 +196,13 @@ class MemoryHierarchy {
 
   std::vector<std::unique_ptr<Cache>> l1s_;  // per core
   std::vector<std::unique_ptr<Cache>> l2s_;  // per cluster
-  std::unordered_map<std::uint64_t, DirEntry> directory_;
-  // Pending DRAM fills keyed by (cluster, lineAddr).
-  std::unordered_map<std::uint64_t, PendingFill> pending_;
+  // Ordered (not hashed) like transits_ below: the directory can grow to
+  // one entry per resident line, and a hash walk anywhere near it must
+  // never be able to leak into reports or serialization (MB-DET-001).
+  std::map<std::uint64_t, DirEntry> directory_;
+  // Pending DRAM fills keyed by (cluster, lineAddr); bounded by the
+  // outstanding-miss window, so sorted flat storage is cheap.
+  FlatMap<std::uint64_t, PendingFill> pending_;
 
   struct StreamEntry {
     std::uint64_t lastLine = 0;

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "analysis/diagnostic.hpp"
+#include "common/ownership.hpp"
 #include "common/types.hpp"
 #include "core/address_map.hpp"
 #include "dram/energy.hpp"
@@ -50,7 +51,7 @@ namespace mb::mc {
 /// Sink for the controller's committed command stream. Not owned by the
 /// controller; one sink may serve every controller of a run (the event
 /// queue is single-threaded, so no locking is needed).
-class CommandLog {
+class MB_CROSS_CHANNEL CommandLog {
  public:
   virtual ~CommandLog() = default;
 
@@ -126,7 +127,7 @@ struct CmdTrace {
 /// Streams the command log to an MBCMDT1 file. Events are buffered and
 /// written in large blocks, so per-command overhead is a few stores plus an
 /// occasional fwrite — cheap enough to leave recording on for full runs.
-class CommandLogWriter final : public CommandLog {
+class MB_CROSS_CHANNEL CommandLogWriter final : public CommandLog {
  public:
   CommandLogWriter(const std::string& path, const CmdTraceConfig& config);
   ~CommandLogWriter() override;
@@ -158,7 +159,7 @@ class CommandLogWriter final : public CommandLog {
 
 /// In-memory CommandLog (tests / programmatic audits): records the same
 /// event stream the writer would serialize.
-class CommandLogRecorder final : public CommandLog {
+class MB_CROSS_CHANNEL CommandLogRecorder final : public CommandLog {
  public:
   explicit CommandLogRecorder(const CmdTraceConfig& config) {
     trace_.config = config;

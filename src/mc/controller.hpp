@@ -26,12 +26,13 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "ckpt/restore.hpp"
 #include "ckpt/serialize.hpp"
 #include "common/event_queue.hpp"
+#include "common/flat_map.hpp"
+#include "common/ownership.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "core/address_map.hpp"
@@ -93,7 +94,7 @@ struct ControllerStats {
   }
 };
 
-class MemoryController {
+class MB_CHANNEL_LOCAL MemoryController {
  public:
   MemoryController(ChannelId id, const dram::Geometry& geom,
                    const dram::TimingParams& timing, const dram::EnergyParams& energy,
@@ -202,6 +203,9 @@ class MemoryController {
   dram::Geometry geom_;
   core::AddressMap map_;
   ControllerConfig cfg_;
+  // Declared seam for the sharding refactor: the controller schedules
+  // itself through the (today global, tomorrow per-shard) event queue.
+  MB_CHANNEL_IFACE(EventQueue)
   EventQueue& eq_;
 
   ChannelState channel_;
@@ -219,8 +223,10 @@ class MemoryController {
   // Ordered (not hashed) because kick() iterates it: the scan order must be
   // reproducible across processes for checkpoint/restore equivalence.
   std::map<std::int64_t, core::DramAddress> pendingCloses_;
-  // Unresolved speculative page decisions, keyed by flat μbank id.
-  std::unordered_map<std::int64_t, Speculation> speculations_;
+  // Unresolved speculative page decisions, keyed by flat μbank id. Sorted
+  // flat storage (one live entry per idle μbank at most) so no hash-order
+  // walk can ever leak into scheduling or serialization (MB-DET-001).
+  FlatMap<std::int64_t, Speculation> speculations_;
 
   Tick nextKickAt_ = kTickNever;
   // Outstanding wake-up events, one per distinct tick (armKick dedupes), so

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "ckpt/serialize.hpp"
+#include "common/ownership.hpp"
 #include "common/types.hpp"
 #include "core/address_map.hpp"
 #include "dram/geometry.hpp"
@@ -34,7 +35,7 @@ enum class DramCommand { Act, Pre, Read, Write, Refresh };
 const char* commandName(DramCommand cmd);
 
 /// One μbank: the unit that owns an open row.
-struct UbankState {
+struct MB_CHANNEL_LOCAL UbankState {
   std::int64_t openRow = -1;       // -1: precharged
   Tick actReadyAt = 0;             // earliest next ACT (tRP satisfied)
   Tick lastActAt = -1;             // for tRCD / tRAS
@@ -54,7 +55,7 @@ struct UbankState {
 };
 
 /// One rank: shares activation windows and write-to-read turnaround.
-struct RankState {
+struct MB_CHANNEL_LOCAL RankState {
   explicit RankState(int banks, int ubanksPerBank);
 
   int nextRefreshBank = 0;  // rotation pointer for per-bank refresh
@@ -76,7 +77,7 @@ struct RankState {
 };
 
 /// One channel: the controller's view of the attached DRAM.
-class ChannelState {
+class MB_CHANNEL_LOCAL ChannelState {
  public:
   ChannelState(const dram::Geometry& geom, const dram::TimingParams& timing);
 

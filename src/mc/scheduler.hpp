@@ -15,10 +15,11 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "ckpt/serialize.hpp"
+#include "common/flat_map.hpp"
+#include "common/ownership.hpp"
 #include "common/types.hpp"
 #include "mc/request.hpp"
 
@@ -39,7 +40,7 @@ struct Candidate {
   bool marked = false;     // filled by PAR-BS batching
 };
 
-class Scheduler {
+class MB_CHANNEL_LOCAL Scheduler {
  public:
   virtual ~Scheduler() = default;
 
@@ -87,21 +88,21 @@ class Scheduler {
 
 std::unique_ptr<Scheduler> makeScheduler(SchedulerKind kind);
 
-class FcfsScheduler final : public Scheduler {
+class MB_CHANNEL_LOCAL FcfsScheduler final : public Scheduler {
  public:
   int pick(std::vector<Candidate>& cands, Tick now) override;
   PickPair pickPair(std::vector<Candidate>& cands, Tick now) override;
   SchedulerKind kind() const override { return SchedulerKind::Fcfs; }
 };
 
-class FrFcfsScheduler final : public Scheduler {
+class MB_CHANNEL_LOCAL FrFcfsScheduler final : public Scheduler {
  public:
   int pick(std::vector<Candidate>& cands, Tick now) override;
   PickPair pickPair(std::vector<Candidate>& cands, Tick now) override;
   SchedulerKind kind() const override { return SchedulerKind::FrFcfs; }
 };
 
-class ParBsScheduler final : public Scheduler {
+class MB_CHANNEL_LOCAL ParBsScheduler final : public Scheduler {
  public:
   explicit ParBsScheduler(int markingCap = 5) : markingCap_(markingCap) {}
 
@@ -129,8 +130,11 @@ class ParBsScheduler final : public Scheduler {
   void prepareBatch(std::vector<Candidate>& cands);
 
   int markingCap_;
-  std::unordered_map<std::uint64_t, ThreadId> marked_;
-  std::unordered_map<ThreadId, int> markedPerThread_;
+  // Sorted flat maps (not hash maps): batch state is consulted during
+  // scheduling decisions, so its walk order must be deterministic for the
+  // sharded-simulation merge to stay reproducible (MB-DET-001).
+  FlatMap<std::uint64_t, ThreadId> marked_;
+  FlatMap<ThreadId, int> markedPerThread_;
   // Controller-visible ids/threads/arrivals of everything in the queue, so
   // batch formation can mark the oldest per thread.
   struct QueueEntry {

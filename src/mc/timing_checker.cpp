@@ -184,9 +184,10 @@ bool TimingChecker::onCommand(DramCommand cmd, const core::DramAddress& da, Tick
 
 // ---- Serializable protocol -----------------------------------------------
 //
-// unordered_map contents are emitted sorted by key: lookups never iterate
-// the maps during simulation, so hash order is behaviour-neutral, but the
-// snapshot bytes must not depend on it.
+// The shadow maps are FlatMaps sorted by key, so walking them for the
+// snapshot emits key order by construction; saveMapSorted is kept (it is a
+// no-op re-sort) so the byte format is visibly the same as before the
+// container swap.
 
 void TimingChecker::save(ckpt::Writer& w) const {
   ckpt::saveMapSorted(w, ubanks_, [&](const UbankHistory& ub) {

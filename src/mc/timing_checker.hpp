@@ -28,10 +28,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
 
 #include "analysis/diagnostic.hpp"
 #include "ckpt/serialize.hpp"
+#include "common/flat_map.hpp"
+#include "common/ownership.hpp"
 #include "common/types.hpp"
 #include "core/address_map.hpp"
 #include "dram/timing.hpp"
@@ -39,7 +40,7 @@
 
 namespace mb::mc {
 
-class TimingChecker {
+class MB_CHANNEL_LOCAL TimingChecker {
  public:
   TimingChecker(const dram::Geometry& geom, const dram::TimingParams& timing)
       : geom_(geom), timing_(timing) {}
@@ -73,11 +74,13 @@ class TimingChecker {
 
   bool softFail = false;
   /// Optional structured sink: violations are reported here (and onCommand
-  /// returns false) instead of aborting. Not owned.
+  /// returns false) instead of aborting. Not owned. Declared seam: the
+  /// engine is run-wide, so sharded checkers must buffer or lock reports.
+  MB_CHANNEL_IFACE(DiagnosticEngine)
   analysis::DiagnosticEngine* diagnostics = nullptr;
 
-  /// Serializable protocol: the shadow maps are serialized sorted by key so
-  /// a snapshot is byte-stable regardless of hash-table iteration order.
+  /// Serializable protocol: the shadow maps iterate sorted by key, so the
+  /// snapshot bytes are key-ordered by construction.
   void save(ckpt::Writer& w) const;
   void load(ckpt::Reader& r);
 
@@ -111,8 +114,12 @@ class TimingChecker {
 
   dram::Geometry geom_;
   dram::TimingParams timing_;
-  std::unordered_map<std::int64_t, UbankHistory> ubanks_;
-  std::unordered_map<std::int64_t, RankHistory> ranks_;
+  // Shadow histories in sorted flat maps: maxActWindowDepth() and the
+  // snapshot writer both walk them, and a walk that fed a report in
+  // hash-table order would not be reproducible across library versions or
+  // ASLR seeds (MB-DET-001). Key order == packUbankKey order.
+  FlatMap<std::int64_t, UbankHistory> ubanks_;
+  FlatMap<std::int64_t, RankHistory> ranks_;
   Tick lastCmdAt_ = -1;
   Tick lastCasAt_ = -1;
   Tick lastDataEndAt_ = -1;

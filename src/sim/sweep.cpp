@@ -42,6 +42,7 @@ int resolveJobs(int requested) {
 
 namespace {
 
+// MB_DET_ALLOW(MB-DET-003, "progress/ETA display on stderr only; never feeds results, reports, or scheduling")
 using Clock = std::chrono::steady_clock;
 
 /// Throttled completed/total + ETA line on stderr. Thread-safe.

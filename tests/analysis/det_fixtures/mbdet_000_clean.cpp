@@ -1,0 +1,18 @@
+// Fixture: deterministic code must produce no findings — ordered-map
+// iteration, seeded arithmetic, and constexpr tables are all fine.
+#include <map>
+#include <vector>
+
+constexpr int kBanks = 16;
+
+long long checksum(const std::map<int, long long>& report) {
+  long long h = 1469598103934665603LL;
+  for (const auto& kv : report) h = (h ^ kv.second) * 1099511628211LL;
+  return h;
+}
+
+std::vector<int> rotation(int start) {
+  std::vector<int> order;
+  for (int i = 0; i < kBanks; ++i) order.push_back((start + i) % kBanks);
+  return order;
+}

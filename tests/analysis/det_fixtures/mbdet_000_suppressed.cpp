@@ -1,0 +1,12 @@
+// Fixture: a justified suppression silences its finding and the file stays
+// clean — and because the suppression is used, no MB-DET-008 fires either.
+#include <unordered_map>
+
+int countEntries(const std::unordered_map<int, int>& table) {
+  int n = 0;
+  // MB_DET_ALLOW(MB-DET-001, "order-insensitive count; result is iteration-order independent")
+  for (const auto& kv : table) {
+    n += kv.second > 0 ? 1 : 0;
+  }
+  return n;
+}

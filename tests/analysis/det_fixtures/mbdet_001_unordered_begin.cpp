@@ -1,0 +1,8 @@
+// Fixture: an explicit .begin() walk over a std::unordered_set must trip
+// MB-DET-001 even without a range-for.
+#include <unordered_set>
+
+int firstElement(const std::unordered_set<int>& pool) {
+  auto it = pool.begin();
+  return it == pool.end() ? -1 : *it;
+}

@@ -1,0 +1,9 @@
+// Fixture: range-for over a std::unordered_map must trip MB-DET-001.
+// Fed to mbdetcheck --self-test; never compiled.
+#include <unordered_map>
+
+int sumValues(const std::unordered_map<int, int>& table) {
+  int sum = 0;
+  for (const auto& kv : table) sum += kv.second;
+  return sum;
+}

@@ -1,0 +1,9 @@
+// Fixture: a pointer-typed key in an ordered map must trip MB-DET-002 —
+// the comparison order is the allocation order under ASLR.
+#include <map>
+
+struct Node { int id; };
+
+struct Registry {
+  std::map<Node*, int> rank;
+};

@@ -1,0 +1,8 @@
+// Fixture: laundering a pointer through uintptr_t must trip MB-DET-002.
+#include <cstdint>
+
+struct Node { int id; };
+
+std::uint64_t stableId(const Node* n) {
+  return static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(n));
+}

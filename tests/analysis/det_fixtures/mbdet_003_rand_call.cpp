@@ -1,0 +1,7 @@
+// Fixture: libc rand() must trip MB-DET-003; simulation randomness has to
+// come from the seeded streams in common/rng.hpp.
+#include <cstdlib>
+
+int pickVictimWay(int ways) {
+  return rand() % ways;
+}

@@ -1,0 +1,8 @@
+// Fixture: mutable namespace-scope static state must trip MB-DET-004.
+// The constexpr neighbour shows what the check is expected to skip.
+namespace cache {
+
+constexpr int kWays = 8;
+static long gTotalEvictions = 0;
+
+}  // namespace cache

@@ -1,0 +1,6 @@
+// Fixture: a mutable function-local static must trip MB-DET-004 — two
+// shards (or two runs interleaving calls differently) would share it.
+int nextSequence() {
+  static int counter = 0;
+  return ++counter;
+}

@@ -1,0 +1,13 @@
+// Fixture: floating-point accumulation inside an unordered-container loop
+// must trip MB-DET-005. The iteration itself is acknowledged with a
+// suppression so exactly the accumulation finding remains.
+#include <unordered_map>
+
+double meanLatency(const std::unordered_map<int, double>& samples) {
+  double sum = 0.0;
+  // MB_DET_ALLOW(MB-DET-001, "fixture isolates the FP-accumulation check")
+  for (const auto& kv : samples) {
+    sum += kv.second;
+  }
+  return samples.empty() ? 0.0 : sum / static_cast<double>(samples.size());
+}

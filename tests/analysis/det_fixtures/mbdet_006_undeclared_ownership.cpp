@@ -1,0 +1,14 @@
+// Fixture: a channel-local type referencing a cross-channel type without a
+// declared interface must trip MB-DET-006.
+class MB_CROSS_CHANNEL SharedBus {
+ public:
+  void post(int payload);
+};
+
+class MB_CHANNEL_LOCAL ChannelEngine {
+ public:
+  void flush() { bus_->post(0); }
+
+ private:
+  SharedBus* bus_ = nullptr;
+};

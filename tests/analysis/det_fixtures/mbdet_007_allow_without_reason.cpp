@@ -1,0 +1,4 @@
+// Fixture: a suppression marker without a reason string must itself trip
+// MB-DET-007 — intentional exceptions stay auditable only if justified.
+// MB_DET_ALLOW(MB-DET-001)
+int identity(int x) { return x; }

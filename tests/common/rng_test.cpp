@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/sweep.hpp"
+
 #include <cmath>
 #include <set>
 #include <vector>
@@ -141,6 +143,37 @@ TEST(ZipfSampler, IsSkewedTowardLowRanks) {
   // Under uniform sampling the first 1% would get ~1% of the draws; a 0.99
   // Zipf concentrates far more there.
   EXPECT_GT(static_cast<double>(lowRank) / kN, 0.3);
+}
+
+TEST(SeedFolding, SweepGridStreamsAreIndependent) {
+  // A 5x5 sweep grid re-seeds each point as foldPointSeed(base, index) and a
+  // resumed sweep may fold the same base twice (MBSWP journal replay): no
+  // two folds across the grid — for either of two nearby base seeds — may
+  // collide, or two sweep points would replay identical workload noise.
+  constexpr std::uint64_t kBases[2] = {0x9a3ec94bcull, 0x9a3ec94bdull};
+  std::set<std::uint64_t> seen;
+  for (const std::uint64_t base : kBases) {
+    for (std::size_t index = 0; index < 25; ++index) {
+      const std::uint64_t folded = sim::foldPointSeed(base, index);
+      EXPECT_TRUE(seen.insert(folded).second)
+          << "collision at base=" << base << " index=" << index;
+      // And the fold must not degenerate to the inputs themselves.
+      EXPECT_NE(folded, base);
+      EXPECT_NE(folded, index);
+    }
+  }
+  EXPECT_EQ(seen.size(), 50u);
+}
+
+TEST(SeedFolding, FoldedStreamsProduceDisjointDrawSequences) {
+  // Beyond distinct seeds: the first draws of neighbouring point streams
+  // must already disagree, so workload synthesis diverges immediately.
+  Rng a(sim::foldPointSeed(42, 0));
+  Rng b(sim::foldPointSeed(42, 1));
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.nextU64() == b.nextU64()) ++equal;
+  EXPECT_EQ(equal, 0);
 }
 
 }  // namespace
