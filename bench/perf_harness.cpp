@@ -2,8 +2,11 @@
 //
 // Runs every shipped preset for a fixed instruction slice and reports how
 // fast the ENGINE executes: wall seconds, dispatched events/sec, simulated
-// core-cycles/sec, and peak RSS, per preset and in aggregate, as both a
-// stdout table and a machine-readable BENCH_PERF.json (format MBPERF1).
+// core-cycles/sec, and RSS, per preset and in aggregate, as both a stdout
+// table and a machine-readable BENCH_PERF.json (format MBPERF1). Per-preset
+// `peakRssKiB` is the DELTA of the process peak-RSS high-water mark across
+// that preset's runs (not the inherited absolute peak); the totals block
+// carries the process-wide peak. See bench/perf_report.hpp.
 // tools/ci.sh records it on every gate run (non-gating) so the throughput
 // trajectory of the event engine and MC arbitration loop is visible PR over
 // PR; bench/perf_baseline.txt pins the last accepted events/sec per preset
@@ -19,8 +22,6 @@
 // repeats are free of variance in work done. Baseline diffs are warn-only:
 // perf regressions should be loud in CI logs but a shared, throttled, or
 // slow host must not fail the gate.
-#include <sys/resource.h>
-
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -28,15 +29,17 @@
 #include <cstring>
 #include <fstream>
 #include <map>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "bench/perf_report.hpp"
 #include "sim/experiment.hpp"
 
 namespace {
 
 using namespace mb;
+using bench::PresetPerf;
+using bench::currentPeakRssKiB;
 
 struct Options {
   std::string out = "BENCH_PERF.json";
@@ -47,15 +50,6 @@ struct Options {
   std::string baselinePath;     // diff against this (warn-only)
   std::string updateBaseline;   // write events/sec table here
   double tolerance = 0.25;
-};
-
-struct PresetPerf {
-  std::string preset;
-  double wallSeconds = 0.0;
-  std::uint64_t events = 0;
-  double eventsPerSec = 0.0;
-  double simulatedCyclesPerSec = 0.0;
-  long peakRssKiB = 0;
 };
 
 [[noreturn]] void usageError(const std::string& msg) {
@@ -100,18 +94,16 @@ Options parseArgs(int argc, char** argv) {
   return o;
 }
 
-long peakRssKiB() {
-  struct rusage ru {};
-  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
-  return ru.ru_maxrss;  // Linux: KiB
-}
-
 PresetPerf measure(const sim::NamedConfig& preset, const Options& o) {
   sim::SystemConfig cfg = preset.cfg;
   cfg.core.maxInstrs = o.instrs;
 
   PresetPerf p;
   p.preset = preset.name;
+  // ru_maxrss is a process-lifetime high-water mark; sample it before the
+  // runs and report the delta so this preset's value never inherits an
+  // earlier preset's peak (bench/perf_report.hpp has the full semantics).
+  const long rssBefore = currentPeakRssKiB();
   double bestWall = 0.0;
   for (int rep = 0; rep < o.repeat; ++rep) {
     const auto t0 = std::chrono::steady_clock::now();
@@ -129,17 +121,8 @@ PresetPerf measure(const sim::NamedConfig& preset, const Options& o) {
   p.wallSeconds = bestWall;
   p.eventsPerSec =
       bestWall > 0.0 ? static_cast<double>(p.events) / bestWall : 0.0;
-  p.peakRssKiB = peakRssKiB();
+  p.peakRssKiB = currentPeakRssKiB() - rssBefore;
   return p;
-}
-
-std::string jsonEscape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  return out;
 }
 
 void writeJson(const std::vector<PresetPerf>& perfs, const Options& o) {
@@ -148,53 +131,17 @@ void writeJson(const std::vector<PresetPerf>& perfs, const Options& o) {
     std::fprintf(stderr, "mbperf: cannot write %s\n", o.out.c_str());
     std::exit(1);
   }
-  double totalWall = 0.0;
-  std::uint64_t totalEvents = 0;
-  for (const auto& p : perfs) {
-    totalWall += p.wallSeconds;
-    totalEvents += p.events;
-  }
-  char buf[256];
-  out << "{\"format\":\"MBPERF1\",\"workload\":\"" << jsonEscape(o.workload)
-      << "\",\"instrs\":" << o.instrs << ",\"repeat\":" << o.repeat
-      << ",\"presets\":[";
-  for (std::size_t i = 0; i < perfs.size(); ++i) {
-    const auto& p = perfs[i];
-    std::snprintf(buf, sizeof buf,
-                  "%s{\"preset\":\"%s\",\"wallSeconds\":%.6g,\"events\":%llu,"
-                  "\"eventsPerSec\":%.6g,\"simulatedCyclesPerSec\":%.6g,"
-                  "\"peakRssKiB\":%ld}",
-                  i == 0 ? "" : ",", jsonEscape(p.preset).c_str(), p.wallSeconds,
-                  static_cast<unsigned long long>(p.events), p.eventsPerSec,
-                  p.simulatedCyclesPerSec, p.peakRssKiB);
-    out << buf;
-  }
-  std::snprintf(buf, sizeof buf,
-                "],\"totals\":{\"wallSeconds\":%.6g,\"events\":%llu,"
-                "\"eventsPerSec\":%.6g,\"peakRssKiB\":%ld}}\n",
-                totalWall, static_cast<unsigned long long>(totalEvents),
-                totalWall > 0.0 ? static_cast<double>(totalEvents) / totalWall
-                                : 0.0,
-                peakRssKiB());
-  out << buf;
+  out << bench::perfJson(perfs, {o.workload, o.instrs, o.repeat},
+                         currentPeakRssKiB());
 }
 
 std::map<std::string, double> readBaseline(const std::string& path) {
-  std::map<std::string, double> out;
   std::ifstream in(path);
   if (!in.good()) {
     std::fprintf(stderr, "mbperf: WARN cannot read baseline %s\n", path.c_str());
-    return out;
+    return {};
   }
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream ls(line);
-    std::string name;
-    double eps = 0.0;
-    if (ls >> name >> eps) out[name] = eps;
-  }
-  return out;
+  return bench::readBaseline(in);
 }
 
 // Warn-only comparison: a slower-than-tolerance preset is flagged loudly but
@@ -240,12 +187,8 @@ void writeBaseline(const std::vector<PresetPerf>& perfs, const Options& o) {
       << " instrs=" << o.instrs << ").\n"
       << "# Regenerate on a quiet host: mbperf --update-baseline=bench/"
          "perf_baseline.txt\n";
-  char buf[128];
-  for (const auto& p : perfs) {
-    std::snprintf(buf, sizeof buf, "%s %.6g\n", p.preset.c_str(),
-                  p.eventsPerSec);
-    out << buf;
-  }
+  for (const auto& p : perfs)
+    out << p.preset << ' ' << bench::fmtG(p.eventsPerSec) << '\n';
 }
 
 }  // namespace

@@ -60,6 +60,11 @@ class MB_CROSS_CHANNEL EventQueue {
 
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
+  /// Sequence number the next scheduleAt will assign. Components that fuse
+  /// same-tick events (transit batching) use this to prove that nothing
+  /// else has claimed a slot in the global ordering since their last
+  /// schedule — the condition under which fusing preserves event order.
+  std::uint64_t nextSeq() const { return nextSeq_; }
   Tick now() const { return now_; }
   Tick nextEventTime() const { return heap_.empty() ? kTickNever : heap_[0].when; }
 

@@ -1,12 +1,16 @@
-// Small-buffer move-only callable for the event engine.
+// Small-buffer move-only callable for the event engine and the request path.
 //
 // Every simulated event used to carry a std::function<void()>, whose type
 // erasure heap-allocates for captures beyond the (tiny) libstdc++ SBO and
 // drags in copy machinery the queue never uses. All event callbacks in this
 // codebase are `[this, token]`-shaped lambdas of at most a few words, so an
-// InlineCallback stores the callable in a 48-byte in-place buffer with a
+// InlineFunction stores the callable in a 48-byte in-place buffer with a
 // per-type static ops table (invoke / relocate / destroy); only callables
 // larger than the buffer (none today) fall back to a single heap node.
+//
+// InlineFunction<R(Args...)> generalizes the original void() form so the
+// read-completion path (MemRequest::onComplete, void(Tick)) gets the same
+// zero-allocation treatment; InlineCallback remains the event-queue alias.
 //
 // Semantics: move-only, not copyable (events fire exactly once; the queue
 // never duplicates them). Moved-from is empty. Invoking an empty callback is
@@ -22,19 +26,23 @@
 
 namespace mb {
 
-class InlineCallback {
+template <typename Sig>
+class InlineFunction;  // undefined primary; specialized for R(Args...)
+
+template <typename R, typename... Args>
+class InlineFunction<R(Args...)> {
  public:
   // Large enough for every event lambda in the simulator (this + a token or
   // tick, with slack for a std::function wrapper during checkpoint replay).
   static constexpr std::size_t kInlineSize = 48;
 
-  InlineCallback() noexcept = default;
+  InlineFunction() noexcept = default;
 
   template <typename F,
             typename = std::enable_if_t<
-                !std::is_same_v<std::decay_t<F>, InlineCallback> &&
-                std::is_invocable_r_v<void, std::decay_t<F>&>>>
-  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
     using Fn = std::decay_t<F>;
     if constexpr (sizeof(Fn) <= kInlineSize &&
                   alignof(Fn) <= alignof(std::max_align_t)) {
@@ -46,14 +54,22 @@ class InlineCallback {
     }
   }
 
-  InlineCallback(InlineCallback&& other) noexcept : ops_(other.ops_) {
+  /// nullptr mirrors the std::function idiom this type replaces (callers
+  /// reset callbacks with `cb = nullptr`).
+  InlineFunction(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+  InlineFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept : ops_(other.ops_) {
     if (ops_ != nullptr) {
       ops_->relocate(buf_, other.buf_);
       other.ops_ = nullptr;
     }
   }
 
-  InlineCallback& operator=(InlineCallback&& other) noexcept {
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
     if (this != &other) {
       reset();
       ops_ = other.ops_;
@@ -65,21 +81,21 @@ class InlineCallback {
     return *this;
   }
 
-  InlineCallback(const InlineCallback&) = delete;
-  InlineCallback& operator=(const InlineCallback&) = delete;
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
 
-  ~InlineCallback() { reset(); }
+  ~InlineFunction() { reset(); }
 
   explicit operator bool() const noexcept { return ops_ != nullptr; }
 
-  void operator()() {
+  R operator()(Args... args) {
     MB_DCHECK(ops_ != nullptr);
-    ops_->invoke(buf_);
+    return ops_->invoke(buf_, std::forward<Args>(args)...);
   }
 
  private:
   struct Ops {
-    void (*invoke)(void*);
+    R (*invoke)(void*, Args...);
     // Move-construct *src into dst storage and destroy *src (relocation).
     void (*relocate)(void* dst, void* src);
     void (*destroy)(void*);
@@ -87,7 +103,10 @@ class InlineCallback {
 
   template <typename Fn>
   static constexpr Ops inlineOps = {
-      [](void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); },
+      [](void* p, Args... args) -> R {
+        return (*std::launder(reinterpret_cast<Fn*>(p)))(
+            std::forward<Args>(args)...);
+      },
       [](void* dst, void* src) {
         Fn* s = std::launder(reinterpret_cast<Fn*>(src));
         ::new (dst) Fn(std::move(*s));
@@ -98,7 +117,9 @@ class InlineCallback {
 
   template <typename Fn>
   static constexpr Ops heapOps = {
-      [](void* p) { (**reinterpret_cast<Fn**>(p))(); },
+      [](void* p, Args... args) -> R {
+        return (**reinterpret_cast<Fn**>(p))(std::forward<Args>(args)...);
+      },
       [](void* dst, void* src) {
         *reinterpret_cast<Fn**>(dst) = *reinterpret_cast<Fn**>(src);
       },
@@ -115,5 +136,8 @@ class InlineCallback {
   alignas(std::max_align_t) unsigned char buf_[kInlineSize];
   const Ops* ops_ = nullptr;
 };
+
+/// The event-queue callback type (original name, unchanged semantics).
+using InlineCallback = InlineFunction<void()>;
 
 }  // namespace mb

@@ -178,7 +178,7 @@ void RobCore::onMemResponse(int slot, Tick when) {
   }
 }
 
-std::function<void(Tick)> RobCore::makeMemCallback(int tag) {
+mc::CompletionFn RobCore::makeMemCallback(int tag) {
   if (tag < 0) return [this](Tick) { onStoreDrained(); };
   return [this, tag](Tick when) { onMemResponse(tag, when); };
 }

@@ -71,7 +71,7 @@ class RobCore {
   /// The memory-completion callback this core attaches to a hierarchy
   /// access: `tag` >= 0 names the ROB slot of a load, -1 a store drain.
   /// Exposed so a restored snapshot can rebuild pending-waiter callbacks.
-  std::function<void(Tick)> makeMemCallback(int tag);
+  mc::CompletionFn makeMemCallback(int tag);
 
   /// Serializable protocol (the full execution state of the core; the
   /// attached trace source is serialized separately by the system).

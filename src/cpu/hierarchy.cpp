@@ -112,8 +112,8 @@ void MemoryHierarchy::postDramWrite(std::uint64_t lineAddr, CoreId core, Tick at
   trackTransit(Transit::Kind::EnqWrite, when, lineAddr, core);
 }
 
-std::function<void(Tick)> MemoryHierarchy::makeReadCompletion(std::uint64_t lineAddr,
-                                                              CoreId core) {
+mc::CompletionFn MemoryHierarchy::makeReadCompletion(std::uint64_t lineAddr,
+                                                     CoreId core) {
   const int cluster = clusterOf(core);
   return [this, lineAddr, cluster](Tick dataTick) {
     // Response link hop (zero for parallel interfaces).
@@ -146,7 +146,34 @@ void MemoryHierarchy::trackTransit(Transit::Kind kind, Tick due,
   t.due = due;
   t.lineAddr = lineAddr;
   t.core = core;
-  t.seq = eq_.scheduleAt(due, [this, token] { fireTransit(token); });
+  // Join the open batch when the due times match and no event anywhere has
+  // been scheduled since its last member (eq_.nextSeq() proves it): this
+  // transit's own seq would have been batchSeq_+1, directly adjacent, so
+  // sharing the batch's event cannot reorder it relative to anything else.
+  if (batchOpen_ && batchDue_ == due && eq_.nextSeq() == batchSeq_ + 1) {
+    t.seq = batchSeq_;
+    return;
+  }
+  t.seq = eq_.scheduleAt(due, [this, token] { fireTransitGroup(token); });
+  batchOpen_ = true;
+  batchSeq_ = t.seq;
+  batchDue_ = due;
+}
+
+void MemoryHierarchy::fireTransitGroup(std::uint64_t firstToken) {
+  const auto head = transits_.find(firstToken);
+  MB_CHECK(head != transits_.end());
+  const std::uint64_t seq = head->second.seq;
+  // Close the batch before firing: transits created by the members below
+  // (writebacks, response hops) must open a fresh event, not ride one that
+  // is already in flight.
+  if (batchOpen_ && batchSeq_ == seq) batchOpen_ = false;
+  std::uint64_t token = firstToken;
+  for (;;) {
+    fireTransit(token);
+    const auto next = transits_.find(++token);
+    if (next == transits_.end() || next->second.seq != seq) break;
+  }
 }
 
 void MemoryHierarchy::fireTransit(std::uint64_t token) {
@@ -273,7 +300,7 @@ void MemoryHierarchy::onDramData(std::uint64_t lineAddr, int cluster, Tick dataT
 
 MemoryHierarchy::AccessResult MemoryHierarchy::access(CoreId core, std::uint64_t addr,
                                                       bool write, Tick at,
-                                                      std::function<void(Tick)> onDone,
+                                                      mc::CompletionFn onDone,
                                                       int tag) {
   ++stats_.accesses;
   const std::uint64_t lineAddr = l1s_.front()->lineBase(addr);
@@ -599,6 +626,7 @@ void MemoryHierarchy::load(ckpt::Reader& r) {
   prefetchClock_ = r.u64();
 
   transits_.clear();
+  batchOpen_ = false;  // restored runs start with the coalescing batch closed
   const std::uint64_t nTransit = r.count(37);
   for (std::uint64_t i = 0; i < nTransit && r.ok(); ++i) {
     const std::uint64_t token = r.u64();
@@ -630,11 +658,21 @@ void MemoryHierarchy::load(ckpt::Reader& r) {
 }
 
 void MemoryHierarchy::reschedule(ckpt::EventRestorer& er) {
+  // Coalesced groups (consecutive tokens sharing a seq) re-arm as one event
+  // keyed by their head; every member is re-stamped with the renumbered seq
+  // so the group structure survives repeated save/restore cycles.
   for (const auto& [token, t] : transits_) {
     const std::uint64_t tok = token;
+    const auto prev = transits_.find(tok - 1);
+    if (prev != transits_.end() && prev->second.seq == t.seq) continue;  // member
     er.add(t.seq, [this, tok] {
-      auto& tr = transits_[tok];
-      tr.seq = eq_.scheduleAt(tr.due, [this, tok] { fireTransit(tok); });
+      const auto head = transits_.find(tok);
+      MB_CHECK(head != transits_.end());
+      const std::uint64_t oldSeq = head->second.seq;
+      const std::uint64_t newSeq =
+          eq_.scheduleAt(head->second.due, [this, tok] { fireTransitGroup(tok); });
+      for (auto it = head; it != transits_.end() && it->second.seq == oldSeq; ++it)
+        it->second.seq = newSeq;
     });
   }
 }

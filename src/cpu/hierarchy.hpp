@@ -103,7 +103,7 @@ class MB_CROSS_CHANNEL MemoryHierarchy {
   /// slot for loads, -1 for store-drain callbacks); it travels with the
   /// waiter so a restored snapshot can rebuild the callback.
   AccessResult access(CoreId core, std::uint64_t addr, bool write, Tick at,
-                      std::function<void(Tick)> onDone, int tag = -1);
+                      mc::CompletionFn onDone, int tag = -1);
 
   const HierarchyStats& stats() const { return stats_; }
   const HierarchyConfig& config() const { return cfg_; }
@@ -123,12 +123,12 @@ class MB_CROSS_CHANNEL MemoryHierarchy {
 
   /// The callback a restored MC uses to deliver read data back into the
   /// hierarchy (the same closure requestDramRead would have attached).
-  std::function<void(Tick)> makeReadCompletion(std::uint64_t lineAddr, CoreId core);
+  mc::CompletionFn makeReadCompletion(std::uint64_t lineAddr, CoreId core);
 
   /// Rebuilds a waiter's onDone callback on restore from (core, tag); wired
   /// to RobCore::makeMemCallback by the system. Must be set before load()
   /// when the snapshot carries pending fills with callbacks.
-  std::function<std::function<void(Tick)>(CoreId core, int tag)> waiterResolver;
+  std::function<mc::CompletionFn(CoreId core, int tag)> waiterResolver;
 
   /// Serializable protocol (caches, directory, pending fills, prefetcher,
   /// in-flight hierarchy<->MC transits, stats).
@@ -145,7 +145,7 @@ class MB_CROSS_CHANNEL MemoryHierarchy {
   struct Waiter {
     CoreId core;
     bool write;
-    std::function<void(Tick)> onDone;
+    mc::CompletionFn onDone;
     int tag = -1;  // consumer id for checkpoint restore (see access())
   };
   struct PendingFill {
@@ -178,8 +178,17 @@ class MB_CROSS_CHANNEL MemoryHierarchy {
   void postDramWrite(std::uint64_t lineAddr, CoreId core, Tick at);
   void requestDramRead(std::uint64_t lineAddr, CoreId core, Tick at);
   /// Register + schedule a reified hierarchy<->MC event (see Transit).
+  /// Consecutive same-due transits registered with no intervening event
+  /// scheduled anywhere in the system share one wake-up event (one seq):
+  /// their would-have-been sequence numbers were consecutive, so fusing
+  /// them — and firing the group in token order — is a monotone renumbering
+  /// of the global event order, i.e. observationally identical. One MC
+  /// batch of same-tick admissions then arrives in one event.
   void trackTransit(Transit::Kind kind, Tick due, std::uint64_t lineAddr, int core);
   void fireTransit(std::uint64_t token);
+  /// Fire `firstToken` and every consecutively-tokened transit sharing its
+  /// event seq (the coalesced batch described at trackTransit).
+  void fireTransitGroup(std::uint64_t firstToken);
   /// Stride detection on the L1-miss stream; may issue prefetch fills.
   void trainPrefetcher(CoreId core, std::uint64_t lineAddr, Tick at);
   void issuePrefetch(CoreId core, std::uint64_t lineAddr, Tick at);
@@ -216,6 +225,14 @@ class MB_CROSS_CHANNEL MemoryHierarchy {
 
   std::map<std::uint64_t, Transit> transits_;  // keyed by token
   std::uint64_t nextTransitToken_ = 0;
+  // Open coalescing batch (see trackTransit): the latest scheduled transit
+  // event, joinable while it has not fired and no other event has claimed a
+  // sequence number since. Deliberately not serialized: a restored run
+  // starts with the batch closed, which only splits one shared event into
+  // per-transit events at the same tick in the same relative order.
+  bool batchOpen_ = false;
+  std::uint64_t batchSeq_ = 0;
+  Tick batchDue_ = 0;
   bool functional_ = false;
 
   HierarchyStats stats_;

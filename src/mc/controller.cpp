@@ -20,6 +20,7 @@ MemoryController::MemoryController(ChannelId id, const dram::Geometry& geom,
       meter_(energy),
       scheduler_(makeScheduler(config.scheduler)),
       policy_(core::makePagePolicy(config.pagePolicy)) {
+  speculations_.resize(static_cast<std::size_t>(channel_.ubankCount()));
   channel_.refreshEnabled = cfg_.refreshEnabled;
   channel_.perBankRefresh = cfg_.perBankRefresh;
   if (cfg_.enableTimingCheck) {
@@ -37,50 +38,59 @@ void MemoryController::enqueue(MemRequest req) {
   MB_DCHECK(req.da.channel == id_);
 
   const std::int64_t flat = req.da.flatUbank(geom_);
+  const bool isWrite = req.write;
 
+  // Admission-side state changes below invalidate the wake computed by an
+  // earlier kick at this tick; the batched-admission fast path at the end
+  // of this function is only taken when none occurred.
+  bool wasReads = false, wasWrites = false;
+  serveFlags(wasReads, wasWrites);
+  bool mutated = false;
+
+  const int ub = channel_.ubankIndex(req.da);
   // Resolve any outstanding speculative page decision for this μbank now
   // that the next access is known (§V: the predictor trains on whether the
   // next access would have hit the previously open row).
-  resolveSpeculation(req.da, req.da.row);
+  resolveSpeculation(flat, ub, req.da.row);
   // A policy-requested idle precharge is cancelled if the incoming request
   // wants exactly the still-open row.
   auto pc = pendingCloses_.find(flat);
   if (pc != pendingCloses_.end()) {
-    const auto& ub = channel_.ubank(req.da);
-    if (ub.rowOpen() && ub.openRow == req.da.row) pendingCloses_.erase(pc);
-  }
-  // Oracle resolution: charge the retrospectively-best decision (§V).
-  auto& ub0 = channel_.ubank(req.da);
-  if (ub0.lazyPending) {
-    if (ub0.openRow == req.da.row) {
-      ub0.lazyPending = false;  // keeping it open was best: genuine row hit
-    } else {
-      // Closing was best: account as if PRE had issued at the earliest
-      // legal point after the previous access.
-      ub0.openRow = -1;
-      ub0.actReadyAt = std::max(ub0.actReadyAt,
-                                ub0.earliestPreAt + channel_.timing().tRP);
-      ub0.lazyPending = false;
-      if (checker_) checker_->onOraclePre(req.da);
-      if (cfg_.commandLog) cfg_.commandLog->onOraclePre(req.da, eq_.now());
+    if (channel_.openRow(ub) == req.da.row) {
+      pendingCloses_.erase(pc);
+      mutated = true;
     }
   }
+  // Oracle resolution: charge the retrospectively-best decision (§V).
+  if (channel_.resolveLazy(req.da, ub) == ChannelState::LazyOutcome::Closed) {
+    if (checker_) checker_->onOraclePre(req.da);
+    if (cfg_.commandLog) cfg_.commandLog->onOraclePre(req.da, eq_.now());
+    mutated = true;
+  }
 
+  ReqHandle admitted{};
+  bool inWindow = false;  // landed in a scheduler-visible queue
   if (req.write) {
     writes_.inc();
     // Coalesce with an already-buffered write to the same line.
-    for (auto& w : writeQ_) {
-      if (w->req.addr == req.addr) return;
+    for (const ReqHandle h : writeQ_) {
+      if (pool_.ref(h).req.addr == req.addr) return;
     }
-    writeQ_.push_back(std::make_unique<Pending>(Pending{std::move(req), false, false}));
+    Pending p;
+    p.req = std::move(req);
+    p.flat = flat;
+    p.ub = ub;
+    admitted = pool_.alloc(std::move(p));
+    writeQ_.push_back(admitted);
+    inWindow = true;
     if (static_cast<int>(writeQ_.size()) >= cfg_.writeHighWatermark)
-      drainingWrites_ = true;
+      drainingWrites_ = true;  // serve-flag flip: caught by the compare below
   } else {
     reads_.inc();
     // Forward from a buffered write to the same line: the data is newer
     // than DRAM and available immediately after a queue lookup.
-    for (const auto& w : writeQ_) {
-      if (w->req.addr == req.addr) {
+    for (const ReqHandle h : writeQ_) {
+      if (pool_.ref(h).req.addr == req.addr) {
         forwarded_.inc();
         if (req.onComplete) {
           const Tick done = eq_.now() + channel_.timing().tCMD;
@@ -89,30 +99,62 @@ void MemoryController::enqueue(MemRequest req) {
         return;
       }
     }
-    auto p = std::make_unique<Pending>(Pending{std::move(req), false, false});
+    Pending p;
+    p.req = std::move(req);
+    p.flat = flat;
+    p.ub = ub;
+    admitted = pool_.alloc(std::move(p));
     if (static_cast<int>(readQ_.size()) < cfg_.queueDepth) {
-      scheduler_->onEnqueue(p->req);
-      readQ_.push_back(std::move(p));
+      scheduler_->onEnqueue(pool_.get(admitted).req);
+      readQ_.push_back(admitted);
+      inWindow = true;
     } else {
-      overflowQ_.push_back(std::move(p));
+      overflowQ_.push_back(admitted);
     }
     queueOcc_.update(eq_.now(),
                      static_cast<double>(readQ_.size() + overflowQ_.size()));
   }
+
+  bool nowReads = false, nowWrites = false;
+  serveFlags(nowReads, nowWrites);
+  if (nowReads != wasReads || nowWrites != wasWrites) mutated = true;
+
+  // Batched admission: when a full kick already ran at this tick, nothing
+  // above changed device or scheduler state, and arbitrating now could not
+  // form a new priority batch, a second full pass over the queue would
+  // reach the exact same conclusions as the previous one — except for the
+  // one new candidate. Its earliest issue tick is the only new information,
+  // so fold it into the armed wake-up and skip the O(queue) rescan. With
+  // the command bus busy (every earliest* is lower-bounded by the bus-free
+  // tick) the new candidate cannot issue now, so deferring it to the woken
+  // kick is behaviour-identical to the full pass.
+  if (!mutated && lastKickTick_ == eq_.now() && !scheduler_->wouldFormBatch()) {
+    const bool candidate = isWrite ? nowWrites : (inWindow && nowReads);
+    if (!candidate) return;  // invisible to arbitration: the armed wake stands
+    if (channel_.cmdBusFreeAt() > eq_.now()) {
+      DramCommand cmd{};
+      const Tick e = earliestFor(pool_.get(admitted), eq_.now(), cmd);
+      if (e != kTickNever) {
+        MB_DCHECK(e > eq_.now());  // bus busy lower-bounds every earliest*
+        scheduleKick(e);
+      }
+      return;
+    }
+  }
   kick();
 }
 
-void MemoryController::resolveSpeculation(const core::DramAddress& da,
+void MemoryController::resolveSpeculation(std::int64_t flat, int ub,
                                           std::int64_t incomingRow) {
-  const std::int64_t flat = da.flatUbank(geom_);
-  auto it = speculations_.find(flat);
-  if (it == speculations_.end()) return;
-  const bool sameRow = it->second.row == incomingRow;
-  const bool predictedOpen = it->second.decision == core::PageDecision::KeepOpen;
+  SpecSlot& slot = speculations_[static_cast<std::size_t>(ub)];
+  if (!slot.live) return;
+  const bool sameRow = slot.s.row == incomingRow;
+  const bool predictedOpen = slot.s.decision == core::PageDecision::KeepOpen;
   specDecisions_.inc();
   if (predictedOpen == sameRow) specCorrect_.inc();
-  policy_->observeOutcome(flat, it->second.thread, sameRow);
-  speculations_.erase(it);
+  policy_->observeOutcome(flat, slot.s.thread, sameRow);
+  slot.live = false;
+  --liveSpeculations_;
 }
 
 bool MemoryController::preBlockedByOlderRowUser(const Pending& p, bool servingReads,
@@ -122,23 +164,28 @@ bool MemoryController::preBlockedByOlderRowUser(const Pending& p, bool servingRe
   // outranks this precharge in every scheduler, so deferring cannot
   // livelock). An older row-user that is not currently a candidate (write
   // outside a drain burst) must not block progress indefinitely.
-  const auto& ub = channel_.ubank(p.req.da);
-  if (!ub.rowOpen()) return false;
+  const int ub = p.ub;
+  if (!channel_.rowOpen(ub)) return false;
+  const std::int64_t openRow = channel_.openRow(ub);
+  const std::int64_t pFlat = p.flat;
   const bool pMarked = scheduler_->requestMarked(p.req.id);
   auto wantsOpenRow = [&](const Pending& q) {
+    // Cheap same-μbank/row/age rejections first; the scheduler's marked
+    // lookup only runs for an actual older row user.
+    if (q.flat != pFlat || q.req.da.row != openRow ||
+        q.req.arrival >= p.req.arrival)
+      return false;
     // A batch-marked request outranks unmarked row users regardless of age
     // (PAR-BS fairness: the batch boundary must bound a row hog's damage).
-    if (pMarked && !scheduler_->requestMarked(q.req.id)) return false;
-    return q.req.da.flatUbank(geom_) == p.req.da.flatUbank(geom_) &&
-           q.req.da.row == ub.openRow && q.req.arrival < p.req.arrival;
+    return !pMarked || scheduler_->requestMarked(q.req.id);
   };
   if (servingReads) {
-    for (const auto& q : readQ_)
-      if (wantsOpenRow(*q)) return true;
+    for (const ReqHandle h : readQ_)
+      if (wantsOpenRow(pool_.ref(h))) return true;
   }
   if (servingWrites) {
-    for (const auto& q : writeQ_)
-      if (wantsOpenRow(*q)) return true;
+    for (const ReqHandle h : writeQ_)
+      if (wantsOpenRow(pool_.ref(h))) return true;
   }
   return false;
 }
@@ -149,28 +196,30 @@ void MemoryController::serveFlags(bool& reads, bool& writes) const {
 }
 
 Tick MemoryController::earliestFor(const Pending& p, Tick now, DramCommand& cmdOut) const {
-  const auto& ub = channel_.ubank(p.req.da);
-  if (ub.rowOpen() && ub.openRow == p.req.da.row) {
+  const int ub = p.ub;
+  const std::int64_t openRow = channel_.openRow(ub);
+  if (openRow == p.req.da.row) {  // rows are non-negative, so this means open
     cmdOut = p.req.write ? DramCommand::Write : DramCommand::Read;
-    return channel_.earliestCas(p.req.da, p.req.write, now);
+    return channel_.earliestCas(p.req.da, ub, p.req.write, now);
   }
-  if (!ub.rowOpen()) {
+  if (openRow < 0) {
     cmdOut = DramCommand::Act;
-    return channel_.earliestAct(p.req.da, now);
+    return channel_.earliestAct(p.req.da, ub, now);
   }
   cmdOut = DramCommand::Pre;
   bool servingReads = false, servingWrites = false;
   serveFlags(servingReads, servingWrites);
   if (preBlockedByOlderRowUser(p, servingReads, servingWrites)) return kTickNever;
-  return channel_.earliestPre(p.req.da, now);
+  return channel_.earliestPre(p.req.da, ub, now);
 }
 
 void MemoryController::buildCandidates(Tick now, std::vector<Candidate>& cands,
-                                       std::vector<Pending*>& byCandidate,
+                                       std::vector<ReqHandle>& byCandidate,
                                        Tick& minFuture) {
   cands.clear();
   byCandidate.clear();
-  auto add = [&](Pending& p) {
+  auto add = [&](ReqHandle h) {
+    const Pending& p = pool_.ref(h);
     DramCommand cmd{};
     const Tick earliest = earliestFor(p, now, cmd);
     if (earliest == kTickNever) return;
@@ -182,21 +231,22 @@ void MemoryController::buildCandidates(Tick now, std::vector<Candidate>& cands,
     c.earliestIssue = earliest;
     c.rowHit = (cmd == DramCommand::Read || cmd == DramCommand::Write);
     cands.push_back(c);
-    byCandidate.push_back(&p);
+    byCandidate.push_back(h);
     if (earliest > now) minFuture = std::min(minFuture, earliest);
   };
 
   bool serveReads = false, serveWrites = false;
   serveFlags(serveReads, serveWrites);
   if (serveReads) {
-    for (auto& p : readQ_) add(*p);
+    for (const ReqHandle h : readQ_) add(h);
   }
   if (serveWrites) {
-    for (auto& p : writeQ_) add(*p);
+    for (const ReqHandle h : writeQ_) add(h);
   }
 }
 
-void MemoryController::issueFor(Pending& p, Tick now) {
+void MemoryController::issueFor(ReqHandle h, Tick now) {
+  Pending& p = pool_.get(h);
   DramCommand cmd{};
   const Tick earliest = earliestFor(p, now, cmd);
   MB_CHECK_MSG(earliest <= now,
@@ -229,7 +279,7 @@ void MemoryController::issueFor(Pending& p, Tick now) {
       if (cfg_.commandLog)
         cfg_.commandLog->onCommand(cmd, p.req.da, now, now + channel_.timing().tAA,
                                    dataEnd);
-      onRequestServiced(p, dataEnd);
+      onRequestServiced(h, dataEnd);  // frees the arena slot; p is dead here
       break;
     }
     case DramCommand::Refresh:
@@ -237,8 +287,9 @@ void MemoryController::issueFor(Pending& p, Tick now) {
   }
 }
 
-void MemoryController::onRequestServiced(Pending& p, Tick dataEnd) {
-  const std::int64_t flat = p.req.da.flatUbank(geom_);
+void MemoryController::onRequestServiced(ReqHandle h, Tick dataEnd) {
+  Pending& p = pool_.get(h);
+  const std::int64_t flat = p.flat;
   // Row-locality classification for this request.
   if (p.sawConflict) {
     rowConflicts_.inc();
@@ -259,11 +310,13 @@ void MemoryController::onRequestServiced(Pending& p, Tick dataEnd) {
 
   const ThreadId thread = p.req.thread;
   const core::DramAddress da = p.req.da;
+  const int ub = p.ub;
 
-  // Remove from its queue.
-  auto eraseFrom = [&](std::vector<std::unique_ptr<Pending>>& q) {
+  // Remove from its queue, then release the slot; the handle (and every
+  // copy of it in scratch buffers) is stale from here on.
+  auto eraseFrom = [&](std::vector<ReqHandle>& q) {
     for (size_t i = 0; i < q.size(); ++i) {
-      if (q[i].get() == &p) {
+      if (q[i] == h) {
         scheduler_->onDequeue(p.req);
         q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
         return true;
@@ -279,26 +332,27 @@ void MemoryController::onRequestServiced(Pending& p, Tick dataEnd) {
     if (static_cast<int>(writeQ_.size()) <= cfg_.writeLowWatermark)
       drainingWrites_ = false;
   }
+  pool_.free(h);
   refillVisibleWindow();
   queueOcc_.update(eq_.now(), static_cast<double>(readQ_.size() + overflowQ_.size()));
 
   // Page management: if no queued work remains for this μbank, make a
   // speculative decision; otherwise the queue itself dictates the action
   // (the conventional controllers of §V inspect pending requests).
-  bool pendingSameUbank = false;
-  for (const auto& q : readQ_)
-    if (q->req.da.flatUbank(geom_) == flat) pendingSameUbank = true;
-  for (const auto& q : overflowQ_)
-    if (q->req.da.flatUbank(geom_) == flat) pendingSameUbank = true;
-  for (const auto& q : writeQ_)
-    if (q->req.da.flatUbank(geom_) == flat) pendingSameUbank = true;
-  if (!pendingSameUbank) maybeSpeculate(da, thread);
+  auto anySameUbank = [&](const auto& q) {
+    for (const ReqHandle h : q)
+      if (pool_.ref(h).flat == flat) return true;
+    return false;
+  };
+  const bool pendingSameUbank =
+      anySameUbank(readQ_) || anySameUbank(overflowQ_) || anySameUbank(writeQ_);
+  if (!pendingSameUbank) maybeSpeculate(da, flat, ub, thread);
 }
 
-void MemoryController::maybeSpeculate(const core::DramAddress& da, ThreadId thread) {
-  auto& ub = channel_.ubank(da);
-  if (!ub.rowOpen()) return;
-  const std::int64_t flat = da.flatUbank(geom_);
+void MemoryController::maybeSpeculate(const core::DramAddress& da,
+                                      std::int64_t flat, int ub,
+                                      ThreadId thread) {
+  if (!channel_.rowOpen(ub)) return;
   const core::PageDecision decision = policy_->decide(flat, thread);
   switch (decision) {
     case core::PageDecision::KeepOpen:
@@ -307,20 +361,25 @@ void MemoryController::maybeSpeculate(const core::DramAddress& da, ThreadId thre
       pendingCloses_[flat] = da;
       break;
     case core::PageDecision::Lazy:
-      ub.lazyPending = true;
-      ub.earliestPreAt = channel_.earliestPre(da, eq_.now());
+      channel_.markLazy(ub, channel_.earliestPre(da, ub, eq_.now()));
       break;
   }
   if (decision != core::PageDecision::Lazy) {
-    speculations_[flat] = Speculation{decision, ub.openRow, thread};
+    SpecSlot& slot = speculations_[static_cast<std::size_t>(ub)];
+    if (!slot.live) {
+      slot.live = true;
+      ++liveSpeculations_;
+    }
+    slot.s = Speculation{decision, channel_.openRow(ub), thread};
   }
 }
 
 void MemoryController::refillVisibleWindow() {
   while (static_cast<int>(readQ_.size()) < cfg_.queueDepth && !overflowQ_.empty()) {
-    scheduler_->onEnqueue(overflowQ_.front()->req);
-    readQ_.push_back(std::move(overflowQ_.front()));
+    const ReqHandle h = overflowQ_.front();
     overflowQ_.pop_front();
+    scheduler_->onEnqueue(pool_.get(h).req);
+    readQ_.push_back(h);
   }
 }
 
@@ -369,7 +428,7 @@ int MemoryController::allocCompletionSlot() {
   return static_cast<int>(completionSlots_.size() - 1);
 }
 
-void MemoryController::scheduleCompletion(std::function<void(Tick)> cb, Tick due,
+void MemoryController::scheduleCompletion(CompletionFn cb, Tick due,
                                           std::uint64_t addr, CoreId core) {
   const std::uint64_t token = nextCompletionToken_++;
   const int slot = allocCompletionSlot();
@@ -405,6 +464,7 @@ void MemoryController::fireCompletion(int slot, std::uint64_t token) {
 
 void MemoryController::kick() {
   const Tick now = eq_.now();
+  lastKickTick_ = now;
   channel_.maybeRefresh(now, [this, now](int rank, int bank) {
     meter_.onRefresh(bank < 0 ? 1.0 : 1.0 / geom_.banksPerRank);
     if (checker_) checker_->onRankRefresh(id_, rank, bank);
@@ -435,7 +495,7 @@ void MemoryController::kick() {
           break;
         }
       }
-      issueFor(*byCandidateBuf_[static_cast<size_t>(pickIdx)], eq_.now());
+      issueFor(byCandidateBuf_[static_cast<size_t>(pickIdx)], eq_.now());
       // The command bus is now busy for tCMD; re-evaluating immediately
       // would find nothing issuable, so fall through to the scheduling path
       // on the next loop iteration.
@@ -447,15 +507,15 @@ void MemoryController::kick() {
     bool issuedClose = false;
     for (auto it = pendingCloses_.begin(); it != pendingCloses_.end(); ++it) {
       const auto& da = it->second;
-      const auto& ub = channel_.ubank(da);
-      if (!ub.rowOpen()) {
+      const int ub = channel_.ubankIndex(da);
+      if (!channel_.rowOpen(ub)) {
         pendingCloses_.erase(it);
         issuedClose = true;  // stale entry; rescan
         break;
       }
-      const Tick e = channel_.earliestPre(da, eq_.now());
+      const Tick e = channel_.earliestPre(da, ub, eq_.now());
       if (e <= eq_.now()) {
-        channel_.commitPre(da, eq_.now());
+        channel_.commitPre(da, ub, eq_.now());
         if (checker_) checker_->onCommand(DramCommand::Pre, da, eq_.now());
         if (cfg_.commandLog)
           cfg_.commandLog->onCommand(DramCommand::Pre, da, eq_.now(), -1, -1);
@@ -516,28 +576,29 @@ void MemoryController::savePending(ckpt::Writer& w, const Pending& p) const {
   w.b(static_cast<bool>(p.req.onComplete));
 }
 
-std::unique_ptr<MemoryController::Pending> MemoryController::loadPending(
-    ckpt::Reader& r) {
-  auto p = std::make_unique<Pending>();
-  p->req.id = r.u64();
-  p->req.addr = r.u64();
-  p->req.write = r.b();
-  p->req.core = r.i32();
-  p->req.thread = r.i32();
-  p->req.arrival = r.i64();
-  p->sawConflict = r.b();
-  p->sawAct = r.b();
+ReqHandle MemoryController::loadPending(ckpt::Reader& r) {
+  Pending p;
+  p.req.id = r.u64();
+  p.req.addr = r.u64();
+  p.req.write = r.b();
+  p.req.core = r.i32();
+  p.req.thread = r.i32();
+  p.req.arrival = r.i64();
+  p.sawConflict = r.b();
+  p.sawAct = r.b();
   const bool hasCb = r.b();
-  if (!r.ok()) return p;
-  p->req.da = map_.decompose(p->req.addr);
+  if (!r.ok()) return pool_.alloc(std::move(p));
+  p.req.da = map_.decompose(p.req.addr);
+  p.flat = p.req.da.flatUbank(geom_);
+  p.ub = channel_.ubankIndex(p.req.da);
   if (hasCb) {
     if (!completionFactory) {
       r.fail();
-      return p;
+      return pool_.alloc(std::move(p));
     }
-    p->req.onComplete = completionFactory(p->req.addr, p->req.core);
+    p.req.onComplete = completionFactory(p.req.addr, p.req.core);
   }
-  return p;
+  return pool_.alloc(std::move(p));
 }
 
 void MemoryController::save(ckpt::Writer& w) const {
@@ -550,7 +611,7 @@ void MemoryController::save(ckpt::Writer& w) const {
 
   auto saveQueue = [&](const auto& q) {
     w.u64(q.size());
-    for (const auto& p : q) savePending(w, *p);
+    for (const ReqHandle h : q) savePending(w, pool_.get(h));
   };
   saveQueue(readQ_);
   saveQueue(overflowQ_);
@@ -567,13 +628,24 @@ void MemoryController::save(ckpt::Writer& w) const {
     w.i64(da.row);
     w.i64(da.column);
   }
-  ckpt::saveMapSorted(w, speculations_, [&](const Speculation& s) {
-    w.u8(static_cast<std::uint8_t>(s.decision));
-    w.i64(s.row);
-    w.i32(s.thread);
-  });
+  // Dense slots written in index order with flat-μbank keys: identical
+  // bytes to the sorted-map layout this table replaces (flat id is
+  // channelBase + ubankIndex for a fixed channel, so index order IS
+  // ascending key order).
+  const std::int64_t channelBase =
+      static_cast<std::int64_t>(id_) * channel_.ubankCount();
+  w.u64(static_cast<std::uint64_t>(liveSpeculations_));
+  for (std::size_t ub = 0; ub < speculations_.size(); ++ub) {
+    const SpecSlot& slot = speculations_[ub];
+    if (!slot.live) continue;
+    w.i64(channelBase + static_cast<std::int64_t>(ub));
+    w.u8(static_cast<std::uint8_t>(slot.s.decision));
+    w.i64(slot.s.row);
+    w.i32(slot.s.thread);
+  }
 
   w.i64(nextKickAt_);
+  w.i64(lastKickTick_);
   w.u64(kickEvents_.size());
   for (const auto& e : kickEvents_) {  // vector is sorted ascending by tick
     w.i64(e.at);
@@ -625,6 +697,7 @@ void MemoryController::load(ckpt::Reader& r) {
   }
   if (checker_) checker_->load(r);
 
+  pool_.clear();  // queues are rebuilt from scratch below
   auto loadQueue = [&](auto& q) {
     q.clear();
     const std::uint64_t n = r.count(28);
@@ -649,23 +722,37 @@ void MemoryController::load(ckpt::Reader& r) {
     da.column = r.i64();
     pendingCloses_.emplace(flat, da);
   }
-  speculations_.clear();
+  speculations_.assign(static_cast<std::size_t>(channel_.ubankCount()),
+                       SpecSlot{});
+  liveSpeculations_ = 0;
   const std::uint64_t nSpecs = r.count(21);
+  const std::int64_t specBase =
+      static_cast<std::int64_t>(id_) * channel_.ubankCount();
   for (std::uint64_t i = 0; i < nSpecs && r.ok(); ++i) {
     const std::int64_t flat = r.i64();
+    const std::int64_t ub = flat - specBase;
+    // Hostile-snapshot guard: the key must be one of this channel's μbanks.
+    if (ub < 0 || ub >= channel_.ubankCount()) {
+      r.fail();
+      return;
+    }
     const std::uint8_t decision = r.u8();
     if (decision > static_cast<std::uint8_t>(core::PageDecision::Lazy)) {
       r.fail();
       return;
     }
-    Speculation s;
-    s.decision = static_cast<core::PageDecision>(decision);
-    s.row = r.i64();
-    s.thread = r.i32();
-    speculations_.emplace(flat, s);
+    SpecSlot& slot = speculations_[static_cast<std::size_t>(ub)];
+    if (!slot.live) {
+      slot.live = true;
+      ++liveSpeculations_;
+    }
+    slot.s.decision = static_cast<core::PageDecision>(decision);
+    slot.s.row = r.i64();
+    slot.s.thread = r.i32();
   }
 
   nextKickAt_ = r.i64();
+  lastKickTick_ = r.i64();
   kickEvents_.clear();
   const std::uint64_t nKicks = r.count(16);
   for (std::uint64_t i = 0; i < nKicks && r.ok(); ++i) {

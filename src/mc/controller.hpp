@@ -41,6 +41,7 @@
 #include "mc/command_log.hpp"
 #include "mc/device_state.hpp"
 #include "mc/request.hpp"
+#include "mc/request_arena.hpp"
 #include "mc/scheduler.hpp"
 #include "mc/timing_checker.hpp"
 
@@ -128,8 +129,7 @@ class MB_CHANNEL_LOCAL MemoryController {
   /// address and core, return the callback the original requester would have
   /// supplied. Must be set before load() when the snapshot carries in-flight
   /// completions; the system wires it to the memory hierarchy.
-  std::function<std::function<void(Tick)>(std::uint64_t addr, CoreId core)>
-      completionFactory;
+  std::function<CompletionFn(std::uint64_t addr, CoreId core)> completionFactory;
 
   /// Serializable protocol (mutable state only; geometry/timing/config come
   /// from construction and are covered by the snapshot's config hash).
@@ -150,10 +150,16 @@ class MB_CHANNEL_LOCAL MemoryController {
   const std::vector<KickEvent>& pendingKickEvents() const { return kickEvents_; }
   /// In-flight read completions currently occupying pool slots.
   std::size_t liveCompletionCount() const { return liveCompletions_; }
+  /// Request-arena occupancy (tests / invariants: zero when idle).
+  std::size_t liveRequestCount() const { return pool_.liveCount(); }
 
  private:
   struct Pending {
     MemRequest req;
+    // Address projections cached at admission so the per-kick candidate and
+    // queue scans never re-derive them from the DramAddress fields.
+    std::int64_t flat = -1;  // system-wide flat μbank id (policy/map keys)
+    int ub = -1;             // channel-local μbank index (timing arrays)
     bool sawConflict = false;  // a foreign row had to be precharged
     bool sawAct = false;       // an activation was needed
   };
@@ -161,6 +167,11 @@ class MB_CHANNEL_LOCAL MemoryController {
     core::PageDecision decision;
     std::int64_t row;  // open row when the decision was made
     ThreadId thread;   // thread whose access triggered the decision
+  };
+  /// Dense per-μbank speculation slot (see speculations_ below).
+  struct SpecSlot {
+    Speculation s{};
+    bool live = false;
   };
 
   /// In-flight read completion, reified so a checkpoint can capture it. The
@@ -171,7 +182,7 @@ class MB_CHANNEL_LOCAL MemoryController {
     Tick due = 0;
     std::uint64_t addr = 0;
     CoreId core = 0;
-    std::function<void(Tick)> cb;
+    CompletionFn cb;
   };
 
   void kick();
@@ -179,20 +190,21 @@ class MB_CHANNEL_LOCAL MemoryController {
   void armKick(Tick at);
   void onKickEventFired(Tick at);
   void eraseKickEvent(Tick at);
-  void scheduleCompletion(std::function<void(Tick)> cb, Tick due,
-                          std::uint64_t addr, CoreId core);
+  void scheduleCompletion(CompletionFn cb, Tick due, std::uint64_t addr,
+                          CoreId core);
   int allocCompletionSlot();
   void fireCompletion(int slot, std::uint64_t token);
   void savePending(ckpt::Writer& w, const Pending& p) const;
-  std::unique_ptr<Pending> loadPending(ckpt::Reader& r);
-  void resolveSpeculation(const core::DramAddress& da, std::int64_t incomingRow);
-  void onRequestServiced(Pending& p, Tick dataEnd);
-  void maybeSpeculate(const core::DramAddress& da, ThreadId thread);
+  ReqHandle loadPending(ckpt::Reader& r);
+  void resolveSpeculation(std::int64_t flat, int ub, std::int64_t incomingRow);
+  void onRequestServiced(ReqHandle h, Tick dataEnd);
+  void maybeSpeculate(const core::DramAddress& da, std::int64_t flat, int ub,
+                      ThreadId thread);
   void refillVisibleWindow();
   /// Candidate list over the visible read window (and writes when draining).
   void buildCandidates(Tick now, std::vector<Candidate>& cands,
-                       std::vector<Pending*>& byCandidate, Tick& minFuture);
-  void issueFor(Pending& p, Tick now);
+                       std::vector<ReqHandle>& byCandidate, Tick& minFuture);
+  void issueFor(ReqHandle h, Tick now);
   Tick earliestFor(const Pending& p, Tick now, DramCommand& cmdOut) const;
   bool preBlockedByOlderRowUser(const Pending& p, bool servingReads,
                                 bool servingWrites) const;
@@ -214,21 +226,37 @@ class MB_CHANNEL_LOCAL MemoryController {
   std::unique_ptr<core::PagePolicy> policy_;
   std::optional<TimingChecker> checker_;
 
-  std::vector<std::unique_ptr<Pending>> readQ_;   // scheduler-visible reads
-  std::deque<std::unique_ptr<Pending>> overflowQ_;
-  std::vector<std::unique_ptr<Pending>> writeQ_;
+  // Request records live in a per-controller slot arena; the queues hold
+  // generation-tagged handles, so steady-state admission/retire traffic does
+  // no per-request heap allocation (the pool grows to the high-water mark of
+  // concurrent requests and is then recycled via its free list).
+  RequestArena<Pending> pool_;
+  std::vector<ReqHandle> readQ_;   // scheduler-visible reads
+  std::deque<ReqHandle> overflowQ_;
+  std::vector<ReqHandle> writeQ_;
   bool drainingWrites_ = false;
 
   // Idle precharges requested by the page policy, keyed by flat μbank id.
   // Ordered (not hashed) because kick() iterates it: the scan order must be
   // reproducible across processes for checkpoint/restore equivalence.
   std::map<std::int64_t, core::DramAddress> pendingCloses_;
-  // Unresolved speculative page decisions, keyed by flat μbank id. Sorted
-  // flat storage (one live entry per idle μbank at most) so no hash-order
-  // walk can ever leak into scheduling or serialization (MB-DET-001).
-  FlatMap<std::int64_t, Speculation> speculations_;
+  // Unresolved speculative page decisions, one slot per channel-local μbank
+  // (indexed by ChannelState::ubankIndex). Dense direct indexing replaces a
+  // sorted flat map keyed by system-wide flat μbank id: with up to one live
+  // entry per idle μbank the map's O(n) insert/erase memmoves dominated the
+  // admission path. Serialization still walks slots in index order and
+  // writes flat-μbank keys — for a fixed channel, flat id is channelBase +
+  // ubankIndex, so the byte stream is identical to the sorted-map layout
+  // (MB-DET-001: iteration order is index order by construction).
+  std::vector<SpecSlot> speculations_;
+  std::int64_t liveSpeculations_ = 0;
 
   Tick nextKickAt_ = kTickNever;
+  // Tick of the last full kick(); the batched-admission fast path in
+  // enqueue() is only legal when a full arbitration pass (including the
+  // refresh catch-up) already ran at the current tick. Serialized so a
+  // restored run takes the same fast/full decisions as the cold run.
+  Tick lastKickTick_ = -1;
   // Outstanding wake-up events, one per distinct tick (armKick dedupes), so
   // a checkpoint can reify them. Kept as a flat vector sorted ascending by
   // tick: the live set is 0–2 entries in steady state, so insert/erase are
@@ -254,7 +282,7 @@ class MB_CHANNEL_LOCAL MemoryController {
   // Arbitration scratch, reused across kick() iterations so the hot loop
   // performs no per-iteration vector allocations.
   std::vector<Candidate> candBuf_;
-  std::vector<Pending*> byCandidateBuf_;
+  std::vector<ReqHandle> byCandidateBuf_;
 
   // Statistics.
   Counter reads_, writes_, rowHits_, rowMisses_, rowConflicts_, forwarded_;

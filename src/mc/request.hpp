@@ -2,12 +2,17 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
+#include "common/inline_function.hpp"
 #include "common/types.hpp"
 #include "core/address_map.hpp"
 
 namespace mb::mc {
+
+/// Read-completion callback (tick = data end). Small-buffer move-only
+/// callable: the hierarchy's completion lambdas exceed std::function's SBO,
+/// which made every DRAM read heap-allocate its callback.
+using CompletionFn = InlineFunction<void(Tick)>;
 
 struct MemRequest {
   std::uint64_t id = 0;
@@ -21,7 +26,7 @@ struct MemRequest {
 
   /// Invoked when the data transfer for a read finishes (tick = data end).
   /// Writes are posted: completion is not reported back.
-  std::function<void(Tick)> onComplete;
+  CompletionFn onComplete;
 };
 
 }  // namespace mb::mc

@@ -137,40 +137,40 @@ void ParBsScheduler::formBatch(const std::vector<Candidate>&) {
 
 void ParBsScheduler::prepareBatch(std::vector<Candidate>& cands) {
   if (marked_.empty() && !queueView_.empty()) formBatch(cands);
-  for (auto& c : cands) c.marked = marked_.count(c.id) != 0;
+  for (auto& c : cands) {
+    c.marked = marked_.count(c.id) != 0;
+    if (c.marked) {
+      // Thread rank: shortest job (fewest marked requests) first. Stamped
+      // here once per candidate; the selection predicate below only ever
+      // compares ranks between two marked candidates, and the map is
+      // constant between here and the scan.
+      const auto it = markedPerThread_.find(c.thread);
+      c.rank = it == markedPerThread_.end() ? 0 : it->second;
+    } else {
+      c.rank = 0;
+    }
+  }
 }
+
+namespace {
+bool parBsBetter(const Candidate& c, const Candidate& b) {
+  if (c.marked != b.marked) return c.marked;
+  if (c.rowHit != b.rowHit) return c.rowHit;
+  // Both marked or both unmarked here; ranks are meaningful (and compared)
+  // only in the both-marked case. Lower rank is better.
+  if (c.marked && c.rank != b.rank) return c.rank < b.rank;
+  return c.arrival < b.arrival;
+}
+}  // namespace
 
 int ParBsScheduler::pick(std::vector<Candidate>& cands, Tick now) {
   prepareBatch(cands);
-  // Thread rank: shortest job (fewest marked requests) first. Lower is better.
-  auto threadRank = [&](ThreadId t) {
-    auto it = markedPerThread_.find(t);
-    return it == markedPerThread_.end() ? 0 : it->second;
-  };
-  auto better = [&](const Candidate& c, const Candidate& b) {
-    if (c.marked != b.marked) return c.marked;
-    if (c.rowHit != b.rowHit) return c.rowHit;
-    if (c.marked && threadRank(c.thread) != threadRank(b.thread))
-      return threadRank(c.thread) < threadRank(b.thread);
-    return c.arrival < b.arrival;
-  };
-  return scanBest(cands, now, better);
+  return scanBest(cands, now, parBsBetter);
 }
 
 Scheduler::PickPair ParBsScheduler::pickPair(std::vector<Candidate>& cands, Tick now) {
   prepareBatch(cands);
-  auto threadRank = [&](ThreadId t) {
-    auto it = markedPerThread_.find(t);
-    return it == markedPerThread_.end() ? 0 : it->second;
-  };
-  auto better = [&](const Candidate& c, const Candidate& b) {
-    if (c.marked != b.marked) return c.marked;
-    if (c.rowHit != b.rowHit) return c.rowHit;
-    if (c.marked && threadRank(c.thread) != threadRank(b.thread))
-      return threadRank(c.thread) < threadRank(b.thread);
-    return c.arrival < b.arrival;
-  };
-  return scanPair(cands, now, better);
+  return scanPair(cands, now, parBsBetter);
 }
 
 

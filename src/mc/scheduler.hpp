@@ -38,6 +38,12 @@ struct Candidate {
   Tick earliestIssue = 0;  // earliest tick the next command may issue
   bool rowHit = false;     // next command is a CAS to an already-open row
   bool marked = false;     // filled by PAR-BS batching
+  // Shortest-job-first thread rank (marked requests outstanding for the
+  // candidate's thread), stamped by PAR-BS batch upkeep alongside `marked`
+  // so the selection scan compares plain fields instead of re-searching the
+  // per-thread map for every candidate pair. Constant during one scan: the
+  // map only changes at batch formation and dequeue.
+  int rank = 0;
 };
 
 class MB_CHANNEL_LOCAL Scheduler {
@@ -76,6 +82,13 @@ class MB_CHANNEL_LOCAL Scheduler {
   /// batch (PAR-BS marking); the controller's anti-row-steal guard lets a
   /// marked request precharge over unmarked older row users.
   virtual bool requestMarked(std::uint64_t) const { return false; }
+
+  /// True when the next pick would (re)form a priority batch, i.e. calling
+  /// the scheduler is itself a state change. The controller's batched-
+  /// admission fast path must fall back to a full arbitration pass in that
+  /// case: batch membership depends on the queue contents at formation
+  /// time, so deferring the pick would mark a different set.
+  virtual bool wouldFormBatch() const { return false; }
 
   virtual SchedulerKind kind() const = 0;
   std::string name() const { return schedulerKindName(kind()); }
@@ -118,6 +131,9 @@ class MB_CHANNEL_LOCAL ParBsScheduler final : public Scheduler {
   }
   bool requestMarked(std::uint64_t requestId) const override {
     return isMarked(requestId);
+  }
+  bool wouldFormBatch() const override {
+    return marked_.empty() && !queueView_.empty();  // mirrors prepareBatch()
   }
 
   void save(ckpt::Writer& w) const override;

@@ -102,7 +102,7 @@ bool TimingChecker::onCommand(DramCommand cmd, const core::DramAddress& da, Tick
       if (rk.lastActAt >= 0 && at < rk.lastActAt + timing_.tRRD)
         return violated("MB-TIM-005", "tRRD (ACT->ACT same rank)", timing_.tRRD,
                         rk.lastActAt + timing_.tRRD);
-      if (rk.actWindow.size() >= 4 && at < rk.actWindow.front() + timing_.tFAW)
+      if (rk.actWindow.full() && at < rk.actWindow.front() + timing_.tFAW)
         return violated("MB-TIM-006", "tFAW (five ACTs in window)", timing_.tFAW,
                         rk.actWindow.front() + timing_.tFAW);
       ub.lastActAt = at;
@@ -110,16 +110,16 @@ bool TimingChecker::onCommand(DramCommand cmd, const core::DramAddress& da, Tick
       ub.lastReadCasAt = -1;
       ub.lastWriteDataEndAt = -1;
       rk.lastActAt = at;
-      rk.actWindow.push_back(at);
-      // Prune the ACT history to the tFAW horizon at commit time: an entry
+      // The ring's fixed capacity already drops the fifth-oldest entry;
+      // additionally prune to the tFAW horizon at commit time: an entry
       // with front + tFAW <= at can never constrain a later command (every
       // subsequently *accepted* command has at' >= at, and an out-of-order
       // command fails MB-TIM-001 before the window is consulted), so
       // dropping it cannot change any verdict while keeping the shadow
       // history bounded by the constraint window, not the run length.
-      while (rk.actWindow.size() > 4 ||
-             (!rk.actWindow.empty() && rk.actWindow.front() + timing_.tFAW <= at))
-        rk.actWindow.pop_front();
+      rk.actWindow.push(at);
+      while (!rk.actWindow.empty() && rk.actWindow.front() + timing_.tFAW <= at)
+        rk.actWindow.popFront();
       break;
     }
     case DramCommand::Pre: {
@@ -199,8 +199,7 @@ void TimingChecker::save(ckpt::Writer& w) const {
   });
   ckpt::saveMapSorted(w, ranks_, [&](const RankHistory& rk) {
     w.i64(rk.lastActAt);
-    w.u64(rk.actWindow.size());
-    for (Tick t : rk.actWindow) w.i64(t);
+    rk.actWindow.save(w);
     w.i64(rk.lastWriteDataEndAt);
   });
   w.i64(lastCmdAt_);
@@ -229,11 +228,9 @@ void TimingChecker::load(ckpt::Reader& r) {
     const std::int64_t key = r.i64();
     RankHistory rk;
     rk.lastActAt = r.i64();
-    const std::uint64_t nAct = r.count(8);
-    for (std::uint64_t j = 0; j < nAct && r.ok(); ++j)
-      rk.actWindow.push_back(r.i64());
+    rk.actWindow.load(r);
     rk.lastWriteDataEndAt = r.i64();
-    ranks_.emplace(key, std::move(rk));
+    ranks_.emplace(key, rk);
   }
   lastCmdAt_ = r.i64();
   lastCasAt_ = r.i64();

@@ -27,7 +27,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 
 #include "analysis/diagnostic.hpp"
 #include "ckpt/serialize.hpp"
@@ -67,8 +66,10 @@ class MB_CHANNEL_LOCAL TimingChecker {
   /// the run is; exposed so tests can assert the bound holds.
   std::size_t maxActWindowDepth() const {
     std::size_t deepest = 0;
-    for (const auto& [key, rk] : ranks_)
-      if (rk.actWindow.size() > deepest) deepest = rk.actWindow.size();
+    for (const auto& [key, rk] : ranks_) {
+      const auto depth = static_cast<std::size_t>(rk.actWindow.size());
+      if (depth > deepest) deepest = depth;
+    }
     return deepest;
   }
 
@@ -94,10 +95,11 @@ class MB_CHANNEL_LOCAL TimingChecker {
   };
   struct RankHistory {
     Tick lastActAt = -1;
-    /// Recent ACT times, pruned at commit to the tFAW horizon (and to at
-    /// most 4 entries), so the shadow history stays bounded by the largest
-    /// constraint window however long the recorded run is.
-    std::deque<Tick> actWindow;
+    /// Recent ACT times, pruned at commit to the tFAW horizon; the ring's
+    /// fixed four-slot capacity is the tFAW occupancy bound itself, so the
+    /// shadow history stays bounded by the constraint window however long
+    /// the recorded run is.
+    ActRing actWindow;
     Tick lastWriteDataEndAt = -1;
   };
 
