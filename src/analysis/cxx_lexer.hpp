@@ -1,0 +1,89 @@
+// Dependency-free lexical C++ front end shared by the source-level static
+// analyses (det_lint / mbdetcheck, snap_lint / mbsnapcheck).
+//
+// This is a tokenizer plus bracket-matching scope helpers — deliberately
+// not a parser and not libclang: the analyses built on it are heuristic
+// lints with suppression trails, and an in-repo lexer keeps them free of
+// toolchain dependencies and byte-stable across hosts. Comments, string
+// and character literals and preprocessor lines are stripped from the
+// token stream; comment text is retained (with its start line) because
+// suppression markers are legal inside comments.
+//
+// Conformance corners the analyses rely on (pinned by
+// tests/analysis/cxx_lexer_test.cpp):
+//   - raw string literals R"delim(...)delim" (with encoding prefixes up to
+//     three chars, e.g. u8R) lex as one Str token, newlines counted;
+//   - digit separators (1'000'000) stay inside one Num token and are not
+//     confused with character literals;
+//   - backslash-newline splices continue a // comment onto the next
+//     source line, exactly as phase-2 translation does;
+//   - '<' '>' are never combined into shift tokens, so template-argument
+//     depth counting sees every angle bracket.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mb::analysis {
+
+namespace cxx {
+
+struct Token {
+  enum class Kind { Ident, Num, Punct, Str };
+  Kind kind = Kind::Punct;
+  std::string text;
+  int line = 1;
+};
+
+struct Comment {
+  std::string text;
+  int line = 1;  // line the comment starts on
+};
+
+struct Lexed {
+  std::vector<Token> toks;
+  std::vector<Comment> comments;
+};
+
+bool identStart(char c);
+bool identChar(char c);
+bool isDigit(char c);
+
+/// Tokenize one translation unit's worth of source text.
+Lexed lex(const std::string& src);
+
+inline constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+/// Punctuator / identifier token tests.
+bool isP(const Token& t, const char* text);
+bool isI(const Token& t, const char* text);
+
+/// Index of the matching close for the open bracket at `i`, or kNpos.
+std::size_t matchForward(const std::vector<Token>& t, std::size_t i,
+                         const char* open, const char* close);
+
+/// Matching '>' for the '<' at `i`; bails (kNpos) at ';' '{' '}' so a stray
+/// less-than comparison cannot swallow the rest of the file.
+std::size_t matchAngles(const std::vector<Token>& t, std::size_t i);
+
+/// After a member definition's parameter list: skip qualifiers and the
+/// constructor-initializer list, returning the index of the body's '{' (or
+/// of the terminating ';' for a pure declaration), kNpos on parse failure.
+std::size_t skipToBody(const std::vector<Token>& t, std::size_t afterParams);
+
+}  // namespace cxx
+
+/// All .hpp/.cpp files under root/<sub> for each subdirectory, as
+/// root-relative paths in lexicographic order (deterministic walk). Paths
+/// whose root-relative form ends in one of `excludeSuffixes` are skipped
+/// (each analysis excludes its own annotation-vocabulary header, which
+/// would otherwise only report its own documentation).
+std::vector<std::string> collectSourceFiles(
+    const std::string& root, const std::vector<std::string>& subdirs,
+    const std::vector<std::string>& excludeSuffixes = {});
+
+/// Read a file into memory; returns false (and empties out) on failure.
+bool readFileToString(const std::string& path, std::string* out);
+
+}  // namespace mb::analysis

@@ -42,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/cxx_lexer.hpp"
 #include "analysis/diagnostic.hpp"
 
 namespace mb::analysis {
@@ -120,10 +121,8 @@ class DetLinter {
 /// All .hpp/.cpp files under root/<sub> for each subdirectory, as
 /// root-relative paths in lexicographic order (deterministic walk).
 /// common/ownership.hpp — the annotation vocabulary itself — is excluded.
+/// (readFileToString lives in cxx_lexer.hpp alongside collectSourceFiles.)
 std::vector<std::string> collectDetSourceFiles(
     const std::string& root, const std::vector<std::string>& subdirs);
-
-/// Read a file into memory; returns false (and empties out) on failure.
-bool readFileToString(const std::string& path, std::string* out);
 
 }  // namespace mb::analysis

@@ -39,6 +39,25 @@
 //   MB_DET_ALLOW_FILE(MB-DET-0xx, "reason")
 //     File-scoped variant for sanctioned files (e.g. a wall-clock-timing
 //     harness) where per-line suppressions would drown the code.
+//
+// Snapshot-completeness annotations, read by mbsnapcheck (same no-op,
+// lexically-recognized contract; registry: DESIGN.md §"Snapshot
+// completeness analysis"):
+//
+//   MB_SNAP_TRANSIENT(member_, "reason")
+//     Placed in a class that has a save(Writer&)/load(Reader&) pair:
+//     declares that the named data member is intentionally NOT serialized —
+//     it is scratch state, a cache rebuilt on load, or derived from
+//     serialized members. The reason is mandatory (MB-SNP-007 otherwise);
+//     an annotation naming a member that IS written by save() is reported
+//     as unused (MB-SNP-008) so stale declarations cannot linger.
+//
+//   MB_SNAP_ALLOW(MB-SNP-0xx, "reason")
+//     Suppresses a snapshot finding on the same or the next source line,
+//     reason mandatory, every use listed in mbsnapcheck's output.
+//
+//   MB_SNAP_ALLOW_FILE(MB-SNP-0xx, "reason")
+//     File-scoped variant.
 #pragma once
 
 #define MB_CHANNEL_LOCAL
@@ -46,3 +65,6 @@
 #define MB_CHANNEL_IFACE(Type)
 #define MB_DET_ALLOW(code, reason)
 #define MB_DET_ALLOW_FILE(code, reason)
+#define MB_SNAP_TRANSIENT(member, reason)
+#define MB_SNAP_ALLOW(code, reason)
+#define MB_SNAP_ALLOW_FILE(code, reason)

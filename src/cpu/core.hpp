@@ -25,6 +25,7 @@
 #include "ckpt/restore.hpp"
 #include "ckpt/serialize.hpp"
 #include "common/event_queue.hpp"
+#include "common/ownership.hpp"
 #include "common/types.hpp"
 #include "cpu/hierarchy.hpp"
 #include "trace/generator.hpp"
@@ -98,8 +99,11 @@ class RobCore {
   CoreId id_;
   CoreParams p_;
   trace::TraceSource& trace_;
+  MB_SNAP_TRANSIENT(trace_, "wiring reference; the source saves its own cursor/RNG state in the TRACE section");
   MemoryHierarchy& hier_;
+  MB_SNAP_TRANSIENT(hier_, "wiring reference; the hierarchy owns the HIER section");
   EventQueue& eq_;
+  MB_SNAP_TRANSIENT(eq_, "wiring reference; in-flight events are re-armed by ckpt::EventRestorer");
 
   std::vector<Slot> ring_;
   std::uint64_t idx_ = 0;        // instructions dispatched

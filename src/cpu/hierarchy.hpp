@@ -200,8 +200,11 @@ class MB_CROSS_CHANNEL MemoryHierarchy {
   void invalidateClusterL1s(int cluster, std::uint64_t lineAddr, bool* anyDirty);
 
   HierarchyConfig cfg_;
+  MB_SNAP_TRANSIENT(cfg_, "structural parameter block; cross-run identity is enforced by the snapshot configHash, not by re-reading it");
   std::vector<std::unique_ptr<mc::MemoryController>>& mcs_;
+  MB_SNAP_TRANSIENT(mcs_, "wiring reference; every MC serializes its own MC<i> section");
   EventQueue& eq_;
+  MB_SNAP_TRANSIENT(eq_, "wiring reference; in-flight events are re-armed by ckpt::EventRestorer");
 
   std::vector<std::unique_ptr<Cache>> l1s_;  // per core
   std::vector<std::unique_ptr<Cache>> l2s_;  // per cluster
@@ -231,9 +234,13 @@ class MB_CROSS_CHANNEL MemoryHierarchy {
   // starts with the batch closed, which only splits one shared event into
   // per-transit events at the same tick in the same relative order.
   bool batchOpen_ = false;
+  MB_SNAP_TRANSIENT(batchOpen_, "open coalescing batch; a restored run starts with the batch closed (see comment above)");
   std::uint64_t batchSeq_ = 0;
+  MB_SNAP_TRANSIENT(batchSeq_, "valid only while batchOpen_; a restored run starts with the batch closed");
   Tick batchDue_ = 0;
+  MB_SNAP_TRANSIENT(batchDue_, "valid only while batchOpen_; a restored run starts with the batch closed");
   bool functional_ = false;
+  MB_SNAP_TRANSIENT(functional_, "structural mode flag derived from the run configuration, not simulation state");
 
   HierarchyStats stats_;
 

@@ -213,8 +213,11 @@ class MB_CHANNEL_LOCAL MemoryController {
 
   ChannelId id_;
   dram::Geometry geom_;
+  MB_SNAP_TRANSIENT(geom_, "structural; rebuilt from the run configuration and cross-checked by the snapshot geometry echo");
   core::AddressMap map_;
+  MB_SNAP_TRANSIENT(map_, "structural; derived from geom_ and the configured mapping, never simulation state");
   ControllerConfig cfg_;
+  MB_SNAP_TRANSIENT(cfg_, "structural parameter block; identity across save/restore is enforced by the snapshot configHash");
   // Declared seam for the sharding refactor: the controller schedules
   // itself through the (today global, tomorrow per-shard) event queue.
   MB_CHANNEL_IFACE(EventQueue)
@@ -277,6 +280,7 @@ class MB_CHANNEL_LOCAL MemoryController {
   };
   std::vector<CompletionSlot> completionSlots_;
   std::int32_t freeCompletionSlot_ = -1;
+  MB_SNAP_TRANSIENT(freeCompletionSlot_, "intrusive free-list head; load() rebuilds the chain from the serialized live slots");
   std::size_t liveCompletions_ = 0;
   std::uint64_t nextCompletionToken_ = 0;
   // Arbitration scratch, reused across kick() iterations so the hot loop

@@ -105,7 +105,9 @@ class MB_CHANNEL_LOCAL ActRing {
   static constexpr int kCap = 4;
   static constexpr unsigned kMask = 3;
   std::array<Tick, kCap> slot_{};
+  MB_SNAP_TRANSIENT(slot_, "ring storage; save() re-encodes entries oldest-to-newest via at() and load() rebuilds through push()");
   std::uint8_t head_ = 0;
+  MB_SNAP_TRANSIENT(head_, "ring cursor; the canonical oldest-to-newest encoding restores head_ = 0 on load");
   std::uint8_t len_ = 0;
 };
 
@@ -270,6 +272,7 @@ class MB_CHANNEL_LOCAL ChannelState {
   /// μbanks are contiguous, so a bank spans ubanksPerBank()/64 words (or
   /// shares one word with its neighbours when smaller).
   std::vector<std::uint64_t> openRowBits_;
+  MB_SNAP_TRANSIENT(openRowBits_, "packed mirror of openRow_ >= 0; load() rebuilds it from the serialized openRow_ values");
 
   Tick cmdBusFreeAt_ = 0;
   Tick dataBusFreeAt_ = 0;

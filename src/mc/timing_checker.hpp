@@ -115,6 +115,7 @@ class MB_CHANNEL_LOCAL TimingChecker {
             Tick at, const UbankHistory& ub, const RankHistory& rk);
 
   dram::Geometry geom_;
+  MB_SNAP_TRANSIENT(geom_, "structural; rebuilt from the run configuration and cross-checked by the snapshot geometry echo");
   dram::TimingParams timing_;
   // Shadow histories in sorted flat maps: maxActWindowDepth() and the
   // snapshot writer both walk them, and a walk that fed a report in

@@ -8,6 +8,7 @@
 
 #include "analysis/diagnostic.hpp"  // jsonEscape
 #include "ckpt/serialize.hpp"       // fnv1a64, Writer
+#include "common/json_mini.hpp"
 #include "common/version.hpp"
 
 namespace mb::sim {
@@ -59,178 +60,12 @@ void jbool(std::string& out, const char* key, bool v) {
 
 // ---- Minimal JSON parser --------------------------------------------------
 //
-// Parses the subset this module emits (objects, arrays, strings, numbers,
-// booleans, null). Tolerant of unknown keys so the format can grow fields
-// without breaking old readers.
+// The value type and recursive-descent parser live in common/json_mini.hpp
+// (shared with the diagnostic-JSON schema tests); this module only aliases
+// them into its parsing helpers below.
 
-struct JVal {
-  enum class T { Null, Bool, Int, Dbl, Str, Arr, Obj };
-  T t = T::Null;
-  bool b = false;
-  std::int64_t i = 0;
-  double d = 0.0;
-  std::string s;
-  std::vector<JVal> arr;
-  std::vector<std::pair<std::string, JVal>> obj;
-
-  const JVal* get(const char* key) const {
-    for (const auto& [k, v] : obj)
-      if (k == key) return &v;
-    return nullptr;
-  }
-  // The parser fills `d` for Int tokens too (via strtod), so this is exact
-  // for every numeric token, -0 included.
-  double num() const { return d; }
-};
-
-class JParser {
- public:
-  explicit JParser(const std::string& text)
-      : p_(text.c_str()), end_(text.c_str() + text.size()) {}
-
-  bool parse(JVal* out) {
-    skipWs();
-    if (!value(out)) return false;
-    skipWs();
-    return p_ == end_;
-  }
-
- private:
-  void skipWs() {
-    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r'))
-      ++p_;
-  }
-  bool lit(const char* s, std::size_t n) {
-    if (static_cast<std::size_t>(end_ - p_) < n || std::memcmp(p_, s, n) != 0)
-      return false;
-    p_ += n;
-    return true;
-  }
-
-  bool value(JVal* out) {
-    if (p_ == end_) return false;
-    switch (*p_) {
-      case '{': return object(out);
-      case '[': return array(out);
-      case '"': out->t = JVal::T::Str; return string(&out->s);
-      case 't': out->t = JVal::T::Bool; out->b = true; return lit("true", 4);
-      case 'f': out->t = JVal::T::Bool; out->b = false; return lit("false", 5);
-      case 'n': out->t = JVal::T::Null; return lit("null", 4);
-      default: return number(out);
-    }
-  }
-
-  bool object(JVal* out) {
-    out->t = JVal::T::Obj;
-    ++p_;  // '{'
-    skipWs();
-    if (p_ != end_ && *p_ == '}') { ++p_; return true; }
-    for (;;) {
-      skipWs();
-      std::string key;
-      if (p_ == end_ || *p_ != '"' || !string(&key)) return false;
-      skipWs();
-      if (p_ == end_ || *p_ != ':') return false;
-      ++p_;
-      skipWs();
-      JVal v;
-      if (!value(&v)) return false;
-      out->obj.emplace_back(std::move(key), std::move(v));
-      skipWs();
-      if (p_ == end_) return false;
-      if (*p_ == ',') { ++p_; continue; }
-      if (*p_ == '}') { ++p_; return true; }
-      return false;
-    }
-  }
-
-  bool array(JVal* out) {
-    out->t = JVal::T::Arr;
-    ++p_;  // '['
-    skipWs();
-    if (p_ != end_ && *p_ == ']') { ++p_; return true; }
-    for (;;) {
-      skipWs();
-      JVal v;
-      if (!value(&v)) return false;
-      out->arr.push_back(std::move(v));
-      skipWs();
-      if (p_ == end_) return false;
-      if (*p_ == ',') { ++p_; continue; }
-      if (*p_ == ']') { ++p_; return true; }
-      return false;
-    }
-  }
-
-  bool string(std::string* out) {
-    ++p_;  // opening quote
-    while (p_ != end_ && *p_ != '"') {
-      if (*p_ == '\\') {
-        ++p_;
-        if (p_ == end_) return false;
-        switch (*p_) {
-          case '"': *out += '"'; break;
-          case '\\': *out += '\\'; break;
-          case '/': *out += '/'; break;
-          case 'b': *out += '\b'; break;
-          case 'f': *out += '\f'; break;
-          case 'n': *out += '\n'; break;
-          case 'r': *out += '\r'; break;
-          case 't': *out += '\t'; break;
-          case 'u': {
-            // jsonEscape only emits \u00XX (control bytes).
-            if (end_ - p_ < 5) return false;
-            char hex[5] = {p_[1], p_[2], p_[3], p_[4], 0};
-            char* he = nullptr;
-            const long cp = std::strtol(hex, &he, 16);
-            if (he != hex + 4 || cp > 0xFF) return false;
-            *out += static_cast<char>(cp);
-            p_ += 4;
-            break;
-          }
-          default: return false;
-        }
-        ++p_;
-      } else {
-        *out += *p_++;
-      }
-    }
-    if (p_ == end_) return false;
-    ++p_;  // closing quote
-    return true;
-  }
-
-  bool number(JVal* out) {
-    const char* start = p_;
-    bool isInt = true;
-    if (p_ != end_ && (*p_ == '-' || *p_ == '+')) ++p_;
-    while (p_ != end_ && (std::isdigit(static_cast<unsigned char>(*p_)) != 0 ||
-                          *p_ == '.' || *p_ == 'e' || *p_ == 'E' || *p_ == '-' ||
-                          *p_ == '+')) {
-      if (*p_ == '.' || *p_ == 'e' || *p_ == 'E') isInt = false;
-      ++p_;
-    }
-    if (p_ == start) return false;
-    const std::string text(start, p_);
-    char* pe = nullptr;
-    if (isInt) {
-      out->t = JVal::T::Int;
-      out->i = std::strtoll(text.c_str(), &pe, 10);
-      if (pe != text.c_str() + text.size()) return false;
-      // A double whose %.17g rendering happens to look integral ("-0",
-      // "42") also lands here; keep the strtod value so num() preserves it
-      // exactly — casting i would turn -0.0 into +0.0.
-      out->d = std::strtod(text.c_str(), &pe);
-    } else {
-      out->t = JVal::T::Dbl;
-      out->d = std::strtod(text.c_str(), &pe);
-    }
-    return pe == text.c_str() + text.size();
-  }
-
-  const char* p_;
-  const char* end_;
-};
+using json::JParser;
+using json::JVal;
 
 // ---- RunResult <-> JSON ---------------------------------------------------
 

@@ -1,0 +1,199 @@
+// Unit tests for the shared lexical C++ front end. det_lint and snap_lint
+// both sit on this tokenizer, so the conformance corners its header
+// promises — raw strings, digit separators, spliced comments, uncombined
+// angle brackets — are pinned here once rather than re-proved per analysis.
+#include "analysis/cxx_lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace mb::analysis::cxx {
+namespace {
+
+std::vector<std::string> tokenTexts(const std::string& src) {
+  std::vector<std::string> out;
+  for (const Token& t : lex(src).toks) out.push_back(t.text);
+  return out;
+}
+
+const Token* findToken(const Lexed& lx, const std::string& text) {
+  for (const Token& t : lx.toks)
+    if (t.text == text) return &t;
+  return nullptr;
+}
+
+TEST(CxxLexer, BasicTokenKinds) {
+  const Lexed lx = lex("int x = 42 + y_;");
+  ASSERT_EQ(lx.toks.size(), 7u);
+  EXPECT_EQ(lx.toks[0].kind, Token::Kind::Ident);
+  EXPECT_EQ(lx.toks[0].text, "int");
+  EXPECT_EQ(lx.toks[3].kind, Token::Kind::Num);
+  EXPECT_EQ(lx.toks[3].text, "42");
+  EXPECT_EQ(lx.toks[5].text, "y_");
+  EXPECT_EQ(lx.toks[6].kind, Token::Kind::Punct);
+}
+
+TEST(CxxLexer, RawStringLexesAsOneToken) {
+  const Lexed lx = lex("auto s = R\"(no \" escape { here)\"; int after = 1;");
+  const Token* after = findToken(lx, "after");
+  ASSERT_NE(after, nullptr);
+  // The raw string's unescaped quote and brace must not derail the lexer.
+  bool sawStr = false;
+  for (const Token& t : lx.toks)
+    if (t.kind == Token::Kind::Str) {
+      sawStr = true;
+      EXPECT_EQ(t.text, "no \" escape { here");
+    }
+  EXPECT_TRUE(sawStr);
+}
+
+TEST(CxxLexer, RawStringWithDelimiterAndPrefix) {
+  // u8R"xy(...)xy" — encoding prefix plus a custom delimiter; a plain )"
+  // inside the body must not terminate it.
+  const Lexed lx = lex("auto s = u8R\"xy(body )\" not end)xy\"; k;");
+  const Token* k = findToken(lx, "k");
+  ASSERT_NE(k, nullptr);
+  bool sawStr = false;
+  for (const Token& t : lx.toks)
+    if (t.kind == Token::Kind::Str) {
+      sawStr = true;
+      EXPECT_EQ(t.text, "body )\" not end");
+    }
+  EXPECT_TRUE(sawStr);
+}
+
+TEST(CxxLexer, RawStringNewlinesCountTowardLines) {
+  const Lexed lx = lex("auto s = R\"(a\nb\nc)\";\nint marker = 0;");
+  const Token* marker = findToken(lx, "marker");
+  ASSERT_NE(marker, nullptr);
+  EXPECT_EQ(marker->line, 4);
+}
+
+TEST(CxxLexer, DigitSeparatorsStayInOneNumToken) {
+  const Lexed lx = lex("std::int64_t big = 1'000'000;");
+  const Token* num = nullptr;
+  for (const Token& t : lx.toks)
+    if (t.kind == Token::Kind::Num) num = &t;
+  ASSERT_NE(num, nullptr);
+  EXPECT_EQ(num->text, "1'000'000");
+  // The separator apostrophes must not open character literals: the
+  // terminating ';' survives as a token.
+  EXPECT_TRUE(isP(lx.toks.back(), ";"));
+}
+
+TEST(CxxLexer, HexAndFloatNumbers) {
+  const std::vector<std::string> t = tokenTexts("a = 0xFF; b = 1.5e-3;");
+  EXPECT_NE(std::find(t.begin(), t.end(), "0xFF"), t.end());
+  EXPECT_NE(std::find(t.begin(), t.end(), "1.5e-3"), t.end());
+}
+
+TEST(CxxLexer, LineSplicedLineCommentContinues) {
+  // A backslash-newline splices the // comment onto the next line: `hidden`
+  // is commented out, `visible` is not. (Phase-2 translation, [lex.phases].)
+  const Lexed lx = lex("// spliced \\\nhidden = 1;\nvisible = 2;");
+  EXPECT_EQ(findToken(lx, "hidden"), nullptr);
+  const Token* visible = findToken(lx, "visible");
+  ASSERT_NE(visible, nullptr);
+  EXPECT_EQ(visible->line, 3);
+  // The comment text retains both lines so suppression markers in the
+  // continuation are still found.
+  ASSERT_EQ(lx.comments.size(), 1u);
+  EXPECT_NE(lx.comments[0].text.find("hidden"), std::string::npos);
+}
+
+TEST(CxxLexer, BlockCommentsStrippedButRetained) {
+  const Lexed lx = lex("a; /* b = MB_SNAP_ALLOW\nstill comment */ c;");
+  EXPECT_EQ(findToken(lx, "b"), nullptr);
+  ASSERT_NE(findToken(lx, "c"), nullptr);
+  EXPECT_EQ(findToken(lx, "c")->line, 2);
+  ASSERT_EQ(lx.comments.size(), 1u);
+  EXPECT_EQ(lx.comments[0].line, 1);
+}
+
+TEST(CxxLexer, PreprocessorLinesDropped) {
+  const Lexed lx = lex("#include <map>\n#define FOO(x) (x)\nreal;");
+  EXPECT_EQ(findToken(lx, "include"), nullptr);
+  EXPECT_EQ(findToken(lx, "FOO"), nullptr);
+  ASSERT_NE(findToken(lx, "real"), nullptr);
+  EXPECT_EQ(findToken(lx, "real")->line, 3);
+}
+
+TEST(CxxLexer, AngleBracketsNeverCombined) {
+  // Every '<'/'>' must be its own token so template-depth counting works.
+  const std::vector<std::string> t = tokenTexts("std::map<int, std::vector<int>> m;");
+  int open = 0, close = 0;
+  for (const std::string& s : t) {
+    if (s == "<") ++open;
+    if (s == ">") ++close;
+  }
+  EXPECT_EQ(open, 2);
+  EXPECT_EQ(close, 2);
+}
+
+TEST(CxxLexer, MatchForwardAndAngles) {
+  const Lexed lx = lex("f(a, g(b), c) { h<int, k<j>>(); }");
+  ASSERT_TRUE(isP(lx.toks[1], "("));
+  const std::size_t close = matchForward(lx.toks, 1, "(", ")");
+  ASSERT_NE(close, kNpos);
+  EXPECT_TRUE(isP(lx.toks[close], ")"));
+  EXPECT_TRUE(isP(lx.toks[close + 1], "{"));
+  // matchAngles from the h<...: lands on the outer '>' of k<j>>.
+  std::size_t lt = kNpos;
+  for (std::size_t i = 0; i < lx.toks.size(); ++i)
+    if (isI(lx.toks[i], "h")) { lt = i + 1; break; }
+  ASSERT_NE(lt, kNpos);
+  const std::size_t gt = matchAngles(lx.toks, lt);
+  ASSERT_NE(gt, kNpos);
+  EXPECT_TRUE(isP(lx.toks[gt], ">"));
+  EXPECT_TRUE(isP(lx.toks[gt + 1], "("));
+}
+
+TEST(CxxLexer, MatchAnglesBailsAtStatementBoundary) {
+  // `a < b; c > d` is comparisons, not a template: matchAngles must give up
+  // at the ';' instead of pairing across statements.
+  const Lexed lx = lex("a < b; c > d;");
+  EXPECT_EQ(matchAngles(lx.toks, 1), kNpos);
+}
+
+TEST(CxxLexer, SkipToBodyHandlesQualifiersAndInitLists) {
+  // const + member-initializer list, then the body.
+  const Lexed lx = lex("X::X(int a) : m_(a), n_(0) { go(); }");
+  const std::size_t closeParams = matchForward(lx.toks, 3, "(", ")");
+  ASSERT_NE(closeParams, kNpos);
+  const std::size_t body = skipToBody(lx.toks, closeParams + 1);
+  ASSERT_NE(body, kNpos);
+  EXPECT_TRUE(isP(lx.toks[body], "{"));
+
+  // Declarations resolve to their ';'.
+  const Lexed decl = lex("void save(Writer& w) const;");
+  const std::size_t dClose = matchForward(decl.toks, 2, "(", ")");
+  ASSERT_NE(dClose, kNpos);
+  const std::size_t dBody = skipToBody(decl.toks, dClose + 1);
+  ASSERT_NE(dBody, kNpos);
+  EXPECT_TRUE(isP(decl.toks[dBody], ";"));
+}
+
+TEST(CxxLexer, CharLiteralsAndEscapes) {
+  const Lexed lx = lex("char c = '\\''; char d = '\"'; after;");
+  EXPECT_NE(findToken(lx, "after"), nullptr);
+}
+
+TEST(CxxLexer, CollectSourceFilesIsSortedAndFiltered) {
+  // The repo's own tree is the fixture: deterministic lexicographic order,
+  // and the exclude-suffix hook drops the annotation vocabulary header.
+#ifdef MB_SOURCE_ROOT
+  const auto all = collectSourceFiles(MB_SOURCE_ROOT, {"src"});
+  ASSERT_FALSE(all.empty());
+  for (std::size_t i = 1; i < all.size(); ++i) EXPECT_LT(all[i - 1], all[i]);
+  const auto filtered =
+      collectSourceFiles(MB_SOURCE_ROOT, {"src"}, {"common/ownership.hpp"});
+  EXPECT_EQ(filtered.size(), all.size() - 1);
+  for (const std::string& p : filtered)
+    EXPECT_EQ(p.find("common/ownership.hpp"), std::string::npos);
+#endif
+}
+
+}  // namespace
+}  // namespace mb::analysis::cxx

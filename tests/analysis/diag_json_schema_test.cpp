@@ -1,0 +1,145 @@
+// Shared diagnostic-JSON schema contract. mblint, mbdetcheck and
+// mbsnapcheck all render findings through Diagnostic::json(); this test
+// runs each shipped binary with --json against an input known to produce
+// findings and round-trips the bytes through the in-repo parser
+// (common/json_mini.hpp), pinning the schema downstream consumers rely on:
+//   {"code":"MB-XXX-NNN","severity":"note|warning|error|fatal",
+//    "message":..., "location":{"file":...,"line":N}?, "context":{...}}
+// Location is optional by design — config lint findings have no source
+// line — but when present must carry both file and a 1-based line.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/json_mini.hpp"
+
+namespace mb {
+namespace {
+
+using json::JParser;
+using json::JVal;
+
+std::string runTool(const std::string& cmd) {
+  // Findings make the tools exit 1; stdout is still the JSON document.
+  FILE* pipe = popen((cmd + " 2>/dev/null").c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  if (pipe == nullptr) return "";
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, pipe)) > 0) out.append(buf, n);
+  pclose(pipe);
+  return out;
+}
+
+bool looksLikeCode(const std::string& c) {
+  // MB-XXX-NNN: stable registry shape shared by every analysis.
+  if (c.size() != 10 || c.compare(0, 3, "MB-") != 0 || c[6] != '-') return false;
+  for (int i = 3; i < 6; ++i)
+    if (std::isupper(static_cast<unsigned char>(c[i])) == 0) return false;
+  for (int i = 7; i < 10; ++i)
+    if (std::isdigit(static_cast<unsigned char>(c[i])) == 0) return false;
+  return true;
+}
+
+bool validSeverity(const std::string& s) {
+  return s == "note" || s == "warning" || s == "error" || s == "fatal";
+}
+
+/// Assert one diagnostics array obeys the schema; returns how many entries
+/// it held so callers can require findings were actually exercised.
+int checkDiagnostics(const JVal& arr, const std::string& toolName) {
+  EXPECT_EQ(arr.t, JVal::T::Arr) << toolName;
+  for (const JVal& d : arr.arr) {
+    EXPECT_EQ(d.t, JVal::T::Obj) << toolName;
+    const JVal* code = d.get("code");
+    const JVal* sev = d.get("severity");
+    const JVal* msg = d.get("message");
+    const JVal* ctx = d.get("context");
+    EXPECT_NE(code, nullptr) << toolName;
+    EXPECT_NE(sev, nullptr) << toolName;
+    EXPECT_NE(msg, nullptr) << toolName;
+    EXPECT_NE(ctx, nullptr) << toolName;
+    if (code == nullptr || sev == nullptr || msg == nullptr || ctx == nullptr)
+      continue;
+    EXPECT_EQ(code->t, JVal::T::Str);
+    EXPECT_TRUE(looksLikeCode(code->s)) << toolName << ": " << code->s;
+    EXPECT_TRUE(validSeverity(sev->s)) << toolName << ": " << sev->s;
+    EXPECT_FALSE(msg->s.empty()) << toolName;
+    EXPECT_EQ(ctx->t, JVal::T::Obj) << toolName;
+    if (const JVal* loc = d.get("location")) {
+      const JVal* file = loc->get("file");
+      const JVal* line = loc->get("line");
+      EXPECT_NE(file, nullptr) << toolName;
+      EXPECT_NE(line, nullptr) << toolName;
+      if (file != nullptr) {
+        EXPECT_EQ(file->t, JVal::T::Str);
+        EXPECT_FALSE(file->s.empty()) << toolName;
+      }
+      if (line != nullptr) {
+        EXPECT_EQ(line->t, JVal::T::Int);
+        EXPECT_GE(line->i, 1) << toolName;
+      }
+    }
+  }
+  return static_cast<int>(arr.arr.size());
+}
+
+JVal parseToolOutput(const std::string& cmd) {
+  const std::string out = runTool(cmd);
+  JVal root;
+  JParser parser(out);
+  EXPECT_TRUE(parser.parse(&root)) << cmd << " emitted unparseable JSON:\n"
+                                   << out;
+  EXPECT_EQ(root.t, JVal::T::Obj);
+  const JVal* tool = root.get("tool");
+  EXPECT_NE(tool, nullptr) << cmd;
+  if (tool != nullptr)
+    EXPECT_NE(tool->s.find("microbank"), std::string::npos) << tool->s;
+  return root;
+}
+
+TEST(DiagJsonSchema, MblintAdHocConfigViolation) {
+  // ib=3 sits below the line-offset floor: guaranteed MB-MAP finding with
+  // no source location (configs are not files).
+  const JVal root =
+      parseToolOutput(std::string(MB_MBLINT_BIN) + " --nw=4 --nb=4 --ib=3 --json");
+  const JVal* results = root.get("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->t, JVal::T::Arr);
+  ASSERT_FALSE(results->arr.empty());
+  int total = 0;
+  for (const JVal& r : results->arr) {
+    const JVal* diags = r.get("diagnostics");
+    ASSERT_NE(diags, nullptr);
+    total += checkDiagnostics(*diags, "mblint");
+  }
+  EXPECT_GE(total, 1);
+}
+
+TEST(DiagJsonSchema, MbdetcheckSeededFixture) {
+  const JVal root = parseToolOutput(
+      std::string(MB_MBDETCHECK_BIN) + " --json " + MB_SOURCE_ROOT +
+      "/tests/analysis/det_fixtures/mbdet_003_rand_call.cpp");
+  const JVal* diags = root.get("diagnostics");
+  ASSERT_NE(diags, nullptr);
+  EXPECT_GE(checkDiagnostics(*diags, "mbdetcheck"), 1);
+  // Source-level findings must carry their location.
+  for (const JVal& d : diags->arr) EXPECT_NE(d.get("location"), nullptr);
+}
+
+TEST(DiagJsonSchema, MbsnapcheckSeededFixture) {
+  const JVal root = parseToolOutput(
+      std::string(MB_MBSNAPCHECK_BIN) + " --json " + MB_SOURCE_ROOT +
+      "/tests/analysis/snap_fixtures/mbsnp_001_missing_field.cpp");
+  const JVal* diags = root.get("diagnostics");
+  ASSERT_NE(diags, nullptr);
+  EXPECT_GE(checkDiagnostics(*diags, "mbsnapcheck"), 1);
+  for (const JVal& d : diags->arr) EXPECT_NE(d.get("location"), nullptr);
+}
+
+}  // namespace
+}  // namespace mb

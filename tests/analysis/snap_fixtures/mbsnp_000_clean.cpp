@@ -1,0 +1,34 @@
+// Self-test fixture: no violation. Symmetric save/load streams, every
+// simulation-mutated member either serialized or annotated transient.
+// Never compiled — parsed by mbsnapcheck --self-test.
+#include <cstdint>
+
+namespace fx {
+
+class UbankState {
+ public:
+  void save(ckpt::Writer& w) const {
+    w.u32(openRow_);
+    w.u64(lastActAt_);
+    w.i64(hits_);
+  }
+  void load(ckpt::Reader& r) {
+    openRow_ = r.u32();
+    lastActAt_ = r.u64();
+    hits_ = r.i64();
+  }
+  void touch(std::uint64_t now) {
+    ++hits_;
+    lastActAt_ = now;
+    scratch_ = hits_;
+  }
+
+ private:
+  std::uint32_t openRow_ = 0;
+  std::uint64_t lastActAt_ = 0;
+  std::int64_t hits_ = 0;
+  std::int64_t scratch_ = 0;
+  MB_SNAP_TRANSIENT(scratch_, "per-call scratch; recomputed by the next touch()");
+};
+
+}  // namespace fx

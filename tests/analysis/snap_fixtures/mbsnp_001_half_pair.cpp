@@ -1,0 +1,17 @@
+// Self-test fixture: MB-SNP-001 half pair — a class that defines save()
+// but no load(), so a snapshot of it could never be restored.
+// Never compiled — parsed by mbsnapcheck --self-test.
+#include <cstdint>
+
+namespace fx {
+
+class WriteOnlyCounter {
+ public:
+  void save(ckpt::Writer& w) const { w.u64(events_); }
+  void bump() { ++events_; }
+
+ private:
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace fx

@@ -1,0 +1,27 @@
+// Self-test fixture: MB-SNP-001 stream asymmetry. A copy of the μbank
+// device-state shape with the lastActAt_ Writer call deleted from save():
+// load() still reads it, so the streams diverge at element 2.
+// Never compiled — parsed by mbsnapcheck --self-test.
+#include <cstdint>
+
+namespace fx {
+
+class UbankState {
+ public:
+  void save(ckpt::Writer& w) const {
+    w.u32(openRow_);
+    w.i64(hits_);
+  }
+  void load(ckpt::Reader& r) {
+    openRow_ = r.u32();
+    lastActAt_ = r.u64();
+    hits_ = r.i64();
+  }
+
+ private:
+  std::uint32_t openRow_ = 0;
+  std::uint64_t lastActAt_ = 0;
+  std::int64_t hits_ = 0;
+};
+
+}  // namespace fx

@@ -1,0 +1,19 @@
+// Self-test fixture: MB-SNP-002 section-name mismatch. The writer emits a
+// "TRACE" section while the reader asks for "CORES" — both directions of
+// the set comparison fire.
+// Never compiled — parsed by mbsnapcheck --self-test.
+#include <cstdint>
+
+namespace fx {
+
+inline void saveAll(ckpt::Writer& w) {
+  w.addSection("TRACE");
+  w.u64(7);
+}
+
+inline void loadAll(ckpt::Reader& r) {
+  r.section("CORES");
+  r.u64();
+}
+
+}  // namespace fx

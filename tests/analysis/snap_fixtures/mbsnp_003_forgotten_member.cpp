@@ -1,0 +1,23 @@
+// Self-test fixture: MB-SNP-003 forgotten member. refreshCount_ is mutated
+// by the simulation (onRefresh) but appears in neither save() nor load()
+// and carries no MB_SNAP_TRANSIENT annotation.
+// Never compiled — parsed by mbsnapcheck --self-test.
+#include <cstdint>
+
+namespace fx {
+
+class RefreshUnit {
+ public:
+  void save(ckpt::Writer& w) const { w.u64(nextRefAt_); }
+  void load(ckpt::Reader& r) { nextRefAt_ = r.u64(); }
+  void onRefresh(std::uint64_t tRefi) {
+    ++refreshCount_;
+    nextRefAt_ += tRefi;
+  }
+
+ private:
+  std::uint64_t nextRefAt_ = 0;
+  std::uint64_t refreshCount_ = 0;
+};
+
+}  // namespace fx

@@ -1,0 +1,21 @@
+// Self-test fixture: MB-SNP-004 fingerprint drift. The self-test harness
+// synthesizes a stale baseline recording fingerprint 0 for SnapDemo:: at
+// this same kSnapshotVersion; the actual stream fingerprint differs, so the
+// format changed without a version bump.
+// Never compiled — parsed by mbsnapcheck --self-test.
+#include <cstdint>
+
+namespace fx {
+
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+class SnapDemo {
+ public:
+  void save(ckpt::Writer& w) const { w.u64(ticks_); }
+  void load(ckpt::Reader& r) { ticks_ = r.u64(); }
+
+ private:
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace fx

@@ -1,0 +1,22 @@
+// Self-test fixture: MB-SNP-006 (warning). openRowBit_ is rebuilt by
+// load() from serialized state but never written by save(), and carries no
+// MB_SNAP_TRANSIENT annotation declaring it derived.
+// Never compiled — parsed by mbsnapcheck --self-test.
+#include <cstdint>
+
+namespace fx {
+
+class ChannelMirror {
+ public:
+  void save(ckpt::Writer& w) const { w.i64(openRow_); }
+  void load(ckpt::Reader& r) {
+    openRow_ = r.i64();
+    openRowBit_ = openRow_ >= 0;
+  }
+
+ private:
+  std::int64_t openRow_ = -1;
+  bool openRowBit_ = false;
+};
+
+}  // namespace fx

@@ -1,0 +1,21 @@
+// Self-test fixture: MB-SNP-007 malformed annotation. The MB_SNAP_TRANSIENT
+// on b_ names a real member but gives no reason string — annotations must
+// say why the member is legitimately unserialized.
+// Never compiled — parsed by mbsnapcheck --self-test.
+#include <cstdint>
+
+namespace fx {
+
+class BadAnnot {
+ public:
+  void save(ckpt::Writer& w) const { w.u64(a_); }
+  void load(ckpt::Reader& r) { a_ = r.u64(); }
+  void tick() { ++b_; }
+
+ private:
+  std::uint64_t a_ = 0;
+  std::uint64_t b_ = 0;
+  MB_SNAP_TRANSIENT(b_);
+};
+
+}  // namespace fx

@@ -1,0 +1,19 @@
+// Self-test fixture: MB-SNP-008 (warning). The MB_SNAP_ALLOW covers a line
+// that produces no MB-SNP-001 finding — the streams are symmetric — so the
+// suppression is dead weight and should be deleted.
+// Never compiled — parsed by mbsnapcheck --self-test.
+#include <cstdint>
+
+namespace fx {
+
+class CleanAllow {
+ public:
+  MB_SNAP_ALLOW(MB-SNP-001, "defensive; kept after a refactor");
+  void save(ckpt::Writer& w) const { w.u64(x_); }
+  void load(ckpt::Reader& r) { x_ = r.u64(); }
+
+ private:
+  std::uint64_t x_ = 0;
+};
+
+}  // namespace fx

@@ -207,6 +207,50 @@ TEST(Snapshot, RejectsFlippedSectionPayloadByte) {
   EXPECT_EQ(decodeCode(data), "MB-CKP-007");
 }
 
+TEST(Snapshot, RejectsEachFlippedSectionCrcIndividually) {
+  // Corrupt each section's *stored CRC field* (not its payload) in turn:
+  // the per-section integrity check must name the damaged section, for all
+  // payload shapes — short, large, and empty.
+  const std::string data = sampleSnapshot().encode();
+  for (const std::string name : {"TRACE", "HIER", "MC0"}) {
+    std::string mutated = data;
+    const auto pos = mutated.find(name);
+    ASSERT_NE(pos, std::string::npos) << name;
+    // Section layout: name bytes (u32 length precedes `pos`), u64 payload
+    // length, then the u32 payload CRC.
+    const std::size_t crcOff = pos + name.size() + 8;
+    ASSERT_LT(crcOff + 4, mutated.size()) << name;
+    mutated[crcOff] ^= 0x01;
+    analysis::DiagnosticEngine diags;
+    EXPECT_FALSE(decodeSnapshot(mutated, diags, "crc-flip").has_value()) << name;
+    ASSERT_FALSE(diags.diagnostics().empty()) << name;
+    const analysis::Diagnostic& d = diags.diagnostics().back();
+    EXPECT_EQ(d.code, "MB-CKP-007") << name;
+    bool named = false;
+    for (const auto& [k, v] : d.context)
+      if (k == "section" && v == name) named = true;
+    EXPECT_TRUE(named) << name << ": diagnostic must name the section";
+  }
+}
+
+TEST(Snapshot, ReportsTruncationMidSection) {
+  // Cut the frame inside the HIER payload: the reader must report the
+  // truncated *section* by name (MB-CKP-006), not a generic CRC failure —
+  // the 1000-byte payload length survives but its bytes do not.
+  const std::string data = sampleSnapshot().encode();
+  const auto pos = data.find(std::string(100, '\x5A'));
+  ASSERT_NE(pos, std::string::npos);
+  analysis::DiagnosticEngine diags;
+  EXPECT_FALSE(decodeSnapshot(data.substr(0, pos + 100), diags, "cut").has_value());
+  ASSERT_FALSE(diags.diagnostics().empty());
+  const analysis::Diagnostic& d = diags.diagnostics().back();
+  EXPECT_EQ(d.code, "MB-CKP-006");
+  bool named = false;
+  for (const auto& [k, v] : d.context)
+    if (k == "section" && v == "HIER") named = true;
+  EXPECT_TRUE(named);
+}
+
 TEST(Snapshot, RejectsFlippedHeaderByte) {
   std::string data = sampleSnapshot().encode();
   // Corrupt the tool string: sections still parse, so the file trailer is

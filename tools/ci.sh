@@ -14,6 +14,20 @@
 # gate too.
 set -euo pipefail
 
+# MB_REQUIRE_STATIC=1 is the umbrella switch for the source-level analysis
+# stages: it implies MB_REQUIRE_TIDY=1, MB_REQUIRE_DET=1 and
+# MB_REQUIRE_SNAP=1, turning every warn-only static check into a hard gate.
+if [ "${MB_REQUIRE_STATIC:-0}" = "1" ]; then
+  MB_REQUIRE_TIDY=1
+  MB_REQUIRE_DET=1
+  MB_REQUIRE_SNAP=1
+fi
+# Per-stage verdicts for the consolidated summary printed at the end.
+static_mblint="not run"
+static_det="not run"
+static_snap="not run"
+static_tidy="not run"
+
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build-ci}"
 build_tsan="${build}-tsan"
@@ -51,6 +65,7 @@ TSAN_OPTIONS=halt_on_error=1 \
 
 echo "== mblint conformance =="
 "$build/tools/mblint" --all-presets
+static_mblint="pass"
 
 echo "== mbdetcheck determinism & ownership =="
 # The seeded violation corpus must trip exactly its expected codes (this is
@@ -61,12 +76,30 @@ echo "== mbdetcheck determinism & ownership =="
 # them fatal like MB_REQUIRE_TIDY does for tidy.
 "$build/tools/mbdetcheck" --self-test="$repo/tests/analysis/det_fixtures"
 if "$build/tools/mbdetcheck" --root="$repo" --ownership; then
-  :
+  static_det="pass"
 elif [ "${MB_REQUIRE_DET:-0}" = "1" ]; then
   echo "FAIL: mbdetcheck found determinism/ownership violations and MB_REQUIRE_DET=1" >&2
   exit 1
 else
+  static_det="warn"
   echo "mbdetcheck reported findings (warn-only; set MB_REQUIRE_DET=1 to enforce)"
+fi
+
+echo "== mbsnapcheck snapshot completeness =="
+# Same two-step contract as mbdetcheck: the seeded MB-SNP fixture corpus is
+# always fatal (it proves the analyzer fires), while the whole-tree scan —
+# stream symmetry, section names, completeness, and the fingerprint
+# baseline in tools/snap_baseline.txt — is warn-only unless
+# MB_REQUIRE_SNAP=1 (ctest's mbsnapcheck_tree_clean enforces it regardless).
+"$build/tools/mbsnapcheck" --self-test="$repo/tests/analysis/snap_fixtures"
+if "$build/tools/mbsnapcheck" --root="$repo"; then
+  static_snap="pass"
+elif [ "${MB_REQUIRE_SNAP:-0}" = "1" ]; then
+  echo "FAIL: mbsnapcheck found snapshot-completeness violations and MB_REQUIRE_SNAP=1" >&2
+  exit 1
+else
+  static_snap="warn"
+  echo "mbsnapcheck reported findings (warn-only; set MB_REQUIRE_SNAP=1 to enforce)"
 fi
 
 echo "== offline command-trace audit =="
@@ -155,11 +188,24 @@ if command -v clang-tidy >/dev/null 2>&1; then
     done
     [ "$status" -eq 0 ]
   fi
+  static_tidy="pass"
 elif [ "${MB_REQUIRE_TIDY:-0}" = "1" ]; then
   echo "FAIL: clang-tidy not installed but MB_REQUIRE_TIDY=1" >&2
   exit 1
 else
+  static_tidy="skipped (not installed)"
   echo "clang-tidy not installed; skipping tidy pass (build+sanitizer gate still enforced)"
 fi
+
+echo "== static-analysis summary =="
+# One block to scan instead of four scattered stage logs. "warn" means the
+# stage reported findings but was not enforced on this run; set the listed
+# switch (or MB_REQUIRE_STATIC=1 for all of them) to make it a hard gate.
+printf '  %-14s %s\n' \
+  "mblint"      "$static_mblint" \
+  "mbdetcheck"  "$static_det   (enforce: MB_REQUIRE_DET=1)" \
+  "mbsnapcheck" "$static_snap   (enforce: MB_REQUIRE_SNAP=1)" \
+  "clang-tidy"  "$static_tidy   (enforce: MB_REQUIRE_TIDY=1)"
+echo "  MB_REQUIRE_STATIC=1 enforces all of the above at once."
 
 echo "== CI gate passed =="
