@@ -33,12 +33,17 @@
 #include <vector>
 
 #include "bench/perf_report.hpp"
+#include "common/version.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/snapshot_lru.hpp"
 #include "sim/experiment.hpp"
+#include "sim/journal.hpp"
 
 namespace {
 
 using namespace mb;
 using bench::PresetPerf;
+using bench::ServePerf;
 using bench::currentPeakRssKiB;
 
 struct Options {
@@ -50,6 +55,7 @@ struct Options {
   std::string baselinePath;     // diff against this (warn-only)
   std::string updateBaseline;   // write events/sec table here
   double tolerance = 0.25;
+  bool serve = false;           // measure the mbserve memo/LRU path too
 };
 
 [[noreturn]] void usageError(const std::string& msg) {
@@ -57,7 +63,8 @@ struct Options {
   std::fprintf(stderr,
                "usage: mbperf [--out=FILE] [--workload=NAME] [--instrs=N] "
                "[--repeat=N]\n              [--preset=NAME] [--baseline=FILE] "
-               "[--tolerance=FRAC] [--update-baseline=FILE]\n");
+               "[--tolerance=FRAC] [--update-baseline=FILE]\n"
+               "              [--serve]\n");
   std::exit(2);
 }
 
@@ -87,6 +94,8 @@ Options parseArgs(int argc, char** argv) {
     } else if (a.rfind("--tolerance=", 0) == 0) {
       o.tolerance = std::atof(val("--tolerance=").c_str());
       if (o.tolerance <= 0.0) usageError("--tolerance must be positive");
+    } else if (a == "--serve") {
+      o.serve = true;
     } else {
       usageError("unknown argument: " + a);
     }
@@ -125,14 +134,77 @@ PresetPerf measure(const sim::NamedConfig& preset, const Options& o) {
   return p;
 }
 
-void writeJson(const std::vector<PresetPerf>& perfs, const Options& o) {
+/// Serve-path measurement: how much the mbserve memo cache and the
+/// warmup-snapshot LRU buy on this host, on the baseline preset. Cold is the
+/// exact daemon miss path (simulate + serialize + store); cached is the memo
+/// lookup returning the same bytes. Both are best-of-`repeat` like the
+/// preset table. The LRU exercise pays the warmup capture once and then
+/// re-acquires, mirroring a sweep grid sharing one snapshot.
+ServePerf measureServe(const Options& o) {
+  sim::SystemConfig cfg = sim::tsiBaselineConfig();
+  cfg.core.maxInstrs = o.instrs;
+  const auto wl = sim::WorkloadSpec::spec(o.workload);
+  const std::uint64_t key = serve::ResultCache::resultKey(
+      sim::systemConfigHash(cfg, wl), wl.name, cfg.seed, 0, versionString());
+
+  const std::string dir = o.out + ".serve-cache";
+  serve::ResultCache cache(dir);
+  if (!cache.ok()) {
+    std::fprintf(stderr, "mbperf: cannot create serve cache dir %s\n",
+                 dir.c_str());
+    std::exit(1);
+  }
+  cache.flush();
+
+  ServePerf s;
+  std::string cold;
+  for (int rep = 0; rep < o.repeat; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    cold = sim::runResultToJson(sim::runSimulation(cfg, wl));
+    cache.store(key, cold);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall = std::chrono::duration<double>(t1 - t0).count();
+    if (rep == 0 || wall < s.coldSeconds) s.coldSeconds = wall;
+  }
+  for (int rep = 0; rep < o.repeat; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto served = cache.lookup(key);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!served || *served != cold) {
+      std::fprintf(stderr,
+                   "mbperf: serve cache returned wrong bytes — memo path is "
+                   "broken\n");
+      std::exit(1);
+    }
+    const double wall = std::chrono::duration<double>(t1 - t0).count();
+    if (rep == 0 || wall < s.cachedSeconds) s.cachedSeconds = wall;
+  }
+  cache.flush();
+  std::remove(dir.c_str());
+
+  // Snapshot LRU: one generation, `repeat` re-acquires from the same key —
+  // the shape of a grid query warming each workload exactly once.
+  constexpr std::int64_t kWarm = 2000;
+  serve::SnapshotLru lru(256u << 20);
+  const std::uint64_t wkey = sim::warmupKeyHash(cfg, wl, kWarm);
+  for (int rep = 0; rep < o.repeat + 1; ++rep)
+    lru.acquire(wkey, [&] { return sim::captureWarmupSnapshot(cfg, wl, kWarm); })
+        .release();
+  const auto lruStats = lru.stats();
+  s.lruHits = lruStats.hits;
+  s.lruMisses = lruStats.misses;
+  return s;
+}
+
+void writeJson(const std::vector<PresetPerf>& perfs, const Options& o,
+               const ServePerf* serve) {
   std::ofstream out(o.out, std::ios::trunc);
   if (!out.good()) {
     std::fprintf(stderr, "mbperf: cannot write %s\n", o.out.c_str());
     std::exit(1);
   }
   out << bench::perfJson(perfs, {o.workload, o.instrs, o.repeat},
-                         currentPeakRssKiB());
+                         currentPeakRssKiB(), serve);
 }
 
 std::map<std::string, double> readBaseline(const std::string& path) {
@@ -213,7 +285,19 @@ int main(int argc, char** argv) {
   }
   if (!matched) usageError("--preset matched no shipped preset");
 
-  writeJson(perfs, o);
+  ServePerf servePerf;
+  if (o.serve) {
+    servePerf = measureServe(o);
+    std::printf(
+        "serve: cold %.4fs cached %.3gs (%.0fx) lru %lld hit / %lld miss\n",
+        servePerf.coldSeconds, servePerf.cachedSeconds,
+        servePerf.cachedSeconds > 0.0
+            ? servePerf.coldSeconds / servePerf.cachedSeconds
+            : 0.0,
+        static_cast<long long>(servePerf.lruHits),
+        static_cast<long long>(servePerf.lruMisses));
+  }
+  writeJson(perfs, o, o.serve ? &servePerf : nullptr);
   std::printf("wrote %s\n", o.out.c_str());
   if (!o.updateBaseline.empty()) {
     writeBaseline(perfs, o);

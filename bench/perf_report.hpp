@@ -38,6 +38,18 @@ struct ReportMeta {
   int repeat = 0;
 };
 
+/// Serve-path metrics (mbperf --serve): how much the mbserve memo cache and
+/// warmup-snapshot LRU actually buy on this host. `coldSeconds` is the full
+/// simulate + serialize + store path for one point; `cachedSeconds` is the
+/// memo lookup returning the identical bytes. Best-of timings like the
+/// preset table.
+struct ServePerf {
+  double coldSeconds = 0.0;
+  double cachedSeconds = 0.0;
+  std::int64_t lruHits = 0;
+  std::int64_t lruMisses = 0;
+};
+
 /// Process peak RSS in KiB. ru_maxrss is reported in KiB on Linux but in
 /// BYTES on macOS; every consumer goes through this helper so the unit quirk
 /// lives in exactly one place.
@@ -72,8 +84,11 @@ inline std::string fmtG(double v) {
 
 /// The MBPERF1 record. Built with unbounded string appends — no fixed-size
 /// line buffer anywhere — so arbitrarily long preset names stay valid JSON.
+/// `serve` (optional) adds a "serve" block with the memo-cache cold/cached
+/// latencies, the derived speedup, and the snapshot-LRU hit rate.
 inline std::string perfJson(const std::vector<PresetPerf>& perfs,
-                            const ReportMeta& meta, long totalPeakRssKiB) {
+                            const ReportMeta& meta, long totalPeakRssKiB,
+                            const ServePerf* serve = nullptr) {
   double totalWall = 0.0;
   std::uint64_t totalEvents = 0;
   for (const auto& p : perfs) {
@@ -94,7 +109,23 @@ inline std::string perfJson(const std::vector<PresetPerf>& perfs,
         << ",\"simulatedCyclesPerSec\":" << fmtG(p.simulatedCyclesPerSec)
         << ",\"peakRssKiB\":" << p.peakRssKiB << '}';
   }
-  out << "],\"totals\":{\"wallSeconds\":" << fmtG(totalWall)
+  out << ']';
+  if (serve != nullptr) {
+    const std::int64_t lruTotal = serve->lruHits + serve->lruMisses;
+    out << ",\"serve\":{\"coldSeconds\":" << fmtG(serve->coldSeconds)
+        << ",\"cachedSeconds\":" << fmtG(serve->cachedSeconds)
+        << ",\"speedup\":"
+        << fmtG(serve->cachedSeconds > 0.0
+                    ? serve->coldSeconds / serve->cachedSeconds
+                    : 0.0)
+        << ",\"lruHits\":" << serve->lruHits
+        << ",\"lruMisses\":" << serve->lruMisses << ",\"lruHitRate\":"
+        << fmtG(lruTotal > 0 ? static_cast<double>(serve->lruHits) /
+                                   static_cast<double>(lruTotal)
+                             : 0.0)
+        << '}';
+  }
+  out << ",\"totals\":{\"wallSeconds\":" << fmtG(totalWall)
       << ",\"events\":" << totalEvents << ",\"eventsPerSec\":"
       << fmtG(totalWall > 0.0 ? static_cast<double>(totalEvents) / totalWall
                               : 0.0)

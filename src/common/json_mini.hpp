@@ -12,10 +12,19 @@
 // control). \uXXXX escapes — including surrogate pairs — decode to UTF-8,
 // since the tools' jsonEscape emits codepoint escapes for any non-ASCII
 // byte sequence (e.g. μ for the micro sign in mblint messages).
+//
+// Hostile-input mode: the serving layer (src/serve) parses job specs from
+// untrusted clients, so JParseOptions adds two opt-in strictness knobs —
+// a nesting-depth cap (a deeply nested spec must be a structured rejection,
+// not a recursion-death) and duplicate-key rejection (a spec that names a
+// key twice is ambiguous; silently keeping either copy is wrong). When a
+// strict parse fails, error() carries a one-line reason the caller can wrap
+// in its own diagnostic (serve maps these to MB-SRV-002/003).
 #pragma once
 
 #include <cctype>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -44,10 +53,22 @@ struct JVal {
   double num() const { return d; }
 };
 
+/// Opt-in strictness for hostile input. Defaults preserve the tolerant
+/// behavior every existing caller (journal replay, diag-JSON tests) relies
+/// on: unlimited depth, last-key-wins duplicates.
+struct JParseOptions {
+  /// Maximum object/array nesting depth; 0 = unlimited.
+  int maxDepth = 0;
+  /// Reject an object that repeats a key instead of keeping both entries.
+  bool rejectDuplicateKeys = false;
+};
+
 class JParser {
  public:
   explicit JParser(const std::string& text)
       : p_(text.c_str()), end_(text.c_str() + text.size()) {}
+  JParser(const std::string& text, const JParseOptions& opts)
+      : p_(text.c_str()), end_(text.c_str() + text.size()), opts_(opts) {}
 
   bool parse(JVal* out) {
     skipWs();
@@ -55,6 +76,10 @@ class JParser {
     skipWs();
     return p_ == end_;
   }
+
+  /// One-line reason when a strictness rule (depth cap, duplicate key)
+  /// failed the parse; empty for plain syntax errors.
+  const std::string& error() const { return error_; }
 
  private:
   void skipWs() {
@@ -81,15 +106,34 @@ class JParser {
     }
   }
 
+  bool enter() {
+    ++depth_;
+    if (opts_.maxDepth > 0 && depth_ > opts_.maxDepth) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "nesting depth exceeds %d", opts_.maxDepth);
+      if (error_.empty()) error_ = buf;
+      return false;
+    }
+    return true;
+  }
+
   bool object(JVal* out) {
     out->t = JVal::T::Obj;
+    if (!enter()) return false;
     ++p_;  // '{'
     skipWs();
-    if (p_ != end_ && *p_ == '}') { ++p_; return true; }
+    if (p_ != end_ && *p_ == '}') { ++p_; --depth_; return true; }
     for (;;) {
       skipWs();
       std::string key;
       if (p_ == end_ || *p_ != '"' || !string(&key)) return false;
+      if (opts_.rejectDuplicateKeys) {
+        for (const auto& [k, v] : out->obj) {
+          if (k != key) continue;
+          if (error_.empty()) error_ = "duplicate key \"" + key + "\"";
+          return false;
+        }
+      }
       skipWs();
       if (p_ == end_ || *p_ != ':') return false;
       ++p_;
@@ -100,16 +144,17 @@ class JParser {
       skipWs();
       if (p_ == end_) return false;
       if (*p_ == ',') { ++p_; continue; }
-      if (*p_ == '}') { ++p_; return true; }
+      if (*p_ == '}') { ++p_; --depth_; return true; }
       return false;
     }
   }
 
   bool array(JVal* out) {
     out->t = JVal::T::Arr;
+    if (!enter()) return false;
     ++p_;  // '['
     skipWs();
-    if (p_ != end_ && *p_ == ']') { ++p_; return true; }
+    if (p_ != end_ && *p_ == ']') { ++p_; --depth_; return true; }
     for (;;) {
       skipWs();
       JVal v;
@@ -118,7 +163,7 @@ class JParser {
       skipWs();
       if (p_ == end_) return false;
       if (*p_ == ',') { ++p_; continue; }
-      if (*p_ == ']') { ++p_; return true; }
+      if (*p_ == ']') { ++p_; --depth_; return true; }
       return false;
     }
   }
@@ -226,6 +271,9 @@ class JParser {
 
   const char* p_;
   const char* end_;
+  JParseOptions opts_{};
+  int depth_ = 0;
+  std::string error_;
 };
 
 }  // namespace mb::json

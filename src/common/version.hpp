@@ -12,7 +12,7 @@
 namespace mb {
 
 /// Semantic version of the simulator itself (bumped per feature PR).
-inline constexpr const char* kMbVersion = "0.4.0";
+inline constexpr const char* kMbVersion = "0.5.0";
 
 inline constexpr unsigned kMbTraceFormatVersion = 1;    // MBTRACE1
 inline constexpr unsigned kMbCmdTraceFormatVersion = 1; // MBCMDT1

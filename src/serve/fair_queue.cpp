@@ -1,0 +1,67 @@
+#include "serve/fair_queue.hpp"
+
+#include <algorithm>
+
+namespace mb::serve {
+
+FairJobQueue::ClientQueue* FairJobQueue::find(const std::string& client) {
+  for (auto& q : queues_)
+    if (q.name == client) return &q;
+  return nullptr;
+}
+
+const FairJobQueue::ClientQueue* FairJobQueue::find(const std::string& client) const {
+  for (const auto& q : queues_)
+    if (q.name == client) return &q;
+  return nullptr;
+}
+
+bool FairJobQueue::push(const std::string& client, const std::string& jobId,
+                        std::size_t maxQueuedPerClient) {
+  ClientQueue* q = find(client);
+  if (q == nullptr) {
+    queues_.push_back(ClientQueue{client, {}});
+    order_.push_back(client);
+    q = &queues_.back();
+  }
+  if (q->jobs.size() >= maxQueuedPerClient) return false;
+  q->jobs.push_back(jobId);
+  return true;
+}
+
+std::optional<QueuedJob> FairJobQueue::pop() {
+  if (order_.empty()) return std::nullopt;
+  const std::size_t n = order_.size();
+  for (std::size_t step = 0; step < n; ++step) {
+    const std::size_t i = (cursor_ + step) % n;
+    ClientQueue& q = queues_[i];
+    if (q.jobs.empty()) continue;
+    QueuedJob job{q.name, q.jobs.front()};
+    q.jobs.pop_front();
+    cursor_ = (i + 1) % n;
+    return job;
+  }
+  return std::nullopt;
+}
+
+bool FairJobQueue::remove(const std::string& client, const std::string& jobId) {
+  ClientQueue* q = find(client);
+  if (q == nullptr) return false;
+  const auto it = std::find(q->jobs.begin(), q->jobs.end(), jobId);
+  if (it == q->jobs.end()) return false;
+  q->jobs.erase(it);
+  return true;
+}
+
+std::size_t FairJobQueue::pending() const {
+  std::size_t total = 0;
+  for (const auto& q : queues_) total += q.jobs.size();
+  return total;
+}
+
+std::size_t FairJobQueue::pendingFor(const std::string& client) const {
+  const ClientQueue* q = find(client);
+  return q == nullptr ? 0 : q->jobs.size();
+}
+
+}  // namespace mb::serve

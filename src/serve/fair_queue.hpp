@@ -1,0 +1,73 @@
+// Per-client fair job queue for the serving layer.
+//
+// Many clients share one simulation pool; a client that dumps fifty jobs
+// must not starve one that submits a single run. This is the same
+// per-requestor regulation problem "Per-Bank Memory Bandwidth Regulation
+// for Predictable and Performant Real-Time Systems" (PAPERS.md) solves at
+// the bank level, applied one layer up at the job scheduler:
+//
+//   - Each client gets its own FIFO; within a client, jobs run in
+//     submission order.
+//   - Dispatch rotates round-robin over clients in first-arrival order,
+//     resuming after the last-served client — so K active clients each get
+//     ~1/K of the job slots regardless of queue depths.
+//   - Admission is bounded per client (maxQueuedPerClient); a client over
+//     its cap is rejected at submit time (MB-SRV-010 back-pressure), never
+//     silently dropped.
+//
+// Deterministic by construction: the outcome depends only on the sequence
+// of push/pop calls, never on hashing or timing. Not internally locked —
+// the server serializes access under its state mutex, which keeps this
+// structure trivially unit-testable.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mb::serve {
+
+struct QueuedJob {
+  std::string client;
+  std::string jobId;
+};
+
+class FairJobQueue {
+ public:
+  /// Append a job to `client`'s FIFO. False when the client already has
+  /// `maxQueuedPerClient` jobs queued (admission back-pressure; the job is
+  /// not queued).
+  bool push(const std::string& client, const std::string& jobId,
+            std::size_t maxQueuedPerClient);
+
+  /// Next job under round-robin fairness, or nullopt when idle.
+  std::optional<QueuedJob> pop();
+
+  /// Remove a queued (not yet popped) job; false if absent.
+  bool remove(const std::string& client, const std::string& jobId);
+
+  std::size_t pending() const;
+  std::size_t pendingFor(const std::string& client) const;
+
+  /// Clients in first-arrival order (status reporting).
+  const std::vector<std::string>& clients() const { return order_; }
+
+ private:
+  struct ClientQueue {
+    std::string name;
+    std::deque<std::string> jobs;
+  };
+  ClientQueue* find(const std::string& client);
+  const ClientQueue* find(const std::string& client) const;
+
+  // Parallel to order_: queues_[i] belongs to order_[i]. A handful of
+  // clients at most — linear scans beat any map here, and iteration order
+  // is exactly arrival order.
+  std::vector<ClientQueue> queues_;
+  std::vector<std::string> order_;
+  std::size_t cursor_ = 0;  // index into order_ AFTER the last-served client
+};
+
+}  // namespace mb::serve

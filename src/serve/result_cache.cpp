@@ -1,0 +1,148 @@
+#include "serve/result_cache.hpp"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "ckpt/serialize.hpp"  // crc32, fnv1a64, Writer
+
+namespace mb::serve {
+
+namespace {
+constexpr char kMagic[] = "MBRES1";
+}  // namespace
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  struct stat st {};
+  if (stat(dir_.c_str(), &st) == 0) {
+    ok_ = S_ISDIR(st.st_mode);
+    return;
+  }
+  ok_ = mkdir(dir_.c_str(), 0755) == 0;
+}
+
+std::uint64_t ResultCache::resultKey(std::uint64_t configHash,
+                                     const std::string& workload, std::uint64_t seed,
+                                     std::int64_t warmupRecords,
+                                     const std::string& simVersion) {
+  ckpt::Writer w;
+  w.u64(configHash);
+  w.str(workload);
+  w.u64(seed);
+  w.i64(warmupRecords);
+  w.str(simVersion);
+  return ckpt::fnv1a64(w.str());
+}
+
+std::string ResultCache::entryPath(std::uint64_t key) const {
+  char name[32];
+  std::snprintf(name, sizeof name, "%016" PRIx64 ".mbr", key);
+  return dir_ + "/" + name;
+}
+
+std::optional<std::string> ResultCache::lookup(std::uint64_t key) {
+  const std::string path = entryPath(key);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  std::string content;
+  char buf[65536];
+  for (;;) {
+    const std::size_t n = std::fread(buf, 1, sizeof buf, f);
+    content.append(buf, n);
+    if (n < sizeof buf) break;
+  }
+  std::fclose(f);
+
+  // Header line: "MBRES1 <crc %08x> <len>\n".
+  auto corrupt = [&]() -> std::optional<std::string> {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    ++stats_.corrupt;
+    return std::nullopt;
+  };
+  const std::size_t nl = content.find('\n');
+  if (nl == std::string::npos) return corrupt();
+  const std::string header = content.substr(0, nl);
+  unsigned long crc = 0;
+  unsigned long long len = 0;
+  char magic[16] = {0};
+  if (std::sscanf(header.c_str(), "%15s %8lx %llu", magic, &crc, &len) != 3 ||
+      std::strcmp(magic, kMagic) != 0) {
+    return corrupt();
+  }
+  std::string payload = content.substr(nl + 1);
+  if (payload.size() != len) return corrupt();
+  if (ckpt::crc32(payload) != static_cast<std::uint32_t>(crc)) return corrupt();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.hits;
+  }
+  return payload;
+}
+
+bool ResultCache::store(std::uint64_t key, const std::string& bytes) {
+  const std::string path = entryPath(key);
+  const std::string tmp = path + ".tmp." + std::to_string(getpid());
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  char header[48];
+  const int n = std::snprintf(header, sizeof header, "%s %08x %zu\n", kMagic,
+                              ckpt::crc32(bytes), bytes.size());
+  bool okWrite = std::fwrite(header, 1, static_cast<std::size_t>(n), f) ==
+                 static_cast<std::size_t>(n);
+  okWrite = okWrite && std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  okWrite = std::fclose(f) == 0 && okWrite;
+  if (!okWrite || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.stores;
+  return true;
+}
+
+std::size_t ResultCache::flush() {
+  DIR* d = opendir(dir_.c_str());
+  if (d == nullptr) return 0;
+  // Collect first, unlink after: mutating a directory mid-readdir is
+  // implementation-defined. Deletion order does not affect any output.
+  std::vector<std::string> victims;
+  while (struct dirent* e = readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".mbr") == 0)
+      victims.push_back(dir_ + "/" + name);
+  }
+  closedir(d);
+  std::size_t removed = 0;
+  for (const auto& path : victims)
+    if (std::remove(path.c_str()) == 0) ++removed;
+  return removed;
+}
+
+std::size_t ResultCache::entries() const {
+  DIR* d = opendir(dir_.c_str());
+  if (d == nullptr) return 0;
+  std::size_t count = 0;
+  while (struct dirent* e = readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".mbr") == 0) ++count;
+  }
+  closedir(d);
+  return count;
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace mb::serve

@@ -1,0 +1,79 @@
+// On-disk memoized result store for the serving layer.
+//
+// A simulation is a pure function of (resolved SystemConfig, workload,
+// seed) for a given simulator build, so its canonical JSON report can be
+// served from disk instead of re-simulated. The store is content-addressed:
+// the key folds systemConfigHash (which canonically encodes every resolved
+// knob including seed and instruction slice), the workload name, the
+// effective seed, the warmup length, and the simulator version string —
+// bump kMbVersion and every stale entry silently misses.
+//
+// Entry format (one file per key, "<dir>/<%016x>.mbr"):
+//
+//   MBRES1 <crc32 of payload, %08x> <payload length>\n
+//   <payload bytes — exactly the runResultToJson report>
+//
+// lookup() verifies magic, length and CRC; a torn or corrupted entry is
+// counted and treated as a miss (the point simply re-simulates and the
+// store overwrites it). store() writes to a temp file and renames, so a
+// concurrent reader never observes a half-written entry and a SIGKILL
+// mid-store leaves either the old entry or none. Byte identity between a
+// served entry and a fresh simulation is a tested invariant
+// (tests/serve/serve_identity_test.cpp and the ci.sh mbserve stage).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace mb::serve {
+
+class ResultCache {
+ public:
+  /// Creates `dir` if missing (one level). Check ok() before use.
+  explicit ResultCache(std::string dir);
+
+  bool ok() const { return ok_; }
+  const std::string& dir() const { return dir_; }
+
+  /// The memo key of one simulation. `configHash` must come from
+  /// sim::systemConfigHash on the FINAL per-point config (after any preset,
+  /// grid or reseed folding), `seed` is that config's effective seed, and
+  /// `warmupRecords` distinguishes warm runs from cold ones (warmup changes
+  /// the report; the config hash deliberately excludes it).
+  static std::uint64_t resultKey(std::uint64_t configHash, const std::string& workload,
+                                 std::uint64_t seed, std::int64_t warmupRecords,
+                                 const std::string& simVersion);
+
+  /// The stored report bytes, or nullopt on miss / corrupt entry.
+  std::optional<std::string> lookup(std::uint64_t key);
+
+  /// Persist `bytes` for `key` (atomic replace). False on I/O failure —
+  /// the caller keeps serving the in-memory result; caching is best-effort.
+  bool store(std::uint64_t key, const std::string& bytes);
+
+  /// Delete every entry; returns how many were removed.
+  std::size_t flush();
+
+  /// Entries currently on disk (counted by directory walk).
+  std::size_t entries() const;
+
+  struct Stats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t stores = 0;
+    std::int64_t corrupt = 0;  // rejected by magic/length/CRC (counted as miss)
+  };
+  Stats stats() const;
+
+ private:
+  std::string entryPath(std::uint64_t key) const;
+
+  std::string dir_;
+  bool ok_ = false;
+  mutable std::mutex mu_;
+  Stats stats_;
+};
+
+}  // namespace mb::serve

@@ -1,0 +1,113 @@
+#include "serve/snapshot_lru.hpp"
+
+#include "common/check.hpp"
+
+namespace mb::serve {
+
+SnapshotLru::Lease& SnapshotLru::Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    release();
+    store_ = other.store_;
+    key_ = other.key_;
+    fresh_ = other.fresh_;
+    other.store_ = nullptr;
+  }
+  return *this;
+}
+
+const std::string& SnapshotLru::Lease::bytes() const {
+  MB_CHECK(store_ != nullptr);
+  // Pinned entries are never evicted and std::map nodes never move, so the
+  // reference is stable for the lease's lifetime. No lock needed: ready
+  // entries' bytes are immutable once published.
+  const std::lock_guard<std::mutex> lock(store_->mu_);
+  const auto it = store_->entries_.find(key_);
+  MB_CHECK(it != store_->entries_.end() && it->second.ready);
+  return it->second.bytes;
+}
+
+void SnapshotLru::Lease::release() {
+  if (store_ == nullptr) return;
+  store_->unpin(key_);
+  store_ = nullptr;
+}
+
+SnapshotLru::Lease SnapshotLru::acquire(std::uint64_t key,
+                                        const std::function<std::string()>& generate) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) break;  // miss: this caller generates
+    Entry& e = it->second;
+    if (e.ready) {
+      ++e.pins;
+      e.lastUse = ++useTick_;
+      ++stats_.hits;
+      return Lease(this, key, /*fresh=*/false);
+    }
+    // Another thread is generating this key: wait for it to publish (or
+    // withdraw on failure, in which case the map entry is gone and we
+    // re-race the miss path).
+    ready_.wait(lock);
+  }
+
+  entries_.emplace(key, Entry{});  // placeholder: ready=false blocks others
+  ++stats_.misses;
+  lock.unlock();
+
+  std::string bytes;
+  try {
+    bytes = generate();
+  } catch (...) {
+    lock.lock();
+    entries_.erase(key);
+    ready_.notify_all();
+    throw;
+  }
+
+  lock.lock();
+  Entry& e = entries_[key];
+  e.bytes = std::move(bytes);
+  e.ready = true;
+  e.pins = 1;
+  e.lastUse = ++useTick_;
+  bytes_ += e.bytes.size();
+  evictLocked();
+  ready_.notify_all();
+  return Lease(this, key, /*fresh=*/true);
+}
+
+void SnapshotLru::evictLocked() {
+  while (bytes_ > budget_) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (!it->second.ready || it->second.pins > 0) continue;
+      if (victim == entries_.end() || it->second.lastUse < victim->second.lastUse)
+        victim = it;
+    }
+    if (victim == entries_.end()) return;  // all pinned: overshoot the budget
+    bytes_ -= victim->second.bytes.size();
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+void SnapshotLru::unpin(std::uint64_t key) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  MB_CHECK(it != entries_.end() && it->second.pins > 0);
+  --it->second.pins;
+  // Re-apply the budget now that this entry (or a sibling) may have become
+  // evictable — a long overshoot ends as soon as the readers drain.
+  evictLocked();
+}
+
+SnapshotLru::Stats SnapshotLru::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.bytes = bytes_;
+  s.entries = entries_.size();
+  return s;
+}
+
+}  // namespace mb::serve

@@ -1,5 +1,7 @@
 #include "sim/sweep.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -45,23 +47,32 @@ namespace {
 // MB_DET_ALLOW(MB-DET-003, "progress/ETA display on stderr only; never feeds results, reports, or scheduling")
 using Clock = std::chrono::steady_clock;
 
-/// Throttled completed/total + ETA line on stderr. Thread-safe.
+/// Throttled completed/total + ETA line on stderr. Thread-safe. The ETA
+/// chatter is a human affordance, so it only prints when stderr is a
+/// terminal — machine consumers get SweepOptions::onProgress instead, and a
+/// CI log is not littered with interleaved ETA lines. Failure lines print
+/// regardless: they carry real information a journal-less caller needs.
 class ProgressReporter {
  public:
   ProgressReporter(std::size_t total, int jobs, bool enabled)
-      : total_(total), jobs_(jobs), enabled_(enabled), start_(Clock::now()) {}
+      : total_(total),
+        jobs_(jobs),
+        enabled_(enabled),
+        tty_(isatty(STDERR_FILENO) != 0),
+        start_(Clock::now()) {}
 
   void pointDone(const SweepOutcome& outcome) {
     if (!enabled_) return;
     const std::lock_guard<std::mutex> lock(mu_);
     ++done_;
+    if (!outcome.ok && !outcome.canceled) printError(outcome);
+    if (!tty_) return;
     const auto now = Clock::now();
     const double elapsed = std::chrono::duration<double>(now - start_).count();
     // One line per second is enough; always print the first and the last
     // point so short sweeps still show something.
     if (done_ != total_ && done_ != 1 &&
         std::chrono::duration<double>(now - lastPrint_).count() < 1.0) {
-      if (!outcome.ok) printError(outcome);
       return;
     }
     lastPrint_ = now;
@@ -70,7 +81,6 @@ class ProgressReporter {
                                static_cast<double>(total_ - done_);
     std::fprintf(stderr, "[sweep] %zu/%zu points, jobs=%d, elapsed %.1fs, eta %.1fs\n",
                  done_, total_, jobs_, elapsed, eta);
-    if (!outcome.ok) printError(outcome);
   }
 
  private:
@@ -82,6 +92,7 @@ class ProgressReporter {
   std::size_t total_;
   int jobs_;
   bool enabled_;
+  bool tty_;
   Clock::time_point start_;
   std::mutex mu_;
   std::size_t done_ = 0;
@@ -118,17 +129,45 @@ std::vector<SweepOutcome> SweepRunner::run(const std::vector<SweepPoint>& points
   std::vector<SweepOutcome> outcomes(points.size());
   ProgressReporter progress(points.size(), jobs, opts_.progress);
 
-  // Serializes SweepOptions::onPointDone (journal appends) across workers.
+  // Serializes SweepOptions::onPointDone and onProgress (journal appends,
+  // response streams) across workers; also guards the progress counters.
   std::mutex doneMu;
+  std::size_t doneCount = 0;
+  std::size_t failedCount = 0;
   auto notifyDone = [&](const SweepOutcome& o) {
-    if (!opts_.onPointDone) return;
+    if (!opts_.onPointDone && !opts_.onProgress) return;
     const std::lock_guard<std::mutex> lock(doneMu);
-    opts_.onPointDone(o);
+    if (opts_.onPointDone) opts_.onPointDone(o);
+    if (opts_.onProgress) {
+      ++doneCount;
+      if (!o.ok) ++failedCount;
+      SweepProgress p;
+      p.done = doneCount;
+      p.total = points.size();
+      p.failed = failedCount;
+      p.index = o.index;
+      p.ok = o.ok;
+      opts_.onProgress(p);
+    }
+  };
+
+  const std::atomic<bool>* cancel = opts_.cancel;
+  auto runOrCancel = [&](std::size_t i) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      SweepOutcome o;
+      o.index = i;
+      o.label = points[i].label;
+      o.ok = false;
+      o.canceled = true;
+      o.error = "sweep point canceled before it started";
+      return o;
+    }
+    return runPoint(points[i], i, opts_.reseedPoints);
   };
 
   if (jobs == 1 || points.size() <= 1) {
     for (std::size_t i = 0; i < points.size(); ++i) {
-      outcomes[i] = runPoint(points[i], i, opts_.reseedPoints);
+      outcomes[i] = runOrCancel(i);
       progress.pointDone(outcomes[i]);
       notifyDone(outcomes[i]);
     }
@@ -143,7 +182,7 @@ std::vector<SweepOutcome> SweepRunner::run(const std::vector<SweepPoint>& points
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= points.size()) return;
-      outcomes[i] = runPoint(points[i], i, opts_.reseedPoints);
+      outcomes[i] = runOrCancel(i);
       progress.pointDone(outcomes[i]);
       notifyDone(outcomes[i]);
     }

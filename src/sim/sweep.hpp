@@ -22,6 +22,7 @@
 //     unaffected by `jobs`).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -64,6 +65,21 @@ struct SweepOutcome {
   bool ok = false;
   RunResult result;   // valid only when ok
   std::string error;  // MB_CHECK / exception text when !ok
+  /// The point never ran because the sweep's cancel token tripped first.
+  /// Canceled points are recorded with ok=false so journal replay re-runs
+  /// them on resume; this flag lets live consumers (mbserve) tell a
+  /// canceled point from a genuinely failed one.
+  bool canceled = false;
+};
+
+/// Snapshot handed to SweepOptions::onProgress after every finished point —
+/// the machine-readable replacement for scraping the stderr ETA line.
+struct SweepProgress {
+  std::size_t done = 0;    // points finished so far (failures included)
+  std::size_t total = 0;
+  std::size_t failed = 0;  // of `done`, how many did not produce a result
+  std::size_t index = 0;   // submission index of the point that just finished
+  bool ok = false;         // that point's outcome
 };
 
 struct SweepOptions {
@@ -76,11 +92,23 @@ struct SweepOptions {
   /// seed so that ratios against the baseline are paired. Turn on for
   /// statistical replicates of one configuration.
   bool reseedPoints = false;
-  /// Print completed/total + ETA to stderr while running.
+  /// Print completed/total + ETA to stderr while running. The periodic ETA
+  /// line only appears when stderr is a terminal — a piped or CI run gets
+  /// no progress chatter (use onProgress for machine consumption); per-point
+  /// FAILURE lines still print unconditionally.
   bool progress = false;
   /// Invoked once per completed point, serialized under one mutex (safe to
   /// write a journal from). Called in completion order, not index order.
   std::function<void(const SweepOutcome&)> onPointDone;
+  /// Machine-readable progress: invoked after each finished point, under
+  /// the same mutex as onPointDone (and after it, so a consumer that
+  /// persists the outcome in onPointDone sees the persisted state counted).
+  std::function<void(const SweepProgress&)> onProgress;
+  /// Cooperative cancellation: when the pointed-at flag becomes true, points
+  /// that have not started are recorded as canceled outcomes (ok=false,
+  /// canceled=true) without running; in-flight points finish normally. The
+  /// token must outlive run(). nullptr: never canceled.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 class SweepRunner {

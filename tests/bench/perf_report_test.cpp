@@ -85,6 +85,43 @@ TEST(PerfReportTest, RecordShapeCarriesAllFields) {
   }
 }
 
+TEST(PerfReportTest, ServeBlockCarriesAllFieldsAndDerivedRatios) {
+  ServePerf s;
+  s.coldSeconds = 0.5;
+  s.cachedSeconds = 0.001;
+  s.lruHits = 3;
+  s.lruMisses = 1;
+  const std::string json =
+      perfJson({samplePerf("p")}, {"429.mcf", 10000, 3}, 81920, &s);
+  EXPECT_TRUE(structurallyValidJson(json)) << json;
+  for (const char* key :
+       {"\"serve\":{", "\"coldSeconds\":0.5", "\"cachedSeconds\":0.001",
+        "\"speedup\":500", "\"lruHits\":3", "\"lruMisses\":1",
+        "\"lruHitRate\":0.75"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " missing:\n" << json;
+  }
+  // The serve block augments the record; the totals block still closes it.
+  EXPECT_NE(json.find("\"totals\":"), std::string::npos);
+}
+
+TEST(PerfReportTest, ServeBlockAbsentByDefault) {
+  // Consumers of serve-less records (every pre-existing BENCH_PERF.json
+  // reader) must see the exact old shape.
+  const std::string json =
+      perfJson({samplePerf("p")}, {"429.mcf", 10000, 3}, 81920);
+  EXPECT_EQ(json.find("\"serve\""), std::string::npos) << json;
+  EXPECT_TRUE(structurallyValidJson(json)) << json;
+}
+
+TEST(PerfReportTest, ServeBlockZeroDenominatorsStayFinite) {
+  const ServePerf zero;  // no samples: speedup and hit rate must render as 0
+  const std::string json =
+      perfJson({samplePerf("p")}, {"429.mcf", 10000, 3}, 0, &zero);
+  EXPECT_TRUE(structurallyValidJson(json)) << json;
+  EXPECT_NE(json.find("\"speedup\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"lruHitRate\":0"), std::string::npos) << json;
+}
+
 TEST(PerfReportTest, PeakRssHelperReturnsPlausibleKiB) {
   const long kib = currentPeakRssKiB();
   // A running gtest process occupies at least 1 MiB and (sanity ceiling)

@@ -1,0 +1,81 @@
+// FairJobQueue: round-robin fairness across clients, FIFO within one,
+// admission caps, and removal of queued jobs.
+#include "serve/fair_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mb::serve {
+namespace {
+
+TEST(FairQueue, FifoWithinOneClient) {
+  FairJobQueue q;
+  ASSERT_TRUE(q.push("a", "j1", 8));
+  ASSERT_TRUE(q.push("a", "j2", 8));
+  ASSERT_TRUE(q.push("a", "j3", 8));
+  EXPECT_EQ(q.pop()->jobId, "j1");
+  EXPECT_EQ(q.pop()->jobId, "j2");
+  EXPECT_EQ(q.pop()->jobId, "j3");
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(FairQueue, RoundRobinAcrossClients) {
+  FairJobQueue q;
+  // Client a dumps four jobs before b and c submit one each; b and c must
+  // not wait behind a's backlog.
+  for (const char* id : {"a1", "a2", "a3", "a4"}) ASSERT_TRUE(q.push("a", id, 8));
+  ASSERT_TRUE(q.push("b", "b1", 8));
+  ASSERT_TRUE(q.push("c", "c1", 8));
+  std::vector<std::string> order;
+  while (auto job = q.pop()) order.push_back(job->jobId);
+  const std::vector<std::string> expect = {"a1", "b1", "c1", "a2", "a3", "a4"};
+  EXPECT_EQ(order, expect);
+}
+
+TEST(FairQueue, RotationResumesAfterLastServed) {
+  FairJobQueue q;
+  ASSERT_TRUE(q.push("a", "a1", 8));
+  ASSERT_TRUE(q.push("b", "b1", 8));
+  EXPECT_EQ(q.pop()->client, "a");
+  // New submission from a while b still waits: b's turn comes first.
+  ASSERT_TRUE(q.push("a", "a2", 8));
+  EXPECT_EQ(q.pop()->client, "b");
+  EXPECT_EQ(q.pop()->client, "a");
+}
+
+TEST(FairQueue, PerClientCapRejectsNotDrops) {
+  FairJobQueue q;
+  ASSERT_TRUE(q.push("a", "j1", 2));
+  ASSERT_TRUE(q.push("a", "j2", 2));
+  EXPECT_FALSE(q.push("a", "j3", 2));  // over cap: rejected at admission
+  EXPECT_EQ(q.pendingFor("a"), 2u);
+  // Another client is unaffected by a's cap.
+  EXPECT_TRUE(q.push("b", "b1", 2));
+  // Draining one slot re-admits.
+  EXPECT_TRUE(q.pop().has_value());
+  EXPECT_TRUE(q.push("a", "j3", 2));
+}
+
+TEST(FairQueue, RemoveQueuedJob) {
+  FairJobQueue q;
+  ASSERT_TRUE(q.push("a", "j1", 8));
+  ASSERT_TRUE(q.push("a", "j2", 8));
+  EXPECT_TRUE(q.remove("a", "j1"));
+  EXPECT_FALSE(q.remove("a", "j1"));  // already gone
+  EXPECT_FALSE(q.remove("z", "j9"));  // unknown client
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.pop()->jobId, "j2");
+}
+
+TEST(FairQueue, PendingCounts) {
+  FairJobQueue q;
+  EXPECT_EQ(q.pending(), 0u);
+  ASSERT_TRUE(q.push("a", "j1", 8));
+  ASSERT_TRUE(q.push("b", "j2", 8));
+  EXPECT_EQ(q.pending(), 2u);
+  EXPECT_EQ(q.pendingFor("a"), 1u);
+  EXPECT_EQ(q.pendingFor("nobody"), 0u);
+  EXPECT_EQ(q.clients().size(), 2u);
+}
+
+}  // namespace
+}  // namespace mb::serve

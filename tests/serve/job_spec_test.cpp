@@ -1,0 +1,252 @@
+// Job-spec protocol: the malformed-spec matrix (every rejection is a
+// structured MB-SRV code, never a crash or a silent acceptance), canonical
+// re-encoding round-trips, and plan expansion (presets, grids, reseed
+// folding, lint pre-flight).
+#include "serve/job_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/experiment.hpp"
+
+namespace mb::serve {
+namespace {
+
+using analysis::DiagnosticEngine;
+
+/// Parse `line`, expecting rejection with exactly `code`.
+void expectRejected(const std::string& line, const std::string& code) {
+  DiagnosticEngine diags;
+  JobSpec spec;
+  EXPECT_FALSE(parseJobSpec(line, &spec, diags)) << line;
+  ASSERT_FALSE(diags.diagnostics().empty()) << line;
+  EXPECT_EQ(diags.diagnostics().front().code, code) << line;
+}
+
+JobSpec parseOk(const std::string& line) {
+  DiagnosticEngine diags;
+  JobSpec spec;
+  EXPECT_TRUE(parseJobSpec(line, &spec, diags)) << diags.renderText();
+  return spec;
+}
+
+TEST(JobSpec, MalformedSpecMatrix) {
+  // Torn / malformed JSON → MB-SRV-001.
+  expectRejected("{\"verb\":\"submit\",", "MB-SRV-001");
+  expectRejected("not json at all", "MB-SRV-001");
+  expectRejected("{\"verb\" \"submit\"}", "MB-SRV-001");
+  expectRejected("", "MB-SRV-001");
+  // Duplicate keys → MB-SRV-002 (ambiguous; last-one-wins is not an option
+  // for a job that will be journaled and re-parsed).
+  expectRejected("{\"verb\":\"status\",\"verb\":\"shutdown\"}", "MB-SRV-002");
+  expectRejected(
+      "{\"verb\":\"submit\",\"id\":\"j\",\"workload\":\"a\",\"seed\":1,\"seed\":2}",
+      "MB-SRV-002");
+  // Nesting depth over 32 → MB-SRV-003 (structured rejection, not a
+  // recursion death).
+  std::string deep = "{\"verb\":";
+  for (int i = 0; i < 40; ++i) deep += "[";
+  for (int i = 0; i < 40; ++i) deep += "]";
+  deep += "}";
+  expectRejected(deep, "MB-SRV-003");
+  // Unknown verbs → MB-SRV-004.
+  expectRejected("{\"verb\":\"frobnicate\"}", "MB-SRV-004");
+  expectRejected("{\"verb\":\"SUBMIT\"}", "MB-SRV-004");  // verbs are exact
+  // Wrong types / missing or unknown fields / conflicts → MB-SRV-005.
+  expectRejected("[1,2,3]", "MB-SRV-005");  // not an object
+  expectRejected("{\"id\":\"j1\"}", "MB-SRV-005");  // no verb
+  expectRejected("{\"verb\":42}", "MB-SRV-005");
+  expectRejected("{\"verb\":\"submit\",\"id\":\"j\",\"workload\":7}", "MB-SRV-005");
+  expectRejected("{\"verb\":\"submit\",\"workload\":\"a\"}", "MB-SRV-005");  // no id
+  expectRejected("{\"verb\":\"submit\",\"id\":\"j\"}", "MB-SRV-005");  // no workload
+  expectRejected(
+      "{\"verb\":\"submit\",\"id\":\"j\",\"workload\":\"a\",\"instrs\":-5}",
+      "MB-SRV-005");
+  expectRejected(
+      "{\"verb\":\"submit\",\"id\":\"j\",\"workload\":\"a\",\"nw\":[0]}",
+      "MB-SRV-005");
+  expectRejected(
+      "{\"verb\":\"submit\",\"id\":\"j\",\"workload\":\"a\",\"nw\":\"4\"}",
+      "MB-SRV-005");
+  expectRejected(
+      "{\"verb\":\"submit\",\"id\":\"j\",\"workload\":\"a\",\"sweep\":true,"
+      "\"preset\":\"hmc\"}",
+      "MB-SRV-005");  // mutually exclusive
+  expectRejected(
+      "{\"verb\":\"submit\",\"id\":\"j\",\"workload\":\"a\",\"bogus\":1}",
+      "MB-SRV-005");  // unknown field
+  expectRejected("{\"verb\":\"status\",\"workload\":\"a\"}",
+                 "MB-SRV-005");  // submit-only field on status
+  expectRejected("{\"verb\":\"cancel\"}", "MB-SRV-005");  // cancel needs id
+  expectRejected("{\"verb\":\"shutdown\",\"id\":\"j\"}", "MB-SRV-005");
+}
+
+TEST(JobSpec, ParsesFullSubmit) {
+  const JobSpec spec = parseOk(
+      "{\"verb\":\"submit\",\"id\":\"j1\",\"client\":\"ci\","
+      "\"workload\":\"429.mcf\",\"preset\":\"hmc\",\"instrs\":20000,"
+      "\"seed\":7,\"nw\":[1,2],\"nb\":[4],\"warmup\":1000,"
+      "\"nocache\":true,\"reseed\":true}");
+  EXPECT_EQ(spec.verb, "submit");
+  EXPECT_EQ(spec.id, "j1");
+  EXPECT_EQ(spec.client, "ci");
+  EXPECT_EQ(spec.workload, "429.mcf");
+  EXPECT_EQ(spec.preset, "hmc");
+  EXPECT_EQ(spec.instrs, 20000);
+  EXPECT_TRUE(spec.hasSeed);
+  EXPECT_EQ(spec.seed, 7u);
+  EXPECT_EQ(spec.nw, (std::vector<int>{1, 2}));
+  EXPECT_EQ(spec.nb, (std::vector<int>{4}));
+  EXPECT_EQ(spec.warmup, 1000);
+  EXPECT_TRUE(spec.nocache);
+  EXPECT_TRUE(spec.reseed);
+}
+
+TEST(JobSpec, DefaultsClientToAnon) {
+  EXPECT_EQ(parseOk("{\"verb\":\"status\"}").client, "anon");
+}
+
+TEST(JobSpec, CanonicalJsonRoundTrips) {
+  const char* cases[] = {
+      "{\"verb\":\"submit\",\"id\":\"j1\",\"workload\":\"429.mcf\"}",
+      "{\"verb\":\"submit\",\"id\":\"j1\",\"client\":\"ci\","
+      "\"workload\":\"radix\",\"preset\":\"hmc\",\"instrs\":5000,\"seed\":9,"
+      "\"nw\":[1,4],\"nb\":[2],\"warmup\":100,\"nocache\":true,"
+      "\"reseed\":true}",
+      "{\"verb\":\"submit\",\"id\":\"s\",\"workload\":\"429.mcf\","
+      "\"sweep\":true}",
+      "{\"verb\":\"status\"}",
+      "{\"verb\":\"cancel\",\"id\":\"j1\"}",
+  };
+  for (const char* line : cases) {
+    const JobSpec once = parseOk(line);
+    const std::string canon = canonicalJson(once);
+    const JobSpec twice = parseOk(canon);
+    // Canonical form is a fixed point: re-encoding is byte-stable (this is
+    // what the serve journal stores and re-parses on resume).
+    EXPECT_EQ(canonicalJson(twice), canon) << line;
+    EXPECT_EQ(twice.verb, once.verb);
+    EXPECT_EQ(twice.id, once.id);
+    EXPECT_EQ(twice.client, once.client);
+    EXPECT_EQ(twice.workload, once.workload);
+    EXPECT_EQ(twice.preset, once.preset);
+    EXPECT_EQ(twice.sweep, once.sweep);
+    EXPECT_EQ(twice.instrs, once.instrs);
+    EXPECT_EQ(twice.hasSeed, once.hasSeed);
+    EXPECT_EQ(twice.seed, once.seed);
+    EXPECT_EQ(twice.nw, once.nw);
+    EXPECT_EQ(twice.nb, once.nb);
+    EXPECT_EQ(twice.warmup, once.warmup);
+    EXPECT_EQ(twice.nocache, once.nocache);
+    EXPECT_EQ(twice.reseed, once.reseed);
+  }
+}
+
+TEST(JobSpec, PlanSinglePresetDefaultsToTsiBaseline) {
+  DiagnosticEngine diags;
+  JobPlan plan;
+  const JobSpec spec = parseOk(
+      "{\"verb\":\"submit\",\"id\":\"j\",\"workload\":\"429.mcf\","
+      "\"instrs\":9000,\"seed\":3}");
+  ASSERT_TRUE(planJob(spec, &plan, diags)) << diags.renderText();
+  ASSERT_EQ(plan.points.size(), 1u);
+  EXPECT_EQ(plan.points[0].label, "tsi-baseline");
+  EXPECT_EQ(plan.points[0].cfg.core.maxInstrs, 9000);
+  EXPECT_EQ(plan.points[0].cfg.seed, 3u);
+  EXPECT_EQ(plan.workloadName, "429.mcf");
+}
+
+TEST(JobSpec, PlanSweepCoversEveryShippedPreset) {
+  DiagnosticEngine diags;
+  JobPlan plan;
+  const JobSpec spec = parseOk(
+      "{\"verb\":\"submit\",\"id\":\"j\",\"workload\":\"429.mcf\","
+      "\"sweep\":true}");
+  ASSERT_TRUE(planJob(spec, &plan, diags)) << diags.renderText();
+  const auto presets = sim::shippedPresets();
+  ASSERT_EQ(plan.points.size(), presets.size());
+  for (std::size_t i = 0; i < presets.size(); ++i)
+    EXPECT_EQ(plan.points[i].label, presets[i].name);
+}
+
+TEST(JobSpec, PlanGridCrossProduct) {
+  DiagnosticEngine diags;
+  JobPlan plan;
+  const JobSpec spec = parseOk(
+      "{\"verb\":\"submit\",\"id\":\"j\",\"workload\":\"429.mcf\","
+      "\"nw\":[1,2,4],\"nb\":[1,8]}");
+  ASSERT_TRUE(planJob(spec, &plan, diags)) << diags.renderText();
+  ASSERT_EQ(plan.points.size(), 6u);
+  EXPECT_EQ(plan.points[0].label, "tsi-baseline(1,1)");
+  EXPECT_EQ(plan.points[5].label, "tsi-baseline(4,8)");
+  EXPECT_EQ(plan.points[5].cfg.ubank.nW, 4);
+  EXPECT_EQ(plan.points[5].cfg.ubank.nB, 8);
+}
+
+TEST(JobSpec, PlanFoldsReseedIntoEffectiveSeeds) {
+  DiagnosticEngine diags;
+  JobPlan a, b;
+  const JobSpec reseeded = parseOk(
+      "{\"verb\":\"submit\",\"id\":\"j\",\"workload\":\"429.mcf\","
+      "\"nw\":[1,2],\"seed\":5,\"reseed\":true}");
+  const JobSpec paired = parseOk(
+      "{\"verb\":\"submit\",\"id\":\"j\",\"workload\":\"429.mcf\","
+      "\"nw\":[1,2],\"seed\":5}");
+  ASSERT_TRUE(planJob(reseeded, &a, diags));
+  ASSERT_TRUE(planJob(paired, &b, diags));
+  // Paired mode: every point carries the same seed. Reseeded: each point's
+  // seed is the SplitMix64 fold of (5, index) — distinct, and already
+  // resolved into cfg.seed so downstream never re-derives it.
+  EXPECT_EQ(b.points[0].cfg.seed, 5u);
+  EXPECT_EQ(b.points[1].cfg.seed, 5u);
+  EXPECT_EQ(a.points[0].cfg.seed, sim::foldPointSeed(5, 0));
+  EXPECT_EQ(a.points[1].cfg.seed, sim::foldPointSeed(5, 1));
+  EXPECT_NE(a.points[0].cfg.seed, a.points[1].cfg.seed);
+}
+
+TEST(JobSpec, PlanRejectsUnknownNames) {
+  DiagnosticEngine diags;
+  JobPlan plan;
+  EXPECT_FALSE(planJob(parseOk("{\"verb\":\"submit\",\"id\":\"j\","
+                               "\"workload\":\"no-such-app\"}"),
+                       &plan, diags));
+  EXPECT_EQ(diags.diagnostics().front().code, "MB-SRV-006");
+  diags.clear();
+  EXPECT_FALSE(planJob(parseOk("{\"verb\":\"submit\",\"id\":\"j\","
+                               "\"workload\":\"429.mcf\","
+                               "\"preset\":\"no-such-preset\"}"),
+                       &plan, diags));
+  EXPECT_EQ(diags.diagnostics().front().code, "MB-SRV-006");
+}
+
+TEST(JobSpec, PlanLintsEveryPointPreFlight) {
+  DiagnosticEngine diags;
+  JobPlan plan;
+  // nW=3 passes the spec's own shape checks (positive integer) but is not a
+  // power of two — the ConfigLinter must reject it before any tick runs.
+  EXPECT_FALSE(planJob(parseOk("{\"verb\":\"submit\",\"id\":\"j\","
+                               "\"workload\":\"429.mcf\",\"nw\":[3]}"),
+                       &plan, diags));
+  bool sawServe = false, sawLint = false;
+  for (const auto& d : diags.diagnostics()) {
+    if (d.code == "MB-SRV-007") sawServe = true;
+    if (d.code.rfind("MB-CFG-", 0) == 0) sawLint = true;
+  }
+  EXPECT_TRUE(sawServe);  // the serve-layer verdict...
+  EXPECT_TRUE(sawLint);   // ...carries the underlying lint finding with it
+}
+
+TEST(JobSpec, PlanAcceptsEveryWorkloadKind) {
+  for (const char* wl : {"429.mcf", "mix-high", "mix-blend", "RADIX", "TPC-C"}) {
+    DiagnosticEngine diags;
+    JobPlan plan;
+    const JobSpec spec = parseOk(std::string("{\"verb\":\"submit\",\"id\":\"j\","
+                                             "\"workload\":\"") +
+                                 wl + "\"}");
+    EXPECT_TRUE(planJob(spec, &plan, diags)) << wl << "\n" << diags.renderText();
+  }
+}
+
+}  // namespace
+}  // namespace mb::serve

@@ -1,0 +1,183 @@
+// SnapshotLru properties:
+//   - an entry with leases in flight is NEVER evicted, however tight the
+//     byte budget (the budget overshoots instead);
+//   - releasing the last lease re-applies the budget;
+//   - a re-miss after eviction regenerates byte-identical content when the
+//     generator is deterministic (captureWarmupSnapshot is — checked here
+//     against the real simulator once, synthetically everywhere else);
+//   - one generation per key under concurrent acquires.
+#include "serve/snapshot_lru.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/system.hpp"
+
+namespace mb::serve {
+namespace {
+
+/// Deterministic pseudo-snapshot: `size` bytes derived from the key.
+std::string fakeSnapshot(std::uint64_t key, std::size_t size) {
+  SplitMix64 rng(key);
+  std::string bytes;
+  bytes.reserve(size);
+  while (bytes.size() < size) bytes += static_cast<char>(rng.next() & 0xFF);
+  return bytes;
+}
+
+TEST(SnapshotLru, HitSharesBytesAndCountsStats) {
+  SnapshotLru lru(1 << 20);
+  int generations = 0;
+  auto gen = [&generations] {
+    ++generations;
+    return fakeSnapshot(1, 100);
+  };
+  auto a = lru.acquire(1, gen);
+  auto b = lru.acquire(1, gen);
+  EXPECT_EQ(generations, 1);  // second acquire is a hit
+  EXPECT_TRUE(a.fresh());
+  EXPECT_FALSE(b.fresh());
+  EXPECT_EQ(&a.bytes(), &b.bytes());  // one shared copy
+  const auto stats = lru.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(SnapshotLru, PinnedEntryNeverEvictedUnderTightBudget) {
+  // Budget fits exactly one 100-byte snapshot; the pinned one must survive
+  // any number of sibling insertions (the store overshoots instead).
+  SnapshotLru lru(100);
+  auto pinned = lru.acquire(1, [] { return fakeSnapshot(1, 100); });
+  const std::string want = pinned.bytes();
+  for (std::uint64_t key = 2; key <= 20; ++key) {
+    auto lease = lru.acquire(key, [key] { return fakeSnapshot(key, 100); });
+    // Both the pinned entry and this in-flight lease are protected; every
+    // unpinned predecessor is evictable.
+    EXPECT_EQ(pinned.bytes(), want);
+  }
+  const auto stats = lru.stats();
+  EXPECT_GT(stats.evictions, 0);
+  // Only the pinned entry survives over budget once the loop's leases drop.
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, 100u);
+  EXPECT_EQ(pinned.bytes(), want);
+}
+
+TEST(SnapshotLru, ReleaseReappliesBudget) {
+  SnapshotLru lru(150);
+  auto a = lru.acquire(1, [] { return fakeSnapshot(1, 100); });
+  auto b = lru.acquire(2, [] { return fakeSnapshot(2, 100); });
+  EXPECT_EQ(lru.stats().bytes, 200u);  // both pinned: overshoot allowed
+  EXPECT_EQ(lru.stats().evictions, 0);
+  a.release();
+  // Dropping the pin makes entry 1 evictable and the budget re-applies.
+  EXPECT_EQ(lru.stats().bytes, 100u);
+  EXPECT_EQ(lru.stats().evictions, 1);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+}
+
+TEST(SnapshotLru, EvictsLeastRecentlyUsedFirst) {
+  SnapshotLru lru(250);
+  lru.acquire(1, [] { return fakeSnapshot(1, 100); }).release();
+  lru.acquire(2, [] { return fakeSnapshot(2, 100); }).release();
+  // Touch 1 so 2 becomes the LRU victim.
+  int regen = 0;
+  lru.acquire(1, [&regen] {
+       ++regen;
+       return fakeSnapshot(1, 100);
+     })
+      .release();
+  EXPECT_EQ(regen, 0);
+  lru.acquire(3, [] { return fakeSnapshot(3, 100); }).release();  // evicts 2
+  lru.acquire(1, [&regen] {
+       ++regen;
+       return fakeSnapshot(1, 100);
+     })
+      .release();
+  EXPECT_EQ(regen, 0);  // 1 survived
+  int regen2 = 0;
+  lru.acquire(2, [&regen2] {
+       ++regen2;
+       return fakeSnapshot(2, 100);
+     })
+      .release();
+  EXPECT_EQ(regen2, 1);  // 2 was the victim
+}
+
+TEST(SnapshotLru, ReMissAfterEvictionRegeneratesIdenticalBytes) {
+  SnapshotLru lru(100);
+  std::string first;
+  {
+    auto lease = lru.acquire(7, [] { return fakeSnapshot(7, 100); });
+    first = lease.bytes();
+  }
+  // Force 7 out.
+  lru.acquire(8, [] { return fakeSnapshot(8, 100); }).release();
+  ASSERT_GT(lru.stats().evictions, 0);
+  auto again = lru.acquire(7, [] { return fakeSnapshot(7, 100); });
+  EXPECT_TRUE(again.fresh());  // really regenerated, not a stale hit
+  EXPECT_EQ(again.bytes(), first);
+}
+
+TEST(SnapshotLru, RealWarmupSnapshotRegeneratesIdenticalBytes) {
+  // The end-to-end form of the property above: captureWarmupSnapshot is
+  // deterministic, so an evicted warmup snapshot regenerated on re-miss is
+  // byte-identical — a warm point's report cannot depend on LRU history.
+  sim::SystemConfig cfg;
+  cfg.core.maxInstrs = 5000;
+  const auto wl = sim::WorkloadSpec::spec("429.mcf");
+  const std::uint64_t key = sim::warmupKeyHash(cfg, wl, 2000);
+  auto gen = [&] { return sim::captureWarmupSnapshot(cfg, wl, 2000); };
+
+  SnapshotLru lru(1);  // any entry overshoots; evicted at release
+  std::string first;
+  {
+    auto lease = lru.acquire(key, gen);
+    first = lease.bytes();
+  }
+  EXPECT_EQ(lru.stats().entries, 0u);  // evicted on release
+  auto again = lru.acquire(key, gen);
+  EXPECT_TRUE(again.fresh());
+  EXPECT_EQ(again.bytes(), first);
+}
+
+TEST(SnapshotLru, GeneratorFailureWithdrawsPlaceholder) {
+  SnapshotLru lru(1 << 20);
+  EXPECT_THROW(
+      lru.acquire(1, []() -> std::string { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+  // The failed placeholder is gone; the next acquire generates cleanly.
+  auto lease = lru.acquire(1, [] { return fakeSnapshot(1, 50); });
+  EXPECT_TRUE(lease.fresh());
+  EXPECT_EQ(lease.bytes(), fakeSnapshot(1, 50));
+}
+
+TEST(SnapshotLru, ConcurrentAcquiresGenerateOnce) {
+  SnapshotLru lru(1 << 20);
+  std::atomic<int> generations{0};
+  std::vector<std::thread> threads;
+  std::vector<std::string> seen(8);
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&lru, &generations, &seen, t] {
+      auto lease = lru.acquire(42, [&generations] {
+        ++generations;
+        return fakeSnapshot(42, 1000);
+      });
+      seen[static_cast<std::size_t>(t)] = lease.bytes();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(generations.load(), 1);  // every waiter shared one generation
+  for (const auto& bytes : seen) EXPECT_EQ(bytes, fakeSnapshot(42, 1000));
+}
+
+}  // namespace
+}  // namespace mb::serve

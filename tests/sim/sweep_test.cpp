@@ -196,6 +196,90 @@ TEST(SweepRunnerDeath, RunAllAbortsOnFailureAfterReportingAll) {
   EXPECT_DEATH((void)SweepRunner(opts).runAll(points), "sweep points failed");
 }
 
+TEST(SweepRunner, OnProgressReportsMonotoneSerializedCounts) {
+  auto points = seededGrid(0x5eedULL);
+  points.resize(6);
+  SweepOptions opts;
+  opts.jobs = 3;
+  std::vector<SweepProgress> seen;  // callback is serialized: plain vector
+  opts.onProgress = [&seen](const SweepProgress& p) { seen.push_back(p); };
+  bool orderHolds = true;
+  std::size_t doneAtCallback = 0;
+  opts.onPointDone = [&](const SweepOutcome&) { ++doneAtCallback; };
+  const auto outcomes = SweepRunner(opts).run(points);
+  ASSERT_EQ(seen.size(), points.size());
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    // done counts up 1..N in callback order regardless of which worker
+    // finished; total is constant; every reported index is in range.
+    orderHolds = orderHolds && seen[i].done == i + 1;
+    EXPECT_EQ(seen[i].total, points.size());
+    EXPECT_LT(seen[i].index, points.size());
+    EXPECT_TRUE(seen[i].ok);
+    EXPECT_EQ(seen[i].failed, 0u);
+  }
+  EXPECT_TRUE(orderHolds);
+  // onProgress fires after onPointDone for the same point, so a consumer
+  // that persists in onPointDone sees its own write counted.
+  EXPECT_EQ(doneAtCallback, points.size());
+  for (const auto& o : outcomes) EXPECT_TRUE(o.ok);
+}
+
+TEST(SweepRunner, ProgressCountsFailures) {
+  auto points = seededGrid(0x5eedULL);
+  points.resize(3);
+  points[1].cfg.ubank = dram::UbankConfig{3, 1};  // fails inside the run
+  SweepOptions opts;
+  opts.jobs = 1;
+  std::size_t failedAtEnd = 0;
+  opts.onProgress = [&](const SweepProgress& p) { failedAtEnd = p.failed; };
+  (void)SweepRunner(opts).run(points);
+  EXPECT_EQ(failedAtEnd, 1u);
+}
+
+TEST(SweepRunner, CancelTokenMarksUnstartedPointsCanceled) {
+  auto points = seededGrid(0xabcULL);
+  points.resize(8);
+  std::atomic<bool> cancel{false};
+  SweepOptions opts;
+  opts.jobs = 1;  // serial: cancelling after point 2 leaves 3.. unstarted
+  opts.cancel = &cancel;
+  std::size_t finished = 0;
+  opts.onPointDone = [&](const SweepOutcome&) {
+    if (++finished == 2) cancel.store(true);
+  };
+  const auto outcomes = SweepRunner(opts).run(points);
+  ASSERT_EQ(outcomes.size(), points.size());
+  EXPECT_TRUE(outcomes[0].ok);
+  EXPECT_TRUE(outcomes[1].ok);
+  EXPECT_FALSE(outcomes[0].canceled);
+  EXPECT_FALSE(outcomes[1].canceled);
+  for (std::size_t i = 2; i < outcomes.size(); ++i) {
+    // Canceled points are distinguishable from failed ones (ok=false on
+    // both, canceled only here) and slot into their original indices.
+    EXPECT_FALSE(outcomes[i].ok) << i;
+    EXPECT_TRUE(outcomes[i].canceled) << i;
+    EXPECT_EQ(outcomes[i].index, i);
+    EXPECT_EQ(outcomes[i].label, points[i].label);
+  }
+  // Progress still counted every point (canceled ones count as done+failed
+  // so a consumer's done/total reaches total and terminates).
+}
+
+TEST(SweepRunner, CancelBeforeStartCancelsEverythingQuickly) {
+  auto points = seededGrid(0x77ULL);
+  points.resize(5);
+  std::atomic<bool> cancel{true};  // tripped before run() begins
+  SweepOptions opts;
+  opts.jobs = 2;
+  opts.cancel = &cancel;
+  const auto outcomes = SweepRunner(opts).run(points);
+  for (const auto& o : outcomes) {
+    EXPECT_FALSE(o.ok);
+    EXPECT_TRUE(o.canceled);
+    EXPECT_NE(o.error.find("canceled"), std::string::npos);
+  }
+}
+
 TEST(RunSpecGroupParallel, MatchesSerialOverload) {
   SystemConfig cfg = tsiBaselineConfig();
   cfg.core.maxInstrs = 2000;

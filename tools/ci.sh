@@ -161,6 +161,128 @@ fi
 echo "sweep journal resume ok"
 rm -rf "$ckpt_dir"
 
+echo "== mbserve serving layer =="
+# Three live checks of the daemon, all on the ASan+UBSan binaries (both the
+# daemon and the --client one-shot run sanitized — this IS the smoke client):
+#   1. double submit over the socket: the second session must simulate
+#      nothing and its point line must be byte-identical to the cold one
+#      modulo the cached flag;
+#   2. SIGKILL mid-sweep, restart over the same --journal: the resumed
+#      daemon completes exactly the remaining points (pre-kill cache entries
+#      untouched, one accepted + one completed journal line, resubmission
+#      fully memoized);
+#   3. malformed specs produce MB-SRV error events without killing the
+#      session.
+srv_dir="$build/ci-serve"
+rm -rf "$srv_dir"
+mkdir -p "$srv_dir"
+sock="$srv_dir/mb.sock"
+
+"$build/tools/mbserve" --socket="$sock" --cache-dir="$srv_dir/cache1" &
+srv_pid=$!
+for _ in $(seq 100); do [ -S "$sock" ] && break; sleep 0.1; done
+[ -S "$sock" ] || { echo "FAIL: mbserve did not create $sock" >&2; exit 1; }
+spec='{"verb":"submit","id":"ci","workload":"429.mcf","instrs":8000,"seed":7}'
+"$build/tools/mbserve" --client --socket="$sock" --spec="$spec" \
+  > "$srv_dir/cold.jsonl"
+"$build/tools/mbserve" --client --socket="$sock" --spec="$spec" \
+  > "$srv_dir/hot.jsonl"
+grep -q '"cached":1,"simulated":0' "$srv_dir/hot.jsonl" || {
+  kill "$srv_pid" 2>/dev/null || true
+  echo "FAIL: second submit was not fully served from the memo cache" >&2
+  exit 1; }
+grep '"event":"point"' "$srv_dir/cold.jsonl" \
+  | sed 's/"cached":false/"cached":true/' > "$srv_dir/cold-points.jsonl"
+grep '"event":"point"' "$srv_dir/hot.jsonl" > "$srv_dir/hot-points.jsonl"
+cmp "$srv_dir/cold-points.jsonl" "$srv_dir/hot-points.jsonl" || {
+  kill "$srv_pid" 2>/dev/null || true
+  echo "FAIL: cached point bytes diverge from the cold run" >&2
+  exit 1; }
+if "$build/tools/mbserve" --client --socket="$sock" \
+     --spec='{"verb":"frobnicate"}' > "$srv_dir/bad.jsonl"; then
+  kill "$srv_pid" 2>/dev/null || true
+  echo "FAIL: client exited 0 on a rejected spec" >&2
+  exit 1
+fi
+grep -q 'MB-SRV-004' "$srv_dir/bad.jsonl" || {
+  kill "$srv_pid" 2>/dev/null || true
+  echo "FAIL: unknown verb did not produce MB-SRV-004" >&2
+  exit 1; }
+kill "$srv_pid" 2>/dev/null || true
+wait "$srv_pid" 2>/dev/null || true
+echo "mbserve cache-hit byte identity ok"
+
+# SIGKILL mid-sweep + journal resume. --sweep-jobs=1 serializes the killed
+# daemon's points so the kill reliably lands with most of the sweep still
+# outstanding (the restarted daemon drains the remainder at full width). A
+# SIGKILL mid-store can leave a *.tmp.<pid> file behind, so entry listings
+# filter to committed *.mbr files.
+journal="$srv_dir/journal.jsonl"
+cache2="$srv_dir/cache2"
+# The killed daemon left its socket FILE behind (SIGTERM skips cleanup), so
+# remove it first — otherwise the stale file satisfies the bind wait below
+# and the client connects before the new daemon is listening.
+rm -f "$sock"
+"$build/tools/mbserve" --socket="$sock" --cache-dir="$cache2" \
+  --journal="$journal" --sweep-jobs=1 &
+srv_pid=$!
+for _ in $(seq 100); do [ -S "$sock" ] && break; sleep 0.1; done
+sweep='{"verb":"submit","id":"sw","workload":"429.mcf","sweep":true,"instrs":100000,"seed":3}'
+"$build/tools/mbserve" --client --socket="$sock" --spec="$sweep" \
+  > "$srv_dir/sweep1.jsonl" 2>/dev/null &
+cli_pid=$!
+for _ in $(seq 600); do
+  n=$(ls "$cache2" 2>/dev/null | grep -c '\.mbr$' || true)
+  [ "$n" -ge 2 ] && break
+  sleep 0.1
+done
+[ "$n" -ge 2 ] || {
+  kill -9 "$srv_pid" 2>/dev/null || true
+  echo "FAIL: sweep cached $n points in 60s; cannot stage a mid-sweep kill" >&2
+  exit 1; }
+kill -9 "$srv_pid" 2>/dev/null || true
+wait "$cli_pid" 2>/dev/null || true  # connection drop: non-zero expected
+wait "$srv_pid" 2>/dev/null || true
+{ ls "$cache2" | grep '\.mbr$' || true; } | sort > "$srv_dir/pre-kill-entries.txt"
+pre_n=$(grep -c . "$srv_dir/pre-kill-entries.txt" || true)
+grep -q '"completed":"sw"' "$journal" && {
+  echo "FAIL: kill landed after sweep completion; nothing to resume" >&2
+  exit 1; }
+
+# Restart over the same journal in stdio mode with stdin at EOF: the only
+# work is the resumed job, which the daemon drains before exiting 0.
+"$build/tools/mbserve" --stdio --cache-dir="$cache2" --journal="$journal" \
+  < /dev/null > "$srv_dir/resume.jsonl" 2> "$srv_dir/resume.err"
+grep -q 'resuming job sw' "$srv_dir/resume.err" || {
+  echo "FAIL: restarted daemon did not resume the journaled job" >&2
+  exit 1; }
+grep -q '"completed":"sw"' "$journal" || {
+  echo "FAIL: resumed job never journaled its completion" >&2
+  exit 1; }
+[ "$(grep -c '"accepted":"sw"' "$journal")" = 1 ] || {
+  echo "FAIL: journal re-accepted the resumed job (duplicate run)" >&2
+  exit 1; }
+# Pre-kill entries must have survived untouched (remaining points ran
+# exactly once; completed ones were served from the cache, not re-stored).
+{ ls "$cache2" | grep '\.mbr$' || true; } | sort > "$srv_dir/post-resume-entries.txt"
+comm -23 "$srv_dir/pre-kill-entries.txt" "$srv_dir/post-resume-entries.txt" \
+  | grep -q . && {
+  echo "FAIL: resume dropped pre-kill cache entries" >&2
+  exit 1; }
+post_n=$(grep -c . "$srv_dir/post-resume-entries.txt" || true)
+[ "$post_n" -gt "$pre_n" ] || {
+  echo "FAIL: resume simulated nothing ($pre_n -> $post_n entries)" >&2
+  exit 1; }
+# And the whole sweep is now memoized: resubmitting simulates nothing.
+printf '%s\n' "$sweep" \
+  | "$build/tools/mbserve" --stdio --cache-dir="$cache2" \
+  > "$srv_dir/sweep2.jsonl"
+grep -q '"simulated":0' "$srv_dir/sweep2.jsonl" || {
+  echo "FAIL: resubmitted sweep re-simulated memoized points" >&2
+  exit 1; }
+rm -rf "$srv_dir"
+echo "mbserve SIGKILL + journal resume ok"
+
 echo "== perf harness (recorded, non-gating) =="
 # Host-throughput trajectory: build mbperf WITHOUT sanitizers (ASan skews
 # throughput ~5-10x, which would drown any real regression in the diff
@@ -171,8 +293,10 @@ echo "== perf harness (recorded, non-gating) =="
 build_perf="${build}-perf"
 cmake -B "$build_perf" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_perf" -j"$(nproc)" --target mbperf
+# --serve records the mbserve memo-cache cold/cached latencies and the
+# snapshot-LRU hit rate into the same MBPERF1 record (a "serve" block).
 "$build_perf/bench/mbperf" --out="$build_perf/BENCH_PERF.json" \
-  --baseline="$repo/bench/perf_baseline.txt"
+  --baseline="$repo/bench/perf_baseline.txt" --serve
 echo "perf record: $build_perf/BENCH_PERF.json"
 
 echo "== clang-tidy over src/ =="
