@@ -2,50 +2,62 @@
 //
 // The EventQueue holds closures, which cannot travel through a snapshot.
 // Instead, every component that keeps events in flight reifies them as
-// plain state (tick, payload, and the sequence number the live queue
-// assigned), and after all sections are loaded each component registers a
-// small "arm" closure per pending event here, keyed by the event's
-// *original* sequence number. replay() then re-schedules them in ascending
-// original-seq order: the fresh queue hands out new, ascending sequence
-// numbers, so events that share a tick fire in exactly the order they
-// would have fired in the uninterrupted run — the property the bitwise
-// restore-equivalence tests pin down.
+// plain state (tick, payload, and the EventStamp the live queue assigned),
+// and after all sections are loaded each component registers a small "arm"
+// closure per pending event here. replay() then re-schedules them via
+// EventQueue::scheduleStamped under their original stamps: the stamp *is*
+// the merge position, so replay order is irrelevant for event ordering —
+// the registration-order pass exists only to give every component one
+// uniform re-arm hook. Bitwise restore-equivalence tests pin the result.
 #pragma once
 
-#include <algorithm>
-#include <cstdint>
 #include <functional>
 #include <utility>
 #include <vector>
+
+#include "ckpt/serialize.hpp"
+#include "common/event_queue.hpp"
 
 namespace mb::ckpt {
 
 class EventRestorer {
  public:
-  /// Register one pending event. `arm` must call EventQueue::scheduleAt
-  /// itself (and stash the new seq wherever the component tracks it).
-  void add(std::uint64_t origSeq, std::function<void()> arm) {
-    entries_.push_back({origSeq, std::move(arm)});
-  }
+  /// Register one pending event. `arm` must call
+  /// EventQueue::scheduleStamped itself with the event's saved stamp.
+  void add(std::function<void()> arm) { entries_.push_back(std::move(arm)); }
 
-  /// Re-schedule everything in original firing order.
+  /// Re-schedule everything.
   void replay() {
-    std::stable_sort(entries_.begin(), entries_.end(),
-                     [](const Entry& a, const Entry& b) {
-                       return a.origSeq < b.origSeq;
-                     });
-    for (auto& e : entries_) e.arm();
+    for (auto& arm : entries_) arm();
     entries_.clear();
   }
 
   std::size_t size() const { return entries_.size(); }
 
  private:
-  struct Entry {
-    std::uint64_t origSeq;
-    std::function<void()> arm;
-  };
-  std::vector<Entry> entries_;
+  std::vector<std::function<void()>> entries_;
 };
+
+/// Stamp serialization shared by every component that reifies pending
+/// events (fixed 40-byte little-endian layout; part of MBCKPT1 v2).
+inline void saveStamp(Writer& w, const EventStamp& st) {
+  w.i64(st.schedTick);
+  w.i32(st.srcShard);
+  w.u64(st.counter);
+  w.i64(st.parentSchedTick);
+  w.i32(st.parentShard);
+  w.u64(st.parentCounter);
+}
+
+inline EventStamp loadStamp(Reader& r) {
+  EventStamp st;
+  st.schedTick = r.i64();
+  st.srcShard = r.i32();
+  st.counter = r.u64();
+  st.parentSchedTick = r.i64();
+  st.parentShard = r.i32();
+  st.parentCounter = r.u64();
+  return st;
+}
 
 }  // namespace mb::ckpt

@@ -57,7 +57,7 @@
 namespace mb::ckpt {
 
 inline constexpr char kSnapshotMagic[8] = {'M', 'B', 'C', 'K', 'P', 'T', '1', '\0'};
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 enum class SnapshotKind : std::uint32_t { Warmup = 0, FullRun = 1 };
 

@@ -81,6 +81,23 @@ class Histogram {
   }
 
   void add(double sample);
+
+  /// Fold another histogram (same geometry, MB_CHECK otherwise) into this
+  /// one. Bucket counts and totals are integers and commute, but `sum_` is
+  /// a double and FP addition is non-associative — callers reducing
+  /// per-channel histograms MUST merge in channel-index order, never in
+  /// shard completion order, or mean() becomes scheduling-dependent
+  /// (MB-DET-005; see the StatsOrder tests).
+  void merge(const Histogram& other) {
+    MB_CHECK_MSG(other.bucketWidth_ == bucketWidth_ &&
+                     other.buckets_.size() == buckets_.size(),
+                 "histogram merge with mismatched geometry");
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+      buckets_[i] += other.buckets_[i];
+    total_ += other.total_;
+    sum_ += other.sum_;
+  }
+
   std::int64_t bucketCount(int bucket) const { return buckets_.at(static_cast<size_t>(bucket)); }
   int numBuckets() const { return static_cast<int>(buckets_.size()) - 1; }
   std::int64_t overflowCount() const { return buckets_.back(); }

@@ -12,11 +12,11 @@
 namespace mb {
 
 /// Semantic version of the simulator itself (bumped per feature PR).
-inline constexpr const char* kMbVersion = "0.5.0";
+inline constexpr const char* kMbVersion = "0.6.0";
 
 inline constexpr unsigned kMbTraceFormatVersion = 1;    // MBTRACE1
 inline constexpr unsigned kMbCmdTraceFormatVersion = 1; // MBCMDT1
-inline constexpr unsigned kMbCkptFormatVersion = 1;     // MBCKPT1
+inline constexpr unsigned kMbCkptFormatVersion = 2;     // MBCKPT1
 
 /// "microbank 0.4.0 (formats: MBTRACE1 v1, MBCMDT1 v1, MBCKPT1 v1)" — the
 /// string embedded in snapshot headers and JSON outputs.

@@ -17,7 +17,7 @@ RobCore::RobCore(CoreId id, const CoreParams& params, trace::TraceSource& trace,
 void RobCore::start() {
   stepScheduled_ = true;
   stepAt_ = eq_.now();
-  stepSeq_ = eq_.scheduleAt(stepAt_, [this] {
+  stepStamp_ = eq_.scheduleAt(stepAt_, [this] {
     stepScheduled_ = false;
     step();
   });
@@ -138,7 +138,7 @@ void RobCore::step() {
       if (!stepScheduled_) {
         stepScheduled_ = true;
         stepAt_ = dispatchClock_;
-        stepSeq_ = eq_.scheduleAt(stepAt_, [this] {
+        stepStamp_ = eq_.scheduleAt(stepAt_, [this] {
           stepScheduled_ = false;
           step();
         });
@@ -210,7 +210,7 @@ void RobCore::save(ckpt::Writer& w) const {
   w.b(budgetReached_);
   w.b(stepScheduled_);
   w.i64(stepAt_);
-  w.u64(stepSeq_);
+  ckpt::saveStamp(w, stepStamp_);
   w.i64(budgetTick_);
 }
 
@@ -249,14 +249,14 @@ void RobCore::load(ckpt::Reader& r) {
   budgetReached_ = r.b();
   stepScheduled_ = r.b();
   stepAt_ = r.i64();
-  stepSeq_ = r.u64();
+  stepStamp_ = ckpt::loadStamp(r);
   budgetTick_ = r.i64();
 }
 
 void RobCore::reschedule(ckpt::EventRestorer& er) {
   if (!stepScheduled_) return;
-  er.add(stepSeq_, [this] {
-    stepSeq_ = eq_.scheduleAt(stepAt_, [this] {
+  er.add([this] {
+    eq_.scheduleStamped(stepAt_, stepStamp_, [this] {
       stepScheduled_ = false;
       step();
     });

@@ -128,8 +128,8 @@ class RobCore {
   std::int64_t instrsRetired_ = 0;
   bool budgetReached_ = false;
   bool stepScheduled_ = false;
-  Tick stepAt_ = 0;           // tick of the outstanding step event
-  std::uint64_t stepSeq_ = 0; // its event-queue sequence (for restore order)
+  Tick stepAt_ = 0;        // tick of the outstanding step event
+  EventStamp stepStamp_;   // its event-queue stamp (for restore order)
   Tick budgetTick_ = 0;
   std::function<void()> onDone_;
 };

@@ -140,39 +140,66 @@ void MemoryHierarchy::requestDramRead(std::uint64_t lineAddr, CoreId core, Tick 
 
 void MemoryHierarchy::trackTransit(Transit::Kind kind, Tick due,
                                    std::uint64_t lineAddr, int core) {
+  if (mailbox_ != nullptr) {
+    if (kind != Transit::Kind::Hop) {
+      // Sharded mode: an MC-bound transit is a cross-shard message, not a
+      // local event. The destination channel is a pure function of the
+      // address, so it can be computed at post time; the stamp minted here
+      // fixes the message's merge position on the channel queue exactly
+      // where the equivalent local event would have sorted.
+      const int ch = mcs_.front()->addressMap().decompose(lineAddr).channel;
+      MB_CHECK(ch >= 0 && static_cast<size_t>(ch) < mcs_.size());
+      mailbox_->postEnqueue(ch, due, eq_.issueStamp(), lineAddr, core,
+                            kind == Transit::Kind::EnqWrite);
+      return;
+    }
+    // Response hops stay CPU-local but are never coalesced in sharded mode:
+    // counter adjacency on this queue no longer proves order adjacency once
+    // channel-minted stamps merge into the same timeline.
+    const std::uint64_t token = nextTransitToken_++;
+    auto& t = transits_[token];
+    t.kind = kind;
+    t.due = due;
+    t.lineAddr = lineAddr;
+    t.core = core;
+    t.stamp = eq_.scheduleAt(due, [this, token] { fireTransitGroup(token); });
+    return;
+  }
   const std::uint64_t token = nextTransitToken_++;
   auto& t = transits_[token];
   t.kind = kind;
   t.due = due;
   t.lineAddr = lineAddr;
   t.core = core;
-  // Join the open batch when the due times match and no event anywhere has
-  // been scheduled since its last member (eq_.nextSeq() proves it): this
-  // transit's own seq would have been batchSeq_+1, directly adjacent, so
-  // sharing the batch's event cannot reorder it relative to anything else.
-  if (batchOpen_ && batchDue_ == due && eq_.nextSeq() == batchSeq_ + 1) {
-    t.seq = batchSeq_;
+  // Join the open batch when the due times match and no event on this queue
+  // has minted a stamp since its last member (nextCounter() proves it): this
+  // transit's own counter would have been batchStamp_.counter + 1, directly
+  // adjacent in the single-queue order, so sharing the batch's event cannot
+  // reorder it relative to anything else.
+  if (batchOpen_ && batchDue_ == due &&
+      eq_.nextCounter() == batchStamp_.counter + 1) {
+    t.stamp = batchStamp_;
     return;
   }
-  t.seq = eq_.scheduleAt(due, [this, token] { fireTransitGroup(token); });
+  t.stamp = eq_.scheduleAt(due, [this, token] { fireTransitGroup(token); });
   batchOpen_ = true;
-  batchSeq_ = t.seq;
+  batchStamp_ = t.stamp;
   batchDue_ = due;
 }
 
 void MemoryHierarchy::fireTransitGroup(std::uint64_t firstToken) {
   const auto head = transits_.find(firstToken);
   MB_CHECK(head != transits_.end());
-  const std::uint64_t seq = head->second.seq;
+  const EventStamp stamp = head->second.stamp;
   // Close the batch before firing: transits created by the members below
   // (writebacks, response hops) must open a fresh event, not ride one that
   // is already in flight.
-  if (batchOpen_ && batchSeq_ == seq) batchOpen_ = false;
+  if (batchOpen_ && batchStamp_ == stamp) batchOpen_ = false;
   std::uint64_t token = firstToken;
   for (;;) {
     fireTransit(token);
     const auto next = transits_.find(++token);
-    if (next == transits_.end() || next->second.seq != seq) break;
+    if (next == transits_.end() || next->second.stamp != stamp) break;
   }
 }
 
@@ -200,6 +227,18 @@ void MemoryHierarchy::fireTransit(std::uint64_t token) {
       onDramData(t.lineAddr, t.core, eq_.now());
       break;
   }
+}
+
+void MemoryHierarchy::deliverEnqueue(int channel, std::uint64_t lineAddr,
+                                     CoreId core, bool isWrite) {
+  MB_CHECK(channel >= 0 && static_cast<size_t>(channel) < mcs_.size());
+  mc::MemRequest req;
+  req.addr = lineAddr;
+  req.write = isWrite;
+  req.core = core;
+  req.thread = core;
+  if (!req.write) req.onComplete = makeReadCompletion(lineAddr, core);
+  mcs_[static_cast<size_t>(channel)]->enqueue(std::move(req));
 }
 
 void MemoryHierarchy::warmAccess(CoreId core, std::uint64_t addr, bool write) {
@@ -540,7 +579,7 @@ void MemoryHierarchy::save(ckpt::Writer& w) const {
   for (const auto& [token, t] : transits_) {
     w.u64(token);
     w.u8(static_cast<std::uint8_t>(t.kind));
-    w.u64(t.seq);
+    ckpt::saveStamp(w, t.stamp);
     w.i64(t.due);
     w.u64(t.lineAddr);
     w.i32(t.core);
@@ -637,7 +676,7 @@ void MemoryHierarchy::load(ckpt::Reader& r) {
       return;
     }
     t.kind = static_cast<Transit::Kind>(kind);
-    t.seq = r.u64();
+    t.stamp = ckpt::loadStamp(r);
     t.due = r.i64();
     t.lineAddr = r.u64();
     t.core = r.i32();
@@ -658,21 +697,19 @@ void MemoryHierarchy::load(ckpt::Reader& r) {
 }
 
 void MemoryHierarchy::reschedule(ckpt::EventRestorer& er) {
-  // Coalesced groups (consecutive tokens sharing a seq) re-arm as one event
-  // keyed by their head; every member is re-stamped with the renumbered seq
-  // so the group structure survives repeated save/restore cycles.
+  // Coalesced groups (consecutive tokens sharing a stamp) re-arm as one
+  // event keyed by their head, under the head's original stamp — members
+  // keep their saved stamps, so the group structure and the merge position
+  // both survive repeated save/restore cycles.
   for (const auto& [token, t] : transits_) {
     const std::uint64_t tok = token;
     const auto prev = transits_.find(tok - 1);
-    if (prev != transits_.end() && prev->second.seq == t.seq) continue;  // member
-    er.add(t.seq, [this, tok] {
+    if (prev != transits_.end() && prev->second.stamp == t.stamp) continue;  // member
+    er.add([this, tok] {
       const auto head = transits_.find(tok);
       MB_CHECK(head != transits_.end());
-      const std::uint64_t oldSeq = head->second.seq;
-      const std::uint64_t newSeq =
-          eq_.scheduleAt(head->second.due, [this, tok] { fireTransitGroup(tok); });
-      for (auto it = head; it != transits_.end() && it->second.seq == oldSeq; ++it)
-        it->second.seq = newSeq;
+      eq_.scheduleStamped(head->second.due, head->second.stamp,
+                          [this, tok] { fireTransitGroup(tok); });
     });
   }
 }

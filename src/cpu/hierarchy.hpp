@@ -25,6 +25,7 @@
 #include "common/event_queue.hpp"
 #include "common/flat_map.hpp"
 #include "common/ownership.hpp"
+#include "common/shard_mailbox.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "cpu/cache.hpp"
@@ -125,6 +126,20 @@ class MB_CROSS_CHANNEL MemoryHierarchy {
   /// hierarchy (the same closure requestDramRead would have attached).
   mc::CompletionFn makeReadCompletion(std::uint64_t lineAddr, CoreId core);
 
+  /// Wire the cross-shard message port (sharded engine). When set, MC-bound
+  /// transits (write-backs, read requests) leave through the mailbox as
+  /// plain-data messages instead of events on this queue; must be wired
+  /// before any timed access and before load() when restoring.
+  void setMailbox(ShardMailbox* mailbox) { mailbox_ = mailbox; }
+
+  /// Sharded mode: materialize a buffered CPU -> channel admission on its
+  /// destination controller (the channel-side half of a postEnqueue
+  /// message). Runs on the channel's thread; reads only immutable wiring
+  /// (config, address map) and the channel's own controller, so it is safe
+  /// off the CPU queue.
+  void deliverEnqueue(int channel, std::uint64_t lineAddr, CoreId core,
+                      bool isWrite);
+
   /// Rebuilds a waiter's onDone callback on restore from (core, tag); wired
   /// to RobCore::makeMemCallback by the system. Must be set before load()
   /// when the snapshot carries pending fills with callbacks.
@@ -161,7 +176,7 @@ class MB_CROSS_CHANNEL MemoryHierarchy {
   struct Transit {
     enum class Kind : std::uint8_t { EnqWrite = 0, EnqRead = 1, Hop = 2 };
     Kind kind = Kind::EnqWrite;
-    std::uint64_t seq = 0;  // event-queue sequence (for restore ordering)
+    EventStamp stamp;  // event-queue stamp (for restore ordering)
     Tick due = 0;
     std::uint64_t lineAddr = 0;
     // Requesting core for Enq*; destination cluster for Hop.
@@ -177,13 +192,14 @@ class MB_CROSS_CHANNEL MemoryHierarchy {
 
   void postDramWrite(std::uint64_t lineAddr, CoreId core, Tick at);
   void requestDramRead(std::uint64_t lineAddr, CoreId core, Tick at);
-  /// Register + schedule a reified hierarchy<->MC event (see Transit).
-  /// Consecutive same-due transits registered with no intervening event
-  /// scheduled anywhere in the system share one wake-up event (one seq):
-  /// their would-have-been sequence numbers were consecutive, so fusing
+  /// Register + schedule a reified hierarchy<->MC event (see Transit). In
+  /// mailbox (sharded) mode MC-bound transits leave as cross-shard messages
+  /// instead. Otherwise, consecutive same-due transits registered with no
+  /// intervening stamp minted on this queue share one wake-up event (one
+  /// stamp): their would-have-been counters were consecutive, so fusing
   /// them — and firing the group in token order — is a monotone renumbering
-  /// of the global event order, i.e. observationally identical. One MC
-  /// batch of same-tick admissions then arrives in one event.
+  /// of the single-queue event order, i.e. observationally identical. One
+  /// MC batch of same-tick admissions then arrives in one event.
   void trackTransit(Transit::Kind kind, Tick due, std::uint64_t lineAddr, int core);
   void fireTransit(std::uint64_t token);
   /// Fire `firstToken` and every consecutively-tokened transit sharing its
@@ -205,6 +221,10 @@ class MB_CROSS_CHANNEL MemoryHierarchy {
   MB_SNAP_TRANSIENT(mcs_, "wiring reference; every MC serializes its own MC<i> section");
   EventQueue& eq_;
   MB_SNAP_TRANSIENT(eq_, "wiring reference; in-flight events are re-armed by ckpt::EventRestorer");
+  // Cross-shard port (null in single-queue unit fixtures). The class is
+  // MB_CROSS_CHANNEL, so this reference is not an extra seam.
+  ShardMailbox* mailbox_ = nullptr;
+  MB_SNAP_TRANSIENT(mailbox_, "wiring reference; in-flight messages live in the engine's ENG section");
 
   std::vector<std::unique_ptr<Cache>> l1s_;  // per core
   std::vector<std::unique_ptr<Cache>> l2s_;  // per cluster
@@ -235,8 +255,8 @@ class MB_CROSS_CHANNEL MemoryHierarchy {
   // per-transit events at the same tick in the same relative order.
   bool batchOpen_ = false;
   MB_SNAP_TRANSIENT(batchOpen_, "open coalescing batch; a restored run starts with the batch closed (see comment above)");
-  std::uint64_t batchSeq_ = 0;
-  MB_SNAP_TRANSIENT(batchSeq_, "valid only while batchOpen_; a restored run starts with the batch closed");
+  EventStamp batchStamp_;
+  MB_SNAP_TRANSIENT(batchStamp_, "valid only while batchOpen_; a restored run starts with the batch closed");
   Tick batchDue_ = 0;
   MB_SNAP_TRANSIENT(batchDue_, "valid only while batchOpen_; a restored run starts with the batch closed");
   bool functional_ = false;

@@ -398,8 +398,8 @@ void MemoryController::armKick(Tick at) {
       kickEvents_.begin(), kickEvents_.end(), at,
       [](const KickEvent& e, Tick t) { return e.at < t; });
   if (it != kickEvents_.end() && it->at == at) return;
-  const std::uint64_t seq = eq_.scheduleAt(at, [this, at] { onKickEventFired(at); });
-  kickEvents_.insert(it, KickEvent{at, seq});
+  const EventStamp stamp = eq_.scheduleAt(at, [this, at] { onKickEventFired(at); });
+  kickEvents_.insert(it, KickEvent{at, stamp});
 }
 
 void MemoryController::onKickEventFired(Tick at) {
@@ -438,9 +438,22 @@ void MemoryController::scheduleCompletion(CompletionFn cb, Tick due,
   s.c.due = due;
   s.c.addr = addr;
   s.c.core = core;
-  s.c.cb = std::move(cb);
+  // The channel-local event releases the slot at `due`; in mailbox mode the
+  // data delivery itself travels as a cross-shard message stamped with the
+  // *next* counter of the same execution, so the (release, delivery) pair
+  // occupies two consecutive positions in this queue's ordering — nothing
+  // can ever sort between them, which keeps the single-queue execution
+  // order identical to running both halves as one event.
+  s.c.stamp = eq_.scheduleAt(due, [this, slot, token] { fireCompletion(slot, token); });
   ++liveCompletions_;
-  s.c.seq = eq_.scheduleAt(due, [this, slot, token] { fireCompletion(slot, token); });
+  if (mailbox_ != nullptr) {
+    s.c.cb = nullptr;
+    s.c.msgStamp = eq_.issueStamp();
+    MB_DCHECK(s.c.msgStamp.counter == s.c.stamp.counter + 1);
+    mailbox_->postCompletion(id_, due, s.c.msgStamp, std::move(cb));
+  } else {
+    s.c.cb = std::move(cb);
+  }
 }
 
 void MemoryController::fireCompletion(int slot, std::uint64_t token) {
@@ -459,7 +472,9 @@ void MemoryController::fireCompletion(int slot, std::uint64_t token) {
   s.nextFree = freeCompletionSlot_;
   freeCompletionSlot_ = slot;
   --liveCompletions_;
-  cb(due);
+  // Empty in mailbox mode: the delivery already left through the mailbox at
+  // scheduling time and this event only recycles the slot.
+  if (cb) cb(due);
 }
 
 void MemoryController::kick() {
@@ -649,7 +664,7 @@ void MemoryController::save(ckpt::Writer& w) const {
   w.u64(kickEvents_.size());
   for (const auto& e : kickEvents_) {  // vector is sorted ascending by tick
     w.i64(e.at);
-    w.u64(e.seq);
+    ckpt::saveStamp(w, e.stamp);
   }
   w.u64(nextRequestId_);
   w.u64(nextCompletionToken_);
@@ -666,7 +681,8 @@ void MemoryController::save(ckpt::Writer& w) const {
   w.u64(liveSlots.size());
   for (const CompletionSlot* s : liveSlots) {
     w.u64(s->token);
-    w.u64(s->c.seq);
+    ckpt::saveStamp(w, s->c.stamp);
+    ckpt::saveStamp(w, s->c.msgStamp);
     w.i64(s->c.due);
     w.u64(s->c.addr);
     w.i32(s->c.core);
@@ -757,7 +773,7 @@ void MemoryController::load(ckpt::Reader& r) {
   const std::uint64_t nKicks = r.count(16);
   for (std::uint64_t i = 0; i < nKicks && r.ok(); ++i) {
     const Tick at = r.i64();
-    const std::uint64_t seq = r.u64();
+    const EventStamp stamp = ckpt::loadStamp(r);
     // The on-disk set is written sorted and deduplicated; anything else is
     // a corrupt or hand-edited snapshot, and accepting it would break the
     // sorted-vector invariant armKick/eraseKickEvent rely on.
@@ -765,7 +781,7 @@ void MemoryController::load(ckpt::Reader& r) {
       r.fail();
       return;
     }
-    kickEvents_.push_back(KickEvent{at, seq});
+    kickEvents_.push_back(KickEvent{at, stamp});
   }
   nextRequestId_ = r.u64();
   nextCompletionToken_ = r.u64();
@@ -784,7 +800,8 @@ void MemoryController::load(ckpt::Reader& r) {
     CompletionSlot s;
     s.live = true;
     s.token = token;
-    s.c.seq = r.u64();
+    s.c.stamp = ckpt::loadStamp(r);
+    s.c.msgStamp = ckpt::loadStamp(r);
     s.c.due = r.i64();
     s.c.addr = r.u64();
     s.c.core = r.i32();
@@ -793,7 +810,9 @@ void MemoryController::load(ckpt::Reader& r) {
       r.fail();
       return;
     }
-    s.c.cb = completionFactory(s.c.addr, s.c.core);
+    // In mailbox mode the callback travels as a re-posted message (see
+    // reschedule); the slot only holds it when completions run locally.
+    if (mailbox_ == nullptr) s.c.cb = completionFactory(s.c.addr, s.c.core);
     completionSlots_.push_back(std::move(s));
     ++liveCompletions_;
   }
@@ -813,9 +832,10 @@ void MemoryController::load(ckpt::Reader& r) {
 
 void MemoryController::reschedule(ckpt::EventRestorer& er) {
   for (std::size_t i = 0; i < kickEvents_.size(); ++i) {
-    const Tick t = kickEvents_[i].at;
-    er.add(kickEvents_[i].seq, [this, i, t] {
-      kickEvents_[i].seq = eq_.scheduleAt(t, [this, t] { onKickEventFired(t); });
+    er.add([this, i] {
+      const Tick t = kickEvents_[i].at;
+      eq_.scheduleStamped(t, kickEvents_[i].stamp,
+                          [this, t] { onKickEventFired(t); });
     });
   }
   for (std::size_t i = 0; i < completionSlots_.size(); ++i) {
@@ -823,10 +843,18 @@ void MemoryController::reschedule(ckpt::EventRestorer& er) {
     if (!s.live) continue;
     const int slot = static_cast<int>(i);
     const std::uint64_t tok = s.token;
-    er.add(s.c.seq, [this, slot, tok] {
+    er.add([this, slot, tok] {
       auto& sl = completionSlots_[static_cast<size_t>(slot)];
-      sl.c.seq =
-          eq_.scheduleAt(sl.c.due, [this, slot, tok] { fireCompletion(slot, tok); });
+      eq_.scheduleStamped(sl.c.due, sl.c.stamp,
+                          [this, slot, tok] { fireCompletion(slot, tok); });
+      // Re-post the in-flight delivery message under its original stamp;
+      // the live slot is the proof the message had not yet fired at capture
+      // time (delivery and release share a due tick and fire in the same
+      // window).
+      if (mailbox_ != nullptr) {
+        mailbox_->postCompletion(id_, sl.c.due, sl.c.msgStamp,
+                                 completionFactory(sl.c.addr, sl.c.core));
+      }
     });
   }
 }

@@ -33,6 +33,7 @@
 #include "common/event_queue.hpp"
 #include "common/flat_map.hpp"
 #include "common/ownership.hpp"
+#include "common/shard_mailbox.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "core/address_map.hpp"
@@ -125,6 +126,12 @@ class MB_CHANNEL_LOCAL MemoryController {
   /// Elapsed-time hook used to finalize time-integrated statistics.
   void finalize(Tick simEnd);
 
+  /// Wire the cross-shard message port (sharded engine). When set, read
+  /// completions are posted through it instead of being invoked from this
+  /// channel's queue; must be wired before the first enqueue() and before
+  /// load() when restoring. Null reverts to direct completion.
+  void setMailbox(ShardMailbox* mailbox) { mailbox_ = mailbox; }
+
   /// Rebuilds read-completion callbacks on restore: given the request's
   /// address and core, return the callback the original requester would have
   /// supplied. Must be set before load() when the snapshot carries in-flight
@@ -145,7 +152,7 @@ class MB_CHANNEL_LOCAL MemoryController {
   /// controller holds at most a handful of transient entries).
   struct KickEvent {
     Tick at = 0;
-    std::uint64_t seq = 0;
+    EventStamp stamp;
   };
   const std::vector<KickEvent>& pendingKickEvents() const { return kickEvents_; }
   /// In-flight read completions currently occupying pool slots.
@@ -176,9 +183,13 @@ class MB_CHANNEL_LOCAL MemoryController {
 
   /// In-flight read completion, reified so a checkpoint can capture it. The
   /// event-queue closure captures only the token; the callback itself lives
-  /// here and is rebuilt through completionFactory on restore.
+  /// here and is rebuilt through completionFactory on restore. In mailbox
+  /// (sharded) mode the callback is posted to the CPU side at schedule time
+  /// and `cb` stays empty; `msgStamp` records the posted message's identity
+  /// so a restore can re-post it in the same merge position.
   struct InflightCompletion {
-    std::uint64_t seq = 0;  // event-queue sequence (for restore ordering)
+    EventStamp stamp;     // channel-local release event (restore ordering)
+    EventStamp msgStamp;  // CPU-bound delivery message (mailbox mode)
     Tick due = 0;
     std::uint64_t addr = 0;
     CoreId core = 0;
@@ -218,10 +229,15 @@ class MB_CHANNEL_LOCAL MemoryController {
   MB_SNAP_TRANSIENT(map_, "structural; derived from geom_ and the configured mapping, never simulation state");
   ControllerConfig cfg_;
   MB_SNAP_TRANSIENT(cfg_, "structural parameter block; identity across save/restore is enforced by the snapshot configHash");
-  // Declared seam for the sharding refactor: the controller schedules
-  // itself through the (today global, tomorrow per-shard) event queue.
+  // Declared seam: the controller schedules itself through its (per-shard)
+  // event queue.
   MB_CHANNEL_IFACE(EventQueue)
   EventQueue& eq_;
+  // Declared seam: read completions leave the channel through the shard
+  // mailbox when one is wired (sharded engine); null means completions run
+  // directly on eq_ (single-queue unit fixtures).
+  MB_CHANNEL_IFACE(ShardMailbox)
+  ShardMailbox* mailbox_ = nullptr;
 
   ChannelState channel_;
   dram::EnergyMeter meter_;

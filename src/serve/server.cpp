@@ -442,6 +442,9 @@ void Server::executeJob(const std::shared_ptr<Job>& job) {
   for (const std::size_t idx : missIdx) {
     sim::SweepPoint p = plan.points[idx];
     p.seedIndex = static_cast<std::int64_t>(idx);
+    // Applied after the cache key is computed: shards cannot change results,
+    // so cached entries stay valid across every --shards setting.
+    p.opts.shards = opts_.shards;
     if (p.opts.warmupRecords > 0) {
       const std::uint64_t wkey =
           sim::warmupKeyHash(p.cfg, p.workload, p.opts.warmupRecords);
@@ -564,8 +567,11 @@ int Server::run() {
   }
 
   const int inflight = opts_.inflight > 0 ? opts_.inflight : 1;
+  if (opts_.shards < 1) opts_.shards = 1;
   if (opts_.jobsPerSweep <= 0) {
-    const int budget = sim::resolveJobs(0) / inflight;
+    // Each concurrently running point may spin up `shards` channel workers;
+    // budget the sweep slots so inflight * jobsPerSweep * shards ~ cores.
+    const int budget = sim::resolveJobs(0) / (inflight * opts_.shards);
     opts_.jobsPerSweep = budget > 0 ? budget : 1;
   }
   workers_.reserve(static_cast<std::size_t>(inflight));

@@ -1,0 +1,479 @@
+#include "sim/shard.hpp"
+
+#include <utility>
+
+#include "ckpt/restore.hpp"
+
+namespace mb::sim {
+
+// ---------------------------------------------------------------------------
+// BufferedCommandLog
+
+BufferedCommandLog::Entry& BufferedCommandLog::append() {
+  entries_.emplace_back();
+  Entry& e = entries_.back();
+  e.execWhen = eq_.now();
+  e.execStamp = eq_.currentStamp();
+  return e;
+}
+
+void BufferedCommandLog::onCommand(mc::DramCommand cmd,
+                                   const core::DramAddress& da, Tick at,
+                                   Tick dataStart, Tick dataEnd) {
+  Entry& e = append();
+  e.which = 0;
+  e.cmd = cmd;
+  e.da = da;
+  e.at = at;
+  e.dataStart = dataStart;
+  e.dataEnd = dataEnd;
+}
+
+void BufferedCommandLog::onRefresh(int channel, int rank, int bank, Tick at) {
+  Entry& e = append();
+  e.which = 1;
+  e.channel = channel;
+  e.rank = rank;
+  e.bank = bank;
+  e.at = at;
+}
+
+void BufferedCommandLog::onOraclePre(const core::DramAddress& da, Tick at) {
+  Entry& e = append();
+  e.which = 2;
+  e.da = da;
+  e.at = at;
+}
+
+void BufferedCommandLog::replayInto(mc::CommandLog& sink, const Entry& e) const {
+  switch (e.which) {
+    case 0:
+      sink.onCommand(e.cmd, e.da, e.at, e.dataStart, e.dataEnd);
+      break;
+    case 1:
+      sink.onRefresh(e.channel, e.rank, e.bank, e.at);
+      break;
+    default:
+      sink.onOraclePre(e.da, e.at);
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedEngine
+
+ShardedEngine::ShardedEngine(EventQueue& cpuQueue,
+                             std::vector<EventQueue*> channelQueues,
+                             const ShardEngineOptions& opts)
+    : cpuQ_(cpuQueue), chQs_(std::move(channelQueues)), opts_(opts) {
+  MB_CHECK_MSG(opts_.lookahead > 0, "lookahead=%lld",
+               static_cast<long long>(opts_.lookahead));
+  MB_CHECK(!chQs_.empty());
+  toChannel_.resize(chQs_.size());
+  toCpu_.resize(chQs_.size());
+  minToCpuDue_.resize(chQs_.size(), kTickNever);
+  startWorkers();
+}
+
+ShardedEngine::~ShardedEngine() { stopWorkers(); }
+
+void ShardedEngine::setCommandMerge(std::vector<BufferedCommandLog*> buffers,
+                                    mc::CommandLog* sink) {
+  MB_CHECK(buffers.size() == chQs_.size());
+  MB_CHECK(sink != nullptr);
+  cmdBufs_ = std::move(buffers);
+  cmdSink_ = sink;
+}
+
+void ShardedEngine::postCompletion(ChannelId fromChannel, Tick due,
+                                   const EventStamp& st,
+                                   InlineFunction<void(Tick)> cb) {
+  MB_CHECK(fromChannel >= 0 &&
+           static_cast<std::size_t>(fromChannel) < chQs_.size());
+  // A completion due before the current window's end would mean the channel
+  // can reach the CPU faster than the configured lookahead — the conservative
+  // window would have executed CPU events it shouldn't have.
+  MB_CHECK_MSG(due >= windowEnd_.load(std::memory_order_relaxed),
+               "completion due=%lldps inside the lookahead horizon (window end "
+               "%lldps) — lookahead exceeds the channel->CPU latency",
+               static_cast<long long>(due),
+               static_cast<long long>(windowEnd_.load(std::memory_order_relaxed)));
+  const std::size_t ch = static_cast<std::size_t>(fromChannel);
+  if (due < minToCpuDue_[ch]) minToCpuDue_[ch] = due;
+  toCpu_[ch].push_back(CpuMsg{due, st, std::move(cb)});
+}
+
+void ShardedEngine::postEnqueue(ChannelId toChannel, Tick due,
+                                const EventStamp& st, std::uint64_t lineAddr,
+                                CoreId core, bool isWrite) {
+  MB_CHECK(toChannel >= 0 && static_cast<std::size_t>(toChannel) < chQs_.size());
+  if (due < minToChannelDue_) minToChannelDue_ = due;
+  toChannel_[static_cast<std::size_t>(toChannel)].push_back(
+      ChannelMsg{due, st, lineAddr, core, isWrite});
+}
+
+Tick ShardedEngine::minNextTime() const {
+  Tick t = cpuQ_.nextEventTime();
+  for (const EventQueue* q : chQs_) {
+    const Tick n = q->nextEventTime();
+    if (n < t) t = n;
+  }
+  if (minToChannelDue_ < t) t = minToChannelDue_;
+  for (const Tick d : minToCpuDue_)
+    if (d < t) t = d;
+  return t;
+}
+
+void ShardedEngine::deliverToCpu(Tick t1) {
+  cpuArena_.clear();
+  for (std::size_t ch = 0; ch < toCpu_.size(); ++ch) {
+    if (minToCpuDue_[ch] >= t1) continue;  // nothing deliverable this window
+    auto& buf = toCpu_[ch];
+    Tick keptMin = kTickNever;
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      if (buf[i].due < t1) {
+        const std::uint32_t idx = static_cast<std::uint32_t>(cpuArena_.size());
+        const Tick due = buf[i].due;
+        cpuArena_.push_back(std::move(buf[i].cb));
+        cpuQ_.scheduleStamped(due, buf[i].stamp,
+                              [this, idx, due] { cpuArena_[idx](due); });
+      } else {
+        if (buf[i].due < keptMin) keptMin = buf[i].due;
+        if (kept != i) buf[kept] = std::move(buf[i]);
+        ++kept;
+      }
+    }
+    buf.resize(kept);
+    minToCpuDue_[ch] = keptMin;
+  }
+}
+
+void ShardedEngine::deliverToChannels(Tick t1) {
+  if (minToChannelDue_ >= t1) return;  // nothing deliverable this window
+  Tick keptMin = kTickNever;
+  for (std::size_t ch = 0; ch < toChannel_.size(); ++ch) {
+    auto& buf = toChannel_[ch];
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      if (buf[i].due < t1) {
+        // Capture scalars, not the message struct: the closure must fit the
+        // queue's inline callback buffer (admissions are the hot path).
+        const Tick due = buf[i].due;
+        const std::uint64_t lineAddr = buf[i].lineAddr;
+        const CoreId core = buf[i].core;
+        const bool write = buf[i].write;
+        chQs_[ch]->scheduleStamped(
+            due, buf[i].stamp, [this, ch, due, lineAddr, core, write] {
+              deliverEnqueue_(static_cast<ChannelId>(ch), due, lineAddr, core,
+                              write);
+            });
+      } else {
+        if (buf[i].due < keptMin) keptMin = buf[i].due;
+        if (kept != i) buf[kept] = buf[i];
+        ++kept;
+      }
+    }
+    buf.resize(kept);
+  }
+  minToChannelDue_ = keptMin;
+}
+
+void ShardedEngine::runChannelWindow(std::size_t ch, std::uint64_t* events) {
+  EventQueue& q = *chQs_[ch];
+  const Tick t1 = phaseT1_;
+  for (;;) {
+    const Tick next = q.nextEventTime();
+    if (next >= t1) break;  // kTickNever when empty
+    if (phaseHasStop_ &&
+        !EventQueue::keyBefore(next, *q.peekStamp(), stopWhen_, stopStamp_))
+      break;
+    q.step();
+    ++*events;
+    MB_CHECK_MSG(eventsBase_ + *events < opts_.maxEvents,
+                 "event cap hit at t=%lldps — runaway configuration?",
+                 static_cast<long long>(q.now()));
+  }
+}
+
+void ShardedEngine::runChannelPhase(int worker) {
+  const int stride = static_cast<int>(threads_.size());
+  for (std::size_t ch = static_cast<std::size_t>(worker); ch < chQs_.size();
+       ch += static_cast<std::size_t>(stride))
+    runChannelWindow(ch, &workerEvents_[static_cast<std::size_t>(worker)]);
+}
+
+void ShardedEngine::workerMain(int worker) {
+  // Failures inside a worker must not abort from a detached stack frame with
+  // the pool barrier still armed: trap them, ferry the exception to the
+  // calling thread, and re-dispatch there (restoring abort semantics when no
+  // trap is active on that thread).
+  ScopedCheckTrap trap;
+  std::uint64_t seen = 0;
+  for (;;) {
+    // Spin briefly, then park. The seq_cst ordering of parked_ against the
+    // publisher's phaseGen_ bump + parked_ check closes the missed-wakeup
+    // window: if the publisher reads parked_ == 0, this thread's predicate
+    // check (after its parked_ increment) must observe the new generation.
+    std::uint64_t gen = phaseGen_.load(std::memory_order_acquire);
+    for (int spins = 0; gen == seen;
+         gen = phaseGen_.load(std::memory_order_acquire)) {
+      if (++spins <= spinBeforePark_) continue;
+      parked_.fetch_add(1);
+      {
+        std::unique_lock<std::mutex> l(phaseMu_);
+        phaseCv_.wait(l, [&] { return phaseGen_.load() != seen; });
+      }
+      parked_.fetch_sub(1);
+      gen = phaseGen_.load(std::memory_order_acquire);
+      break;
+    }
+    seen = gen;
+    if (shutdown_.load(std::memory_order_relaxed)) return;
+    try {
+      runChannelPhase(worker);
+    } catch (...) {
+      workerErr_[static_cast<std::size_t>(worker)] = std::current_exception();
+    }
+    phaseDone_.fetch_add(1);
+    if (mainParked_.load()) {
+      std::lock_guard<std::mutex> l(doneMu_);
+      doneCv_.notify_one();
+    }
+  }
+}
+
+void ShardedEngine::startWorkers() {
+  const int n = opts_.workers;
+  if (n <= 1 || chQs_.size() <= 1) return;  // fully inline
+  const int workers = n > static_cast<int>(chQs_.size())
+                          ? static_cast<int>(chQs_.size())
+                          : n;
+  workerErr_.resize(static_cast<std::size_t>(workers));
+  workerEvents_.resize(static_cast<std::size_t>(workers), 0);
+  // Spinning is only worth it when the pool + main can actually run
+  // simultaneously; on an oversubscribed machine a spinning waiter steals
+  // the quantum from whoever holds the work it is waiting for, so park
+  // immediately there.
+  const unsigned hw = std::thread::hardware_concurrency();
+  spinBeforePark_ = hw > static_cast<unsigned>(workers) ? 4096 : 0;
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w)
+    threads_.emplace_back([this, w] { workerMain(w); });
+}
+
+void ShardedEngine::publishPhase() {
+  phaseGen_.fetch_add(1);
+  if (parked_.load() > 0) {
+    std::lock_guard<std::mutex> l(phaseMu_);
+    phaseCv_.notify_all();
+  }
+}
+
+void ShardedEngine::stopWorkers() {
+  if (threads_.empty()) return;
+  shutdown_.store(true, std::memory_order_relaxed);
+  publishPhase();
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+}
+
+void ShardedEngine::runPhaseB(Tick t1) {
+  phaseT1_ = t1;
+  // Count the channels with runnable work this window; one busy channel (the
+  // common case on single-channel configs and in bursty phases) is cheaper
+  // inline than through the barrier — and per-channel event order is
+  // identical either way, so the choice cannot show up in any output.
+  int busy = 0;
+  std::size_t lastBusy = 0;
+  for (std::size_t ch = 0; ch < chQs_.size(); ++ch) {
+    if (chQs_[ch]->nextEventTime() < t1) {
+      ++busy;
+      lastBusy = ch;
+    }
+  }
+  if (busy == 0) return;
+  if (threads_.empty() || busy == 1) {
+    eventsBase_ = 0;  // inline windows count into events_ directly
+    if (busy == 1) {
+      runChannelWindow(lastBusy, &events_);
+    } else {
+      for (std::size_t ch = 0; ch < chQs_.size(); ++ch)
+        runChannelWindow(ch, &events_);
+    }
+    return;
+  }
+  eventsBase_ = events_;
+  for (auto& c : workerEvents_) c = 0;
+  const int n = static_cast<int>(threads_.size());
+  phaseDone_.store(0, std::memory_order_relaxed);
+  publishPhase();
+  for (int spins = 0; phaseDone_.load(std::memory_order_acquire) != n;) {
+    if (++spins <= spinBeforePark_) continue;
+    mainParked_.store(true);
+    {
+      std::unique_lock<std::mutex> l(doneMu_);
+      doneCv_.wait(l, [&] { return phaseDone_.load() == n; });
+    }
+    mainParked_.store(false);
+    break;
+  }
+  for (const std::uint64_t c : workerEvents_) events_ += c;
+  for (auto& err : workerErr_) {
+    if (!err) continue;
+    const std::exception_ptr ep = err;
+    err = nullptr;
+    try {
+      std::rethrow_exception(ep);
+    } catch (const CheckFailure& cf) {
+      // Re-dispatch on the calling thread so a trapped caller (SweepRunner)
+      // records it and an untrapped one aborts with the original message.
+      mb::detail::raiseCheckFailure(cf.message);
+    }
+  }
+}
+
+void ShardedEngine::drainCommands() {
+  if (cmdSink_ == nullptr) return;
+  bool any = false;
+  for (const BufferedCommandLog* b : cmdBufs_)
+    if (!b->entries_.empty()) any = true;
+  if (!any) return;
+  // K-way merge by the producing execution's key; entries within one buffer
+  // are already key-ordered (a channel fires its events in key order), ties
+  // inside one execution keep buffer order, and cross-buffer keys never tie
+  // (stamps from different channels differ).
+  std::vector<std::size_t> cur(cmdBufs_.size(), 0);
+  for (;;) {
+    int best = -1;
+    for (std::size_t i = 0; i < cmdBufs_.size(); ++i) {
+      if (cur[i] >= cmdBufs_[i]->entries_.size()) continue;
+      if (best < 0) {
+        best = static_cast<int>(i);
+        continue;
+      }
+      const auto& a = cmdBufs_[i]->entries_[cur[i]];
+      const auto& b =
+          cmdBufs_[static_cast<std::size_t>(best)]->entries_[cur[static_cast<std::size_t>(best)]];
+      if (EventQueue::keyBefore(a.execWhen, a.execStamp, b.execWhen, b.execStamp))
+        best = static_cast<int>(i);
+    }
+    if (best < 0) break;
+    auto& buf = *cmdBufs_[static_cast<std::size_t>(best)];
+    buf.replayInto(*cmdSink_, buf.entries_[cur[static_cast<std::size_t>(best)]]);
+    ++cur[static_cast<std::size_t>(best)];
+  }
+  for (BufferedCommandLog* b : cmdBufs_) b->entries_.clear();
+}
+
+void ShardedEngine::run(Tick checkpointAt,
+                        const std::function<void()>& onCheckpoint,
+                        const std::function<bool()>& stopFn) {
+  bool ckptPending = checkpointAt >= 0;
+  for (;;) {
+    if (stopFn()) break;  // restore-into-finished, or stop in last window
+    const Tick t0 = minNextTime();
+    if (t0 == kTickNever) break;  // drained (caller decides if that is legal)
+    if (ckptPending && t0 >= checkpointAt) {
+      onCheckpoint();
+      ckptPending = false;
+    }
+    Tick t1 = t0 + opts_.lookahead;
+    if (ckptPending && checkpointAt < t1) t1 = checkpointAt;
+    deliverToCpu(t1);
+
+    // Phase A: the CPU hierarchy runs serially to completion first, so
+    // zero-latency CPU -> channel admissions still land inside this window.
+    phaseHasStop_ = false;
+    bool stopped = false;
+    while (cpuQ_.nextEventTime() < t1) {
+      const Tick when = cpuQ_.nextEventTime();
+      const EventStamp st = *cpuQ_.peekStamp();
+      cpuQ_.step();
+      ++events_;
+      MB_CHECK_MSG(events_ < opts_.maxEvents,
+                   "event cap hit at t=%lldps — runaway configuration?",
+                   static_cast<long long>(when));
+      if (stopFn()) {
+        // Truncate the window at this event's key: channel events ordered
+        // after it would not have fired under a single queue either.
+        stopped = true;
+        phaseHasStop_ = true;
+        stopWhen_ = when;
+        stopStamp_ = st;
+        break;
+      }
+    }
+
+    // Phase B: channels, in parallel. windowEnd_ arms the lookahead guard in
+    // postCompletion before any channel event can run.
+    windowEnd_.store(t1, std::memory_order_relaxed);
+    deliverToChannels(t1);
+    runPhaseB(t1);
+    drainCommands();
+    if (stopped) break;
+  }
+}
+
+std::uint64_t ShardedEngine::processedCount() const {
+  std::uint64_t n = cpuQ_.processedCount();
+  for (const EventQueue* q : chQs_) n += q->processedCount();
+  return n;
+}
+
+Tick ShardedEngine::maxNow() const {
+  Tick t = cpuQ_.now();
+  for (const EventQueue* q : chQs_)
+    if (q->now() > t) t = q->now();
+  return t;
+}
+
+void ShardedEngine::restoreClocks(Tick now) {
+  cpuQ_.restoreClock(now);
+  for (EventQueue* q : chQs_) q->restoreClock(now);
+}
+
+void ShardedEngine::save(ckpt::Writer& w) const {
+  w.u32(static_cast<std::uint32_t>(chQs_.size()));
+  w.u64(cpuQ_.nextCounter());
+  for (const EventQueue* q : chQs_) w.u64(q->nextCounter());
+  for (const auto& buf : toChannel_) {
+    w.u64(buf.size());
+    for (const ChannelMsg& m : buf) {
+      w.i64(m.due);
+      ckpt::saveStamp(w, m.stamp);
+      w.u64(m.lineAddr);
+      w.i32(m.core);
+      w.b(m.write);
+    }
+  }
+  // toCpu_ is intentionally absent: every buffered completion corresponds to
+  // a live slot in some controller's MC section, which re-posts it on replay.
+}
+
+void ShardedEngine::load(ckpt::Reader& r) {
+  if (r.u32() != chQs_.size()) {
+    r.fail();
+    return;
+  }
+  cpuQ_.restoreNextCounter(r.u64());
+  for (EventQueue* q : chQs_) q->restoreNextCounter(r.u64());
+  minToChannelDue_ = kTickNever;
+  for (auto& buf : toChannel_) {
+    const std::uint64_t n = r.count(8 + 40 + 8 + 4 + 1);
+    buf.clear();
+    buf.reserve(n);
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+      ChannelMsg m{};
+      m.due = r.i64();
+      m.stamp = ckpt::loadStamp(r);
+      m.lineAddr = r.u64();
+      m.core = r.i32();
+      m.write = r.b();
+      if (m.due < minToChannelDue_) minToChannelDue_ = m.due;
+      buf.push_back(m);
+    }
+  }
+}
+
+}  // namespace mb::sim

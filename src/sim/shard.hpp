@@ -1,0 +1,299 @@
+// Channel-sharded conservative-window execution engine (DESIGN.md §14).
+//
+// The system decomposes into one EventQueue per memory channel (controller +
+// device state + timing checker) plus one queue for the whole CPU hierarchy.
+// Each iteration of ShardedEngine::run advances every queue through one
+// bounded window [t0, t1):
+//
+//   t0 = earliest pending work anywhere (queue heads and buffered messages),
+//   t1 = t0 + lookahead, clamped to a pending checkpoint tick.
+//
+// The lookahead is the minimum latency of any channel → CPU interaction
+// (tCMD: even a forwarded read costs one command transfer), so nothing a
+// channel does inside a window can affect the CPU side before t1. CPU →
+// channel latency may be zero, which is legal because the CPU phase (A) runs
+// to completion *before* the channel phase (B) within every window; an
+// admission posted during A with due < t1 is delivered and executed in the
+// same window's B. Cross-window messages are buffered in the mailbox until
+// the window whose span covers their due tick, then materialized on the
+// destination queue under the EventStamp minted at post time — merge order
+// is fixed by the sender, never by delivery timing or worker scheduling, so
+// reports, command traces, and snapshots are byte-identical at any
+// --shards value (the golden corpus and the differential property test pin
+// this).
+//
+// Phase B distributes channels over a persistent worker pool
+// (channel -> worker = ch % workers) behind a generation barrier; with one
+// worker, one channel, or a window where fewer than two channels have work,
+// it runs inline on the calling thread — same per-channel order either way,
+// so the adaptive choice cannot affect results.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ckpt/serialize.hpp"
+#include "common/check.hpp"
+#include "common/event_queue.hpp"
+#include "common/inline_function.hpp"
+#include "common/ownership.hpp"
+#include "common/shard_mailbox.hpp"
+#include "common/types.hpp"
+#include "mc/command_log.hpp"
+#include "mc/request.hpp"
+
+namespace mb::sim {
+
+/// Per-channel capture buffer for the committed command stream. The shared
+/// mc::CommandLog sinks (writer / recorder) assume single-threaded feeding;
+/// under sharded execution each controller instead writes into its own
+/// buffer, tagged with the *executing event's* ordering key — not the
+/// command's own tick, because the perfect-oracle emits retroactive
+/// onOraclePre entries whose `at` lies before the event that produced them.
+/// The engine drains the buffers once per window, k-way merged by
+/// (execWhen, execStamp, buffer position), which is exactly the order a
+/// single queue would have fired the producing events.
+class MB_CROSS_CHANNEL BufferedCommandLog final : public mc::CommandLog {
+ public:
+  /// `eq` is the channel queue whose executions feed this buffer; the key of
+  /// every entry is read from it at append time.
+  explicit BufferedCommandLog(const EventQueue& eq) : eq_(eq) {}
+
+  void onCommand(mc::DramCommand cmd, const core::DramAddress& da, Tick at,
+                 Tick dataStart, Tick dataEnd) override;
+  void onRefresh(int channel, int rank, int bank, Tick at) override;
+  void onOraclePre(const core::DramAddress& da, Tick at) override;
+
+ private:
+  friend class ShardedEngine;
+
+  struct Entry {
+    Tick execWhen = 0;         // eq.now() of the producing execution
+    EventStamp execStamp{};    // eq.currentStamp() of the producing execution
+    std::uint8_t which = 0;    // 0 onCommand, 1 onRefresh, 2 onOraclePre
+    mc::DramCommand cmd{};
+    core::DramAddress da{};
+    int channel = 0;
+    int rank = 0;
+    int bank = 0;
+    Tick at = 0;
+    Tick dataStart = -1;
+    Tick dataEnd = -1;
+  };
+
+  Entry& append();
+  void replayInto(mc::CommandLog& sink, const Entry& e) const;
+
+  const EventQueue& eq_;
+  MB_SNAP_TRANSIENT(eq_, "command recording is rejected on checkpointing runs (MB_CHECK in runSimulation); buffers never reach a snapshot");
+  std::vector<Entry> entries_;
+};
+
+struct ShardEngineOptions {
+  /// Conservative window span; must be positive and no larger than the
+  /// minimum channel → CPU latency (tCMD for this system).
+  Tick lookahead = 1;
+  /// Worker threads for the channel phase. 1 = fully inline (no pool).
+  int workers = 1;
+  /// Global event budget; exceeding it is an MB_CHECK failure (runaway
+  /// configuration guard, mirrors the legacy run loop's cap).
+  std::uint64_t maxEvents = 2000000000ull;
+};
+
+/// The conservative-window scheduler and the mailbox between shards.
+///
+/// Thread model: run() executes on the calling thread ("main" below — in a
+/// sweep this is a SweepRunner worker). Phase A (CPU queue) and all mailbox
+/// bookkeeping run on main; Phase B runs each channel queue on exactly one
+/// thread per window. postEnqueue is main-only (Phase A / restore);
+/// postCompletion is called from whichever thread is executing that channel's
+/// window — each channel appends to its own toCpu_ slot, so no two threads
+/// ever touch the same buffer, and the phase barrier orders the main-side
+/// reads after all worker-side writes.
+class MB_CROSS_CHANNEL ShardedEngine final : public ShardMailbox {
+ public:
+  /// Admission delivery: build the MemRequest for a buffered CPU → channel
+  /// message and enqueue it on the channel's controller. Runs on the channel
+  /// queue at the message's due tick.
+  using DeliverEnqueueFn =
+      std::function<void(ChannelId ch, Tick due, std::uint64_t lineAddr,
+                         CoreId core, bool isWrite)>;
+
+  ShardedEngine(EventQueue& cpuQueue, std::vector<EventQueue*> channelQueues,
+                const ShardEngineOptions& opts);
+  ~ShardedEngine() override;
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  void setDeliverEnqueue(DeliverEnqueueFn fn) { deliverEnqueue_ = std::move(fn); }
+
+  /// Enable command capture: `buffers[ch]` is the sink controller `ch` feeds;
+  /// drained into `sink` once per window in deterministic merge order.
+  void setCommandMerge(std::vector<BufferedCommandLog*> buffers,
+                       mc::CommandLog* sink);
+
+  // ShardMailbox
+  void postCompletion(ChannelId fromChannel, Tick due, const EventStamp& st,
+                      InlineFunction<void(Tick)> cb) override;
+  void postEnqueue(ChannelId toChannel, Tick due, const EventStamp& st,
+                   std::uint64_t lineAddr, CoreId core, bool isWrite) override;
+
+  /// Drive the simulation to completion. `stopFn` is sampled after every
+  /// CPU-phase event; when it flips, the window is truncated at the stop
+  /// event's ordering key, so exactly the events a single queue would have
+  /// fired before the stop have fired — no more, no less. `checkpointAt` < 0
+  /// disables the checkpoint cut; otherwise `onCheckpoint` runs once, at the
+  /// first window boundary t0 >= checkpointAt (all queues quiescent, every
+  /// in-flight message still in the mailbox and serialized by save()).
+  void run(Tick checkpointAt, const std::function<void()>& onCheckpoint,
+           const std::function<bool()>& stopFn);
+
+  /// Events fired across all queues. Note: one logical completion is an
+  /// event on the channel queue (slot release) plus one on the CPU queue
+  /// (data delivery), so this exceeds the legacy single-queue count; it
+  /// feeds mbperf only, never the canonical report.
+  std::uint64_t processedCount() const;
+
+  /// Latest queue clock — the capture time a snapshot records (equals the
+  /// tick of the last fired event, which is shard-invariant).
+  Tick maxNow() const;
+
+  /// Checkpoint restore: jump every queue to the snapshot's capture time
+  /// (before ckpt::EventRestorer::replay re-arms pending events).
+  void restoreClocks(Tick now);
+
+  /// ENG snapshot section: per-queue stamp counters and the buffered
+  /// CPU → channel messages. Channel → CPU messages are NOT serialized —
+  /// each corresponds to a live completion slot in some controller, whose
+  /// reschedule() re-posts it through the mailbox.
+  void save(ckpt::Writer& w) const;
+  void load(ckpt::Reader& r);
+
+ private:
+  struct ChannelMsg {  // CPU -> channel, plain data (serializable)
+    Tick due;
+    EventStamp stamp;
+    std::uint64_t lineAddr;
+    CoreId core;
+    bool write;
+  };
+  struct CpuMsg {  // channel -> CPU
+    Tick due;
+    EventStamp stamp;
+    mc::CompletionFn cb;
+  };
+
+  Tick minNextTime() const;
+  void deliverToCpu(Tick t1);
+  void deliverToChannels(Tick t1);
+  void runChannelWindow(std::size_t ch, std::uint64_t* events);
+  void runChannelPhase(int worker);
+  void runPhaseB(Tick t1);
+  void drainCommands();
+  void workerMain(int worker);
+  void startWorkers();
+  void publishPhase();
+  void stopWorkers();
+
+  // cpuQ_/chQs_ are wiring references, but NOT transient: save() serializes
+  // the stamp counters (and load() restores them) through these handles, so
+  // they participate in the ENG section like any serialized member.
+  EventQueue& cpuQ_;
+  std::vector<EventQueue*> chQs_;
+  ShardEngineOptions opts_;
+  MB_SNAP_TRANSIENT(opts_, "run-shaping knobs; a snapshot must restore under any worker count");
+  DeliverEnqueueFn deliverEnqueue_;
+  MB_SNAP_TRANSIENT(deliverEnqueue_, "wiring callback, rebuilt by the system on every construction");
+  std::vector<BufferedCommandLog*> cmdBufs_;
+  MB_SNAP_TRANSIENT(cmdBufs_, "command recording is rejected on checkpointing runs (MB_CHECK in runSimulation)");
+  mc::CommandLog* cmdSink_ = nullptr;
+  MB_SNAP_TRANSIENT(cmdSink_, "command recording is rejected on checkpointing runs");
+
+  std::vector<std::vector<ChannelMsg>> toChannel_;  // [ch], main-thread only
+  std::vector<std::vector<CpuMsg>> toCpu_;          // [ch], owner-thread writes
+  MB_SNAP_TRANSIENT(toCpu_, "every buffered completion mirrors a live MC slot; the MC section re-posts it on replay");
+  /// Cached minimum due across all toChannel_ buffers, and per-channel minima
+  /// for toCpu_ (one slot per channel so worker-side posts stay race-free;
+  /// the phase barrier orders main's reads after them). They keep
+  /// minNextTime() from rescanning every buffered message each window — on
+  /// a loaded 16-channel system that scan was the second-largest per-window
+  /// cost after the barrier itself. kTickNever = buffer empty.
+  Tick minToChannelDue_ = kTickNever;
+  MB_SNAP_TRANSIENT(minToChannelDue_, "cache over toChannel_; rebuilt by load() from the deserialized buffers");
+  std::vector<Tick> minToCpuDue_;
+  MB_SNAP_TRANSIENT(minToCpuDue_, "cache over toCpu_, which is itself transient (re-posted from MC slots on replay)");
+  /// Completion callbacks being delivered in the current window. Parked here
+  /// so the CPU-queue delivery closure captures only {this, index, due} and
+  /// stays within InlineFunction's inline buffer (a full CompletionFn nested
+  /// inside a closure would spill to the heap on every completion). Always
+  /// empty at window boundaries: a delivered message fires within its window.
+  std::vector<mc::CompletionFn> cpuArena_;
+  MB_SNAP_TRANSIENT(cpuArena_, "empty at every window boundary (delivered messages fire within their window), and snapshots only cut at boundaries");
+
+  std::uint64_t events_ = 0;         // fired on main (CPU phase + inline B)
+  MB_SNAP_TRANSIENT(events_, "runaway guard only; per-queue processed counts feed mbperf and restart at zero");
+  std::uint64_t eventsBase_ = 0;     // events_ at the current window's start
+  MB_SNAP_TRANSIENT(eventsBase_, "per-window scratch for the event-cap guard");
+  std::vector<std::uint64_t> workerEvents_;  // per worker, current window
+  MB_SNAP_TRANSIENT(workerEvents_, "per-window scratch, zeroed before every parallel phase");
+
+  // Worker pool: spin-then-park generation barrier. Main publishes the
+  // window (phaseT1_, stop key, windowEnd_, eventsBase_) then bumps
+  // phaseGen_; workers spin on it briefly, park on phaseCv_ when the machine
+  // is oversubscribed (spinBeforePark_ = 0 when hardware threads <= pool
+  // size — spinning there only steals the quantum from whoever holds the
+  // work), run their channels, count up phaseDone_; main symmetrically
+  // spins-then-parks on doneCv_. The parked_/mainParked_ flags let the
+  // signaling side skip the mutex when nobody sleeps, so on a machine with
+  // spare cores the fast path is two atomic ops per phase and no syscalls.
+  // All of it is handshake state: never read by simulation logic, only
+  // orders it, hence transient below.
+  std::vector<std::thread> threads_;
+  MB_SNAP_TRANSIENT(threads_, "worker pool; execution machinery, not simulated state");
+  std::atomic<std::uint64_t> phaseGen_{0};
+  MB_SNAP_TRANSIENT(phaseGen_, "phase-barrier handshake; quiescent between windows");
+  std::atomic<int> phaseDone_{0};
+  MB_SNAP_TRANSIENT(phaseDone_, "phase-barrier handshake; quiescent between windows");
+  std::atomic<bool> shutdown_{false};
+  MB_SNAP_TRANSIENT(shutdown_, "worker-pool teardown flag");
+  std::vector<std::exception_ptr> workerErr_;
+  MB_SNAP_TRANSIENT(workerErr_, "ferried worker exceptions; always empty between windows (rethrown after the barrier)");
+  int spinBeforePark_ = 0;
+  MB_SNAP_TRANSIENT(spinBeforePark_, "barrier tuning derived from hardware_concurrency at pool start");
+  std::atomic<int> parked_{0};
+  MB_SNAP_TRANSIENT(parked_, "count of workers sleeping on phaseCv_; barrier handshake only");
+  std::atomic<bool> mainParked_{false};
+  MB_SNAP_TRANSIENT(mainParked_, "main sleeping on doneCv_; barrier handshake only");
+  std::mutex phaseMu_;
+  MB_SNAP_TRANSIENT(phaseMu_, "barrier parking lot");
+  std::condition_variable phaseCv_;
+  MB_SNAP_TRANSIENT(phaseCv_, "barrier parking lot");
+  std::mutex doneMu_;
+  MB_SNAP_TRANSIENT(doneMu_, "barrier parking lot");
+  std::condition_variable doneCv_;
+  MB_SNAP_TRANSIENT(doneCv_, "barrier parking lot");
+
+  Tick phaseT1_ = 0;
+  MB_SNAP_TRANSIENT(phaseT1_, "per-window scratch, republished before every channel phase");
+  bool phaseHasStop_ = false;
+  MB_SNAP_TRANSIENT(phaseHasStop_, "per-window scratch for the stop-key cut");
+  Tick stopWhen_ = 0;
+  MB_SNAP_TRANSIENT(stopWhen_, "per-window scratch for the stop-key cut");
+  EventStamp stopStamp_{};
+  MB_SNAP_TRANSIENT(stopStamp_, "per-window scratch for the stop-key cut");
+  /// End of the window currently executing; postCompletion checks its due
+  /// against this (a completion inside the lookahead horizon would mean the
+  /// lookahead is larger than the real channel → CPU latency). Atomic only
+  /// so restore-time posts from main and window-time posts from workers are
+  /// race-free; initialized to 0 so restore posts (due >= 0) always pass.
+  std::atomic<Tick> windowEnd_{0};
+  MB_SNAP_TRANSIENT(windowEnd_, "lookahead guard horizon; 0 between runs so restore-time posts always pass");
+};
+
+}  // namespace mb::sim

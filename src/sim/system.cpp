@@ -8,6 +8,7 @@
 #include "common/event_queue.hpp"
 #include "common/version.hpp"
 #include "core/address_map.hpp"
+#include "sim/shard.hpp"
 #include "trace/trace_file.hpp"
 
 namespace mb::sim {
@@ -68,13 +69,20 @@ mc::CmdTraceConfig cmdTraceConfigFor(const SystemConfig& cfg,
 namespace {
 
 struct BuiltSystem {
-  EventQueue eq;
+  EventQueue eq;  // the CPU shard: hierarchy + cores (shard id = nChannels)
+  /// One queue per memory channel (shard id = channel index). Every queue
+  /// exists at every --shards value; the worker count only decides how the
+  /// channel phase is executed, never how events are ordered.
+  std::vector<std::unique_ptr<EventQueue>> chQs;
   dram::Geometry geom;
   std::vector<std::unique_ptr<mc::MemoryController>> mcs;
   std::unique_ptr<cpu::MemoryHierarchy> hier;
   std::vector<std::unique_ptr<trace::TraceSource>> traces;
   std::vector<std::unique_ptr<cpu::RobCore>> cores;
   std::unique_ptr<mc::CommandLogWriter> cmdLog;
+  /// Per-channel command capture (recordCmdsPath runs): drained into cmdLog
+  /// by the engine once per window in deterministic merge order.
+  std::vector<std::unique_ptr<BufferedCommandLog>> cmdBufs;
   cpu::HierarchyConfig hierCfg;
   int numCores = 0;
   int coresDone = 0;
@@ -119,12 +127,22 @@ void buildMemorySystem(const SystemConfig& cfg, int channels, BuiltSystem& sys) 
     tc.interleaveBaseBit = baseBit;
     tc.xorBankHash = cfg.xorBankHash;
     sys.cmdLog = std::make_unique<mc::CommandLogWriter>(cfg.recordCmdsPath, tc);
-    mcCfg.commandLog = sys.cmdLog.get();
   }
 
+  // Shard decomposition: channel c stamps with shard id c, the CPU queue
+  // with id nChannels. The ids pin the (unreachable in running simulations)
+  // final stamp tiebreak; execution order never depends on them.
+  sys.eq.setShardId(channels);
   for (int ch = 0; ch < channels; ++ch) {
+    sys.chQs.push_back(std::make_unique<EventQueue>());
+    sys.chQs.back()->setShardId(ch);
+    if (sys.cmdLog) {
+      sys.cmdBufs.push_back(
+          std::make_unique<BufferedCommandLog>(*sys.chQs.back()));
+      mcCfg.commandLog = sys.cmdBufs.back().get();
+    }
     sys.mcs.push_back(std::make_unique<mc::MemoryController>(
-        ch, sys.geom, timing, phy.energy, map, mcCfg, sys.eq));
+        ch, sys.geom, timing, phy.energy, map, mcCfg, *sys.chQs.back()));
   }
 }
 
@@ -248,12 +266,17 @@ ckpt::SnapshotGeometry snapshotGeometry(const dram::Geometry& g) {
 std::string mcSectionName(std::size_t i) { return "MC" + std::to_string(i); }
 
 /// Capture the complete state of a running system as a full-run snapshot.
-ckpt::Snapshot makeFullSnapshot(const BuiltSystem& sys, const SystemConfig& cfg,
+/// Only taken at window boundaries (all queues quiescent between windows);
+/// `snap.now` is the latest queue clock — the tick of the last fired event,
+/// which is shard-invariant.
+ckpt::Snapshot makeFullSnapshot(const BuiltSystem& sys,
+                                const ShardedEngine& engine,
+                                const SystemConfig& cfg,
                                 const WorkloadSpec& workload) {
   ckpt::Snapshot snap;
   snap.kind = ckpt::SnapshotKind::FullRun;
   snap.configHash = systemConfigHash(cfg, workload);
-  snap.now = sys.eq.now();
+  snap.now = engine.maxNow();
   snap.geometry = snapshotGeometry(sys.geom);
   snap.tool = versionString();
   snap.workload = workload.name;
@@ -277,15 +300,20 @@ ckpt::Snapshot makeFullSnapshot(const BuiltSystem& sys, const SystemConfig& cfg,
     sys.mcs[i]->save(w);
     snap.addSection(mcSectionName(i), w.take());
   }
+  {
+    ckpt::Writer w;
+    engine.save(w);
+    snap.addSection("ENG", w.take());
+  }
   return snap;
 }
 
 /// Restore a full-run snapshot into a freshly built (never started) system:
 /// semantic validation, per-component state loads, clock restore, and
 /// pending-event re-arming in original firing order.
-void restoreFullRun(BuiltSystem& sys, const SystemConfig& cfg,
-                    const WorkloadSpec& workload, const ckpt::Snapshot& snap,
-                    const std::string& label) {
+void restoreFullRun(BuiltSystem& sys, ShardedEngine& engine,
+                    const SystemConfig& cfg, const WorkloadSpec& workload,
+                    const ckpt::Snapshot& snap, const std::string& label) {
   if (snap.kind != ckpt::SnapshotKind::FullRun) {
     rejectSnapshot(ckpt::ckptDiag("MB-CKP-005",
                                   "snapshot kind mismatch: expected a full-run "
@@ -332,9 +360,11 @@ void restoreFullRun(BuiltSystem& sys, const SystemConfig& cfg,
     loadSection(snap, mcSectionName(i), label,
                 [&](ckpt::Reader& r) { sys.mcs[i]->load(r); });
   }
+  loadSection(snap, "ENG", label, [&](ckpt::Reader& r) { engine.load(r); });
 
-  // Re-arm every pending event in the original same-tick firing order.
-  sys.eq.restoreClock(snap.now);
+  // Re-arm every pending event under its original stamp; the stamps ARE the
+  // merge order, so replay order itself carries no information.
+  engine.restoreClocks(snap.now);
   ckpt::EventRestorer er;
   for (auto& c : sys.cores) c->reschedule(er);
   sys.hier->reschedule(er);
@@ -488,12 +518,41 @@ RunResult runSimulation(const SystemConfig& cfg, const WorkloadSpec& workload,
 
   auto sys = buildSystem(cfg, workload);
   const int numCores = sys->numCores;
+  const int channels = static_cast<int>(sys->mcs.size());
+
+  // ---- Sharded engine -------------------------------------------------------
+  // Used at every --shards value (1 included): the decomposition into one
+  // queue per channel plus the CPU queue, the conservative windows, and the
+  // mailbox merge order are identical at any worker count, which is what
+  // makes the results byte-identical by construction (DESIGN.md §14).
+  ShardEngineOptions eopts;
+  // Lookahead: the cheapest channel -> CPU interaction is a forwarded read,
+  // one command transfer (tCMD). CPU -> channel can be zero-latency, which
+  // is safe because the CPU phase precedes the channel phase in a window.
+  eopts.lookahead = effectiveTiming(cfg).tCMD;
+  eopts.workers = std::clamp(opts.shards, 1, channels);
+  std::vector<EventQueue*> chQs;
+  for (auto& q : sys->chQs) chQs.push_back(q.get());
+  ShardedEngine engine(sys->eq, std::move(chQs), eopts);
+  BuiltSystem* raw = sys.get();
+  engine.setDeliverEnqueue([raw](ChannelId ch, Tick /*due*/,
+                                 std::uint64_t lineAddr, CoreId core,
+                                 bool isWrite) {
+    raw->hier->deliverEnqueue(ch, lineAddr, core, isWrite);
+  });
+  sys->hier->setMailbox(&engine);
+  for (auto& mcPtr : sys->mcs) mcPtr->setMailbox(&engine);
+  if (sys->cmdLog) {
+    std::vector<BufferedCommandLog*> bufs;
+    for (auto& b : sys->cmdBufs) bufs.push_back(b.get());
+    engine.setCommandMerge(std::move(bufs), sys->cmdLog.get());
+  }
 
   if (restoring) {
     analysis::DiagnosticEngine diags;
     auto snap = ckpt::readSnapshotFile(opts.restorePath, diags);
     if (!snap) rejectSnapshot(diags.diagnostics().back());
-    restoreFullRun(*sys, cfg, workload, *snap, opts.restorePath);
+    restoreFullRun(*sys, engine, cfg, workload, *snap, opts.restorePath);
   } else {
     if (opts.warmupRestoreBuf != nullptr || !opts.warmupRestorePath.empty()) {
       const std::uint64_t key = warmupKeyHash(cfg, workload, opts.warmupRecords);
@@ -515,43 +574,30 @@ RunResult runSimulation(const SystemConfig& cfg, const WorkloadSpec& workload,
   }
 
   // ---- Run ----------------------------------------------------------------
-  // Hard event cap guards against pathological configurations in tests.
-  const std::uint64_t maxEvents =
-      2000000000ull;  // far above any legitimate run in this repo
-  std::uint64_t events = 0;
-  bool ckptPending = checkpointing;
-  while (sys->coresDone < numCores) {
-    if (ckptPending && sys->eq.nextEventTime() >= opts.checkpointAt) {
-      analysis::DiagnosticEngine diags;
-      if (!ckpt::writeSnapshotFile(makeFullSnapshot(*sys, cfg, workload),
-                                   opts.checkpointPath, diags)) {
-        rejectSnapshot(diags.diagnostics().back());
-      }
-      ckptPending = false;
-    }
-    if (!sys->eq.step()) break;
-    MB_CHECK_MSG(++events < maxEvents,
-                 "event cap hit at t=%lldps with %d/%d cores done — runaway "
-                 "configuration?",
-                 static_cast<long long>(sys->eq.now()), sys->coresDone, numCores);
-  }
-  MB_CHECK_MSG(sys->coresDone == numCores,
-               "event queue drained with only %d/%d cores finished (workload %s)",
-               sys->coresDone, numCores, workload.name.c_str());
-  if (ckptPending) {
-    // The run finished before the requested tick: checkpoint the final state
-    // (a restore then resumes into immediate completion).
+  bool wroteCkpt = false;
+  const auto writeCheckpoint = [&] {
     analysis::DiagnosticEngine diags;
-    if (!ckpt::writeSnapshotFile(makeFullSnapshot(*sys, cfg, workload),
+    if (!ckpt::writeSnapshotFile(makeFullSnapshot(*sys, engine, cfg, workload),
                                  opts.checkpointPath, diags)) {
       rejectSnapshot(diags.diagnostics().back());
     }
+    wroteCkpt = true;
+  };
+  engine.run(checkpointing ? opts.checkpointAt : -1, writeCheckpoint,
+             [raw, numCores] { return raw->coresDone >= numCores; });
+  MB_CHECK_MSG(sys->coresDone == numCores,
+               "event queue drained with only %d/%d cores finished (workload %s)",
+               sys->coresDone, numCores, workload.name.c_str());
+  if (checkpointing && !wroteCkpt) {
+    // The run finished before the requested tick: checkpoint the final state
+    // (a restore then resumes into immediate completion).
+    writeCheckpoint();
   }
 
   // ---- Collect ------------------------------------------------------------
   RunResult r;
   r.workload = workload.name;
-  r.eventsProcessed = sys->eq.processedCount();
+  r.eventsProcessed = engine.processedCount();
   Tick elapsed = 0;
   for (const auto& corePtr : sys->cores) {
     elapsed = std::max(elapsed, corePtr->finishTick());
@@ -566,6 +612,12 @@ RunResult runSimulation(const SystemConfig& cfg, const WorkloadSpec& workload,
   std::int64_t meterActs = 0, meterCas = 0, meterRefs = 0;
   double queueOccSum = 0.0, latSum = 0.0, busSum = 0.0;
   std::int64_t latCount = 0;
+  // Shard-order audit (MB-DET-005): the double sums below are reduced HERE,
+  // on the main thread, after the engine has fully drained, and always by
+  // walking sys->mcs in channel-index order — never in the order worker
+  // threads happened to finish their windows. FP addition is
+  // non-associative, so reducing in completion order would make the report
+  // depend on scheduling; the StatsOrder regression tests pin this contract.
   for (auto& mcPtr : sys->mcs) {
     mcPtr->finalize(r.elapsed);
     const auto s = mcPtr->stats();

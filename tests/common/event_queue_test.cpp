@@ -215,6 +215,12 @@ class ReferenceEventQueue {
 // Drives one queue through a seeded random program. Every fired event logs
 // (id, fire tick); a third of events spawn a child on firing, so scheduling
 // from inside callbacks — the simulator's dominant pattern — is covered.
+// The production queue returns full EventStamps; the reference returns bare
+// sequence numbers. On a single queue the stamp's counter IS the legacy seq
+// (one monotone allocator), which is exactly the equivalence this test pins.
+inline std::uint64_t seqOf(const EventStamp& st) { return st.counter; }
+inline std::uint64_t seqOf(std::uint64_t seq) { return seq; }
+
 template <typename Queue>
 struct DifferentialDriver {
   Queue q;
@@ -223,15 +229,15 @@ struct DifferentialDriver {
   int nextChildId = 1000000;
 
   void schedule(Tick when, int id, bool spawnChild) {
-    seqs.push_back(q.scheduleAt(when, [this, id, spawnChild] {
+    seqs.push_back(seqOf(q.scheduleAt(when, [this, id, spawnChild] {
       log.emplace_back(id, q.now());
       if (spawnChild) {
         const int child = nextChildId++;
         const Tick childDelay = (id % 5) * 3;
-        seqs.push_back(q.scheduleAfter(
-            childDelay, [this, child] { log.emplace_back(child, q.now()); }));
+        seqs.push_back(seqOf(q.scheduleAfter(
+            childDelay, [this, child] { log.emplace_back(child, q.now()); })));
       }
-    }));
+    })));
   }
 
   void runProgram(std::uint64_t seed) {
@@ -295,6 +301,59 @@ TEST(EventQueueDifferential, ReseedAfterDrainContinuesIdentically) {
     EXPECT_EQ(prod.log, ref.log) << "round " << round;
     EXPECT_EQ(prod.seqs, ref.seqs) << "round " << round;
   }
+}
+
+// ---- EventStamp semantics ------------------------------------------------
+
+TEST(EventStamp, ScheduleStampedKeepsForeignStampAndBumpsOwnCounter) {
+  EventQueue eq;
+  eq.setShardId(2);
+  // A foreign shard's stamp passes through untouched: this queue's counter
+  // allocator must not be disturbed by cross-shard deliveries.
+  EventStamp foreign{0, 0, 5, -1, -1, 0};
+  eq.scheduleStamped(0, foreign, [] {});
+  EXPECT_EQ(eq.nextCounter(), 0u);
+  // An own-shard stamp (checkpoint restore) max-bumps the allocator so fresh
+  // stamps can never collide with restored ones.
+  EventStamp own{0, 2, 9, -1, -1, 0};
+  eq.scheduleStamped(0, own, [] {});
+  EXPECT_EQ(eq.nextCounter(), 10u);
+  EXPECT_EQ(*eq.peekStamp(), foreign);  // counter 5 sorts before counter 9
+}
+
+TEST(EventStamp, CurrentStampIsTheExecutingEventsStamp) {
+  EventQueue eq;
+  EventStamp seen{};
+  const EventStamp st = eq.scheduleAt(3, [&] { seen = eq.currentStamp(); });
+  eq.run();
+  EXPECT_EQ(seen, st);
+}
+
+TEST(EventStamp, ChildrenCarryParentIdentity) {
+  // Events scheduled inside an execution record that execution's identity
+  // triple — the property the cross-shard merge order is built on.
+  EventQueue eq;
+  eq.setShardId(4);
+  EventStamp childStamp{};
+  const EventStamp parent = eq.scheduleAt(2, [&] {
+    childStamp = eq.scheduleAt(7, [] {});
+  });
+  eq.run();
+  EXPECT_EQ(childStamp.parentSchedTick, parent.schedTick);
+  EXPECT_EQ(childStamp.parentShard, parent.srcShard);
+  EXPECT_EQ(childStamp.parentCounter, parent.counter);
+  EXPECT_EQ(childStamp.srcShard, 4);
+  EXPECT_EQ(childStamp.schedTick, 2);
+}
+
+TEST(EventStamp, MergeOrderPrefersEarlierParentOverCounter) {
+  // Two same-tick stamps scheduled at the same tick by different shards:
+  // the one whose parent fired earlier sorts first, regardless of the raw
+  // counters — this is how the sharded merge reproduces serial chronology.
+  EventStamp earlyParent{10, 0, 7, 5, 0, 1};
+  EventStamp lateParent{10, 1, 2, 8, 1, 0};
+  EXPECT_TRUE(stampBefore(earlyParent, lateParent));
+  EXPECT_FALSE(stampBefore(lateParent, earlyParent));
 }
 
 }  // namespace

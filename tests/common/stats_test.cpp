@@ -2,6 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
 namespace mb {
 namespace {
 
@@ -158,6 +165,90 @@ TEST(StatRegistry, ResetClearsValues) {
   reg.counter("x").inc(5);
   reg.reset();
   EXPECT_EQ(reg.counterValue("x"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Shard-order regression tests (MB-DET-005): per-channel stats reduced into
+// the report must not depend on the order worker threads finish. The
+// production reduction (runSimulation's collect loop, Histogram::merge
+// callers) walks channels in index order; these tests pin the pieces that
+// make that sufficient — and demonstrate why completion order would not be.
+
+// The registry is keyed by std::map, so snapshot order and content are a
+// function of the NAMES only, not of the order shards registered or bumped
+// them (simulated here by two mirror-image interleavings).
+TEST(StatsOrder, RegistrySnapshotIndependentOfRegistrationOrder) {
+  StatRegistry fwd, rev;
+  for (int ch = 0; ch < 4; ++ch) {
+    fwd.counter("mc" + std::to_string(ch) + ".acts").inc(ch * 7);
+    fwd.accumulator("mc" + std::to_string(ch) + ".lat").add(0.1 * (ch + 1));
+  }
+  for (int ch = 3; ch >= 0; --ch) {
+    rev.counter("mc" + std::to_string(ch) + ".acts").inc(ch * 7);
+    rev.accumulator("mc" + std::to_string(ch) + ".lat").add(0.1 * (ch + 1));
+  }
+  EXPECT_EQ(fwd.snapshot(), rev.snapshot());
+}
+
+// The mandated reduction: merge per-channel histograms in channel-index
+// order. The order shards COMPLETED (arrival) must be irrelevant because
+// the reducer never consults it.
+TEST(StatsOrder, HistogramMergeInChannelIndexOrderIsArrivalInvariant) {
+  const double samples[4] = {0.1, 0.2, 0.3, 0.7};
+  auto buildAndReduce = [&](const std::vector<int>& completionOrder) {
+    std::vector<Histogram> perChannel(4, Histogram(0.25, 4));
+    // Shards finish in an arbitrary order...
+    for (const int ch : completionOrder)
+      perChannel[static_cast<std::size_t>(ch)].add(samples[ch]);
+    // ...but the reduction always walks channel 0..N-1.
+    Histogram total(0.25, 4);
+    for (const auto& h : perChannel) total.merge(h);
+    return total;
+  };
+  const Histogram a = buildAndReduce({0, 1, 2, 3});
+  const Histogram b = buildAndReduce({3, 1, 0, 2});
+  const Histogram c = buildAndReduce({2, 3, 1, 0});
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.mean()),
+            std::bit_cast<std::uint64_t>(b.mean()));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.mean()),
+            std::bit_cast<std::uint64_t>(c.mean()));
+  EXPECT_EQ(a.totalCount(), b.totalCount());
+  for (int i = 0; i <= a.numBuckets(); ++i)
+    EXPECT_EQ(a.bucketCount(i), b.bucketCount(i)) << "bucket " << i;
+}
+
+// Why the mandate exists: FP addition is non-associative, so merging the
+// SAME histograms in completion order genuinely flips result bits. This is
+// the failure mode the index-order contract closes — if this test ever
+// starts failing, double addition became associative and the comments are
+// stale, not wrong.
+TEST(StatsOrder, CompletionOrderMergeWouldFlipBits) {
+  // Classic: (0.1 + 0.2) + 0.3 != 0.1 + (0.2 + 0.3) in binary64.
+  Histogram h0(1.0, 2), h1(1.0, 2), h2(1.0, 2);
+  h0.add(0.1);
+  h1.add(0.2);
+  h2.add(0.3);
+  Histogram indexOrder(1.0, 2);
+  indexOrder.merge(h0);
+  indexOrder.merge(h1);
+  indexOrder.merge(h2);
+  Histogram completionOrder(1.0, 2);
+  completionOrder.merge(h1);  // shard 1 finished first this time
+  completionOrder.merge(h2);
+  completionOrder.merge(h0);
+  EXPECT_NE(std::bit_cast<std::uint64_t>(indexOrder.mean()),
+            std::bit_cast<std::uint64_t>(completionOrder.mean()));
+}
+
+TEST(StatsOrder, HistogramMergeRejectsMismatchedGeometry) {
+  ScopedCheckTrap trap;
+  Histogram a(1.0, 4), b(2.0, 4);
+  try {
+    a.merge(b);
+    FAIL() << "geometry mismatch accepted";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(e.message.find("mismatched geometry"), std::string::npos);
+  }
 }
 
 }  // namespace

@@ -60,6 +60,15 @@ std::uint64_t reportHashFor(const NamedConfig& preset) {
   return ckpt::fnv1a64(runResultToJson(r));
 }
 
+std::uint64_t reportHashFor(const NamedConfig& preset, int shards) {
+  SystemConfig cfg = preset.cfg;
+  cfg.core.maxInstrs = kInstrs;
+  RunOptions opts;
+  opts.shards = shards;
+  const RunResult r = runSimulation(cfg, WorkloadSpec::spec(kWorkload), opts);
+  return ckpt::fnv1a64(runResultToJson(r));
+}
+
 std::map<std::string, std::uint64_t> readGoldenFile(const std::string& path) {
   std::map<std::string, std::uint64_t> out;
   std::ifstream in(path);
@@ -124,6 +133,31 @@ TEST(GoldenReport, AllPresetsMatchCommittedHashes) {
       << detail
       << "If this change was intended, regenerate with MB_UPDATE_GOLDEN=1 and "
          "justify the new hashes in the PR.";
+}
+
+// Shard-count invariance against the SAME committed corpus: every preset,
+// re-run at --shards=2 and --shards=nChannels, must reproduce the hash the
+// serial corpus pinned. Comparing against the committed file rather than a
+// fresh shards=1 run is deliberate — a bug that shifted results identically
+// at every shard count would still be caught, and the corpus is never
+// regenerated from a sharded run. (MB_UPDATE_GOLDEN has no effect here.)
+TEST(GoldenReport, ShardCountIsReportInvariant) {
+  const auto presets = shippedPresets();
+  const auto golden = readGoldenFile(MB_GOLDEN_FILE);
+  ASSERT_EQ(golden.size(), presets.size())
+      << "golden file " << MB_GOLDEN_FILE
+      << " is missing entries; regenerate with MB_UPDATE_GOLDEN=1 (serial)";
+  for (const auto& preset : presets) {
+    const auto it = golden.find(preset.name);
+    ASSERT_NE(it, golden.end()) << preset.name;
+    const int channels =
+        resolvedChannels(preset.cfg, WorkloadSpec::spec(kWorkload));
+    for (const int shards : {2, channels}) {
+      EXPECT_EQ(reportHashFor(preset, shards), it->second)
+          << preset.name << " diverged from the committed corpus at --shards="
+          << shards << " (channels=" << channels << ")";
+    }
+  }
 }
 
 // The hash input is the journal-exact JSON rendering, so two runs of the

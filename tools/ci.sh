@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI gate: build + full ctest under ASan+UBSan, a TSan pass over the parallel
-# sweep tests, a recorded (non-gating) perf-harness run in an unsanitized
-# build tree, then clang-tidy over src/.
+# sweep tests, the channel-sharded engine tests, and one sharded preset run,
+# a recorded (non-gating) perf-harness run in an unsanitized build tree, then
+# clang-tidy over src/.
 #
 # Usage:  tools/ci.sh [build-dir]        (default: build-ci)
 #
@@ -56,12 +57,24 @@ cmake -B "$build_tsan" -S "$repo" \
 echo "== build sim_tests for TSan =="
 cmake --build "$build_tsan" -j"$(nproc)" --target sim_tests
 
-echo "== parallel-sweep tests under TSan =="
-# The SweepRunner worker pool and the parallel runSpecGroup overload are the
-# only intentionally multithreaded code paths; any report here is a real race.
+echo "== parallel-sweep and shard tests under TSan =="
+# The SweepRunner worker pool, the parallel runSpecGroup overload, and the
+# channel-sharded engine (ShardedEngine worker pool, DESIGN.md §14) are the
+# only intentionally multithreaded code paths; any report here is a real
+# race. ShardWindow drives the engine's barrier directly with a two-worker
+# pool; ShardDifferential runs whole sharded simulations against serial
+# ones.
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir "$build_tsan" --output-on-failure \
-    -R 'SweepRunner|RunSpecGroupParallel'
+    -R 'SweepRunner|RunSpecGroupParallel|ShardWindow|ShardDifferential'
+
+echo "== one preset at --shards=4 under TSan =="
+# End-to-end sharded run through the real mbsim binary: 16 channels over 4
+# worker threads, long enough to cross thousands of window barriers.
+cmake --build "$build_tsan" -j"$(nproc)" --target mbsim
+TSAN_OPTIONS=halt_on_error=1 \
+  "$build_tsan/tools/mbsim" --preset=tsi-baseline --workload=RADIX \
+    --instrs=20000 --shards=4 > /dev/null
 
 echo "== mblint conformance =="
 "$build/tools/mblint" --all-presets
@@ -295,8 +308,12 @@ cmake -B "$build_perf" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_perf" -j"$(nproc)" --target mbperf
 # --serve records the mbserve memo-cache cold/cached latencies and the
 # snapshot-LRU hit rate into the same MBPERF1 record (a "serve" block).
+# --shard-bench records serial vs --shards=4 wall clock on the multicore
+# fig.8 configuration (a "shard" block), with the host's hardware thread
+# count alongside so the ratio is interpretable — a box with no free cores
+# cannot show a speedup and that is not a regression.
 "$build_perf/bench/mbperf" --out="$build_perf/BENCH_PERF.json" \
-  --baseline="$repo/bench/perf_baseline.txt" --serve
+  --baseline="$repo/bench/perf_baseline.txt" --serve --shard-bench=4
 echo "perf record: $build_perf/BENCH_PERF.json"
 
 echo "== clang-tidy over src/ =="
